@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Compiler micro-benchmarks (google-benchmark): the cost of each
+ * compilation phase on real pipelines.  The paper's model-driven
+ * approach keeps compilation interactive (autotuning 147 configs in
+ * minutes); these benches document that the phases are milliseconds.
+ */
+#include <benchmark/benchmark.h>
+
+#include "apps/apps.hpp"
+#include "driver/compiler.hpp"
+
+using namespace polymage;
+
+namespace {
+
+dsl::PipelineSpec
+specFor(int app)
+{
+    switch (app) {
+      case 0: return apps::buildHarris(2048, 2048);
+      case 1: return apps::buildCameraPipeline(2528, 1920);
+      case 2: return apps::buildPyramidBlend(2048, 2048, 4);
+      default: return apps::buildLocalLaplacian(2560, 1536, 4, 8);
+    }
+}
+
+const char *kAppNames[] = {"harris", "camera", "pyramid", "locallap"};
+
+void
+BM_GraphBuild(benchmark::State &state)
+{
+    auto spec = specFor(int(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pg::PipelineGraph::build(spec));
+    state.SetLabel(kAppNames[state.range(0)]);
+}
+
+void
+BM_BoundsCheck(benchmark::State &state)
+{
+    auto spec = specFor(int(state.range(0)));
+    auto g = pg::PipelineGraph::build(spec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pg::checkBounds(g));
+    state.SetLabel(kAppNames[state.range(0)]);
+}
+
+void
+BM_Inline(benchmark::State &state)
+{
+    auto spec = specFor(int(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(pg::inlinePointwise(spec));
+    state.SetLabel(kAppNames[state.range(0)]);
+}
+
+void
+BM_Grouping(benchmark::State &state)
+{
+    auto spec = specFor(int(state.range(0)));
+    auto inlined = pg::inlinePointwise(spec);
+    auto g = pg::PipelineGraph::build(inlined.spec);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(core::groupStages(g));
+    state.SetLabel(kAppNames[state.range(0)]);
+}
+
+void
+BM_FullCompile(benchmark::State &state)
+{
+    auto spec = specFor(int(state.range(0)));
+    for (auto _ : state)
+        benchmark::DoNotOptimize(compilePipeline(spec));
+    state.SetLabel(kAppNames[state.range(0)]);
+}
+
+} // namespace
+
+BENCHMARK(BM_GraphBuild)->DenseRange(0, 3);
+BENCHMARK(BM_BoundsCheck)->DenseRange(0, 3);
+BENCHMARK(BM_Inline)->DenseRange(0, 3);
+BENCHMARK(BM_Grouping)->DenseRange(0, 3);
+BENCHMARK(BM_FullCompile)->DenseRange(0, 3);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Experiment F9: regenerates the paper's Figure 9 -- the autotuning
+ * scatter of (1-core time, 16-core time) per explored configuration
+ * for Pyramid Blending, Camera Pipeline, and Multiscale Interpolation.
+ *
+ * The default grid is a subset of the paper's 7x7x3 space to keep the
+ * sweep short on one core; set POLYMAGE_TUNE_FULL=1 for the full
+ * space and POLYMAGE_BENCH_SCALE to change image sizes (default 0.5).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "tune/autotuner.hpp"
+
+using namespace polymage;
+using namespace polymage::bench;
+
+int
+main()
+{
+    const double scale = benchScale(0.5);
+    const bool full = std::getenv("POLYMAGE_TUNE_FULL") != nullptr;
+
+    tune::TuneSpace space;
+    if (!full) {
+        space.tileSizes = {16, 64, 256};
+        space.thresholds = {0.2, 0.5};
+    }
+
+    std::printf("==== Figure 9: autotuning scatter (scale %.2f, %lld "
+                "configs/app) ====\n",
+                scale, (long long)space.size());
+
+    auto benches = paperBenchmarks(scale);
+    for (auto &b : benches) {
+        if (b.name != "Pyramid Blending" && b.name != "Camera Pipeline" &&
+            b.name != "Multiscale Interp") {
+            continue;
+        }
+        std::printf("\n-- %s (%s) --\n", b.name.c_str(),
+                    b.sizeLabel.c_str());
+        std::printf("%-16s %8s | %12s %12s %7s\n", "tiles", "othresh",
+                    "t 1-core(ms)", "t 16-core(ms)", "groups");
+
+        tune::TuneOptions opts;
+        opts.repeats = 1;
+        auto inputs = b.inputs();
+        auto result =
+            tune::autotune(b.spec, b.params, inputs, space, opts);
+
+        for (const auto &e : result.entries) {
+            std::string tiles;
+            for (std::size_t i = 0; i < e.config.tiles.size(); ++i) {
+                tiles += (i ? "x" : "") +
+                         std::to_string(e.config.tiles[i]);
+            }
+            std::printf("%-16s %8.2f | %12.2f %12.2f %7d\n",
+                        tiles.c_str(), e.config.threshold,
+                        e.seconds1 * 1e3, e.secondsP * 1e3, e.groups);
+        }
+        const auto &best = result.bestEntry();
+        std::printf("best: %s  (%.2f ms on 1 core, %.2f ms modelled on "
+                    "16)\n",
+                    best.config.toString().c_str(), best.seconds1 * 1e3,
+                    best.secondsP * 1e3);
+        std::fflush(stdout);
+    }
+    return 0;
+}

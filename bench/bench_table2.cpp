@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Experiment T2: regenerates the paper's Table 2 -- per application,
+ * the execution time of PolyMage (opt+vec) on 1/4/16 cores, the
+ * speedup over the tuned comparator on 16 cores, and the
+ * OpenCV-library-style time where applicable.
+ *
+ * On this single-core machine the 1-core numbers are measured; the
+ * 4/16-core numbers come from the per-tile LPT scaling model (see
+ * runtime/scaling.hpp and EXPERIMENTS.md).  POLYMAGE_BENCH_SCALE
+ * scales the image sizes (default 1.0 = paper sizes).
+ */
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "runtime/scaling.hpp"
+
+using namespace polymage;
+using namespace polymage::bench;
+
+int
+main()
+{
+    const double scale = benchScale(1.0);
+    std::printf("==== Table 2: benchmark summary (scale %.2f) ====\n\n",
+                scale);
+    std::printf("%-18s %6s %13s | %9s %9s %9s | %12s | %9s\n", "Benchmark",
+                "Stages", "Image size", "PM 1c(ms)", "PM 4c(ms)",
+                "PM 16c(ms)", "vs H-tuned", "OpenCV(ms)");
+
+    auto benches = paperBenchmarks(scale);
+    for (auto &b : benches) {
+        CompileOptions opts = b.tuned; // opt+vec, tuned tile sizes
+        opts.codegen.instrument = true;
+        rt::Executable exe = rt::Executable::build(b.spec, opts);
+        const int stages = int(pg::PipelineGraph::build(b.spec)
+                                   .stages()
+                                   .size());
+
+        auto inputs = b.inputs();
+        auto outputs = exe.run(b.params, inputs);
+        const double t1 = timeBestOf(
+            [&] { exe.runInto(b.params, inputs, outputs); });
+
+        rt::TaskProfile prof = exe.profile(b.params, inputs);
+        const double model1 = rt::predictTime(prof, 1);
+        const double calib = model1 > 0 ? t1 / model1 : 1.0;
+        const double t4 = rt::predictTime(prof, 4) * calib;
+        const double t16 = rt::predictTime(prof, 16) * calib;
+
+        std::string vs_htuned = "-";
+        if (b.htuned) {
+            cmp::CmpResult warm = b.htuned(true);
+            const double h1 = timeBestOf([&] { b.htuned(true); }, 2);
+            const double hcalib =
+                warm.totalSeconds() > 0 ? h1 / warm.totalSeconds()
+                                        : 1.0;
+            const double h16 =
+                cmp::modeledTime(warm.passes, 16) * hcalib;
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2fx", h16 / t16);
+            vs_htuned = buf;
+        }
+
+        std::string opencv = "-";
+        if (b.libstyle) {
+            const double l1 = timeBestOf([&] { b.libstyle(); }, 2);
+            char buf[32];
+            std::snprintf(buf, sizeof(buf), "%.2f", l1 * 1e3);
+            opencv = buf;
+        }
+
+        std::printf("%-18s %6d %13s | %9.2f %9.2f %9.2f | %12s | %9s\n",
+                    b.name.c_str(), stages, b.sizeLabel.c_str(),
+                    t1 * 1e3, t4 * 1e3, t16 * 1e3, vs_htuned.c_str(),
+                    opencv.c_str());
+        std::fflush(stdout);
+    }
+
+    std::printf("\nNotes: 1-core times measured; 4/16-core times are\n"
+                "LPT-modelled from per-tile profiles (single-core\n"
+                "container).  'vs H-tuned' compares modelled 16-core\n"
+                "times against the hand-written tuned comparator.\n");
+    return 0;
+}

@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: paper benchmark
+ * configurations (sizes, inputs, comparators), timing, and scaling by
+ * the POLYMAGE_BENCH_SCALE environment variable.
+ */
+#ifndef POLYMAGE_BENCH_BENCH_UTIL_HPP
+#define POLYMAGE_BENCH_BENCH_UTIL_HPP
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "comparators/comparators.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/synth.hpp"
+
+namespace polymage::bench {
+
+/** Linear image-size scale from POLYMAGE_BENCH_SCALE (default 1.0). */
+inline double
+benchScale(double fallback = 1.0)
+{
+    const char *env = std::getenv("POLYMAGE_BENCH_SCALE");
+    if (env == nullptr)
+        return fallback;
+    const double v = std::atof(env);
+    return v > 0 ? v : fallback;
+}
+
+/** Round to the nearest multiple of @p mult (at least mult). */
+inline std::int64_t
+scaled(std::int64_t size, double scale, std::int64_t mult = 64)
+{
+    const auto v = std::int64_t(double(size) * scale);
+    return std::max<std::int64_t>(mult, (v / mult) * mult);
+}
+
+/** Best-of-N wall time of a callback, after one warm-up call. */
+inline double
+timeBestOf(const std::function<void()> &fn, int repeats = 3)
+{
+    fn();
+    double best = 1e300;
+    for (int r = 0; r < repeats; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        best = std::min(best,
+                        std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+    }
+    return best;
+}
+
+/** One paper benchmark: spec, inputs, and comparator callbacks. */
+struct AppBench
+{
+    std::string name;
+    std::string sizeLabel;
+    dsl::PipelineSpec spec{"unset"};
+    std::vector<std::int64_t> params;
+    std::vector<rt::Buffer> inputStorage;
+    /**
+     * Tuned compile options for the PolyMage opt variants (the paper's
+     * numbers are autotuned; these tile sizes come from sweep runs of
+     * bench_fig9_autotune).
+     */
+    CompileOptions tuned;
+
+    /** H-tuned comparator (nullptr when not applicable). */
+    std::function<cmp::CmpResult(bool vectorize)> htuned;
+    /** OpenCV-style comparator (nullptr when not applicable). */
+    std::function<cmp::CmpResult()> libstyle;
+
+    std::vector<const rt::Buffer *>
+    inputs() const
+    {
+        std::vector<const rt::Buffer *> v;
+        for (const auto &b : inputStorage)
+            v.push_back(&b);
+        return v;
+    }
+};
+
+/** Build all seven paper benchmarks at the given scale. */
+inline std::vector<AppBench>
+paperBenchmarks(double scale)
+{
+    std::vector<AppBench> out;
+
+    auto label = [](std::int64_t r, std::int64_t c, int ch) {
+        std::string s = std::to_string(r) + "x" + std::to_string(c);
+        if (ch > 1)
+            s += "x" + std::to_string(ch);
+        return s;
+    };
+
+    { // Unsharp Mask, paper 2048x2048x3.
+        AppBench b;
+        const std::int64_t R = scaled(2048, scale),
+                           C = scaled(2048, scale);
+        b.name = "Unsharp Mask";
+        b.sizeLabel = label(R, C, 3);
+        b.spec = apps::buildUnsharpMask(R, C);
+        b.tuned.grouping.tileSizes = {32, 512};
+        b.params = {R, C};
+        b.inputStorage.push_back(rt::synth::photoRgb(R + 4, C + 4));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in](bool vec) { return cmp::htunedUnsharp(*in, vec); };
+        b.libstyle = [in] { return cmp::libstyleUnsharp(*in); };
+        out.push_back(std::move(b));
+    }
+    { // Bilateral Grid, paper 2560x1536.
+        AppBench b;
+        const std::int64_t R = scaled(2560, scale),
+                           C = scaled(1536, scale);
+        b.name = "Bilateral Grid";
+        b.sizeLabel = label(R, C, 1);
+        b.spec = apps::buildBilateralGrid(R, C);
+        // The sweep finds slice fusion unprofitable on this machine
+        // (the paper's own weakest case); 32x256 fuses the blur
+        // stages only.
+        b.tuned.grouping.tileSizes = {32, 256};
+        b.params = {R, C};
+        b.inputStorage.push_back(rt::synth::photo(R, C));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in](bool vec) {
+            return cmp::htunedBilateral(*in, vec);
+        };
+        out.push_back(std::move(b));
+    }
+    { // Harris Corner, paper 6400x6400.
+        AppBench b;
+        const std::int64_t R = scaled(6400, scale),
+                           C = scaled(6400, scale);
+        b.name = "Harris Corner";
+        b.sizeLabel = label(R, C, 1);
+        b.spec = apps::buildHarris(R, C);
+        b.tuned.grouping.tileSizes = {32, 256};
+        b.params = {R, C};
+        b.inputStorage.push_back(rt::synth::photo(R + 2, C + 2));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in](bool vec) { return cmp::htunedHarris(*in, vec); };
+        b.libstyle = [in] { return cmp::libstyleHarris(*in); };
+        out.push_back(std::move(b));
+    }
+    { // Camera Pipeline, paper 2528x1920.
+        AppBench b;
+        const std::int64_t R = scaled(2528, scale),
+                           C = scaled(1920, scale);
+        b.name = "Camera Pipeline";
+        b.sizeLabel = label(R, C, 1);
+        b.spec = apps::buildCameraPipeline(R, C);
+        b.tuned.grouping.tileSizes = {64, 256};
+        b.params = {R, C};
+        b.inputStorage.push_back(rt::synth::bayerRaw(R + 4, C + 4));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in](bool vec) { return cmp::htunedCamera(*in, vec); };
+        out.push_back(std::move(b));
+    }
+    { // Pyramid Blending, paper 2048x2048x3 (here single-channel).
+        AppBench b;
+        const std::int64_t R = scaled(2048, scale),
+                           C = scaled(2048, scale);
+        const int levels = 4;
+        b.name = "Pyramid Blending";
+        b.sizeLabel = label(R, C, 1);
+        b.spec = apps::buildPyramidBlend(R, C, levels);
+        // Sweep best: the defaults (32x256, 0.4).
+        b.params = apps::pyramidParams(R, C, levels);
+        b.inputStorage.push_back(rt::synth::photo(R, C, 1));
+        b.inputStorage.push_back(rt::synth::photo(R, C, 2));
+        b.inputStorage.push_back(rt::synth::blendMask(R, C));
+        const rt::Buffer *a = &b.inputStorage[0];
+        const rt::Buffer *bb = &b.inputStorage[1];
+        const rt::Buffer *m = &b.inputStorage[2];
+        b.htuned = [a, bb, m, levels](bool vec) {
+            return cmp::htunedPyramidBlend(*a, *bb, *m, levels, vec);
+        };
+        b.libstyle = [a, bb, m, levels] {
+            return cmp::libstylePyramidBlend(*a, *bb, *m, levels);
+        };
+        out.push_back(std::move(b));
+    }
+    { // Multiscale Interpolation, paper 2560x1536x3.
+        AppBench b;
+        const std::int64_t R = scaled(2560, scale),
+                           C = scaled(1536, scale);
+        int levels = 8;
+        while (levels > 2 && (std::min(R, C) >> (levels - 1)) < 4)
+            --levels;
+        b.name = "Multiscale Interp";
+        b.sizeLabel = label(R, C, 2);
+        b.spec = apps::buildMultiscaleInterp(R, C, levels);
+        b.tuned.grouping.tileSizes = {64, 256};
+        b.tuned.grouping.overlapThreshold = 0.5;
+        b.params = apps::pyramidParams(R, C, levels);
+        b.inputStorage.push_back(rt::synth::sparseAlpha(R, C, 1.0 / 16));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in, levels](bool vec) {
+            return cmp::htunedInterp(*in, levels, vec);
+        };
+        out.push_back(std::move(b));
+    }
+    { // Local Laplacian, paper 2560x1536x3.
+        AppBench b;
+        const std::int64_t R = scaled(2560, scale),
+                           C = scaled(1536, scale);
+        const int levels = 4, k = 8;
+        b.name = "Local Laplacian";
+        b.sizeLabel = label(R, C, 1);
+        b.spec = apps::buildLocalLaplacian(R, C, levels, k);
+        b.tuned.grouping.tileSizes = {64, 256};
+        b.tuned.grouping.overlapThreshold = 0.5;
+        b.params = apps::pyramidParams(R, C, levels);
+        b.inputStorage.push_back(rt::synth::photo(R, C));
+        const rt::Buffer *in = &b.inputStorage[0];
+        b.htuned = [in, levels, k](bool vec) {
+            return cmp::htunedLocalLaplacian(*in, levels, k, vec);
+        };
+        out.push_back(std::move(b));
+    }
+    return out;
+}
+
+} // namespace polymage::bench
+
+#endif // POLYMAGE_BENCH_BENCH_UTIL_HPP

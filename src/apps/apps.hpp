@@ -1,0 +1,101 @@
+/**
+ * @file
+ * The seven benchmark applications of the paper (§4, Table 2), each
+ * expressed as a PolyMage DSL specification.  Builders take the
+ * estimated image dimensions (paper §3.5: estimates steer grouping but
+ * the generated code stays valid for all sizes).
+ */
+#ifndef POLYMAGE_APPS_APPS_HPP
+#define POLYMAGE_APPS_APPS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+
+namespace polymage::apps {
+
+/**
+ * Runtime parameter values for the pyramid-based pipelines (pyramid
+ * blend, multiscale interpolation, local Laplacian): R, C, then the
+ * per-level row sizes S1.. and column sizes T1.. (floor halving).
+ */
+std::vector<std::int64_t> pyramidParams(std::int64_t rows,
+                                        std::int64_t cols, int levels);
+
+/**
+ * Harris corner detection (paper Fig. 1): 3x3 derivative stencils,
+ * products, 3x3 box sums, and the corner response.  11 stages.
+ * Input: Float image of (R+2) x (C+2).  Output: harris response.
+ */
+dsl::PipelineSpec buildHarris(std::int64_t rows_est = 6400,
+                              std::int64_t cols_est = 6400);
+
+/**
+ * Unsharp mask: blur (two separable 3-tap stencils) and a thresholded
+ * sharpen of a 3-channel image.  4 stages.
+ * Input: Float image of 3 x (R+4) x (C+4).
+ */
+dsl::PipelineSpec buildUnsharpMask(std::int64_t rows_est = 2048,
+                                   std::int64_t cols_est = 2048);
+
+/**
+ * Grayscale histogram (paper Fig. 3) plus equalisation: accumulator,
+ * prefix sum (self-recurrent scan), and a data-dependent remap.
+ */
+dsl::PipelineSpec buildHistogramEq(std::int64_t rows_est = 2048,
+                                   std::int64_t cols_est = 2048);
+
+/**
+ * Bilateral grid (paper §4): grid construction as a reduction,
+ * 3-axis grid blurs, and trilinear slicing.  7 logical stages.
+ * Input: Float image (values in [0,1)) of R x C.
+ */
+dsl::PipelineSpec buildBilateralGrid(std::int64_t rows_est = 2560,
+                                     std::int64_t cols_est = 1536);
+
+/**
+ * Camera raw processing pipeline (paper §4): hot-pixel suppression,
+ * demosaicking from a GRBG Bayer mosaic, white balance, colour
+ * correction, and a gamma curve via a lookup table.  ~32 stages.
+ * Input: UShort raw image of (R+4) x (C+4).
+ */
+dsl::PipelineSpec buildCameraPipeline(std::int64_t rows_est = 2528,
+                                      std::int64_t cols_est = 1920);
+
+/**
+ * Pyramid blending (paper §4, Fig. 8): Gaussian/Laplacian pyramids of
+ * two inputs, mask-weighted merge per level, and collapse.
+ *
+ * @param levels pyramid depth (paper uses 4)
+ */
+dsl::PipelineSpec buildPyramidBlend(std::int64_t rows_est = 2048,
+                                    std::int64_t cols_est = 2048,
+                                    int levels = 4);
+
+/**
+ * Multiscale interpolation (paper §4): downsample an image+mask to
+ * multiple scales, then interpolate missing values coarse-to-fine.
+ *
+ * @param levels scale count (paper's benchmark uses ~10 for 49 stages;
+ *               smaller values shrink the pipeline proportionally)
+ */
+dsl::PipelineSpec buildMultiscaleInterp(std::int64_t rows_est = 2560,
+                                        std::int64_t cols_est = 1536,
+                                        int levels = 10);
+
+/**
+ * Local Laplacian filter (paper §4): Gaussian pyramid of the input,
+ * K remapped Laplacian pyramids, per-level blending by intensity, and
+ * collapse.  The stage count grows with levels x k (paper: 99 stages).
+ *
+ * @param levels pyramid depth
+ * @param k number of intensity bins
+ */
+dsl::PipelineSpec buildLocalLaplacian(std::int64_t rows_est = 2560,
+                                      std::int64_t cols_est = 1536,
+                                      int levels = 4, int k = 8);
+
+} // namespace polymage::apps
+
+#endif // POLYMAGE_APPS_APPS_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Bilateral grid (paper §4, [Chen et al.]): grid construction as a
+ * reduction over the image (homogeneous value/weight channels), a
+ * separable 3-axis grid blur, and trilinear slicing.  Seven stages:
+ * gridv, gridw, gridc (point-wise, inlined), blurz, blurx, blury,
+ * slice.  The reduction stays in its own group (reductions are not
+ * fused); the blur and slice stages fuse with scale-8 alignment.
+ *
+ * Spatial sigma 8, range sigma 0.1 (10 intensity bins); all grid axes
+ * carry a one-cell shift so the blur stages need no boundary cases.
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildBilateralGrid(std::int64_t rows_est, std::int64_t cols_est)
+{
+    const std::int64_t s = 8;   // spatial bin size
+    const double inv_r = 10.0;  // 1 / range sigma
+
+    Parameter R("R"), C("C");
+    Image I("I", DType::Float, {Expr(R), Expr(C)});
+
+    Variable x("x"), y("y"), gx("gx"), gy("gy"), gz("gz"), cc("cc");
+    Interval rows(Expr(0), Expr(R) - 1), cols(Expr(0), Expr(C) - 1);
+    Interval gxd(Expr(0), Expr(R) / s + 3);
+    Interval gyd(Expr(0), Expr(C) / s + 3);
+    Interval gzd(Expr(0), Expr(12));
+    Interval ccd(Expr(0), Expr(1));
+
+    // Grid cell of a pixel: rounded spatial bin (+1 shift), rounded
+    // intensity bin (+1 shift).
+    Expr tx = (Expr(x) + s / 2) / s + 1;
+    Expr ty = (Expr(y) + s / 2) / s + 1;
+    Expr tz = cast(DType::Int, I(x, y) * Expr(inv_r) + Expr(0.5)) + 1;
+
+    Accumulator gridv("gridv", {gx, gy, gz}, {gxd, gyd, gzd}, {x, y},
+                      {rows, cols}, DType::Float);
+    gridv.accumulate({tx, ty, tz}, I(x, y));
+
+    Accumulator gridw("gridw", {gx, gy, gz}, {gxd, gyd, gzd}, {x, y},
+                      {rows, cols}, DType::Float);
+    gridw.accumulate({tx, ty, tz}, Expr(1.0));
+
+    // Homogeneous view: cc = 0 selects the value sum, cc = 1 the
+    // weight sum.  Point-wise: inlined into blurz.
+    Function gridc("gridc", {gx, gy, gz, cc}, {gxd, gyd, gzd, ccd},
+                   DType::Float);
+    gridc.define(select(Expr(cc) == 0, gridv(gx, gy, gz),
+                        gridw(gx, gy, gz)));
+
+    // Separable [1 2 1]/4 blur along z, x, y.
+    Function blurz("blurz", {gx, gy, gz, cc},
+                   {gxd, gyd, Interval(Expr(1), Expr(11)), ccd},
+                   DType::Float);
+    blurz.define(stencil1d(
+        [&](Expr k) { return gridc(gx, gy, k, cc); }, Expr(gz),
+        {0.25, 0.5, 0.25}));
+
+    Function blurx("blurx", {gx, gy, gz, cc},
+                   {Interval(Expr(1), Expr(R) / s + 2), gyd,
+                    Interval(Expr(1), Expr(11)), ccd},
+                   DType::Float);
+    blurx.define(stencil1d(
+        [&](Expr k) { return blurz(k, gy, gz, cc); }, Expr(gx),
+        {0.25, 0.5, 0.25}));
+
+    Function blury("blury", {gx, gy, gz, cc},
+                   {Interval(Expr(1), Expr(R) / s + 2),
+                    Interval(Expr(1), Expr(C) / s + 2),
+                    Interval(Expr(1), Expr(11)), ccd},
+                   DType::Float);
+    blury.define(stencil1d(
+        [&](Expr k) { return blurx(gx, k, gz, cc); }, Expr(gy),
+        {0.25, 0.5, 0.25}));
+
+    // Trilinear slice: interpolate the blurred grid at each pixel and
+    // divide the homogeneous value by the weight.
+    Function slice("slice", {x, y}, {rows, cols}, DType::Float);
+    {
+        Expr gx0 = Expr(x) / s + 1;
+        Expr gy0 = Expr(y) / s + 1;
+        Expr zv = I(x, y) * Expr(inv_r);
+        Expr zi = cast(DType::Int, zv);
+        Expr gz0 = zi + 1;
+        Expr fx = cast(DType::Float, Expr(x) % s) * Expr(1.0 / s);
+        Expr fy = cast(DType::Float, Expr(y) % s) * Expr(1.0 / s);
+        Expr fz = zv - cast(DType::Float, zi);
+
+        auto lerp = [](Expr a, Expr b, Expr t) {
+            return a + (b - a) * t;
+        };
+        auto sample = [&](int chan) {
+            Expr ch(chan);
+            Expr c00 = lerp(blury(gx0, gy0, gz0, ch),
+                            blury(gx0 + 1, gy0, gz0, ch), fx);
+            Expr c10 = lerp(blury(gx0, gy0 + 1, gz0, ch),
+                            blury(gx0 + 1, gy0 + 1, gz0, ch), fx);
+            Expr c01 = lerp(blury(gx0, gy0, gz0 + 1, ch),
+                            blury(gx0 + 1, gy0, gz0 + 1, ch), fx);
+            Expr c11 = lerp(blury(gx0, gy0 + 1, gz0 + 1, ch),
+                            blury(gx0 + 1, gy0 + 1, gz0 + 1, ch), fx);
+            return lerp(lerp(c00, c10, fy), lerp(c01, c11, fy), fz);
+        };
+        slice.define(sample(0) / sample(1));
+    }
+
+    PipelineSpec spec("bilateral_grid");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(I);
+    spec.addOutput(slice);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    return spec;
+}
+
+} // namespace polymage::apps

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Camera raw processing pipeline (paper §4, after the Frankencamera
+ * pipeline): hot-pixel suppression on the 10-bit GRBG mosaic,
+ * deinterleaving into four colour planes with white balance, bilinear
+ * demosaicking (green, then red/blue at every site class),
+ * full-resolution interleaving via parity selects, a colour-correction
+ * matrix (point-wise, inlined), and a gamma curve applied through a
+ * small lookup table.
+ *
+ * Everything except the LUT fuses into one overlapped-tiled group with
+ * scale-2 alignment between full- and half-resolution stages; the LUT
+ * stays separate (paper: "fuses all stages except small lookup table
+ * computations").  The output is cropped by a fixed margin so no
+ * boundary cases are needed (as in the Halide/FCam implementations).
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildCameraPipeline(std::int64_t rows_est, std::int64_t cols_est)
+{
+    Parameter R("R"), C("C");
+    Image raw("raw", DType::UShort, {Expr(R) + 4, Expr(C) + 4});
+
+    Variable x("x"), y("y"), c("c"), i("i");
+
+    // ---- Hot pixel suppression on the mosaic ------------------------
+    Interval fr(Expr(0), Expr(R) + 3), fc(Expr(0), Expr(C) + 3);
+    Condition interior = (Expr(x) >= 2) & (Expr(x) <= Expr(R) + 1) &
+                         (Expr(y) >= 2) & (Expr(y) <= Expr(C) + 1);
+    Function denoised("denoised", {x, y}, {fr, fc}, DType::UShort);
+    {
+        Expr up = raw(Expr(x) - 2, y), dn = raw(Expr(x) + 2, y);
+        Expr lf = raw(x, Expr(y) - 2), rt = raw(x, Expr(y) + 2);
+        Expr lo = min(min(up, dn), min(lf, rt));
+        Expr hi = max(max(up, dn), max(lf, rt));
+        denoised.define({Case(interior, clamp(raw(x, y), lo, hi))});
+    }
+
+    // ---- Deinterleave into white-balanced half-resolution planes ----
+    // GRBG: (even, even) Gr, (even, odd) R, (odd, even) B,
+    // (odd, odd) Gb, on the +2-shifted interior.
+    Interval hr(Expr(0), Expr(R) / 2 - 1), hc(Expr(0), Expr(C) / 2 - 1);
+    const double inv_white = 1.0 / 1023.0;
+    auto plane = [&](const char *name, std::int64_t dx, std::int64_t dy,
+                     double gain) {
+        Function f(name, {x, y}, {hr, hc}, DType::Float);
+        f.define(cast(DType::Float,
+                      denoised(Expr(x) * 2 + 2 + dx,
+                               Expr(y) * 2 + 2 + dy)) *
+                 Expr(gain * inv_white));
+        return f;
+    };
+    Function gr = plane("gr", 0, 0, 1.0);
+    Function rp = plane("rp", 0, 1, 1.25);
+    Function bp = plane("bp", 1, 0, 1.45);
+    Function gb = plane("gb", 1, 1, 1.0);
+
+    // ---- Demosaic: interpolate each colour at every site class ------
+    Interval dr(Expr(1), Expr(R) / 2 - 2), dc(Expr(1), Expr(C) / 2 - 2);
+    auto demosaic = [&](const char *name, Expr body) {
+        Function f(name, {x, y}, {dr, dc}, DType::Float);
+        f.define(body);
+        return f;
+    };
+    Expr quarter(0.25), half(0.5);
+    Function g_r = demosaic(
+        "g_r", (gr(x, y) + gr(x, Expr(y) + 1) + gb(Expr(x) - 1, y) +
+                gb(x, y)) *
+                   quarter);
+    Function g_b = demosaic(
+        "g_b", (gr(x, y) + gr(Expr(x) + 1, y) + gb(x, Expr(y) - 1) +
+                gb(x, y)) *
+                   quarter);
+    Function r_gr = demosaic("r_gr",
+                             (rp(x, Expr(y) - 1) + rp(x, y)) * half);
+    Function b_gr = demosaic("b_gr",
+                             (bp(Expr(x) - 1, y) + bp(x, y)) * half);
+    Function r_gb = demosaic("r_gb",
+                             (rp(x, y) + rp(Expr(x) + 1, y)) * half);
+    Function b_gb = demosaic("b_gb",
+                             (bp(x, y) + bp(x, Expr(y) + 1)) * half);
+    Function r_b = demosaic(
+        "r_b", (rp(x, Expr(y) - 1) + rp(x, y) + rp(Expr(x) + 1, Expr(y) - 1) +
+                rp(Expr(x) + 1, y)) *
+                   quarter);
+    Function b_r = demosaic(
+        "b_r", (bp(Expr(x) - 1, y) + bp(x, y) + bp(Expr(x) - 1, Expr(y) + 1) +
+                bp(x, Expr(y) + 1)) *
+                   quarter);
+
+    // ---- Interleave to full resolution (cropped by the margin) ------
+    Interval orow(Expr(0), Expr(R) - 7), ocol(Expr(0), Expr(C) - 7);
+    Expr hx = (Expr(x) + 2) / 2, hy = (Expr(y) + 2) / 2;
+    Condition even_x = (Expr(x) % 2 == Expr(0));
+    Condition even_y = (Expr(y) % 2 == Expr(0));
+
+    Function rr("rr", {x, y}, {orow, ocol}, DType::Float);
+    rr.define(select(even_x,
+                     select(even_y, r_gr(hx, hy), rp(hx, hy)),
+                     select(even_y, r_b(hx, hy), r_gb(hx, hy))));
+    Function gg("gg", {x, y}, {orow, ocol}, DType::Float);
+    gg.define(select(even_x,
+                     select(even_y, gr(hx, hy), g_r(hx, hy)),
+                     select(even_y, g_b(hx, hy), gb(hx, hy))));
+    Function bb("bb", {x, y}, {orow, ocol}, DType::Float);
+    bb.define(select(even_x,
+                     select(even_y, b_gr(hx, hy), b_r(hx, hy)),
+                     select(even_y, bp(hx, hy), b_gb(hx, hy))));
+
+    // ---- Colour correction (point-wise, inlined) ---------------------
+    Interval chan(Expr(0), Expr(2));
+    Function corrected("corrected", {c, x, y}, {chan, orow, ocol},
+                       DType::Float);
+    corrected.define(select(
+        Expr(c) == 0,
+        rr(x, y) * Expr(1.62) + gg(x, y) * Expr(-0.44) +
+            bb(x, y) * Expr(-0.18),
+        select(Expr(c) == 1,
+               rr(x, y) * Expr(-0.21) + gg(x, y) * Expr(1.49) +
+                   bb(x, y) * Expr(-0.28),
+               rr(x, y) * Expr(-0.09) + gg(x, y) * Expr(-0.35) +
+                   bb(x, y) * Expr(1.44))));
+
+    // ---- Gamma curve via a lookup table ------------------------------
+    Function curve("curve", {i}, {Interval(Expr(0), Expr(1023))},
+                   DType::Float);
+    curve.define(
+        Expr(255.0) *
+        pow(cast(DType::Float, Expr(i)) * Expr(1.0 / 1023.0),
+            Expr(1.0 / 2.2)));
+
+    Function processed("processed", {c, x, y}, {chan, orow, ocol},
+                       DType::UChar);
+    processed.define(cast(
+        DType::UChar,
+        curve(clamp(cast(DType::Int,
+                         corrected(c, x, y) * Expr(1023.0)),
+                    Expr(0), Expr(1023)))));
+
+    PipelineSpec spec("camera_pipe");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(raw);
+    spec.addOutput(processed);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    return spec;
+}
+
+} // namespace polymage::apps

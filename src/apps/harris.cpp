@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Harris corner detection, following the paper's Figure 1 line by
+ * line: Sobel-style derivative stencils, products of derivatives, 3x3
+ * box sums, and the det/trace corner response.
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildHarris(std::int64_t rows_est, std::int64_t cols_est)
+{
+    Parameter R("R"), C("C");
+    Image I("I", DType::Float, {Expr(R) + 2, Expr(C) + 2});
+
+    Variable x("x"), y("y");
+    Interval row(Expr(0), Expr(R) + 1);
+    Interval col(Expr(0), Expr(C) + 1);
+    const std::vector<Variable> vars{x, y};
+    const std::vector<Interval> dom{row, col};
+
+    Condition c = (Expr(x) >= 1) & (Expr(x) <= Expr(R)) &
+                  (Expr(y) >= 1) & (Expr(y) <= Expr(C));
+    Condition cb = (Expr(x) >= 2) & (Expr(x) <= Expr(R) - 1) &
+                   (Expr(y) >= 2) & (Expr(y) <= Expr(C) - 1);
+
+    auto acc_i = [&](Expr ix, Expr iy) { return I(ix, iy); };
+
+    Function Iy("Iy", vars, dom, DType::Float);
+    Iy.define({Case(c, stencil(acc_i, x, y,
+                               {{-1, -2, -1},
+                                { 0,  0,  0},
+                                { 1,  2,  1}}, 1.0 / 12))});
+
+    Function Ix("Ix", vars, dom, DType::Float);
+    Ix.define({Case(c, stencil(acc_i, x, y,
+                               {{-1, 0, 1},
+                                {-2, 0, 2},
+                                {-1, 0, 1}}, 1.0 / 12))});
+
+    Function Ixx("Ixx", vars, dom, DType::Float);
+    Ixx.define({Case(c, Ix(x, y) * Ix(x, y))});
+
+    Function Iyy("Iyy", vars, dom, DType::Float);
+    Iyy.define({Case(c, Iy(x, y) * Iy(x, y))});
+
+    Function Ixy("Ixy", vars, dom, DType::Float);
+    Ixy.define({Case(c, Ix(x, y) * Iy(x, y))});
+
+    Function Sxx("Sxx", vars, dom, DType::Float);
+    Function Syy("Syy", vars, dom, DType::Float);
+    Function Sxy("Sxy", vars, dom, DType::Float);
+    const std::vector<std::pair<Function *, Function *>> sums{
+        {&Sxx, &Ixx}, {&Syy, &Iyy}, {&Sxy, &Ixy}};
+    for (auto [sum, prod] : sums) {
+        auto acc = [&, p = prod](Expr ix, Expr iy) {
+            return (*p)(ix, iy);
+        };
+        sum->define({Case(cb, stencil(acc, x, y,
+                                      {{1, 1, 1},
+                                       {1, 1, 1},
+                                       {1, 1, 1}}))});
+    }
+
+    Function det("det", vars, dom, DType::Float);
+    det.define({Case(cb, Sxx(x, y) * Syy(x, y) - Sxy(x, y) * Sxy(x, y))});
+
+    Function trace("trace", vars, dom, DType::Float);
+    trace.define({Case(cb, Sxx(x, y) + Syy(x, y))});
+
+    Function harris("harris", vars, dom, DType::Float);
+    Expr coarsity =
+        det(x, y) - Expr(0.04) * trace(x, y) * trace(x, y);
+    harris.define({Case(cb, coarsity)});
+
+    PipelineSpec spec("harris");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(I);
+    spec.addOutput(harris);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    return spec;
+}
+
+} // namespace polymage::apps

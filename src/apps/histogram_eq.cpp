@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Histogram equalisation: the paper's Fig. 3 histogram accumulator, a
+ * prefix-sum scan expressed as a self-recurrent function (Table 1's
+ * time-iterated pattern in one dimension), and a data-dependent
+ * remapping of the pixels through the CDF.
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildHistogramEq(std::int64_t rows_est, std::int64_t cols_est)
+{
+    Parameter R("R"), C("C");
+    Image I("I", DType::UChar, {Expr(R), Expr(C)});
+
+    Variable x("x"), y("y"), b("b");
+    Interval rows(Expr(0), Expr(R) - 1), cols(Expr(0), Expr(C) - 1);
+    Interval bins(Expr(0), Expr(255));
+
+    Accumulator hist("hist", {b}, {bins}, {x, y}, {rows, cols},
+                     DType::Int);
+    hist.accumulate({I(x, y)}, Expr(1));
+
+    // Prefix sum over the bins (self-recurrent scan).
+    Function cdf("cdf", {b}, {bins}, DType::Int);
+    cdf.define({Case(Expr(b) == 0, hist(Expr(0))),
+                Case(Expr(b) >= 1, cdf(Expr(b) - 1) + hist(b))});
+
+    Function eq("eq", {x, y}, {rows, cols}, DType::UChar);
+    eq.define(cast(DType::UChar,
+                   cast(DType::Long, cdf(I(x, y))) * 255 /
+                       (cast(DType::Long, Expr(R)) * Expr(C))));
+
+    PipelineSpec spec("histogram_eq");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(I);
+    spec.addOutput(eq);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    return spec;
+}
+
+} // namespace polymage::apps

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Multiscale interpolation (paper §4; Halide's "interpolate"): an
+ * alpha-premultiplied image with sparse samples is downsampled to many
+ * scales (pull), then missing regions are filled coarse-to-fine by
+ * blending each level with the upsampled coarser interpolation (push).
+ * The channel axis (value, alpha) rides along as a leading dimension.
+ */
+#include "apps/apps.hpp"
+#include "apps/pyramid_util.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+using detail::Access2;
+using detail::PyrDims;
+
+PipelineSpec
+buildMultiscaleInterp(std::int64_t rows_est, std::int64_t cols_est,
+                      int levels)
+{
+    PM_ASSERT(levels >= 2, "interpolation needs at least two levels");
+    PM_ASSERT((rows_est >> (levels - 1)) >= 2 &&
+                  (cols_est >> (levels - 1)) >= 2,
+              "estimated sizes too small for the level count");
+
+    Parameter R("R"), C("C");
+    std::vector<Parameter> SR{R}, SC{C};
+    for (int l = 1; l < levels; ++l) {
+        SR.emplace_back("S" + std::to_string(l));
+        SC.emplace_back("T" + std::to_string(l));
+    }
+
+    Image I("I", DType::Float, {Expr(2), Expr(R), Expr(C)});
+
+    Variable c("c"), x("x"), y("y");
+    PyrDims d;
+    d.preVars = {c};
+    d.preDom = {Interval(Expr(0), Expr(1))};
+    d.x = x;
+    d.y = y;
+
+    auto imgAccess = Access2(
+        [&](Expr i, Expr j) { return I(Expr(c), i, j); });
+    auto funAccess = [&](const Function &f) {
+        return Access2(
+            [f, c](Expr i, Expr j) { return f(Expr(c), i, j); });
+    };
+
+    // Pull: downsample the sparse samples level by level.
+    std::vector<Function> down; // down[l-1] is level l
+    Access2 src = imgAccess;
+    for (int l = 0; l + 1 < levels; ++l) {
+        Function dx = detail::downsampleRows(
+            "dx" + std::to_string(l), d, src, Expr(SR[l + 1]),
+            Expr(SC[l]));
+        Function dn = detail::downsampleCols(
+            "down" + std::to_string(l + 1), d, funAccess(dx),
+            Expr(SR[l + 1]), Expr(SC[l + 1]));
+        down.push_back(dn);
+        src = funAccess(dn);
+    }
+
+    // Push: interpolate coarse-to-fine.
+    Function interp = down.back(); // coarsest level passes through
+    for (int l = levels - 2; l >= 0; --l) {
+        Function ux = detail::upsampleRows(
+            "ux" + std::to_string(l), d, funAccess(interp),
+            Expr(SR[l]), Expr(SR[l + 1]), Expr(SC[l + 1]));
+        Function up = detail::upsampleCols(
+            "up" + std::to_string(l), d, funAccess(ux), Expr(SC[l]),
+            Expr(SC[l + 1]), Expr(SR[l]));
+
+        Function next("interp" + std::to_string(l), {c, x, y},
+                      {Interval(Expr(0), Expr(1)),
+                       Interval(Expr(0), Expr(SR[l]) - 1),
+                       Interval(Expr(0), Expr(SC[l]) - 1)},
+                      DType::Float);
+        Expr level_val =
+            l == 0 ? I(Expr(c), x, y) : down[l - 1](Expr(c), x, y);
+        Expr level_alpha =
+            l == 0 ? I(Expr(1), x, y) : down[l - 1](Expr(1), x, y);
+        next.define(level_val +
+                    (Expr(1.0) - level_alpha) * up(Expr(c), x, y));
+        interp = next;
+    }
+
+    // Normalise: value / alpha.
+    Function norm("norm", {x, y},
+                  {Interval(Expr(0), Expr(R) - 1),
+                   Interval(Expr(0), Expr(C) - 1)},
+                  DType::Float);
+    norm.define(interp(Expr(0), x, y) /
+                max(interp(Expr(1), x, y), Expr(1e-6)));
+
+    PipelineSpec spec("multiscale_interp");
+    spec.addParam(R);
+    spec.addParam(C);
+    for (int l = 1; l < levels; ++l)
+        spec.addParam(SR[l]);
+    for (int l = 1; l < levels; ++l)
+        spec.addParam(SC[l]);
+    spec.addInput(I);
+    spec.addOutput(norm);
+
+    const auto er = detail::levelSizes(rows_est, levels);
+    const auto ec = detail::levelSizes(cols_est, levels);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    for (int l = 1; l < levels; ++l) {
+        spec.estimate(SR[l], er[std::size_t(l)]);
+        spec.estimate(SC[l], ec[std::size_t(l)]);
+    }
+    return spec;
+}
+
+} // namespace polymage::apps

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Pyramid blending (paper §4, Fig. 8, [Burt & Adelson]): Gaussian
+ * pyramids of two inputs and a mask, Laplacian pyramids of the inputs,
+ * per-level mask-weighted blending, and collapse back to full
+ * resolution.  Downsampling is separable (the Fig. 8 "down-x, down-y"
+ * stage pairs); per-level sizes are pipeline parameters
+ * (levelSizeParams provides the runtime values).
+ */
+#include "apps/apps.hpp"
+#include "apps/pyramid_util.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+using detail::Access2;
+using detail::PyrDims;
+
+PipelineSpec
+buildPyramidBlend(std::int64_t rows_est, std::int64_t cols_est,
+                  int levels)
+{
+    PM_ASSERT(levels >= 2, "pyramid blending needs at least two levels");
+
+    Parameter R("R"), C("C");
+    std::vector<Parameter> SR{R}, SC{C};
+    for (int l = 1; l < levels; ++l) {
+        SR.emplace_back("S" + std::to_string(l));
+        SC.emplace_back("T" + std::to_string(l));
+    }
+
+    Image A("A", DType::Float, {Expr(R), Expr(C)});
+    Image B("B", DType::Float, {Expr(R), Expr(C)});
+    Image M("M", DType::Float, {Expr(R), Expr(C)});
+
+    PyrDims d;
+    auto imgAccess = [](const Image &img) {
+        return Access2([img](Expr i, Expr j) { return img(i, j); });
+    };
+    auto funAccess = [](const Function &f) {
+        return Access2([f](Expr i, Expr j) { return f(i, j); });
+    };
+
+    // Gaussian pyramids of A, B, and the mask.
+    struct Pyramid
+    {
+        std::vector<Function> g; // g[l] for l >= 1; level 0 is the image
+    };
+    auto gaussian = [&](const char *tag, const Image &img) {
+        Pyramid p;
+        Access2 src = imgAccess(img);
+        for (int l = 0; l + 1 < levels; ++l) {
+            Function dx = detail::downsampleRows(
+                std::string(tag) + "_dx" + std::to_string(l), d, src,
+                Expr(SR[l + 1]), Expr(SC[l]));
+            Function g = detail::downsampleCols(
+                std::string(tag) + "_g" + std::to_string(l + 1), d,
+                funAccess(dx), Expr(SR[l + 1]), Expr(SC[l + 1]));
+            p.g.push_back(g);
+            src = funAccess(g);
+        }
+        return p;
+    };
+    Pyramid GA = gaussian("a", A);
+    Pyramid GB = gaussian("b", B);
+    Pyramid GM = gaussian("m", M);
+
+    auto levelOf = [&](const Pyramid &p, const Image &img,
+                       int l) -> Access2 {
+        return l == 0 ? imgAccess(img) : funAccess(p.g[l - 1]);
+    };
+
+    // Upsample of level l+1 to level l for a pyramid.
+    auto upsample = [&](const char *tag, int l, const Access2 &src) {
+        Function ux = detail::upsampleRows(
+            std::string(tag) + "_ux" + std::to_string(l), d, src,
+            Expr(SR[l]), Expr(SR[l + 1]), Expr(SC[l + 1]));
+        return detail::upsampleCols(
+            std::string(tag) + "_u" + std::to_string(l), d,
+            funAccess(ux), Expr(SC[l]), Expr(SC[l + 1]), Expr(SR[l]));
+    };
+
+    Variable x("x"), y("y");
+
+    // Collapse coarse-to-fine: res_{L-1} blends the coarsest Gaussian
+    // levels; res_l adds the blended Laplacian detail to the upsampled
+    // coarser result.
+    Function res_coarse("res" + std::to_string(levels - 1), {x, y},
+                        {Interval(Expr(0), Expr(SR[levels - 1]) - 1),
+                         Interval(Expr(0), Expr(SC[levels - 1]) - 1)},
+                        DType::Float);
+    {
+        const int l = levels - 1;
+        Expr m = GM.g[l - 1](x, y);
+        res_coarse.define(GA.g[l - 1](x, y) * m +
+                          GB.g[l - 1](x, y) * (Expr(1.0) - m));
+    }
+
+    Function res = res_coarse;
+    for (int l = levels - 2; l >= 0; --l) {
+        Function upA = upsample(("a_lap" + std::to_string(l)).c_str(),
+                                l, funAccess(GA.g[l]));
+        Function upB = upsample(("b_lap" + std::to_string(l)).c_str(),
+                                l, funAccess(GB.g[l]));
+        Function upR = upsample(("res_up" + std::to_string(l)).c_str(),
+                                l, funAccess(res));
+
+        Function next("res" + std::to_string(l), {x, y},
+                      {Interval(Expr(0), Expr(SR[l]) - 1),
+                       Interval(Expr(0), Expr(SC[l]) - 1)},
+                      DType::Float);
+        Expr m = l == 0 ? M(x, y) : GM.g[l - 1](x, y);
+        Expr lapA = levelOf(GA, A, l)(x, y) - upA(x, y);
+        Expr lapB = levelOf(GB, B, l)(x, y) - upB(x, y);
+        Expr blended = lapA * m + lapB * (Expr(1.0) - m);
+        next.define(blended + upR(x, y));
+        res = next;
+    }
+
+    PipelineSpec spec("pyramid_blend");
+    spec.addParam(R);
+    spec.addParam(C);
+    for (int l = 1; l < levels; ++l)
+        spec.addParam(SR[l]);
+    for (int l = 1; l < levels; ++l)
+        spec.addParam(SC[l]);
+    spec.addInput(A);
+    spec.addInput(B);
+    spec.addInput(M);
+    spec.addOutput(res);
+
+    const auto er = detail::levelSizes(rows_est, levels);
+    const auto ec = detail::levelSizes(cols_est, levels);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    for (int l = 1; l < levels; ++l) {
+        spec.estimate(SR[l], er[std::size_t(l)]);
+        spec.estimate(SC[l], ec[std::size_t(l)]);
+    }
+    return spec;
+}
+
+} // namespace polymage::apps

@@ -1,0 +1,147 @@
+#include "apps/pyramid_util.hpp"
+
+#include "apps/apps.hpp"
+
+namespace polymage::apps::detail {
+
+using namespace dsl;
+
+namespace {
+
+/** Assemble vars/dom with the leading dims followed by (x, y) ranges. */
+void
+makeDomain(const PyrDims &d, const Expr &rows, const Expr &cols,
+           std::vector<Variable> &vars, std::vector<Interval> &dom)
+{
+    vars = d.preVars;
+    dom = d.preDom;
+    vars.push_back(d.x);
+    dom.emplace_back(Expr(0), rows - Expr(1));
+    vars.push_back(d.y);
+    dom.emplace_back(Expr(0), cols - Expr(1));
+}
+
+} // namespace
+
+Function
+downsampleRows(const std::string &name, const PyrDims &d,
+               const Access2 &src, Expr sr, Expr tc)
+{
+    std::vector<Variable> vars;
+    std::vector<Interval> dom;
+    makeDomain(d, sr, tc, vars, dom);
+    Function f(name, vars, dom, d.dtype);
+
+    Expr x(d.x), y(d.y);
+    // Interior [1 2 1]/4 at row 2x; x = 0 averages the first two rows.
+    // The border is written with the same affine accesses (2x, 2x+1 at
+    // x == 0) so the dimension keeps constant dependence vectors and
+    // stays tileable.
+    Expr interior = src(x * 2 - 1, y) * Expr(0.25) +
+                    src(x * 2, y) * Expr(0.5) +
+                    src(x * 2 + 1, y) * Expr(0.25);
+    Expr border = (src(x * 2, y) + src(x * 2 + 1, y)) * Expr(0.5);
+    f.define({Case(x >= 1, interior), Case(x == 0, border)});
+    return f;
+}
+
+Function
+downsampleCols(const std::string &name, const PyrDims &d,
+               const Access2 &src, Expr sr, Expr tc)
+{
+    std::vector<Variable> vars;
+    std::vector<Interval> dom;
+    makeDomain(d, sr, tc, vars, dom);
+    Function f(name, vars, dom, d.dtype);
+
+    Expr x(d.x), y(d.y);
+    Expr interior = src(x, y * 2 - 1) * Expr(0.25) +
+                    src(x, y * 2) * Expr(0.5) +
+                    src(x, y * 2 + 1) * Expr(0.25);
+    Expr border = (src(x, y * 2) + src(x, y * 2 + 1)) * Expr(0.5);
+    f.define({Case(y >= 1, interior), Case(y == 0, border)});
+    return f;
+}
+
+Function
+upsampleRows(const std::string &name, const PyrDims &d,
+             const Access2 &src, Expr out_rows, Expr src_rows, Expr cols)
+{
+    std::vector<Variable> vars;
+    std::vector<Interval> dom;
+    makeDomain(d, out_rows, cols, vars, dom);
+    Function f(name, vars, dom, d.dtype);
+
+    Expr x(d.x), y(d.y);
+    // Even rows copy, odd rows interpolate; the last row (or two, for
+    // odd sizes) clamps to the final source row.  The redundant upper
+    // bounds make every access provably in-bounds per case.
+    Expr top = src_rows * 2;
+    Condition even = (x % 2 == Expr(0)) & (x <= top - 2);
+    Condition odd = (x % 2 == Expr(1)) & (x <= top - 3);
+    Condition tail = (x >= top - 1);
+    Expr half = x / 2;
+    f.define({
+        Case(even, src(half, y)),
+        Case(odd, (src(half, y) + src(half + 1, y)) * Expr(0.5)),
+        Case(tail, src((x - 1) / 2, y)),
+    });
+    return f;
+}
+
+Function
+upsampleCols(const std::string &name, const PyrDims &d,
+             const Access2 &src, Expr out_cols, Expr src_cols, Expr rows)
+{
+    std::vector<Variable> vars;
+    std::vector<Interval> dom;
+    makeDomain(d, rows, out_cols, vars, dom);
+    Function f(name, vars, dom, d.dtype);
+
+    Expr x(d.x), y(d.y);
+    Expr top = src_cols * 2;
+    Condition even = (y % 2 == Expr(0)) & (y <= top - 2);
+    Condition odd = (y % 2 == Expr(1)) & (y <= top - 3);
+    Condition tail = (y >= top - 1);
+    Expr half = y / 2;
+    f.define({
+        Case(even, src(x, half)),
+        Case(odd, (src(x, half) + src(x, half + 1)) * Expr(0.5)),
+        Case(tail, src(x, (y - 1) / 2)),
+    });
+    return f;
+}
+
+std::vector<std::int64_t>
+levelSizes(std::int64_t size0, int levels)
+{
+    std::vector<std::int64_t> sizes{size0};
+    for (int l = 1; l < levels; ++l)
+        sizes.push_back(sizes.back() / 2);
+    return sizes;
+}
+
+std::vector<std::int64_t>
+levelSizeParams(std::int64_t rows, std::int64_t cols, int levels)
+{
+    std::vector<std::int64_t> params{rows, cols};
+    const auto sr = levelSizes(rows, levels);
+    const auto sc = levelSizes(cols, levels);
+    for (int l = 1; l < levels; ++l)
+        params.push_back(sr[std::size_t(l)]);
+    for (int l = 1; l < levels; ++l)
+        params.push_back(sc[std::size_t(l)]);
+    return params;
+}
+
+} // namespace polymage::apps::detail
+
+namespace polymage::apps {
+
+std::vector<std::int64_t>
+pyramidParams(std::int64_t rows, std::int64_t cols, int levels)
+{
+    return detail::levelSizeParams(rows, cols, levels);
+}
+
+} // namespace polymage::apps

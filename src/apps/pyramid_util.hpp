@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Shared builders for pyramid-based pipelines (pyramid blending,
+ * multiscale interpolation, local Laplacian): separable 1-D
+ * downsample/upsample stages with explicit boundary cases, optionally
+ * carrying leading (e.g. channel) dimensions.
+ *
+ * Per-level sizes are passed as pipeline Parameters so every bound
+ * stays affine; levelSizeParams() computes the matching runtime
+ * values.
+ */
+#ifndef POLYMAGE_APPS_PYRAMID_UTIL_HPP
+#define POLYMAGE_APPS_PYRAMID_UTIL_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+
+namespace polymage::apps::detail {
+
+/** Access callback for the source of a resampling stage. */
+using Access2 = std::function<dsl::Expr(dsl::Expr, dsl::Expr)>;
+
+/** Common pieces of a resampling stage builder. */
+struct PyrDims
+{
+    /** Leading (untouched) dimensions, e.g. a channel axis. */
+    std::vector<dsl::Variable> preVars;
+    std::vector<dsl::Interval> preDom;
+    /** Row/column iteration variables. */
+    dsl::Variable x{"x"}, y{"y"};
+    dsl::DType dtype = dsl::DType::Float;
+};
+
+/**
+ * Row downsample: out(x, y) over [0, sr-1] x [0, tc-1] is the [1 2 1]/4
+ * vertical filter of src at row 2x, with an averaging case at x == 0.
+ * @param sr rows of the output (next-level size)
+ * @param tc columns of the output (current-level size)
+ */
+dsl::Function downsampleRows(const std::string &name, const PyrDims &d,
+                             const Access2 &src, dsl::Expr sr,
+                             dsl::Expr tc);
+
+/** Column downsample: the transposed analogue of downsampleRows. */
+dsl::Function downsampleCols(const std::string &name, const PyrDims &d,
+                             const Access2 &src, dsl::Expr sr,
+                             dsl::Expr tc);
+
+/**
+ * Row upsample by linear interpolation: out over [0, out_rows-1] x
+ * [0, cols-1] reads src rows in [0, src_rows-1]; even rows copy, odd
+ * rows average, trailing rows clamp.
+ */
+dsl::Function upsampleRows(const std::string &name, const PyrDims &d,
+                           const Access2 &src, dsl::Expr out_rows,
+                           dsl::Expr src_rows, dsl::Expr cols);
+
+/** Column upsample: the transposed analogue of upsampleRows. */
+dsl::Function upsampleCols(const std::string &name, const PyrDims &d,
+                           const Access2 &src, dsl::Expr out_cols,
+                           dsl::Expr src_cols, dsl::Expr rows);
+
+/**
+ * Level sizes rows >> l (floor halving per level).
+ */
+std::vector<std::int64_t> levelSizes(std::int64_t size0, int levels);
+
+/**
+ * Runtime parameter vector for pipelines built with per-level size
+ * parameters in the order R, C, S1..S_{L-1}, T1..T_{L-1}.
+ */
+std::vector<std::int64_t> levelSizeParams(std::int64_t rows,
+                                          std::int64_t cols, int levels);
+
+} // namespace polymage::apps::detail
+
+#endif // POLYMAGE_APPS_PYRAMID_UTIL_HPP

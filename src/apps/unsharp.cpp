@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Unsharp mask (paper §4): a separable 5-tap Gaussian blur of a
+ * 3-channel image followed by a thresholded sharpening step.  The
+ * point-wise sharpen/mask stages inline; the two blur stencils fuse
+ * into one overlapped-tiled group.
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildUnsharpMask(std::int64_t rows_est, std::int64_t cols_est)
+{
+    Parameter R("R"), C("C");
+    Image I("I", DType::Float, {Expr(3), Expr(R) + 4, Expr(C) + 4});
+
+    Variable c("c"), x("x"), y("y");
+    Interval chan(Expr(0), Expr(2));
+    Interval rows(Expr(0), Expr(R) + 3);
+    Interval cols(Expr(0), Expr(C) + 3);
+    const std::vector<Variable> vars{c, x, y};
+    const std::vector<Interval> dom{chan, rows, cols};
+
+    Condition cx = (Expr(x) >= 2) & (Expr(x) <= Expr(R) + 1);
+    Condition cxy = cx & (Expr(y) >= 2) & (Expr(y) <= Expr(C) + 1);
+
+    const std::vector<double> gauss{1 / 16.0, 4 / 16.0, 6 / 16.0,
+                                    4 / 16.0, 1 / 16.0};
+
+    Function blury("blury", vars, dom, DType::Float);
+    blury.define({Case(
+        cx, stencil1d([&](Expr i) { return I(c, i, y); }, Expr(x),
+                      gauss))});
+
+    Function blurx("blurx", vars, dom, DType::Float);
+    blurx.define({Case(
+        cxy, stencil1d([&](Expr j) { return blury(c, x, j); }, Expr(y),
+                       gauss))});
+
+    const double weight = 3.0;
+    Function sharpen("sharpen", vars, dom, DType::Float);
+    sharpen.define({Case(cxy, I(c, x, y) * Expr(1.0 + weight) -
+                                 blurx(c, x, y) * Expr(weight))});
+
+    const double threshold = 0.01;
+    Function masked("masked", vars, dom, DType::Float);
+    masked.define({Case(
+        cxy, select(abs(I(c, x, y) - blurx(c, x, y)) < Expr(threshold),
+                    I(c, x, y), sharpen(c, x, y)))});
+
+    PipelineSpec spec("unsharp_mask");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(I);
+    spec.addOutput(masked);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    return spec;
+}
+
+} // namespace polymage::apps

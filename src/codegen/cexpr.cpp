@@ -1,0 +1,372 @@
+#include "codegen/cexpr.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <set>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::cg {
+
+using dsl::BinOpKind;
+using dsl::DType;
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::MathFnKind;
+
+namespace {
+
+/** True for element types narrower than int (need explicit wrapping). */
+bool
+isNarrowInt(DType t)
+{
+    return t == DType::UChar || t == DType::Short || t == DType::UShort;
+}
+
+/** Wrap a rendered expression in a cast to @p t when needed. */
+std::string
+wrapNarrow(DType t, const std::string &s)
+{
+    if (isNarrowInt(t))
+        return "(" + std::string(dsl::dtypeCName(t)) + ")" + s;
+    return s;
+}
+
+std::string
+mathFnName(MathFnKind fn, DType t)
+{
+    const bool f32 = (t == DType::Float);
+    switch (fn) {
+      case MathFnKind::Exp: return f32 ? "expf" : "exp";
+      case MathFnKind::Log: return f32 ? "logf" : "log";
+      case MathFnKind::Sqrt: return f32 ? "sqrtf" : "sqrt";
+      case MathFnKind::Sin: return f32 ? "sinf" : "sin";
+      case MathFnKind::Cos: return f32 ? "cosf" : "cos";
+      case MathFnKind::Pow: return f32 ? "powf" : "pow";
+      case MathFnKind::Floor: return f32 ? "floorf" : "floor";
+      case MathFnKind::Ceil: return f32 ? "ceilf" : "ceil";
+      case MathFnKind::Abs:
+        if (t == DType::Float)
+            return "fabsf";
+        if (t == DType::Double)
+            return "fabs";
+        return "llabs";
+    }
+    internalError("unknown math fn");
+}
+
+std::string emit(const Expr &e, const EmitEnv &env);
+
+std::string
+emitBinOp(const dsl::BinOpNode &b, const EmitEnv &env)
+{
+    const std::string a = emit(b.a, env);
+    const std::string c = emit(b.b, env);
+    const DType t = b.dtype();
+    const bool flt = dsl::dtypeIsFloat(t);
+    switch (b.op) {
+      case BinOpKind::Add:
+        return wrapNarrow(t, "(" + a + " + " + c + ")");
+      case BinOpKind::Sub:
+        return wrapNarrow(t, "(" + a + " - " + c + ")");
+      case BinOpKind::Mul:
+        return wrapNarrow(t, "(" + a + " * " + c + ")");
+      case BinOpKind::Div:
+        if (flt)
+            return "(" + a + " / " + c + ")";
+        // DSL integer division is floor division.
+        return wrapNarrow(
+            t, (t == DType::Long ? "" : "(int)") +
+                   ("pm_floordiv((long long)" + a + ", (long long)" + c +
+                    ")"));
+      case BinOpKind::Mod:
+        if (flt) {
+            return std::string(t == DType::Float ? "fmodf" : "fmod") +
+                   "(" + a + ", " + c + ")";
+        }
+        return wrapNarrow(
+            t, (t == DType::Long ? "" : "(int)") +
+                   ("pm_floormod((long long)" + a + ", (long long)" + c +
+                    ")"));
+      case BinOpKind::Min:
+      case BinOpKind::Max: {
+        const char *fn = b.op == BinOpKind::Min ? "pm_min" : "pm_max";
+        std::string suffix;
+        if (t == DType::Float)
+            suffix = "_f";
+        else if (t == DType::Double)
+            suffix = "_d";
+        else
+            suffix = "_i";
+        std::string call =
+            std::string(fn) + suffix + "(" + a + ", " + c + ")";
+        if (!flt && t != DType::Long)
+            call = "(int)" + call;
+        return wrapNarrow(t, call);
+      }
+    }
+    internalError("unknown binop");
+}
+
+std::string
+emit(const Expr &e, const EmitEnv &env)
+{
+    const dsl::ExprNode &n = e.node();
+    if (!env.bound.empty()) {
+        auto it = env.bound.find(&n);
+        if (it != env.bound.end())
+            return it->second;
+    }
+    switch (n.kind()) {
+      case ExprKind::ConstInt: {
+        const auto v = static_cast<const dsl::ConstIntNode &>(n).value;
+        std::string s = std::to_string(v);
+        if (n.dtype() == DType::Long)
+            s += "LL";
+        return wrapNarrow(n.dtype(), s);
+      }
+      case ExprKind::ConstFloat:
+        return floatLiteral(
+            static_cast<const dsl::ConstFloatNode &>(n).value,
+            n.dtype());
+      case ExprKind::VarRef: {
+        const int id = static_cast<const dsl::VarRefNode &>(n).var->id;
+        auto it = env.varName.find(id);
+        PM_ASSERT(it != env.varName.end(),
+                  "unbound variable in code generation");
+        return it->second;
+      }
+      case ExprKind::ParamRef: {
+        const int id =
+            static_cast<const dsl::ParamRefNode &>(n).param->id;
+        auto it = env.paramName.find(id);
+        PM_ASSERT(it != env.paramName.end(),
+                  "unbound parameter in code generation");
+        return it->second;
+      }
+      case ExprKind::Call: {
+        const auto &c = static_cast<const dsl::CallNode &>(n);
+        std::vector<std::string> idx;
+        idx.reserve(c.args.size());
+        for (const auto &a : c.args)
+            idx.push_back(emit(a, env));
+        PM_ASSERT(env.access, "no access renderer configured");
+        return env.access(c, idx);
+      }
+      case ExprKind::BinOp:
+        return emitBinOp(static_cast<const dsl::BinOpNode &>(n), env);
+      case ExprKind::UnOp:
+        return wrapNarrow(
+            n.dtype(),
+            "(-" + emit(static_cast<const dsl::UnOpNode &>(n).a, env) +
+                ")");
+      case ExprKind::Cast: {
+        const auto &c = static_cast<const dsl::CastNode &>(n);
+        return "(" + std::string(dsl::dtypeCName(n.dtype())) + ")(" +
+               emit(c.a, env) + ")";
+      }
+      case ExprKind::Select: {
+        const auto &s = static_cast<const dsl::SelectNode &>(n);
+        const std::string t = dsl::dtypeCName(n.dtype());
+        return "(" + emitCond(s.cond, env) + " ? (" + t + ")" +
+               emit(s.t, env) + " : (" + t + ")" + emit(s.f, env) + ")";
+      }
+      case ExprKind::MathFn: {
+        const auto &m = static_cast<const dsl::MathFnNode &>(n);
+        std::string s = mathFnName(m.fn, n.dtype());
+        s += "(";
+        for (std::size_t i = 0; i < m.args.size(); ++i) {
+            if (i)
+                s += ", ";
+            s += emit(m.args[i], env);
+        }
+        s += ")";
+        if (m.fn == MathFnKind::Abs && !dsl::dtypeIsFloat(n.dtype()) &&
+            n.dtype() != DType::Long) {
+            s = "(int)" + s;
+        }
+        return wrapNarrow(n.dtype(), s);
+      }
+    }
+    internalError("unknown expr node");
+}
+
+} // namespace
+
+std::string
+floatLiteral(double v, DType t)
+{
+    if (std::isinf(v))
+        return v < 0 ? "(-INFINITY)" : "INFINITY";
+    if (std::isnan(v))
+        return "NAN";
+    char buf[64];
+    if (t == DType::Float) {
+        std::snprintf(buf, sizeof(buf), "%.9gf", v);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.17g", v);
+    }
+    std::string s(buf);
+    // Ensure the literal parses as floating point (e.g. "3" -> "3.0").
+    if (s.find('.') == std::string::npos &&
+        s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos &&
+        s.find("nan") == std::string::npos) {
+        s.insert(t == DType::Float ? s.size() - 1 : s.size(), ".0");
+    }
+    return s;
+}
+
+std::string
+emitExpr(const Expr &e, const EmitEnv &env)
+{
+    return emit(e, env);
+}
+
+namespace {
+
+/** Children of a node, conditions included. */
+void
+forEachChild(const dsl::ExprNode &n,
+             const std::function<void(const Expr &)> &fn)
+{
+    using dsl::ExprKind;
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+      case ExprKind::ConstFloat:
+      case ExprKind::VarRef:
+      case ExprKind::ParamRef:
+        break;
+      case ExprKind::Call:
+        for (const auto &a : static_cast<const dsl::CallNode &>(n).args)
+            fn(a);
+        break;
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const dsl::BinOpNode &>(n);
+        fn(b.a);
+        fn(b.b);
+        break;
+      }
+      case ExprKind::UnOp:
+        fn(static_cast<const dsl::UnOpNode &>(n).a);
+        break;
+      case ExprKind::Cast:
+        fn(static_cast<const dsl::CastNode &>(n).a);
+        break;
+      case ExprKind::Select: {
+        const auto &sel = static_cast<const dsl::SelectNode &>(n);
+        std::function<void(const dsl::CondNode &)> walk_cond =
+            [&](const dsl::CondNode &c) {
+                if (c.kind == dsl::CondNode::Kind::Cmp) {
+                    fn(c.lhs);
+                    fn(c.rhs);
+                } else {
+                    walk_cond(*c.a);
+                    walk_cond(*c.b);
+                }
+            };
+        walk_cond(sel.cond.node());
+        fn(sel.t);
+        fn(sel.f);
+        break;
+      }
+      case ExprKind::MathFn:
+        for (const auto &a :
+             static_cast<const dsl::MathFnNode &>(n).args) {
+            fn(a);
+        }
+        break;
+    }
+}
+
+/** Worth binding into a temporary when referenced multiple times. */
+bool
+bindable(const dsl::ExprNode &n)
+{
+    using dsl::ExprKind;
+    switch (n.kind()) {
+      case ExprKind::Call:
+      case ExprKind::BinOp:
+      case ExprKind::Select:
+      case ExprKind::MathFn:
+      case ExprKind::Cast:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+emitAssignWithCSE(const dsl::Expr &value, const std::string &target,
+                  dsl::DType store_type, const EmitEnv &env)
+{
+    // In-degree count over the shared AST (descend once per node).
+    std::map<const dsl::ExprNode *, int> refs;
+    std::function<void(const Expr &)> count = [&](const Expr &e) {
+        const dsl::ExprNode *n = &e.node();
+        if (++refs[n] > 1)
+            return;
+        forEachChild(*n, count);
+    };
+    count(value);
+
+    // Emit temporaries in dependency (post) order.
+    std::vector<std::string> lines;
+    EmitEnv local = env;
+    int next_tmp = 0;
+    std::set<const dsl::ExprNode *> visited;
+    std::function<void(const Expr &)> lower = [&](const Expr &e) {
+        const dsl::ExprNode *n = &e.node();
+        if (!visited.insert(n).second)
+            return;
+        forEachChild(*n, lower);
+        if (refs[n] > 1 && bindable(*n)) {
+            const std::string name =
+                "pm_cse" + std::to_string(next_tmp++);
+            lines.push_back("const " +
+                            std::string(dsl::dtypeCName(n->dtype())) +
+                            " " + name + " = " + emitExpr(e, local) +
+                            ";");
+            local.bound[n] = name;
+        }
+    };
+    lower(value);
+
+    lines.push_back(target + " = (" +
+                    std::string(dsl::dtypeCName(store_type)) + ")(" +
+                    emitExpr(value, local) + ");");
+    return lines;
+}
+
+std::string
+emitCond(const dsl::Condition &c, const EmitEnv &env)
+{
+    const dsl::CondNode &n = c.node();
+    switch (n.kind) {
+      case dsl::CondNode::Kind::And:
+        return "(" + emitCond(dsl::Condition(n.a), env) + " && " +
+               emitCond(dsl::Condition(n.b), env) + ")";
+      case dsl::CondNode::Kind::Or:
+        return "(" + emitCond(dsl::Condition(n.a), env) + " || " +
+               emitCond(dsl::Condition(n.b), env) + ")";
+      case dsl::CondNode::Kind::Cmp: {
+        const char *op = nullptr;
+        switch (n.op) {
+          case dsl::CmpOp::LT: op = "<"; break;
+          case dsl::CmpOp::LE: op = "<="; break;
+          case dsl::CmpOp::GT: op = ">"; break;
+          case dsl::CmpOp::GE: op = ">="; break;
+          case dsl::CmpOp::EQ: op = "=="; break;
+          case dsl::CmpOp::NE: op = "!="; break;
+        }
+        return "(" + emitExpr(n.lhs, env) + " " + op + " " +
+               emitExpr(n.rhs, env) + ")";
+      }
+    }
+    internalError("unknown condition node");
+}
+
+} // namespace polymage::cg

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Rendering of DSL expressions and conditions as C++ expressions.
+ * Access rewriting (full buffer vs scratchpad vs image indexing) is
+ * delegated to a callback so one emitter serves all storage schemes.
+ */
+#ifndef POLYMAGE_CODEGEN_CEXPR_HPP
+#define POLYMAGE_CODEGEN_CEXPR_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::cg {
+
+/** Environment for expression emission. */
+struct EmitEnv
+{
+    /** C name per variable entity id. */
+    std::map<int, std::string> varName;
+    /** Already-bound subexpressions (CSE temporaries), by node. */
+    std::map<const dsl::ExprNode *, std::string> bound;
+    /** C name per parameter entity id. */
+    std::map<int, std::string> paramName;
+    /**
+     * Renders an access: receives the call and the already-rendered
+     * index strings; returns the C lvalue/rvalue.
+     */
+    std::function<std::string(const dsl::CallNode &,
+                              const std::vector<std::string> &)>
+        access;
+};
+
+/** Render an expression.  The result is a parenthesised C expression. */
+std::string emitExpr(const dsl::Expr &e, const EmitEnv &env);
+
+/**
+ * Render `target = (store_type)(value);` with common-subexpression
+ * bindings: AST nodes referenced more than once (expression DAGs are
+ * shared, e.g. the corner samples of a trilinear interpolation) are
+ * emitted once into typed temporaries.  Returns the statement lines
+ * for the innermost loop body.
+ */
+std::vector<std::string> emitAssignWithCSE(const dsl::Expr &value,
+                                           const std::string &target,
+                                           dsl::DType store_type,
+                                           const EmitEnv &env);
+
+/** Render a condition as a C boolean expression. */
+std::string emitCond(const dsl::Condition &c, const EmitEnv &env);
+
+/** C literal for a floating constant of the given type. */
+std::string floatLiteral(double v, dsl::DType t);
+
+} // namespace polymage::cg
+
+#endif // POLYMAGE_CODEGEN_CEXPR_HPP

@@ -1,0 +1,1213 @@
+#include "codegen/generate.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+#include "codegen/cexpr.hpp"
+#include "codegen/writer.hpp"
+#include "poly/cond_box.hpp"
+#include "support/intmath.hpp"
+
+namespace polymage::cg {
+
+using core::GroupSchedule;
+using core::StageMapping;
+using core::StorageKind;
+using dsl::DType;
+using dsl::Expr;
+using poly::AffineExpr;
+
+namespace {
+
+std::string
+sanitize(const std::string &name)
+{
+    std::string out;
+    for (char c : name) {
+        if (std::isalnum(static_cast<unsigned char>(c)) || c == '_')
+            out += c;
+        else
+            out += '_';
+    }
+    if (out.empty() || std::isdigit(static_cast<unsigned char>(out[0])))
+        out = "v_" + out;
+    return out;
+}
+
+/** Render an integer affine expression over parameters. */
+std::string
+emitAffineInt(const AffineExpr &e,
+              const std::map<int, std::string> &names)
+{
+    std::string s;
+    bool first = true;
+    for (const auto &[id, c] : e.terms()) {
+        PM_ASSERT(c.isInteger(), "fractional coefficient in bound");
+        auto it = names.find(id);
+        PM_ASSERT(it != names.end(), "unknown symbol in bound");
+        const std::int64_t k = c.asInteger();
+        if (!first)
+            s += " + ";
+        first = false;
+        if (k == 1)
+            s += it->second;
+        else
+            s += std::to_string(k) + "*" + it->second;
+    }
+    PM_ASSERT(e.constant().isInteger(), "fractional constant in bound");
+    const std::int64_t c0 = e.constant().asInteger();
+    if (first)
+        return std::to_string(c0);
+    if (c0 != 0)
+        s += " + " + std::to_string(c0);
+    return "(" + s + ")";
+}
+
+/** One generated loop dimension of a stage instance. */
+struct LoopDim
+{
+    std::string var;             // loop variable C name
+    std::vector<std::string> lb; // max of these
+    std::vector<std::string> ub; // min of these
+    /**
+     * Loop stride; > 1 when a case condition pins the variable to a
+     * residue class (var % step == phase), e.g. the even/odd rows of
+     * an upsampling stage.  Replaces a per-point guard with a strided
+     * loop (the paper's domain splitting, section 3.7).
+     */
+    std::int64_t step = 1;
+    std::int64_t phase = 0;
+    /** Estimated extent (-1 unknown); picks the parallel dimension. */
+    std::int64_t estExtent = -1;
+};
+
+/** Match `v % step == phase` (either operand order) on a loop var. */
+bool
+matchResidue(const dsl::Condition &cond,
+             const std::map<int, std::string> &var_names, int &var_id,
+             std::int64_t &step, std::int64_t &phase)
+{
+    const dsl::CondNode &n = cond.node();
+    if (n.kind != dsl::CondNode::Kind::Cmp || n.op != dsl::CmpOp::EQ)
+        return false;
+    auto parse_mod = [&](const dsl::Expr &e, const dsl::Expr &other) {
+        if (e.node().kind() != dsl::ExprKind::BinOp)
+            return false;
+        const auto &b = static_cast<const dsl::BinOpNode &>(e.node());
+        if (b.op != dsl::BinOpKind::Mod)
+            return false;
+        if (b.a.node().kind() != dsl::ExprKind::VarRef ||
+            b.b.node().kind() != dsl::ExprKind::ConstInt ||
+            other.node().kind() != dsl::ExprKind::ConstInt) {
+            return false;
+        }
+        const int id =
+            static_cast<const dsl::VarRefNode &>(b.a.node()).var->id;
+        if (!var_names.count(id))
+            return false;
+        const std::int64_t c =
+            static_cast<const dsl::ConstIntNode &>(b.b.node()).value;
+        const std::int64_t k =
+            static_cast<const dsl::ConstIntNode &>(other.node()).value;
+        if (c <= 1 || k < 0 || k >= c)
+            return false;
+        var_id = id;
+        step = c;
+        phase = k;
+        return true;
+    };
+    return parse_mod(n.lhs, n.rhs) || parse_mod(n.rhs, n.lhs);
+}
+
+class Generator
+{
+  public:
+    Generator(const pg::PipelineGraph &g,
+              const core::GroupingResult &grouping,
+              const core::GroupingOptions &gopts,
+              const core::StoragePlan &storage,
+              const CodegenOptions &opts)
+        : g_(g), grouping_(grouping), gopts_(gopts), storage_(storage),
+          opts_(opts)
+    {}
+
+    GeneratedCode run();
+
+  private:
+    //------------------------------------------------------------------
+    // Naming
+    //------------------------------------------------------------------
+    std::string
+    claim(std::string want)
+    {
+        std::string name = want;
+        int n = 1;
+        while (!used_.insert(name).second)
+            name = want + "_" + std::to_string(n++);
+        return name;
+    }
+
+    const std::string &stageName(int s) { return stageName_.at(s); }
+
+    //------------------------------------------------------------------
+    // Emission helpers
+    //------------------------------------------------------------------
+    void emitPrelude();
+    void emitEntry(bool instrumented);
+    void emitBody();
+    void emitGroup(int gi);
+    void emitTiledGroup(int gi);
+    void emitUntiledStage(int gi, int s);
+    void emitAccumulator(int gi, int s);
+    void emitSelfRecurrent(int gi, int s);
+
+    /** Loop nest emission with bound locals, pragmas, and the body. */
+    void emitLoopNest(const std::vector<LoopDim> &dims,
+                      const std::vector<std::string> &guards,
+                      const std::vector<std::string> &body_lines,
+                      bool parallel_outer, bool task_outer, int phase);
+
+    /** Case condition -> per-dim refinements plus residual guards. */
+    void applyCase(const pg::Stage &stage, const dsl::Case &cs,
+                   const EmitEnv &env, std::vector<LoopDim> &dims,
+                   std::vector<std::string> &guards);
+
+    EmitEnv makeEnv(const std::map<int, std::string> &var_names, int gi);
+
+    /**
+     * Vectorising the innermost loop only pays when it is long enough
+     * (the paper defers this call to icc's cost model; omp simd is a
+     * demand, so we gate it on the estimated extent).
+     */
+    bool
+    innermostVectorizable(const pg::Stage &stage)
+    {
+        const auto &dom = stage.loopDom();
+        if (dom.empty())
+            return false;
+        auto lo = poly::evalConstant(dom.back().lower(),
+                                     g_.estimateEnv());
+        auto hi = poly::evalConstant(dom.back().upper(),
+                                     g_.estimateEnv());
+        if (!lo || !hi)
+            return true; // unknown: assume long
+        return *hi - *lo + 1 >= 8;
+    }
+
+    std::string flatIndexStr(const std::string &strides_base,
+                             const std::vector<std::string> &idx);
+    std::string fullIndex(int s_or_img, bool is_image,
+                          const std::vector<std::string> &idx);
+    std::string scratchIndex(int gi, int s,
+                             const std::vector<std::string> &idx);
+
+    std::string lenName(const std::string &base, int d);
+    std::string strideName(const std::string &base, int d);
+
+    std::string storeTarget(int gi, int s,
+                            const std::vector<std::string> &idx);
+
+    /** Scaled ceil/floor division renderers for tile bounds. */
+    std::string
+    ceilDivStr(const std::string &num, std::int64_t den)
+    {
+        if (den == 1)
+            return num;
+        return "(-pm_floordiv(-(" + num + "), " + std::to_string(den) +
+               "))";
+    }
+    std::string
+    floorDivStr(const std::string &num, std::int64_t den)
+    {
+        if (den == 1)
+            return num;
+        return "pm_floordiv(" + num + ", " + std::to_string(den) + ")";
+    }
+
+    //------------------------------------------------------------------
+    // State
+    //------------------------------------------------------------------
+    const pg::PipelineGraph &g_;
+    const core::GroupingResult &grouping_;
+    const core::GroupingOptions &gopts_;
+    const core::StoragePlan &storage_;
+    const CodegenOptions &opts_;
+
+    CodeWriter w_;
+    std::set<std::string> used_;
+    std::map<int, std::string> stageName_; // stage idx -> unique name
+    std::map<int, std::string> imageName_; // image entity id -> name
+    std::map<int, std::string> paramName_; // param entity id -> name
+
+    bool instr_ = false; // currently emitting the instrumented body
+    bool vec_ = false;   // simd/ivdep pragmas currently enabled
+    bool ompForOnly_ = false; // emit `omp for` (inside a parallel region)
+    int phase_ = 0;      // parallel-phase counter (instrumented body)
+    int tmp_ = 0;        // unique counter for bound locals
+};
+
+std::string
+Generator::lenName(const std::string &base, int d)
+{
+    return "len_" + base + "_" + std::to_string(d);
+}
+
+std::string
+Generator::strideName(const std::string &base, int d)
+{
+    return "st_" + base + "_" + std::to_string(d);
+}
+
+void
+Generator::emitPrelude()
+{
+    w_.line("// Generated by PolyMage-cpp. Do not edit.");
+    w_.line("#include <cmath>");
+    w_.line("#include <cstdlib>");
+    w_.line("#include <ctime>");
+    w_.blank();
+    w_.line("static inline long long pm_floordiv(long long a, long long "
+            "b)");
+    w_.open("");
+    w_.line("long long q = a / b, r = a % b;");
+    w_.line("if (r != 0 && ((r < 0) != (b < 0))) --q;");
+    w_.line("return q;");
+    w_.close();
+    w_.line("static inline long long pm_floormod(long long a, long long "
+            "b)");
+    w_.open("");
+    w_.line("return a - pm_floordiv(a, b) * b;");
+    w_.close();
+    w_.line("static inline long long pm_min_i(long long a, long long b) "
+            "{ return a < b ? a : b; }");
+    w_.line("static inline long long pm_max_i(long long a, long long b) "
+            "{ return a > b ? a : b; }");
+    w_.line("static inline float pm_min_f(float a, float b) "
+            "{ return a < b ? a : b; }");
+    w_.line("static inline float pm_max_f(float a, float b) "
+            "{ return a > b ? a : b; }");
+    w_.line("static inline double pm_min_d(double a, double b) "
+            "{ return a < b ? a : b; }");
+    w_.line("static inline double pm_max_d(double a, double b) "
+            "{ return a > b ? a : b; }");
+    w_.line("static inline double pm_now()");
+    w_.open("");
+    w_.line("struct timespec ts;");
+    w_.line("clock_gettime(CLOCK_MONOTONIC, &ts);");
+    w_.line("return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);");
+    w_.close();
+    w_.line("static inline void pm_record(double *costs, long long "
+            "*gids, long long cap, long long *n, long long gid, double "
+            "dt)");
+    w_.open("");
+    w_.line("if (*n < cap) { costs[*n] = dt; gids[*n] = gid; }");
+    w_.line("++*n;");
+    w_.close();
+    w_.blank();
+}
+
+EmitEnv
+Generator::makeEnv(const std::map<int, std::string> &var_names, int gi)
+{
+    EmitEnv env;
+    env.varName = var_names;
+    env.paramName = paramName_;
+    env.access = [this, gi](const dsl::CallNode &call,
+                            const std::vector<std::string> &idx) {
+        if (call.callee->kind() == dsl::CallableData::Kind::Image) {
+            return fullIndex(call.callee->id(), true, idx);
+        }
+        const int p = g_.stageIndexOf(call.callee->id());
+        PM_ASSERT(p >= 0, "call to unknown stage");
+        if (storage_.isScratch(p))
+            return scratchIndex(gi, p, idx);
+        return fullIndex(p, false, idx);
+    };
+    return env;
+}
+
+std::string
+Generator::flatIndexStr(const std::string &strides_base,
+                        const std::vector<std::string> &idx)
+{
+    std::string flat;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+        if (d)
+            flat += " + ";
+        if (d + 1 == idx.size())
+            flat += "(" + idx[d] + ")";
+        else
+            flat += "(long long)(" + idx[d] + ") * " +
+                    strideName(strides_base, int(d));
+    }
+    return flat;
+}
+
+std::string
+Generator::fullIndex(int s_or_img, bool is_image,
+                     const std::vector<std::string> &idx)
+{
+    const std::string base = is_image ? imageName_.at(s_or_img)
+                                      : "buf_" + stageName(s_or_img);
+    const std::string strides_base =
+        is_image ? imageName_.at(s_or_img) : stageName(s_or_img);
+    return base + "[" + flatIndexStr(strides_base, idx) + "]";
+}
+
+std::string
+Generator::scratchIndex(int gi, int s, const std::vector<std::string> &idx)
+{
+    const GroupSchedule &grp = grouping_.groups[gi];
+    const StageMapping &m = grp.mapping.at(s);
+    const auto &ext = storage_.stages.at(s).scratchExtent;
+    const auto tiled = core::tiledDimsFor(grp, g_, gopts_);
+
+    // Row-major strides over the compile-time extents.
+    std::vector<std::int64_t> strides(ext.size(), 1);
+    for (int d = int(ext.size()) - 2; d >= 0; --d)
+        strides[d] = strides[d + 1] * ext[d + 1];
+
+    std::string flat;
+    for (std::size_t d = 0; d < idx.size(); ++d) {
+        auto pos = std::find(tiled.begin(), tiled.end(), m.groupDim[d]);
+        std::string term;
+        if (pos != tiled.end()) {
+            const int ti = int(pos - tiled.begin());
+            term = "((" + idx[d] + ") - ob_" + stageName(s) + "_" +
+                   std::to_string(ti) + ")";
+        } else {
+            term = "(" + idx[d] + ")";
+        }
+        if (strides[d] != 1)
+            term += " * " + std::to_string(strides[d]);
+        if (d)
+            flat += " + ";
+        flat += term;
+    }
+    return "scr_" + stageName(s) + "[" + flat + "]";
+}
+
+std::string
+Generator::storeTarget(int gi, int s, const std::vector<std::string> &idx)
+{
+    if (storage_.isScratch(s))
+        return scratchIndex(gi, s, idx);
+    return fullIndex(s, false, idx);
+}
+
+void
+Generator::applyCase(const pg::Stage &stage, const dsl::Case &cs,
+                     const EmitEnv &env, std::vector<LoopDim> &dims,
+                     std::vector<std::string> &guards)
+{
+    if (!cs.hasCondition())
+        return;
+    std::set<int> var_ids;
+    for (const auto &v : stage.loopVars())
+        var_ids.insert(v.id());
+    poly::CondBox box = poly::analyzeCondition(cs.condition(), var_ids);
+    const auto &vars = stage.loopVars();
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+        auto it = box.bounds.find(vars[d].id());
+        if (it == box.bounds.end())
+            continue;
+        for (const auto &lo : it->second.lowers)
+            dims[d].lb.push_back(emitAffineInt(lo, paramName_));
+        for (const auto &hi : it->second.uppers)
+            dims[d].ub.push_back(emitAffineInt(hi, paramName_));
+    }
+    const auto &vars2 = stage.loopVars();
+    for (const auto &res : box.residual) {
+        int var_id = -1;
+        std::int64_t step = 1, phase = 0;
+        if (matchResidue(res, env.varName, var_id, step, phase)) {
+            for (std::size_t d = 0; d < vars2.size(); ++d) {
+                if (vars2[d].id() == var_id && dims[d].step == 1) {
+                    dims[d].step = step;
+                    dims[d].phase = phase;
+                    var_id = -1; // consumed
+                    break;
+                }
+            }
+            if (var_id == -1)
+                continue;
+        }
+        guards.push_back(emitCond(res, env));
+    }
+}
+
+namespace {
+
+std::string
+foldMinMax(const std::vector<std::string> &terms, const char *fn)
+{
+    PM_ASSERT(!terms.empty(), "no bound terms");
+    std::string s = terms.back();
+    for (int i = int(terms.size()) - 2; i >= 0; --i)
+        s = std::string(fn) + "(" + terms[i] + ", " + s + ")";
+    return s;
+}
+
+} // namespace
+
+void
+Generator::emitLoopNest(const std::vector<LoopDim> &dims,
+                        const std::vector<std::string> &guards,
+                        const std::vector<std::string> &body_lines,
+                        bool parallel_outer, bool task_outer, int phase)
+{
+    // The parallel loop: the first dimension long enough to feed the
+    // worker pool (a 3-wide channel axis outermost must not cap the
+    // parallelism; the paper's baselines parallelise rows).
+    std::size_t par_d = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        par_d = d;
+        if (dims[d].estExtent < 0 || dims[d].estExtent >= 16)
+            break;
+    }
+
+    // Bound locals, then nested loops.
+    int opened = 0;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        const std::string lb = "lb" + std::to_string(tmp_);
+        const std::string ub = "ub" + std::to_string(tmp_);
+        ++tmp_;
+        w_.line("const int " + lb + " = (int)" +
+                foldMinMax(dims[d].lb, "pm_max_i") + ";");
+        w_.line("const int " + ub + " = (int)" +
+                foldMinMax(dims[d].ub, "pm_min_i") + ";");
+        std::string start = lb;
+        std::string inc = "++" + dims[d].var;
+        if (dims[d].step > 1) {
+            // Align the lower bound to the residue class and stride.
+            const std::string aligned = lb + "a";
+            w_.line("const int " + aligned + " = " + lb +
+                    " + (int)pm_floormod(" +
+                    std::to_string(dims[d].phase) + " - " + lb + ", " +
+                    std::to_string(dims[d].step) + ");");
+            start = aligned;
+            inc = dims[d].var + " += " + std::to_string(dims[d].step);
+        }
+        const bool outer_par = d == par_d && parallel_outer && !instr_;
+        const bool inner_vec = d + 1 == dims.size() && vec_;
+        if (outer_par && inner_vec) {
+            w_.line(ompForOnly_
+                        ? "#pragma omp for simd schedule(static) nowait"
+                        : "#pragma omp parallel for simd "
+                          "schedule(static)");
+        } else if (outer_par) {
+            w_.line(ompForOnly_
+                        ? "#pragma omp for schedule(static) nowait"
+                        : "#pragma omp parallel for schedule(static)");
+        } else if (inner_vec) {
+            // omp simd carries the no-loop-carried-dependence promise
+            // the paper expresses with icc's ivdep.
+            w_.line("#pragma omp simd");
+        }
+        w_.open("for (int " + dims[d].var + " = " + start + "; " +
+                dims[d].var + " <= " + ub + "; " + inc + ")");
+        ++opened;
+        if (d == par_d && task_outer && instr_)
+            w_.line("const double pm_t0 = pm_now();");
+    }
+    int guard_blocks = 0;
+    for (const auto &gd : guards) {
+        w_.open("if (" + gd + ")");
+        ++guard_blocks;
+    }
+    for (const auto &l : body_lines)
+        w_.line(l);
+    for (int i = 0; i < guard_blocks; ++i)
+        w_.close();
+    for (int i = 0; i < opened; ++i) {
+        // Closing from the innermost out: record the task when leaving
+        // the parallel dimension's body.
+        if (i == opened - 1 - int(par_d) && task_outer && instr_) {
+            w_.line("pm_record(pm_costs, pm_gids, pm_cap, &pm_task, " +
+                    std::to_string(phase) + ", pm_now() - pm_t0);");
+        }
+        w_.close();
+    }
+}
+
+void
+Generator::emitUntiledStage(int gi, int s)
+{
+    const pg::Stage &stage = g_.stage(s);
+    const auto &f = stage.func();
+    const auto &vars = f.vars();
+
+    const bool saved_vec = vec_;
+    vec_ = vec_ && innermostVectorizable(stage);
+    for (const auto &cs : f.cases()) {
+        std::map<int, std::string> var_names;
+        std::vector<LoopDim> dims(vars.size());
+        for (std::size_t d = 0; d < vars.size(); ++d) {
+            var_names[vars[d].id()] = claim(sanitize(vars[d].name()));
+            dims[d].var = var_names[vars[d].id()];
+        }
+        EmitEnv env = makeEnv(var_names, gi);
+        for (std::size_t d = 0; d < vars.size(); ++d) {
+            dims[d].lb.push_back(emitExpr(f.dom()[d].lower(), env));
+            dims[d].ub.push_back(emitExpr(f.dom()[d].upper(), env));
+            auto lo = poly::evalConstant(f.dom()[d].lower(),
+                                         g_.estimateEnv());
+            auto hi = poly::evalConstant(f.dom()[d].upper(),
+                                         g_.estimateEnv());
+            if (lo && hi)
+                dims[d].estExtent = *hi - *lo + 1;
+        }
+        std::vector<std::string> guards;
+        applyCase(stage, cs, env, dims, guards);
+
+        std::vector<std::string> idx;
+        for (const auto &v : vars)
+            idx.push_back(var_names[v.id()]);
+        const std::string target = storeTarget(gi, s, idx);
+        emitLoopNest(dims, guards,
+                     emitAssignWithCSE(cs.value(), target, f.dtype(),
+                                       env),
+                     /*parallel_outer=*/opts_.parallelize,
+                     /*task_outer=*/true, phase_);
+        // Free the claimed loop-variable names for reuse elsewhere.
+        for (const auto &[id, nm] : var_names) {
+            (void)id;
+            used_.erase(nm);
+        }
+        ++phase_;
+    }
+    vec_ = saved_vec;
+}
+
+void
+Generator::emitTiledGroup(int gi)
+{
+    const GroupSchedule &grp = grouping_.groups[gi];
+    const auto tiled = core::tiledDimsFor(grp, g_, gopts_);
+    PM_ASSERT(!tiled.empty(), "tiled group without tiled dims");
+
+    // Tile sizes per tiled dim.
+    std::vector<std::int64_t> tau;
+    for (std::size_t i = 0; i < tiled.size(); ++i)
+        tau.push_back(core::tileSizeFor(gopts_, int(i)));
+
+    EmitEnv param_env = makeEnv({}, gi);
+
+    // Tile index ranges covering every stage's domain in group coords.
+    std::vector<std::string> tlo(tiled.size()), thi(tiled.size());
+    for (std::size_t ti = 0; ti < tiled.size(); ++ti) {
+        const int gd = tiled[ti];
+        std::vector<std::string> glo_terms, ghi_terms;
+        for (int s : grp.stages) {
+            const StageMapping &m = grp.mapping.at(s);
+            const auto &dom = g_.stage(s).func().dom();
+            for (std::size_t d = 0; d < m.groupDim.size(); ++d) {
+                if (m.groupDim[d] != gd)
+                    continue;
+                const std::string k =
+                    m.scale[d] == 1
+                        ? ""
+                        : std::to_string(m.scale[d]) + "LL * ";
+                glo_terms.push_back(
+                    "(" + k + "(long long)" +
+                    emitExpr(dom[d].lower(), param_env) + ")");
+                ghi_terms.push_back(
+                    "(" + k + "(long long)" +
+                    emitExpr(dom[d].upper(), param_env) + ")");
+            }
+        }
+        const std::string glo = foldMinMax(glo_terms, "pm_min_i");
+        const std::string ghi = foldMinMax(ghi_terms, "pm_max_i");
+        const std::string t = std::to_string(ti);
+        w_.line("const long long tlo" + t + "_g" + std::to_string(gi) +
+                " = pm_floordiv(" + glo + ", " + std::to_string(tau[ti]) +
+                ");");
+        w_.line("const long long thi" + t + "_g" + std::to_string(gi) +
+                " = pm_floordiv(" + ghi + ", " + std::to_string(tau[ti]) +
+                ");");
+        tlo[ti] = "tlo" + t + "_g" + std::to_string(gi);
+        thi[ti] = "thi" + t + "_g" + std::to_string(gi);
+    }
+
+    const bool heap_scratch =
+        grouping_.groups.size() &&
+        storage_.groupScratchBytes.count(gi) &&
+        storage_.groupScratchBytes.at(gi) > opts_.maxStackScratchBytes;
+
+    // Tile loops.
+    if (opts_.parallelize && !instr_)
+        w_.line("#pragma omp parallel for schedule(static)");
+    w_.open("for (long long T0 = " + tlo[0] + "; T0 <= " + thi[0] +
+            "; ++T0)");
+    if (instr_)
+        w_.line("const double pm_t0 = pm_now();");
+
+    // Scratchpads: thread-private, reused across inner tiles.
+    for (int s : grp.stages) {
+        if (!storage_.isScratch(s))
+            continue;
+        const auto &st = storage_.stages.at(s);
+        std::int64_t total = 1;
+        for (auto e : st.scratchExtent)
+            total *= e;
+        const std::string ty = dsl::dtypeCName(
+            g_.stage(s).callable->dtype());
+        if (heap_scratch) {
+            w_.line(std::string(ty) + " *scr_" + stageName(s) + " = (" +
+                    ty + " *)std::malloc(sizeof(" + ty + ") * " +
+                    std::to_string(total) + ");");
+        } else {
+            w_.line(std::string(ty) + " scr_" + stageName(s) + "[" +
+                    std::to_string(total) + "];");
+        }
+    }
+
+    for (std::size_t ti = 1; ti < tiled.size(); ++ti) {
+        w_.open("for (long long T" + std::to_string(ti) + " = " +
+                tlo[ti] + "; T" + std::to_string(ti) + " <= " + thi[ti] +
+                "; ++T" + std::to_string(ti) + ")");
+    }
+
+    // Scratchpad origins: ceil((tau*T - extLeft[level]) / scale).
+    for (int s : grp.stages) {
+        if (!storage_.isScratch(s))
+            continue;
+        const StageMapping &m = grp.mapping.at(s);
+        const int lvl = grp.localLevel.at(s);
+        for (std::size_t ti = 0; ti < tiled.size(); ++ti) {
+            const int gd = tiled[ti];
+            for (std::size_t d = 0; d < m.groupDim.size(); ++d) {
+                if (m.groupDim[d] != gd)
+                    continue;
+                const std::string raw =
+                    "(" + std::to_string(tau[ti]) + "LL * T" +
+                    std::to_string(ti) + " - " +
+                    std::to_string(grp.dims[gd].extLeft[lvl]) + ")";
+                w_.line("const int ob_" + stageName(s) + "_" +
+                        std::to_string(ti) + " = (int)" +
+                        ceilDivStr(raw, m.scale[d]) + ";");
+            }
+        }
+    }
+
+    // Stages in level order.
+    std::vector<int> order = grp.stages;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return grp.localLevel.at(a) < grp.localLevel.at(b);
+    });
+
+    for (int s : order) {
+        const pg::Stage &stage = g_.stage(s);
+        const auto &f = stage.func();
+        const auto &vars = f.vars();
+        const StageMapping &m = grp.mapping.at(s);
+        const int lvl = grp.localLevel.at(s);
+
+        const bool saved_vec = vec_;
+        vec_ = vec_ && innermostVectorizable(stage);
+        for (const auto &cs : f.cases()) {
+            std::map<int, std::string> var_names;
+            std::vector<LoopDim> dims(vars.size());
+            for (std::size_t d = 0; d < vars.size(); ++d) {
+                var_names[vars[d].id()] = claim(sanitize(vars[d].name()));
+                dims[d].var = var_names[vars[d].id()];
+            }
+            EmitEnv env = makeEnv(var_names, gi);
+            for (std::size_t d = 0; d < vars.size(); ++d) {
+                dims[d].lb.push_back(emitExpr(f.dom()[d].lower(), env));
+                dims[d].ub.push_back(emitExpr(f.dom()[d].upper(), env));
+                // Tile-region clamps for tiled dims.
+                auto pos = std::find(tiled.begin(), tiled.end(),
+                                     m.groupDim[d]);
+                if (pos == tiled.end())
+                    continue;
+                const std::size_t ti = pos - tiled.begin();
+                const int gd = tiled[ti];
+                const auto &info = grp.dims[gd];
+                const std::string t = "T" + std::to_string(ti);
+                const std::string lo_raw =
+                    "(" + std::to_string(tau[ti]) + "LL * " + t + " - " +
+                    std::to_string(info.extLeft[lvl]) + ")";
+                const std::string hi_raw =
+                    "(" + std::to_string(tau[ti]) + "LL * " + t + " + " +
+                    std::to_string(tau[ti] - 1 +
+                                   info.extRight[lvl]) +
+                    ")";
+                dims[d].lb.push_back(ceilDivStr(lo_raw, m.scale[d]));
+                dims[d].ub.push_back(floorDivStr(hi_raw, m.scale[d]));
+            }
+            std::vector<std::string> guards;
+            applyCase(stage, cs, env, dims, guards);
+
+            std::vector<std::string> idx;
+            for (const auto &v : vars)
+                idx.push_back(var_names[v.id()]);
+            const std::string target = storeTarget(gi, s, idx);
+            emitLoopNest(dims, guards,
+                         emitAssignWithCSE(cs.value(), target,
+                                           f.dtype(), env),
+                         /*parallel_outer=*/false, /*task_outer=*/false,
+                         phase_);
+            for (const auto &[id, nm] : var_names) {
+                (void)id;
+                used_.erase(nm);
+            }
+        }
+        vec_ = saved_vec;
+    }
+
+    for (std::size_t ti = 1; ti < tiled.size(); ++ti)
+        w_.close();
+    if (heap_scratch) {
+        for (int s : grp.stages) {
+            if (storage_.isScratch(s))
+                w_.line("std::free(scr_" + stageName(s) + ");");
+        }
+    }
+    if (instr_) {
+        w_.line("pm_record(pm_costs, pm_gids, pm_cap, &pm_task, " +
+                std::to_string(phase_) + ", pm_now() - pm_t0);");
+    }
+    w_.close(); // T0
+    ++phase_;
+}
+
+void
+Generator::emitAccumulator(int gi, int s)
+{
+    const pg::Stage &stage = g_.stage(s);
+    const auto &a = stage.accum();
+
+    w_.open("");
+    if (instr_)
+        w_.line("const double pm_t0 = pm_now();");
+
+    // Initialise the variable domain.
+    {
+        std::map<int, std::string> var_names;
+        std::vector<LoopDim> dims(a.varVars().size());
+        for (std::size_t d = 0; d < a.varVars().size(); ++d) {
+            var_names[a.varVars()[d].id()] =
+                claim(sanitize(a.varVars()[d].name()));
+            dims[d].var = var_names[a.varVars()[d].id()];
+        }
+        EmitEnv env = makeEnv(var_names, gi);
+        for (std::size_t d = 0; d < a.varDom().size(); ++d) {
+            dims[d].lb.push_back(emitExpr(a.varDom()[d].lower(), env));
+            dims[d].ub.push_back(emitExpr(a.varDom()[d].upper(), env));
+        }
+        std::vector<std::string> idx;
+        for (const auto &v : a.varVars())
+            idx.push_back(var_names[v.id()]);
+        const std::string target = fullIndex(s, false, idx);
+        w_.line("// init " + a.name());
+        emitLoopNest(dims, {},
+                     {target + " = (" +
+                      std::string(dsl::dtypeCName(a.dtype())) + ")(" +
+                      emitExpr(a.init(), env) + ");"},
+                     /*parallel_outer=*/false, /*task_outer=*/false,
+                     phase_);
+        for (const auto &[id, nm] : var_names) {
+            (void)id;
+            used_.erase(nm);
+        }
+    }
+
+    if (instr_)
+        w_.line("pm_serial_acc += pm_now() - pm_t0;");
+
+    // Sweep the reduction domain.  Reductions are never fused (paper
+    // section 3.5); they are parallelised by privatisation: each thread
+    // combines into a private copy of the accumulator, merged under a
+    // critical section.  Self-referential updates fall back to the
+    // sequential loop.
+    bool self_ref = false;
+    {
+        auto scan = [&](const dsl::Expr &e) {
+            dsl::forEachNode(e, [&](const dsl::ExprNode &n) {
+                if (n.kind() == dsl::ExprKind::Call) {
+                    self_ref |= static_cast<const dsl::CallNode &>(n)
+                                    .callee->id() ==
+                                stage.callable->id();
+                }
+            });
+        };
+        scan(a.update());
+        for (const auto &t : a.targetIndices())
+            scan(t);
+    }
+    const bool privatised =
+        opts_.parallelize && !instr_ && !self_ref;
+
+    {
+        std::map<int, std::string> var_names;
+        std::vector<LoopDim> dims(a.redVars().size());
+        for (std::size_t d = 0; d < a.redVars().size(); ++d) {
+            var_names[a.redVars()[d].id()] =
+                claim(sanitize(a.redVars()[d].name()));
+            dims[d].var = var_names[a.redVars()[d].id()];
+        }
+        EmitEnv env = makeEnv(var_names, gi);
+        for (std::size_t d = 0; d < a.redDom().size(); ++d) {
+            dims[d].lb.push_back(emitExpr(a.redDom()[d].lower(), env));
+            dims[d].ub.push_back(emitExpr(a.redDom()[d].upper(), env));
+        }
+        std::vector<std::string> guards;
+        if (a.guard())
+            guards.push_back(emitCond(*a.guard(), env));
+
+        std::vector<std::string> idx;
+        for (const auto &t : a.targetIndices())
+            idx.push_back(emitExpr(t, env));
+        const std::string ty = dsl::dtypeCName(a.dtype());
+        const std::string upd = emitExpr(a.update(), env);
+
+        auto combine = [&](const std::string &acc,
+                           const std::string &val) {
+            switch (a.op()) {
+              case dsl::ReduceOp::Sum:
+                return "(" + ty + ")(" + acc + " + " + val + ")";
+              case dsl::ReduceOp::Product:
+                return "(" + ty + ")(" + acc + " * " + val + ")";
+              case dsl::ReduceOp::Min:
+              case dsl::ReduceOp::Max: {
+                const bool mn = a.op() == dsl::ReduceOp::Min;
+                std::string fn = mn ? "pm_min" : "pm_max";
+                if (a.dtype() == DType::Float)
+                    fn += "_f";
+                else if (a.dtype() == DType::Double)
+                    fn += "_d";
+                else
+                    fn += "_i";
+                return "(" + ty + ")" + fn + "(" + acc + ", " + val +
+                       ")";
+              }
+            }
+            internalError("unknown reduce op");
+        };
+
+        w_.line("// accumulate " + a.name());
+        const bool saved_vec = vec_;
+        vec_ = false; // updates may collide on one cell
+        if (privatised) {
+            // Total cell count of the accumulator buffer.
+            std::string cells = lenName(stageName(s), 0);
+            if (a.varDom().size() > 1)
+                cells += " * " + strideName(stageName(s), 0);
+            const std::string identity =
+                emitExpr(dsl::reduceIdentity(a.op(), a.dtype()), env);
+            w_.line("#pragma omp parallel");
+            w_.open("");
+            w_.line(std::string(ty) + " *pm_priv = (" + ty +
+                    " *)std::malloc(sizeof(" + ty + ") * (" + cells +
+                    "));");
+            w_.open("for (long long pm_i = 0; pm_i < (" + cells +
+                    "); ++pm_i)");
+            w_.line("pm_priv[pm_i] = (" + std::string(ty) + ")(" +
+                    identity + ");");
+            w_.close();
+            const std::string cell =
+                "pm_priv[" + flatIndexStr(stageName(s), idx) + "]";
+            ompForOnly_ = true;
+            emitLoopNest(dims, guards,
+                         {cell + " = " + combine(cell, upd) + ";"},
+                         /*parallel_outer=*/true, /*task_outer=*/false,
+                         phase_);
+            ompForOnly_ = false;
+            w_.line("#pragma omp critical");
+            w_.open("");
+            const std::string out_cell =
+                "buf_" + stageName(s) + "[pm_i]";
+            w_.open("for (long long pm_i = 0; pm_i < (" + cells +
+                    "); ++pm_i)");
+            w_.line(out_cell + " = " +
+                    combine(out_cell, "pm_priv[pm_i]") + ";");
+            w_.close();
+            w_.close();
+            w_.line("std::free(pm_priv);");
+            w_.close(); // parallel region
+        } else {
+            const std::string cell = fullIndex(s, false, idx);
+            emitLoopNest(dims, guards,
+                         {cell + " = " + combine(cell, upd) + ";"},
+                         /*parallel_outer=*/false,
+                         /*task_outer=*/instr_, phase_);
+        }
+        vec_ = saved_vec;
+        for (const auto &[id, nm] : var_names) {
+            (void)id;
+            used_.erase(nm);
+        }
+    }
+
+    w_.close();
+    ++phase_;
+}
+
+void
+Generator::emitSelfRecurrent(int gi, int s)
+{
+    const pg::Stage &stage = g_.stage(s);
+    const auto &f = stage.func();
+    const auto &vars = f.vars();
+
+    w_.open("");
+    if (instr_)
+        w_.line("const double pm_t0 = pm_now();");
+
+    std::map<int, std::string> var_names;
+    std::vector<LoopDim> dims(vars.size());
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+        var_names[vars[d].id()] = claim(sanitize(vars[d].name()));
+        dims[d].var = var_names[vars[d].id()];
+    }
+    EmitEnv env = makeEnv(var_names, gi);
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+        dims[d].lb.push_back(emitExpr(f.dom()[d].lower(), env));
+        dims[d].ub.push_back(emitExpr(f.dom()[d].upper(), env));
+    }
+
+    // A single sequential nest with an if/else chain keeps the
+    // lexicographic evaluation order the recurrence depends on.
+    std::vector<std::string> body;
+    std::vector<std::string> idx;
+    for (const auto &v : vars)
+        idx.push_back(var_names[v.id()]);
+    const std::string target = fullIndex(s, false, idx);
+    bool first = true;
+    for (const auto &cs : f.cases()) {
+        std::string head;
+        if (cs.hasCondition()) {
+            head = std::string(first ? "if (" : "else if (") +
+                   emitCond(cs.condition(), env) + ")";
+        } else {
+            head = first ? "" : "else";
+        }
+        const std::string assign =
+            target + " = (" + std::string(dsl::dtypeCName(f.dtype())) +
+            ")(" + emitExpr(cs.value(), env) + ");";
+        if (head.empty())
+            body.push_back(assign);
+        else
+            body.push_back(head + " { " + assign + " }");
+        first = false;
+    }
+    const bool saved_vec = vec_;
+    vec_ = false;
+    emitLoopNest(dims, {}, body, /*parallel_outer=*/false,
+                 /*task_outer=*/false, phase_);
+    vec_ = saved_vec;
+    for (const auto &[id, nm] : var_names) {
+        (void)id;
+        used_.erase(nm);
+    }
+    if (instr_)
+        w_.line("pm_serial_acc += pm_now() - pm_t0;");
+    w_.close();
+    ++phase_;
+}
+
+void
+Generator::emitGroup(int gi)
+{
+    const GroupSchedule &grp = grouping_.groups[gi];
+    w_.line("// ---- group " + std::to_string(gi) + ": " +
+            [&] {
+                std::string s;
+                for (int st : grp.stages)
+                    s += stageName(st) + " ";
+                return s;
+            }());
+    if (grp.stages.size() == 1) {
+        const int s = grp.stages[0];
+        const pg::Stage &stage = g_.stage(s);
+        if (stage.isAccumulator()) {
+            emitAccumulator(gi, s);
+            return;
+        }
+        if (stage.selfRecurrent) {
+            emitSelfRecurrent(gi, s);
+            return;
+        }
+        emitUntiledStage(gi, s);
+        return;
+    }
+    if (opts_.tile && !core::tiledDimsFor(grp, g_, gopts_).empty()) {
+        emitTiledGroup(gi);
+        return;
+    }
+    // Fallback: per-stage loops in level order.
+    std::vector<int> order = grp.stages;
+    std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+        return grp.localLevel.at(a) < grp.localLevel.at(b);
+    });
+    for (int s : order)
+        emitUntiledStage(gi, s);
+}
+
+void
+Generator::emitBody()
+{
+    phase_ = 0;
+    tmp_ = 0;
+
+    // Parameters.
+    for (std::size_t i = 0; i < g_.params().size(); ++i) {
+        w_.line("const int " + paramName_.at(g_.params()[i]->id) +
+                " = (int)params[" + std::to_string(i) + "];");
+    }
+    w_.blank();
+
+    // Inputs with extent/stride locals.
+    for (std::size_t i = 0; i < g_.images().size(); ++i) {
+        const auto &img = *g_.images()[i];
+        const std::string name = imageName_.at(img.id());
+        const std::string ty = dsl::dtypeCName(img.dtype());
+        w_.line("const " + std::string(ty) + " *" + name + " = (const " +
+                ty + " *)inputs[" + std::to_string(i) + "];");
+        EmitEnv env = makeEnv({}, -1);
+        for (std::size_t d = 0; d < img.extents().size(); ++d) {
+            w_.line("const long long " + lenName(name, int(d)) +
+                    " = (long long)" + emitExpr(img.extents()[d], env) +
+                    ";");
+        }
+        for (int d = int(img.extents().size()) - 2; d >= 0; --d) {
+            std::string prod = lenName(name, d + 1);
+            if (d + 2 < int(img.extents().size()))
+                prod += " * " + strideName(name, d + 1);
+            w_.line("const long long " + strideName(name, d) + " = " +
+                    prod + ";");
+        }
+    }
+    w_.blank();
+
+    // Full buffers: outputs come from the caller; intermediates are
+    // heap allocations.
+    std::map<int, int> output_slot;
+    for (std::size_t i = 0; i < g_.outputs().size(); ++i)
+        output_slot[g_.outputs()[i]] = int(i);
+
+    std::vector<int> to_free;
+    EmitEnv param_env = makeEnv({}, -1);
+    for (std::size_t s = 0; s < g_.stages().size(); ++s) {
+        if (storage_.isScratch(int(s)))
+            continue;
+        const pg::Stage &stage = g_.stage(int(s));
+        const std::string name = stageName(int(s));
+        const std::string ty =
+            dsl::dtypeCName(stage.callable->dtype());
+        const auto &dom = stage.isFunction() ? stage.func().dom()
+                                             : stage.accum().varDom();
+        for (std::size_t d = 0; d < dom.size(); ++d) {
+            w_.line("const long long " + lenName(name, int(d)) +
+                    " = (long long)" +
+                    emitExpr(dom[d].upper(), param_env) + " + 1;");
+        }
+        for (int d = int(dom.size()) - 2; d >= 0; --d) {
+            std::string prod = lenName(name, d + 1);
+            if (d + 2 < int(dom.size()))
+                prod += " * " + strideName(name, d + 1);
+            w_.line("const long long " + strideName(name, d) + " = " +
+                    prod + ";");
+        }
+        std::string total = lenName(name, 0);
+        if (dom.size() > 1)
+            total += " * " + strideName(name, 0);
+        auto slot = output_slot.find(int(s));
+        if (slot != output_slot.end()) {
+            w_.line(std::string(ty) + " *buf_" + name + " = (" + ty +
+                    " *)outputs[" + std::to_string(slot->second) + "];");
+        } else {
+            w_.line(std::string(ty) + " *buf_" + name + " = (" + ty +
+                    " *)std::malloc(sizeof(" + ty + ") * (" + total +
+                    "));");
+            to_free.push_back(int(s));
+        }
+    }
+    w_.blank();
+
+    for (std::size_t gi = 0; gi < grouping_.groups.size(); ++gi) {
+        emitGroup(int(gi));
+        w_.blank();
+    }
+
+    for (int s : to_free)
+        w_.line("std::free(buf_" + stageName(s) + ");");
+}
+
+void
+Generator::emitEntry(bool instrumented)
+{
+    instr_ = instrumented;
+    vec_ = opts_.vectorize;
+    const std::string base = "polymage_" + sanitize(g_.name());
+    if (!instrumented) {
+        w_.line("extern \"C\" void " + base +
+                "(const long long *params, void *const *inputs, "
+                "void **outputs)");
+        w_.open("");
+    } else {
+        w_.line("extern \"C\" void " + base +
+                "_pm_instr(const long long *params, void *const "
+                "*inputs, void **outputs, double *pm_costs, long long "
+                "*pm_gids, long long pm_cap, long long *pm_count, "
+                "double *pm_serial)");
+        w_.open("");
+        w_.line("long long pm_task = 0;");
+        w_.line("double pm_serial_acc = 0.0;");
+    }
+    emitBody();
+    if (instrumented) {
+        w_.line("*pm_count = pm_task;");
+        w_.line("*pm_serial = pm_serial_acc;");
+    }
+    w_.close();
+    w_.blank();
+}
+
+GeneratedCode
+Generator::run()
+{
+    // Reserve helper and tile-loop names first so user-visible names
+    // (e.g. a parameter called "T1") never shadow them.
+    for (const char *n :
+         {"params", "inputs", "outputs", "pm_costs", "pm_gids",
+          "pm_cap", "pm_count", "pm_serial", "pm_task",
+          "pm_serial_acc", "pm_t0", "T0", "T1", "T2", "T3", "T4", "T5",
+          "T6", "T7"}) {
+        used_.insert(n);
+    }
+    // Claim global names.
+    for (const auto &p : g_.params())
+        paramName_[p->id] = claim(sanitize(p->name));
+    for (const auto &img : g_.images())
+        imageName_[img->id()] = claim("in_" + sanitize(img->name()));
+    for (std::size_t s = 0; s < g_.stages().size(); ++s)
+        stageName_[int(s)] = claim(sanitize(g_.stage(int(s)).name()));
+
+    emitPrelude();
+    emitEntry(false);
+    if (opts_.instrument)
+        emitEntry(true);
+
+    GeneratedCode out;
+    out.source = w_.str();
+    out.entry = "polymage_" + sanitize(g_.name());
+    if (opts_.instrument)
+        out.instrEntry = out.entry + "_pm_instr";
+    return out;
+}
+
+} // namespace
+
+GeneratedCode
+generate(const pg::PipelineGraph &g, const core::GroupingResult &grouping,
+         const core::GroupingOptions &gopts,
+         const core::StoragePlan &storage, const CodegenOptions &opts)
+{
+    Generator gen(g, grouping, gopts, storage, opts);
+    return gen.run();
+}
+
+} // namespace polymage::cg

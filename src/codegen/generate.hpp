@@ -1,0 +1,80 @@
+/**
+ * @file
+ * C++ code generation (paper §3.7): turns a scheduled, storage-mapped
+ * pipeline into a single translation unit containing the pipeline
+ * entry point, structured like the paper's Figure 7 -- parallel
+ * overlapped-tile loops, per-tile scratchpads with relative indexing,
+ * clamped per-level bounds, and vectorisation pragmas on unit-stride
+ * innermost loops.
+ */
+#ifndef POLYMAGE_CODEGEN_GENERATE_HPP
+#define POLYMAGE_CODEGEN_GENERATE_HPP
+
+#include <string>
+
+#include "core/grouping.hpp"
+#include "core/storage.hpp"
+
+namespace polymage::cg {
+
+/** Code generation switches (the paper's opt/vec axes, §4). */
+struct CodegenOptions
+{
+    /** Emit overlapped tile loops for multi-stage groups. */
+    bool tile = true;
+    /**
+     * Storage optimisation (paper §3.6): scratchpads for intra-group
+     * intermediates.  Off keeps every stage in a full buffer even when
+     * tiled -- the ablation the paper calls out ("without storage
+     * reduction, the tiling transformations are not very effective").
+     */
+    bool storageOpt = true;
+    /** Emit `omp simd`/ivdep pragmas on innermost loops. */
+    bool vectorize = true;
+    /** Emit `omp parallel for` on the outermost loops. */
+    bool parallelize = true;
+    /**
+     * Also emit an instrumented entry `<name>_pm_instr` that runs
+     * serially and records per-parallel-task times, for the multicore
+     * scaling model.
+     */
+    bool instrument = false;
+    /**
+     * Scratchpads above this total per group move from the stack to a
+     * per-tile-row heap allocation.
+     */
+    std::int64_t maxStackScratchBytes = 4ll << 20;
+};
+
+/** The generated translation unit. */
+struct GeneratedCode
+{
+    std::string source;
+    /**
+     * Entry symbol:
+     * void entry(const long long *params, void *const *inputs,
+     *            void **outputs);
+     * Parameters/inputs/outputs follow graph order; output buffers are
+     * caller-allocated (shape via interp::stageShape).
+     */
+    std::string entry;
+    /**
+     * Instrumented symbol (empty unless requested):
+     * void entry_pm_instr(const long long *params, void *const *inputs,
+     *                     void **outputs, double *costs,
+     *                     long long *phase_ids, long long cap,
+     *                     long long *count, double *serial_seconds);
+     */
+    std::string instrEntry;
+};
+
+/** Generate code for a scheduled pipeline. */
+GeneratedCode generate(const pg::PipelineGraph &g,
+                       const core::GroupingResult &grouping,
+                       const core::GroupingOptions &gopts,
+                       const core::StoragePlan &storage,
+                       const CodegenOptions &opts);
+
+} // namespace polymage::cg
+
+#endif // POLYMAGE_CODEGEN_GENERATE_HPP

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Dispatch layer selecting the vectorised or non-vectorised comparator
+ * kernel bodies (see comparators_impl.cpp, compiled twice), plus the
+ * barrier-aware scaling model shared with the benchmark harnesses.
+ */
+#include "comparators/comparators.hpp"
+
+#include "support/intmath.hpp"
+
+namespace polymage::cmp {
+
+// The kernel bodies exist in two namespaces with identical signatures.
+#define PM_DECLARE_IMPLS(ns)                                              \
+    namespace ns {                                                        \
+    CmpResult htunedUnsharp(const rt::Buffer &);                          \
+    CmpResult htunedHarris(const rt::Buffer &);                           \
+    CmpResult htunedBilateral(const rt::Buffer &);                        \
+    CmpResult htunedCamera(const rt::Buffer &);                           \
+    CmpResult htunedPyramidBlend(const rt::Buffer &, const rt::Buffer &, \
+                                 const rt::Buffer &, int);                \
+    CmpResult htunedInterp(const rt::Buffer &, int);                      \
+    CmpResult htunedLocalLaplacian(const rt::Buffer &, int, int);         \
+    CmpResult libstyleUnsharp(const rt::Buffer &);                        \
+    CmpResult libstyleHarris(const rt::Buffer &);                         \
+    CmpResult libstylePyramidBlend(const rt::Buffer &,                    \
+                                   const rt::Buffer &,                    \
+                                   const rt::Buffer &, int);              \
+    }
+
+PM_DECLARE_IMPLS(vec_impl)
+PM_DECLARE_IMPLS(novec_impl)
+#undef PM_DECLARE_IMPLS
+
+double
+modeledTime(const std::vector<StagePass> &passes, int workers)
+{
+    PM_ASSERT(workers >= 1, "worker count must be positive");
+    double total = 0.0;
+    for (const auto &p : passes) {
+        if (p.parallelIters <= 1 || workers == 1) {
+            total += p.seconds;
+        } else {
+            const double chunks = double(
+                ceilDiv(p.parallelIters, workers));
+            total += p.seconds * chunks / double(p.parallelIters);
+        }
+    }
+    return total;
+}
+
+CmpResult
+htunedUnsharp(const rt::Buffer &in_rgb, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedUnsharp(in_rgb)
+                     : novec_impl::htunedUnsharp(in_rgb);
+}
+
+CmpResult
+htunedHarris(const rt::Buffer &in, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedHarris(in)
+                     : novec_impl::htunedHarris(in);
+}
+
+CmpResult
+htunedBilateral(const rt::Buffer &in, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedBilateral(in)
+                     : novec_impl::htunedBilateral(in);
+}
+
+CmpResult
+htunedCamera(const rt::Buffer &raw, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedCamera(raw)
+                     : novec_impl::htunedCamera(raw);
+}
+
+CmpResult
+htunedPyramidBlend(const rt::Buffer &a, const rt::Buffer &b,
+                   const rt::Buffer &m, int levels, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedPyramidBlend(a, b, m, levels)
+                     : novec_impl::htunedPyramidBlend(a, b, m, levels);
+}
+
+CmpResult
+htunedInterp(const rt::Buffer &in, int levels, bool vectorize)
+{
+    return vectorize ? vec_impl::htunedInterp(in, levels)
+                     : novec_impl::htunedInterp(in, levels);
+}
+
+CmpResult
+htunedLocalLaplacian(const rt::Buffer &in, int levels, int k,
+                     bool vectorize)
+{
+    return vectorize ? vec_impl::htunedLocalLaplacian(in, levels, k)
+                     : novec_impl::htunedLocalLaplacian(in, levels, k);
+}
+
+CmpResult
+libstyleUnsharp(const rt::Buffer &in_rgb)
+{
+    return vec_impl::libstyleUnsharp(in_rgb);
+}
+
+CmpResult
+libstyleHarris(const rt::Buffer &in)
+{
+    return vec_impl::libstyleHarris(in);
+}
+
+CmpResult
+libstylePyramidBlend(const rt::Buffer &a, const rt::Buffer &b,
+                     const rt::Buffer &m, int levels)
+{
+    return vec_impl::libstylePyramidBlend(a, b, m, levels);
+}
+
+} // namespace polymage::cmp

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Comparator implementations standing in for the paper's Halide and
+ * OpenCV baselines (§4).  Halide itself is not available offline, so
+ * `htuned*` are hand-written C++/OpenMP kernels with the loop structure
+ * the paper describes for each H-tuned schedule (per-stage parallel,
+ * vectorised inner loops, the same limited fusion choices);
+ * `libstyle*` mimic OpenCV usage: one full-buffer library routine per
+ * step with no cross-routine fusion.
+ *
+ * Every comparator matches the corresponding DSL pipeline's output
+ * bit-tolerantly (verified by tests), so performance comparisons are
+ * apples to apples.
+ *
+ * Each returns per-pass timings used by the multicore scaling model:
+ * a pass with parallelIters > 1 scales as ceil(iters/p)/iters.
+ */
+#ifndef POLYMAGE_COMPARATORS_COMPARATORS_HPP
+#define POLYMAGE_COMPARATORS_COMPARATORS_HPP
+
+#include <string>
+#include <vector>
+
+#include "runtime/buffer.hpp"
+
+namespace polymage::cmp {
+
+/** One timed pass of a comparator. */
+struct StagePass
+{
+    std::string name;
+    double seconds = 0.0;
+    /** Outer parallel iterations; 1 marks an inherently serial pass. */
+    std::int64_t parallelIters = 1;
+};
+
+/** Output plus the pass profile. */
+struct CmpResult
+{
+    rt::Buffer output;
+    std::vector<StagePass> passes;
+
+    double
+    totalSeconds() const
+    {
+        double t = 0;
+        for (const auto &p : passes)
+            t += p.seconds;
+        return t;
+    }
+};
+
+/**
+ * Modelled wall time on @p workers workers: barrier-separated passes,
+ * each scaling by ceil(iters/p)/iters (serial passes unchanged).
+ */
+double modeledTime(const std::vector<StagePass> &passes, int workers);
+
+/// @name Halide-tuned-style comparators (paper's H-tuned column)
+/// @{
+CmpResult htunedUnsharp(const rt::Buffer &in_rgb, bool vectorize);
+CmpResult htunedHarris(const rt::Buffer &in, bool vectorize);
+CmpResult htunedBilateral(const rt::Buffer &in, bool vectorize);
+CmpResult htunedCamera(const rt::Buffer &raw, bool vectorize);
+CmpResult htunedPyramidBlend(const rt::Buffer &a, const rt::Buffer &b,
+                             const rt::Buffer &m, int levels,
+                             bool vectorize);
+CmpResult htunedInterp(const rt::Buffer &in, int levels, bool vectorize);
+CmpResult htunedLocalLaplacian(const rt::Buffer &in, int levels, int k,
+                               bool vectorize);
+/// @}
+
+/// @name OpenCV-library-style comparators (paper's OpenCV column)
+/// @{
+CmpResult libstyleUnsharp(const rt::Buffer &in_rgb);
+CmpResult libstyleHarris(const rt::Buffer &in);
+CmpResult libstylePyramidBlend(const rt::Buffer &a, const rt::Buffer &b,
+                               const rt::Buffer &m, int levels);
+/// @}
+
+} // namespace polymage::cmp
+
+#endif // POLYMAGE_COMPARATORS_COMPARATORS_HPP

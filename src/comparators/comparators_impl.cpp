@@ -1,0 +1,1032 @@
+/**
+ * @file
+ * Kernel bodies of the comparator implementations.  This translation
+ * unit is compiled twice: once with full auto-vectorisation (namespace
+ * vec_impl) and once with vectorisation disabled (novec_impl), giving
+ * the paper's tuned / tuned+vec comparator pairs.  PM_CMP_NS selects
+ * the namespace.
+ */
+#include <algorithm>
+#include <cmath>
+#include <ctime>
+#include <vector>
+
+#include "comparators/comparators.hpp"
+#include "support/intmath.hpp"
+
+#ifndef PM_CMP_NS
+#error "compile with -DPM_CMP_NS=<namespace>"
+#endif
+
+namespace polymage::cmp {
+namespace PM_CMP_NS {
+
+using rt::Buffer;
+
+namespace {
+
+double
+now()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return double(ts.tv_sec) + 1e-9 * double(ts.tv_nsec);
+}
+
+/** Collects the per-pass profile. */
+class PassTimer
+{
+  public:
+    explicit PassTimer(std::vector<StagePass> &out) : out_(out) {}
+
+    template <typename Fn>
+    void
+    pass(const std::string &name, std::int64_t iters, Fn &&fn)
+    {
+        const double t0 = now();
+        fn();
+        out_.push_back({name, now() - t0, iters});
+    }
+
+  private:
+    std::vector<StagePass> &out_;
+};
+
+//-------------------------------------------------------------------------
+// Shared pyramid helpers (match apps/pyramid_util.cpp semantics).
+//-------------------------------------------------------------------------
+
+/** Vertical [1 2 1]/4 downsample rows: dst (sr x tc), src (>= x tc). */
+void
+downRows(float *dst, const float *src, std::int64_t sr, std::int64_t tc,
+         std::int64_t src_stride)
+{
+#pragma omp parallel for schedule(static)
+    for (std::int64_t x = 0; x < sr; ++x) {
+        if (x == 0) {
+            for (std::int64_t y = 0; y < tc; ++y) {
+                dst[y] = (src[y] + src[src_stride + y]) * 0.5f;
+            }
+        } else {
+            const float *s = src + 2 * x * src_stride;
+            float *d = dst + x * tc;
+            for (std::int64_t y = 0; y < tc; ++y) {
+                d[y] = s[y - src_stride] * 0.25f + s[y] * 0.5f +
+                       s[y + src_stride] * 0.25f;
+            }
+        }
+    }
+}
+
+/** Horizontal [1 2 1]/4 downsample cols: dst (sr x tc), src (sr x ?). */
+void
+downCols(float *dst, const float *src, std::int64_t sr, std::int64_t tc,
+         std::int64_t src_stride)
+{
+#pragma omp parallel for schedule(static)
+    for (std::int64_t x = 0; x < sr; ++x) {
+        const float *s = src + x * src_stride;
+        float *d = dst + x * tc;
+        d[0] = (s[0] + s[1]) * 0.5f;
+        for (std::int64_t y = 1; y < tc; ++y) {
+            d[y] = s[2 * y - 1] * 0.25f + s[2 * y] * 0.5f +
+                   s[2 * y + 1] * 0.25f;
+        }
+    }
+}
+
+/** Linear row upsample: dst (dr x c), src (sr x c). */
+void
+upRows(float *dst, const float *src, std::int64_t dr, std::int64_t sr,
+       std::int64_t c)
+{
+#pragma omp parallel for schedule(static)
+    for (std::int64_t x = 0; x < dr; ++x) {
+        float *d = dst + x * c;
+        if (x >= 2 * sr - 1) {
+            const float *s = src + ((x - 1) / 2) * c;
+            for (std::int64_t y = 0; y < c; ++y)
+                d[y] = s[y];
+        } else if (x % 2 == 0) {
+            const float *s = src + (x / 2) * c;
+            for (std::int64_t y = 0; y < c; ++y)
+                d[y] = s[y];
+        } else {
+            const float *s0 = src + (x / 2) * c;
+            const float *s1 = s0 + c;
+            for (std::int64_t y = 0; y < c; ++y)
+                d[y] = (s0[y] + s1[y]) * 0.5f;
+        }
+    }
+}
+
+/** Linear column upsample: dst (r x dc), src (r x sc). */
+void
+upCols(float *dst, const float *src, std::int64_t r, std::int64_t dc,
+       std::int64_t sc)
+{
+#pragma omp parallel for schedule(static)
+    for (std::int64_t x = 0; x < r; ++x) {
+        float *d = dst + x * dc;
+        const float *s = src + x * sc;
+        for (std::int64_t y = 0; y < dc; ++y) {
+            if (y >= 2 * sc - 1)
+                d[y] = s[(y - 1) / 2];
+            else if (y % 2 == 0)
+                d[y] = s[y / 2];
+            else
+                d[y] = (s[y / 2] + s[y / 2 + 1]) * 0.5f;
+        }
+    }
+}
+
+std::vector<std::int64_t>
+levelSizes(std::int64_t s0, int levels)
+{
+    std::vector<std::int64_t> v{s0};
+    for (int l = 1; l < levels; ++l)
+        v.push_back(v.back() / 2);
+    return v;
+}
+
+} // namespace
+
+//-------------------------------------------------------------------------
+// Unsharp mask: strip-fused, matching the paper's note that the tuned
+// Halide schedule is close to PolyMage's best.
+//-------------------------------------------------------------------------
+CmpResult
+htunedUnsharp(const Buffer &in_rgb)
+{
+    const std::int64_t rows = in_rgb.dims()[1];
+    const std::int64_t cols = in_rgb.dims()[2];
+    const std::int64_t R = rows - 4, C = cols - 4;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {3, rows, cols});
+    PassTimer timer(res.passes);
+
+    const float *in = in_rgb.dataAs<const float>();
+    float *out = res.output.dataAs<float>();
+    const std::int64_t strip = 32;
+    const std::int64_t nstrips = (R + strip - 1) / strip;
+
+    timer.pass("fused", 3 * nstrips, [&] {
+        for (int c = 0; c < 3; ++c) {
+            const float *ip = in + c * rows * cols;
+            float *op = out + c * rows * cols;
+#pragma omp parallel for schedule(static)
+            for (std::int64_t s = 0; s < nstrips; ++s) {
+                const std::int64_t x0 =
+                    std::max<std::int64_t>(2, 2 + s * strip);
+                const std::int64_t x1 =
+                    std::min<std::int64_t>(R + 1, x0 + strip - 1);
+                std::vector<float> blury((strip + 8) * cols);
+                std::vector<float> blurx((strip + 8) * cols);
+                for (std::int64_t x = x0; x <= x1; ++x) {
+                    const float *sp = ip + x * cols;
+                    float *by = blury.data() + (x - x0) * cols;
+                    for (std::int64_t y = 0; y < cols; ++y) {
+                        by[y] = sp[y - 2 * cols] * (1.f / 16) +
+                                sp[y - cols] * (4.f / 16) +
+                                sp[y] * (6.f / 16) +
+                                sp[y + cols] * (4.f / 16) +
+                                sp[y + 2 * cols] * (1.f / 16);
+                    }
+                }
+                for (std::int64_t x = x0; x <= x1; ++x) {
+                    const float *by = blury.data() + (x - x0) * cols;
+                    float *bx = blurx.data() + (x - x0) * cols;
+                    for (std::int64_t y = 2; y <= C + 1; ++y) {
+                        bx[y] = by[y - 2] * (1.f / 16) +
+                                by[y - 1] * (4.f / 16) +
+                                by[y] * (6.f / 16) +
+                                by[y + 1] * (4.f / 16) +
+                                by[y + 2] * (1.f / 16);
+                    }
+                }
+                for (std::int64_t x = x0; x <= x1; ++x) {
+                    const float *sp = ip + x * cols;
+                    const float *bx = blurx.data() + (x - x0) * cols;
+                    float *op_row = op + x * cols;
+                    for (std::int64_t y = 2; y <= C + 1; ++y) {
+                        const float sharpen =
+                            sp[y] * 4.0f - bx[y] * 3.0f;
+                        op_row[y] = std::fabs(sp[y] - bx[y]) < 0.01f
+                                        ? sp[y]
+                                        : sharpen;
+                    }
+                }
+            }
+        }
+    });
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Harris: Ix/Iy at root (fused pair), response pass with the box sums
+// and point-wise stages inlined (the Halide repository schedule).
+//-------------------------------------------------------------------------
+CmpResult
+htunedHarris(const Buffer &in)
+{
+    const std::int64_t rows = in.dims()[0], cols = in.dims()[1];
+    const std::int64_t R = rows - 2, C = cols - 2;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {rows, cols});
+    PassTimer timer(res.passes);
+
+    const float *ip = in.dataAs<const float>();
+    Buffer bx(dsl::DType::Float, {rows, cols});
+    Buffer by(dsl::DType::Float, {rows, cols});
+    float *Ix = bx.dataAs<float>();
+    float *Iy = by.dataAs<float>();
+    float *out = res.output.dataAs<float>();
+
+    timer.pass("IxIy", R, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 1; x <= R; ++x) {
+            const float *s0 = ip + (x - 1) * cols;
+            const float *s1 = ip + x * cols;
+            const float *s2 = ip + (x + 1) * cols;
+            float *dx = Ix + x * cols;
+            float *dy = Iy + x * cols;
+            for (std::int64_t y = 1; y <= C; ++y) {
+                dy[y] = (-s0[y - 1] - 2 * s0[y] - s0[y + 1] +
+                         s2[y - 1] + 2 * s2[y] + s2[y + 1]) *
+                        (1.0f / 12);
+                dx[y] = (-s0[y - 1] + s0[y + 1] - 2 * s1[y - 1] +
+                         2 * s1[y + 1] - s2[y - 1] + s2[y + 1]) *
+                        (1.0f / 12);
+            }
+        }
+    });
+
+    timer.pass("response", R - 2, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 2; x <= R - 1; ++x) {
+            float *o = out + x * cols;
+            for (std::int64_t y = 2; y <= C - 1; ++y) {
+                float sxx = 0, syy = 0, sxy = 0;
+                for (int dx = -1; dx <= 1; ++dx) {
+                    const float *rx = Ix + (x + dx) * cols;
+                    const float *ry = Iy + (x + dx) * cols;
+                    for (int dy = -1; dy <= 1; ++dy) {
+                        const float vx = rx[y + dy];
+                        const float vy = ry[y + dy];
+                        sxx += vx * vx;
+                        syy += vy * vy;
+                        sxy += vx * vy;
+                    }
+                }
+                const float det = sxx * syy - sxy * sxy;
+                const float trace = sxx + syy;
+                o[y] = det - 0.04f * trace * trace;
+            }
+        }
+    });
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Bilateral grid: slab-parallel grid construction, per-axis blur
+// passes, trilinear slice (the Halide schedule's structure).
+//-------------------------------------------------------------------------
+CmpResult
+htunedBilateral(const Buffer &in)
+{
+    const std::int64_t R = in.dims()[0], C = in.dims()[1];
+    const std::int64_t s = 8;
+    const std::int64_t GX = R / s + 4, GY = C / s + 4, GZ = 13;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {R, C});
+    PassTimer timer(res.passes);
+
+    const float *ip = in.dataAs<const float>();
+    const std::int64_t cells = GX * GY * GZ;
+    std::vector<float> gridv(cells, 0.f), gridw(cells, 0.f);
+    std::vector<float> t0(cells * 2), t1(cells * 2), t2(cells * 2);
+    auto at = [&](std::int64_t gx, std::int64_t gy, std::int64_t gz) {
+        return (gx * GY + gy) * GZ + gz;
+    };
+
+    timer.pass("grid", GX, [&] {
+        // Pixels mapping to one gx slab are disjoint: parallel-safe.
+#pragma omp parallel for schedule(static)
+        for (std::int64_t gx = 1; gx < GX; ++gx) {
+            const std::int64_t xlo =
+                std::max<std::int64_t>(0, (gx - 1) * s - s / 2);
+            const std::int64_t xhi =
+                std::min<std::int64_t>(R - 1, (gx - 1) * s + s / 2 - 1);
+            for (std::int64_t x = xlo; x <= xhi; ++x) {
+                if ((x + s / 2) / s + 1 != gx)
+                    continue;
+                for (std::int64_t y = 0; y < C; ++y) {
+                    const float v = ip[x * C + y];
+                    const std::int64_t gy = (y + s / 2) / s + 1;
+                    const std::int64_t gz =
+                        std::int64_t(v * 10.0f + 0.5f) + 1;
+                    gridv[at(gx, gy, gz)] += v;
+                    gridw[at(gx, gy, gz)] += 1.0f;
+                }
+            }
+        }
+    });
+
+    // blurz from (gridv, gridw) into t0 (interleaved components).
+    timer.pass("blurz", GX, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t gx = 0; gx < GX; ++gx) {
+            for (std::int64_t gy = 0; gy < GY; ++gy) {
+                for (std::int64_t gz = 1; gz <= 11; ++gz) {
+                    const std::int64_t i = at(gx, gy, gz);
+                    t0[i * 2] = gridv[i - 1] * 0.25f +
+                                gridv[i] * 0.5f + gridv[i + 1] * 0.25f;
+                    t0[i * 2 + 1] = gridw[i - 1] * 0.25f +
+                                    gridw[i] * 0.5f +
+                                    gridw[i + 1] * 0.25f;
+                }
+            }
+        }
+    });
+    timer.pass("blurx", R / s + 2, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t gx = 1; gx <= R / s + 2; ++gx) {
+            for (std::int64_t gy = 0; gy < GY; ++gy) {
+                for (std::int64_t gz = 1; gz <= 11; ++gz) {
+                    for (int comp = 0; comp < 2; ++comp) {
+                        t1[at(gx, gy, gz) * 2 + comp] =
+                            t0[at(gx - 1, gy, gz) * 2 + comp] * 0.25f +
+                            t0[at(gx, gy, gz) * 2 + comp] * 0.5f +
+                            t0[at(gx + 1, gy, gz) * 2 + comp] * 0.25f;
+                    }
+                }
+            }
+        }
+    });
+    timer.pass("blury", R / s + 2, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t gx = 1; gx <= R / s + 2; ++gx) {
+            for (std::int64_t gy = 1; gy <= C / s + 2; ++gy) {
+                for (std::int64_t gz = 1; gz <= 11; ++gz) {
+                    for (int comp = 0; comp < 2; ++comp) {
+                        t2[at(gx, gy, gz) * 2 + comp] =
+                            t1[at(gx, gy - 1, gz) * 2 + comp] * 0.25f +
+                            t1[at(gx, gy, gz) * 2 + comp] * 0.5f +
+                            t1[at(gx, gy + 1, gz) * 2 + comp] * 0.25f;
+                    }
+                }
+            }
+        }
+    });
+
+    timer.pass("slice", R, [&] {
+        float *out = res.output.dataAs<float>();
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 0; x < R; ++x) {
+            for (std::int64_t y = 0; y < C; ++y) {
+                const float v = ip[x * C + y];
+                const std::int64_t gx0 = x / s + 1, gy0 = y / s + 1;
+                const float zv = v * 10.0f;
+                const std::int64_t zi = std::int64_t(zv);
+                const std::int64_t gz0 = zi + 1;
+                const float fx = float(x % s) * (1.0f / s);
+                const float fy = float(y % s) * (1.0f / s);
+                const float fz = zv - float(zi);
+                float interp[2];
+                for (int comp = 0; comp < 2; ++comp) {
+                    auto g = [&](std::int64_t a, std::int64_t b,
+                                 std::int64_t c2) {
+                        return t2[at(a, b, c2) * 2 + comp];
+                    };
+                    auto lerp = [](float a, float b, float t) {
+                        return a + (b - a) * t;
+                    };
+                    const float c00 = lerp(g(gx0, gy0, gz0),
+                                           g(gx0 + 1, gy0, gz0), fx);
+                    const float c10 =
+                        lerp(g(gx0, gy0 + 1, gz0),
+                             g(gx0 + 1, gy0 + 1, gz0), fx);
+                    const float c01 =
+                        lerp(g(gx0, gy0, gz0 + 1),
+                             g(gx0 + 1, gy0, gz0 + 1), fx);
+                    const float c11 =
+                        lerp(g(gx0, gy0 + 1, gz0 + 1),
+                             g(gx0 + 1, gy0 + 1, gz0 + 1), fx);
+                    interp[comp] = lerp(lerp(c00, c10, fy),
+                                        lerp(c01, c11, fy), fz);
+                }
+                out[x * C + y] = interp[0] / interp[1];
+            }
+        }
+    });
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Camera pipeline: denoise pass, then a fused demosaic/correct/curve
+// pass over output rows (the structure of the expert FCam version).
+//-------------------------------------------------------------------------
+CmpResult
+htunedCamera(const Buffer &raw)
+{
+    const std::int64_t rows = raw.dims()[0], cols = raw.dims()[1];
+    const std::int64_t R = rows - 4, C = cols - 4;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::UChar, {3, R - 6, C - 6});
+    PassTimer timer(res.passes);
+
+    const unsigned short *rp = raw.dataAs<const unsigned short>();
+    std::vector<unsigned short> den(rows * cols, 0);
+
+    timer.pass("denoise", R, [&] {
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 2; x <= R + 1; ++x) {
+            for (std::int64_t y = 2; y <= C + 1; ++y) {
+                const unsigned short up = rp[(x - 2) * cols + y];
+                const unsigned short dn = rp[(x + 2) * cols + y];
+                const unsigned short lf = rp[x * cols + y - 2];
+                const unsigned short rt = rp[x * cols + y + 2];
+                const unsigned short lo =
+                    std::min(std::min(up, dn), std::min(lf, rt));
+                const unsigned short hi =
+                    std::max(std::max(up, dn), std::max(lf, rt));
+                den[x * cols + y] =
+                    std::clamp(rp[x * cols + y], lo, hi);
+            }
+        }
+    });
+
+    // Gamma LUT.
+    std::vector<float> curve(1024);
+    timer.pass("curve", 1, [&] {
+        for (int i = 0; i < 1024; ++i) {
+            curve[std::size_t(i)] =
+                255.0f * std::pow(float(i) * (1.0f / 1023.0f),
+                                  1.0f / 2.2f);
+        }
+    });
+
+    const float kInv = 1.0f / 1023.0f;
+    auto gr = [&](std::int64_t x, std::int64_t y) {
+        return float(den[(2 * x + 2) * cols + 2 * y + 2]) *
+               (1.0f * kInv);
+    };
+    auto rpl = [&](std::int64_t x, std::int64_t y) {
+        return float(den[(2 * x + 2) * cols + 2 * y + 3]) *
+               (1.25f * kInv);
+    };
+    auto bpl = [&](std::int64_t x, std::int64_t y) {
+        return float(den[(2 * x + 3) * cols + 2 * y + 2]) *
+               (1.45f * kInv);
+    };
+    auto gb = [&](std::int64_t x, std::int64_t y) {
+        return float(den[(2 * x + 3) * cols + 2 * y + 3]) *
+               (1.0f * kInv);
+    };
+
+    timer.pass("demosaic+correct+curve", R - 6, [&] {
+        unsigned char *out = res.output.dataAs<unsigned char>();
+        const std::int64_t orows = R - 6, ocols = C - 6;
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 0; x < orows; ++x) {
+            for (std::int64_t y = 0; y < ocols; ++y) {
+                const std::int64_t hx = (x + 2) / 2, hy = (y + 2) / 2;
+                const bool ex = (x % 2 == 0), ey = (y % 2 == 0);
+                float rv, gv, bv;
+                if (ex && ey) {
+                    rv = (rpl(hx, hy - 1) + rpl(hx, hy)) * 0.5f;
+                    gv = gr(hx, hy);
+                    bv = (bpl(hx - 1, hy) + bpl(hx, hy)) * 0.5f;
+                } else if (ex && !ey) {
+                    rv = rpl(hx, hy);
+                    gv = (gr(hx, hy) + gr(hx, hy + 1) +
+                          gb(hx - 1, hy) + gb(hx, hy)) *
+                         0.25f;
+                    bv = (bpl(hx - 1, hy) + bpl(hx, hy) +
+                          bpl(hx - 1, hy + 1) + bpl(hx, hy + 1)) *
+                         0.25f;
+                } else if (!ex && ey) {
+                    rv = (rpl(hx, hy - 1) + rpl(hx, hy) +
+                          rpl(hx + 1, hy - 1) + rpl(hx + 1, hy)) *
+                         0.25f;
+                    gv = (gr(hx, hy) + gr(hx + 1, hy) +
+                          gb(hx, hy - 1) + gb(hx, hy)) *
+                         0.25f;
+                    bv = bpl(hx, hy);
+                } else {
+                    rv = (rpl(hx, hy) + rpl(hx + 1, hy)) * 0.5f;
+                    gv = gb(hx, hy);
+                    bv = (bpl(hx, hy) + bpl(hx, hy + 1)) * 0.5f;
+                }
+                const float cr =
+                    rv * 1.62f + gv * -0.44f + bv * -0.18f;
+                const float cg =
+                    rv * -0.21f + gv * 1.49f + bv * -0.28f;
+                const float cb =
+                    rv * -0.09f + gv * -0.35f + bv * 1.44f;
+                auto apply = [&](float v) {
+                    const int idx = std::clamp(int(v * 1023.0f), 0,
+                                               1023);
+                    return (unsigned char)(curve[std::size_t(idx)]);
+                };
+                out[(0 * orows + x) * ocols + y] = apply(cr);
+                out[(1 * orows + x) * ocols + y] = apply(cg);
+                out[(2 * orows + x) * ocols + y] = apply(cb);
+            }
+        }
+    });
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Pyramid blending: per-stage passes (paper: the tuned schedule does
+// not group stages), matching apps/pyramid_blend.cpp semantics.
+//-------------------------------------------------------------------------
+CmpResult
+htunedPyramidBlend(const Buffer &a, const Buffer &b, const Buffer &m,
+                   int levels)
+{
+    const std::int64_t R = a.dims()[0], C = a.dims()[1];
+    const auto sr = levelSizes(R, levels), sc = levelSizes(C, levels);
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {R, C});
+    PassTimer timer(res.passes);
+
+    // Gaussian pyramids (level 0 aliases the inputs).
+    auto build_pyr = [&](const char *tag, const float *base) {
+        std::vector<std::vector<float>> pyr{std::size_t(levels)};
+        for (int l = 1; l < levels; ++l) {
+            const auto szr = std::size_t(l);
+            std::vector<float> tmp(
+                std::size_t(sr[szr] * sc[szr - 1]));
+            pyr[szr].resize(std::size_t(sr[szr] * sc[szr]));
+            const float *src =
+                l == 1 ? base : pyr[szr - 1].data();
+            timer.pass(std::string(tag) + "_down" + std::to_string(l),
+                       sr[szr], [&] {
+                           downRows(tmp.data(), src, sr[szr],
+                                    sc[szr - 1], sc[szr - 1]);
+                           downCols(pyr[szr].data(), tmp.data(),
+                                    sr[szr], sc[szr], sc[szr - 1]);
+                       });
+        }
+        return pyr;
+    };
+    const float *A = a.dataAs<const float>();
+    const float *B = b.dataAs<const float>();
+    const float *M = m.dataAs<const float>();
+    auto GA = build_pyr("a", A);
+    auto GB = build_pyr("b", B);
+    auto GM = build_pyr("m", M);
+
+    auto level_ptr = [&](std::vector<std::vector<float>> &p,
+                         const float *base, int l) {
+        return l == 0 ? base : p[std::size_t(l)].data();
+    };
+
+    // Collapse coarse to fine.
+    std::vector<float> cur(
+        std::size_t(sr[std::size_t(levels - 1)] *
+                    sc[std::size_t(levels - 1)]));
+    timer.pass("blend_base", sr[std::size_t(levels - 1)], [&] {
+        const int l = levels - 1;
+        const float *ga = level_ptr(GA, A, l);
+        const float *gb2 = level_ptr(GB, B, l);
+        const float *gm = level_ptr(GM, M, l);
+        const std::int64_t n = sr[std::size_t(l)] * sc[std::size_t(l)];
+#pragma omp parallel for schedule(static)
+        for (std::int64_t i = 0; i < n; ++i)
+            cur[std::size_t(i)] =
+                ga[i] * gm[i] + gb2[i] * (1.0f - gm[i]);
+    });
+
+    for (int l = levels - 2; l >= 0; --l) {
+        const auto lz = std::size_t(l);
+        const std::int64_t r = sr[lz], c = sc[lz];
+        const std::int64_t r1 = sr[lz + 1], c1 = sc[lz + 1];
+        std::vector<float> upA(std::size_t(r * c)),
+            upB(std::size_t(r * c)), upR(std::size_t(r * c)),
+            tmp(std::size_t(r * c1)), next(std::size_t(r * c));
+        auto upsample = [&](const char *tag, const float *src,
+                            float *dst) {
+            timer.pass(std::string(tag) + std::to_string(l), r, [&] {
+                upRows(tmp.data(), src, r, r1, c1);
+                upCols(dst, tmp.data(), r, c, c1);
+            });
+        };
+        upsample("upA", level_ptr(GA, A, l + 1), upA.data());
+        upsample("upB", level_ptr(GB, B, l + 1), upB.data());
+        upsample("upR", cur.data(), upR.data());
+        timer.pass("combine" + std::to_string(l), r, [&] {
+            const float *ga = level_ptr(GA, A, l);
+            const float *gb2 = level_ptr(GB, B, l);
+            const float *gm = level_ptr(GM, M, l);
+#pragma omp parallel for schedule(static)
+            for (std::int64_t i = 0; i < r * c; ++i) {
+                const float lapA = ga[i] - upA[std::size_t(i)];
+                const float lapB = gb2[i] - upB[std::size_t(i)];
+                next[std::size_t(i)] =
+                    lapA * gm[i] + lapB * (1.0f - gm[i]) +
+                    upR[std::size_t(i)];
+            }
+        });
+        cur = std::move(next);
+    }
+    std::copy(cur.begin(), cur.end(), res.output.dataAs<float>());
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Multiscale interpolation: per-stage passes over the (value, alpha)
+// planes (paper: tuned schedule has no fusion).
+//-------------------------------------------------------------------------
+CmpResult
+htunedInterp(const Buffer &in, int levels)
+{
+    const std::int64_t R = in.dims()[1], C = in.dims()[2];
+    const auto sr = levelSizes(R, levels), sc = levelSizes(C, levels);
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {R, C});
+    PassTimer timer(res.passes);
+
+    const float *base = in.dataAs<const float>();
+    // down[l] has 2 planes at level l (l >= 1).
+    std::vector<std::vector<float>> down{std::size_t(levels)};
+    for (int l = 1; l < levels; ++l) {
+        const auto lz = std::size_t(l);
+        down[lz].resize(std::size_t(2 * sr[lz] * sc[lz]));
+        std::vector<float> tmp(std::size_t(sr[lz] * sc[lz - 1]));
+        timer.pass("down" + std::to_string(l), 2 * sr[lz], [&] {
+            for (int c = 0; c < 2; ++c) {
+                const float *src =
+                    l == 1 ? base + c * R * C
+                           : down[lz - 1].data() +
+                                 c * sr[lz - 1] * sc[lz - 1];
+                downRows(tmp.data(), src, sr[lz], sc[lz - 1],
+                         sc[lz - 1]);
+                downCols(down[lz].data() + c * sr[lz] * sc[lz],
+                         tmp.data(), sr[lz], sc[lz], sc[lz - 1]);
+            }
+        });
+    }
+
+    std::vector<float> cur = down[std::size_t(levels - 1)];
+    for (int l = levels - 2; l >= 0; --l) {
+        const auto lz = std::size_t(l);
+        const std::int64_t r = sr[lz], c = sc[lz];
+        const std::int64_t r1 = sr[lz + 1], c1 = sc[lz + 1];
+        std::vector<float> up(std::size_t(2 * r * c));
+        std::vector<float> tmp(std::size_t(r * c1));
+        timer.pass("up" + std::to_string(l), 2 * r, [&] {
+            for (int ch = 0; ch < 2; ++ch) {
+                upRows(tmp.data(), cur.data() + ch * r1 * c1, r, r1,
+                       c1);
+                upCols(up.data() + ch * r * c, tmp.data(), r, c, c1);
+            }
+        });
+        std::vector<float> next(std::size_t(2 * r * c));
+        timer.pass("interp" + std::to_string(l), r, [&] {
+            const float *lv =
+                l == 0 ? base : down[lz].data();
+            const float *lalpha =
+                l == 0 ? base + R * C : down[lz].data() + r * c;
+#pragma omp parallel for schedule(static)
+            for (std::int64_t i = 0; i < r * c; ++i) {
+                for (int ch = 0; ch < 2; ++ch) {
+                    const float v =
+                        ch == 0 ? lv[i] : lalpha[i];
+                    next[std::size_t(ch * r * c + i)] =
+                        v + (1.0f - lalpha[i]) *
+                                up[std::size_t(ch * r * c + i)];
+                }
+            }
+        });
+        cur = std::move(next);
+    }
+
+    timer.pass("normalise", R, [&] {
+        float *out = res.output.dataAs<float>();
+#pragma omp parallel for schedule(static)
+        for (std::int64_t i = 0; i < R * C; ++i) {
+            out[i] = cur[std::size_t(i)] /
+                     std::max(cur[std::size_t(R * C + i)], 1e-6f);
+        }
+    });
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// Local Laplacian: per-stage passes; k is an explicit plane loop
+// (paper: tuned schedule exploits parallelism/vectorisation only).
+//-------------------------------------------------------------------------
+CmpResult
+htunedLocalLaplacian(const Buffer &in, int levels, int k)
+{
+    const std::int64_t R = in.dims()[0], C = in.dims()[1];
+    const auto sr = levelSizes(R, levels), sc = levelSizes(C, levels);
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {R, C});
+    PassTimer timer(res.passes);
+
+    const float *ip = in.dataAs<const float>();
+    const float alpha = 0.25f, beta = 1.0f;
+
+    // Remapped copies: rem[kk] at level 0.
+    std::vector<float> remap0(std::size_t(k) * std::size_t(R * C));
+    timer.pass("remap", std::int64_t(k) * R, [&] {
+#pragma omp parallel for schedule(static)
+        for (int kk = 0; kk < k; ++kk) {
+            const float lev = float(kk) * (1.0f / float(k - 1));
+            float *dst = remap0.data() +
+                         std::size_t(kk) * std::size_t(R * C);
+            for (std::int64_t i = 0; i < R * C; ++i) {
+                const float v = ip[i] - lev;
+                dst[std::size_t(i)] =
+                    lev + v * beta +
+                    v * alpha * std::exp(-(v * v) * 8.0f);
+            }
+        }
+    });
+
+    // Gaussian pyramids of the remapped planes and of the guide.
+    std::vector<std::vector<float>> rG{std::size_t(levels)};
+    std::vector<std::vector<float>> gG{std::size_t(levels)};
+    for (int l = 1; l < levels; ++l) {
+        const auto lz = std::size_t(l);
+        const std::int64_t r = sr[lz], c = sc[lz];
+        rG[lz].resize(std::size_t(k) * std::size_t(r * c));
+        gG[lz].resize(std::size_t(r * c));
+        std::vector<float> tmp(std::size_t(r * sc[lz - 1]));
+        timer.pass("pyr" + std::to_string(l), std::int64_t(k + 1) * r,
+                   [&] {
+                       for (int kk = 0; kk < k; ++kk) {
+                           const float *src =
+                               l == 1 ? remap0.data() +
+                                            std::size_t(kk) *
+                                                std::size_t(R * C)
+                                      : rG[lz - 1].data() +
+                                            std::size_t(kk) *
+                                                std::size_t(
+                                                    sr[lz - 1] *
+                                                    sc[lz - 1]);
+                           downRows(tmp.data(), src, r, sc[lz - 1],
+                                    sc[lz - 1]);
+                           downCols(rG[lz].data() +
+                                        std::size_t(kk) *
+                                            std::size_t(r * c),
+                                    tmp.data(), r, c, sc[lz - 1]);
+                       }
+                       const float *gsrc =
+                           l == 1 ? ip : gG[lz - 1].data();
+                       downRows(tmp.data(), gsrc, r, sc[lz - 1],
+                                sc[lz - 1]);
+                       downCols(gG[lz].data(), tmp.data(), r, c,
+                                sc[lz - 1]);
+                   });
+    }
+
+    auto guide = [&](int l) {
+        return l == 0 ? ip : gG[std::size_t(l)].data();
+    };
+    auto rem = [&](int l, int kk) {
+        return (l == 0 ? remap0.data() +
+                             std::size_t(kk) * std::size_t(R * C)
+                       : rG[std::size_t(l)].data() +
+                             std::size_t(kk) *
+                                 std::size_t(sr[std::size_t(l)] *
+                                             sc[std::size_t(l)]));
+    };
+
+    // outLap levels.
+    std::vector<std::vector<float>> outLap{std::size_t(levels)};
+    for (int l = 0; l < levels; ++l) {
+        const auto lz = std::size_t(l);
+        const std::int64_t r = sr[lz], c = sc[lz];
+        outLap[lz].resize(std::size_t(r * c));
+        std::vector<float> up(std::size_t(k) * std::size_t(r * c));
+        if (l < levels - 1) {
+            std::vector<float> tmp(std::size_t(r * sc[lz + 1]));
+            timer.pass("lapup" + std::to_string(l),
+                       std::int64_t(k) * r, [&] {
+                           for (int kk = 0; kk < k; ++kk) {
+                               upRows(tmp.data(), rem(l + 1, kk), r,
+                                      sr[lz + 1], sc[lz + 1]);
+                               upCols(up.data() + std::size_t(kk) *
+                                                      std::size_t(r *
+                                                                  c),
+                                      tmp.data(), r, c, sc[lz + 1]);
+                           }
+                       });
+        }
+        timer.pass("outlap" + std::to_string(l), r, [&] {
+            const float *g = guide(l);
+            float *dst = outLap[lz].data();
+#pragma omp parallel for schedule(static)
+            for (std::int64_t i = 0; i < r * c; ++i) {
+                const float gv =
+                    std::max(0.0f, std::min(1.0f, g[i]));
+                const float kf = gv * float(k - 1);
+                const int ki = std::max(
+                    0, std::min(k - 2, int(kf)));
+                const float t = kf - float(ki);
+                auto sample = [&](int kk) {
+                    const float rv =
+                        rem(l, kk)[std::size_t(i)];
+                    if (l == levels - 1)
+                        return rv;
+                    return rv - up[std::size_t(kk) *
+                                       std::size_t(r * c) +
+                                   std::size_t(i)];
+                };
+                dst[std::size_t(i)] = sample(ki) * (1.0f - t) +
+                                      sample(ki + 1) * t;
+            }
+        });
+    }
+
+    // Collapse.
+    std::vector<float> cur = outLap[std::size_t(levels - 1)];
+    for (int l = levels - 2; l >= 0; --l) {
+        const auto lz = std::size_t(l);
+        const std::int64_t r = sr[lz], c = sc[lz];
+        std::vector<float> up(std::size_t(r * c));
+        std::vector<float> tmp(std::size_t(r * sc[lz + 1]));
+        timer.pass("collapse" + std::to_string(l), r, [&] {
+            upRows(tmp.data(), cur.data(), r, sr[lz + 1], sc[lz + 1]);
+            upCols(up.data(), tmp.data(), r, c, sc[lz + 1]);
+            std::vector<float> next(std::size_t(r * c));
+#pragma omp parallel for schedule(static)
+            for (std::int64_t i = 0; i < r * c; ++i) {
+                next[std::size_t(i)] = outLap[lz][std::size_t(i)] +
+                                       up[std::size_t(i)];
+            }
+            cur = std::move(next);
+        });
+    }
+    std::copy(cur.begin(), cur.end(), res.output.dataAs<float>());
+    return res;
+}
+
+//-------------------------------------------------------------------------
+// OpenCV-library-style versions: one full-buffer routine per step.
+//-------------------------------------------------------------------------
+CmpResult
+libstyleUnsharp(const Buffer &in_rgb)
+{
+    const std::int64_t rows = in_rgb.dims()[1];
+    const std::int64_t cols = in_rgb.dims()[2];
+    const std::int64_t R = rows - 4, C = cols - 4;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {3, rows, cols});
+    PassTimer timer(res.passes);
+
+    const float *in = in_rgb.dataAs<const float>();
+    float *out = res.output.dataAs<float>();
+    std::vector<float> blury(std::size_t(rows * cols));
+    std::vector<float> blurx(std::size_t(rows * cols));
+
+    for (int c = 0; c < 3; ++c) {
+        const float *ip = in + c * rows * cols;
+        float *op = out + c * rows * cols;
+        timer.pass("GaussianBlurY", R, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t x = 2; x <= R + 1; ++x) {
+                for (std::int64_t y = 0; y < cols; ++y) {
+                    blury[std::size_t(x * cols + y)] =
+                        ip[(x - 2) * cols + y] * (1.f / 16) +
+                        ip[(x - 1) * cols + y] * (4.f / 16) +
+                        ip[x * cols + y] * (6.f / 16) +
+                        ip[(x + 1) * cols + y] * (4.f / 16) +
+                        ip[(x + 2) * cols + y] * (1.f / 16);
+                }
+            }
+        });
+        timer.pass("GaussianBlurX", R, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t x = 2; x <= R + 1; ++x) {
+                for (std::int64_t y = 2; y <= C + 1; ++y) {
+                    blurx[std::size_t(x * cols + y)] =
+                        blury[std::size_t(x * cols + y - 2)] *
+                            (1.f / 16) +
+                        blury[std::size_t(x * cols + y - 1)] *
+                            (4.f / 16) +
+                        blury[std::size_t(x * cols + y)] * (6.f / 16) +
+                        blury[std::size_t(x * cols + y + 1)] *
+                            (4.f / 16) +
+                        blury[std::size_t(x * cols + y + 2)] *
+                            (1.f / 16);
+                }
+            }
+        });
+        timer.pass("addWeightedSelect", R, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t x = 2; x <= R + 1; ++x) {
+                for (std::int64_t y = 2; y <= C + 1; ++y) {
+                    const float s = ip[x * cols + y];
+                    const float bl = blurx[std::size_t(x * cols + y)];
+                    const float sharpen = s * 4.0f - bl * 3.0f;
+                    op[x * cols + y] =
+                        std::fabs(s - bl) < 0.01f ? s : sharpen;
+                }
+            }
+        });
+    }
+    return res;
+}
+
+CmpResult
+libstyleHarris(const Buffer &in)
+{
+    const std::int64_t rows = in.dims()[0], cols = in.dims()[1];
+    const std::int64_t R = rows - 2, C = cols - 2;
+    CmpResult res;
+    res.output = Buffer(dsl::DType::Float, {rows, cols});
+    PassTimer timer(res.passes);
+
+    const float *ip = in.dataAs<const float>();
+    const std::size_t n = std::size_t(rows * cols);
+    std::vector<float> Ix(n), Iy(n), Ixx(n), Iyy(n), Ixy(n), Sxx(n),
+        Syy(n), Sxy(n);
+
+    auto sobel = [&](const char *name, float *dst, bool horiz) {
+        timer.pass(name, R, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t x = 1; x <= R; ++x) {
+                for (std::int64_t y = 1; y <= C; ++y) {
+                    const float *s0 = ip + (x - 1) * cols;
+                    const float *s1 = ip + x * cols;
+                    const float *s2 = ip + (x + 1) * cols;
+                    dst[std::size_t(x * cols + y)] =
+                        horiz ? (-s0[y - 1] + s0[y + 1] -
+                                 2 * s1[y - 1] + 2 * s1[y + 1] -
+                                 s2[y - 1] + s2[y + 1]) *
+                                    (1.0f / 12)
+                              : (-s0[y - 1] - 2 * s0[y] - s0[y + 1] +
+                                 s2[y - 1] + 2 * s2[y] + s2[y + 1]) *
+                                    (1.0f / 12);
+                }
+            }
+        });
+    };
+    sobel("SobelX", Ix.data(), true);
+    sobel("SobelY", Iy.data(), false);
+
+    auto mul = [&](const char *name, float *dst, const float *a,
+                   const float *b) {
+        timer.pass(name, R, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t i = 0; i < rows * cols; ++i)
+                dst[std::size_t(i)] = a[std::size_t(i)] *
+                                      b[std::size_t(i)];
+        });
+    };
+    mul("mulXX", Ixx.data(), Ix.data(), Ix.data());
+    mul("mulYY", Iyy.data(), Iy.data(), Iy.data());
+    mul("mulXY", Ixy.data(), Ix.data(), Iy.data());
+
+    auto box = [&](const char *name, float *dst, const float *src) {
+        timer.pass(name, R - 2, [&] {
+#pragma omp parallel for schedule(static)
+            for (std::int64_t x = 2; x <= R - 1; ++x) {
+                for (std::int64_t y = 2; y <= C - 1; ++y) {
+                    float s = 0;
+                    for (int dx = -1; dx <= 1; ++dx)
+                        for (int dy = -1; dy <= 1; ++dy)
+                            s += src[std::size_t((x + dx) * cols + y +
+                                                 dy)];
+                    dst[std::size_t(x * cols + y)] = s;
+                }
+            }
+        });
+    };
+    box("boxXX", Sxx.data(), Ixx.data());
+    box("boxYY", Syy.data(), Iyy.data());
+    box("boxXY", Sxy.data(), Ixy.data());
+
+    timer.pass("response", R - 2, [&] {
+        float *out = res.output.dataAs<float>();
+#pragma omp parallel for schedule(static)
+        for (std::int64_t x = 2; x <= R - 1; ++x) {
+            for (std::int64_t y = 2; y <= C - 1; ++y) {
+                const std::size_t i = std::size_t(x * cols + y);
+                const float det =
+                    Sxx[i] * Syy[i] - Sxy[i] * Sxy[i];
+                const float trace = Sxx[i] + Syy[i];
+                out[x * cols + y] = det - 0.04f * trace * trace;
+            }
+        }
+    });
+    return res;
+}
+
+CmpResult
+libstylePyramidBlend(const Buffer &a, const Buffer &b, const Buffer &m,
+                     int levels)
+{
+    // Library style: the same per-stage structure as the tuned version
+    // (pyrDown/pyrUp routines), with the arithmetic as separate passes.
+    return htunedPyramidBlend(a, b, m, levels);
+}
+
+} // namespace PM_CMP_NS
+} // namespace polymage::cmp

@@ -1,0 +1,423 @@
+#include "core/group_schedule.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "poly/access.hpp"
+#include "support/intmath.hpp"
+#include "support/rational.hpp"
+
+namespace polymage::core {
+
+using poly::AccessDim;
+
+namespace {
+
+/** Working state while solving alignment and scaling. */
+struct Solver
+{
+    const pg::PipelineGraph &g;
+    std::vector<int> stages;             // topo order (ascending index)
+    std::set<int> memberSet;
+    std::map<int, std::vector<int>> gdim;        // stage -> group dims
+    std::map<int, std::vector<Rational>> rscale; // stage -> scales
+    int numGroupDims = 0;
+    std::vector<int> dimOrder;           // group dim ids, nesting order
+    std::set<int> constAccessedDims;     // group dims hit by const access
+
+    explicit Solver(const pg::PipelineGraph &graph) : g(graph) {}
+
+    std::set<int>
+    varIds(const pg::Stage &s) const
+    {
+        std::set<int> ids;
+        for (const auto &v : s.loopVars())
+            ids.insert(v.id());
+        return ids;
+    }
+
+    int
+    dimOfVar(const pg::Stage &s, int var_id) const
+    {
+        const auto &vars = s.loopVars();
+        for (std::size_t d = 0; d < vars.size(); ++d) {
+            if (vars[d].id() == var_id)
+                return int(d);
+        }
+        return -1;
+    }
+
+    /** Constrain producer dim (stage, d) to (group dim, scale). */
+    bool
+    constrain(int stage, int d, int group_dim, Rational scale)
+    {
+        auto &dims = gdim[stage];
+        auto &scales = rscale[stage];
+        if (dims[d] == -1) {
+            dims[d] = group_dim;
+            scales[d] = scale;
+            return true;
+        }
+        return dims[d] == group_dim && scales[d] == scale;
+    }
+
+    bool solve();
+    bool mapProducer(int p);
+    bool checkShape(int stage);
+};
+
+bool
+Solver::mapProducer(int p)
+{
+    const pg::Stage &prod = g.stage(p);
+    gdim[p].assign(prod.loopVars().size(), -1);
+    rscale[p].assign(prod.loopVars().size(), Rational(1));
+
+    for (int c : prod.consumers) {
+        if (!memberSet.count(c))
+            continue;
+        const pg::Stage &cons = g.stage(c);
+        const std::set<int> cvars = varIds(cons);
+        auto acc_it = cons.accesses.find(p);
+        PM_ASSERT(acc_it != cons.accesses.end(), "missing access list");
+        for (const auto &args : acc_it->second) {
+            for (std::size_t d = 0; d < args.size(); ++d) {
+                const AccessDim a = poly::classifyAccessDim(args[d],
+                                                            cvars);
+                switch (a.kind) {
+                  case AccessDim::Kind::NonAffine:
+                  case AccessDim::Kind::Constant:
+                    // No scale constraint.  Constant and data-dependent
+                    // indices make the dimension untileable: within a
+                    // tile the producer must provide its full extent
+                    // along it (e.g. the intensity axis a bilateral
+                    // slice samples data-dependently).  Resolved after
+                    // the loop when still unassigned.
+                    if (gdim[p][d] != -1)
+                        constAccessedDims.insert(gdim[p][d]);
+                    break;
+                  case AccessDim::Kind::Affine: {
+                    if (!a.paramFree || a.coeff <= 0)
+                        return false;
+                    const int dc = dimOfVar(cons, a.varId);
+                    PM_ASSERT(dc >= 0, "consumer variable not found");
+                    const int gd = gdim[c][dc];
+                    const Rational s =
+                        rscale[c][dc] / Rational(a.coeff);
+                    if (!constrain(p, int(d), gd, s))
+                        return false;
+                    break;
+                  }
+                  case AccessDim::Kind::Div: {
+                    if (!a.paramFree || a.coeff != 1)
+                        return false;
+                    const int dc = dimOfVar(cons, a.varId);
+                    PM_ASSERT(dc >= 0, "consumer variable not found");
+                    const int gd = gdim[c][dc];
+                    const Rational s =
+                        rscale[c][dc] * Rational(a.div);
+                    if (!constrain(p, int(d), gd, s))
+                        return false;
+                    break;
+                  }
+                }
+            }
+        }
+    }
+
+    // Dimensions constrained only by constant accesses (or not accessed
+    // at all) get a fresh group dimension, inserted into the nesting
+    // order between the stage's neighbouring assigned dimensions (the
+    // paper's alignment padding, e.g. gray (x,y) -> (1, 0, x, y)).
+    for (std::size_t d = 0; d < gdim[p].size(); ++d) {
+        if (gdim[p][d] != -1)
+            continue;
+        const int fresh = numGroupDims++;
+        // Position: directly before the next assigned dimension of this
+        // stage, or after the previous one, or at the end.
+        auto pos_of = [&](int gd) {
+            return std::find(dimOrder.begin(), dimOrder.end(), gd);
+        };
+        auto insert_at = dimOrder.end();
+        for (std::size_t d2 = d + 1; d2 < gdim[p].size(); ++d2) {
+            if (gdim[p][d2] != -1) {
+                insert_at = pos_of(gdim[p][d2]);
+                break;
+            }
+        }
+        if (insert_at == dimOrder.end()) {
+            for (std::size_t d2 = d; d2-- > 0;) {
+                if (gdim[p][d2] != -1) {
+                    insert_at = pos_of(gdim[p][d2]) + 1;
+                    break;
+                }
+            }
+        }
+        dimOrder.insert(insert_at, fresh);
+        gdim[p][d] = fresh;
+        rscale[p][d] = Rational(1);
+        constAccessedDims.insert(fresh);
+    }
+    return checkShape(p);
+}
+
+/** Injective, order-preserving group-dimension assignment per stage. */
+bool
+Solver::checkShape(int stage)
+{
+    const auto &dims = gdim[stage];
+    auto pos = [&](int gd) {
+        return std::find(dimOrder.begin(), dimOrder.end(), gd) -
+               dimOrder.begin();
+    };
+    for (std::size_t i = 0; i + 1 < dims.size(); ++i) {
+        // Strictly increasing nesting positions imply injectivity and
+        // preserve the stage's declared loop order in group space.
+        if (pos(dims[i]) >= pos(dims[i + 1]))
+            return false;
+    }
+    return true;
+}
+
+bool
+Solver::solve()
+{
+    // Identify the unique sink (no consumers inside the set).
+    int sink = -1;
+    for (int s : stages) {
+        bool has_inner_consumer = false;
+        for (int c : g.stage(s).consumers)
+            has_inner_consumer |= memberSet.count(c) > 0;
+        if (!has_inner_consumer) {
+            if (sink != -1)
+                return false; // multiple sinks
+            sink = s;
+        }
+    }
+    if (sink == -1)
+        return false;
+    // Every non-sink member must reach the sink through the set; the
+    // single-child merge discipline guarantees an inner consumer.
+    for (int s : stages) {
+        if (s == sink)
+            continue;
+        bool inner = false;
+        for (int c : g.stage(s).consumers)
+            inner |= memberSet.count(c) > 0;
+        if (!inner)
+            return false;
+    }
+
+    const pg::Stage &snk = g.stage(sink);
+    numGroupDims = int(snk.loopVars().size());
+    gdim[sink].resize(numGroupDims);
+    rscale[sink].assign(numGroupDims, Rational(1));
+    for (int d = 0; d < numGroupDims; ++d) {
+        gdim[sink][d] = d;
+        dimOrder.push_back(d);
+    }
+
+    // Reverse topological order: consumers before producers.
+    for (auto it = stages.rbegin(); it != stages.rend(); ++it) {
+        if (*it == sink)
+            continue;
+        if (!mapProducer(*it))
+            return false;
+    }
+    return true;
+}
+
+/** Distance range of one access along one group dimension. */
+struct DistRange
+{
+    int groupDim;
+    std::int64_t lo, hi;
+};
+
+} // namespace
+
+std::vector<int>
+GroupSchedule::tileableDims() const
+{
+    std::vector<int> out;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        if (dims[d].tileable)
+            out.push_back(int(d));
+    }
+    return out;
+}
+
+std::optional<GroupSchedule>
+buildGroupSchedule(const pg::PipelineGraph &g,
+                   const std::vector<int> &stages)
+{
+    if (stages.empty())
+        return std::nullopt;
+
+    Solver solver(g);
+    solver.stages = stages;
+    std::sort(solver.stages.begin(), solver.stages.end());
+    solver.memberSet.insert(solver.stages.begin(), solver.stages.end());
+
+    // Accumulators and self-recurrent stages cannot take part in
+    // overlapped tiling (paper: reductions are not fused).
+    if (solver.stages.size() > 1) {
+        for (int s : solver.stages) {
+            if (g.stage(s).isAccumulator() || g.stage(s).selfRecurrent)
+                return std::nullopt;
+        }
+    }
+
+    if (!solver.solve())
+        return std::nullopt;
+
+    // Renumber group dimensions so ids follow the nesting order.
+    {
+        std::map<int, int> remap;
+        for (std::size_t pos = 0; pos < solver.dimOrder.size(); ++pos)
+            remap[solver.dimOrder[pos]] = int(pos);
+        for (auto &[s, dims] : solver.gdim) {
+            (void)s;
+            for (auto &gd : dims)
+                gd = remap.at(gd);
+        }
+        std::set<int> remapped;
+        for (int gd : solver.constAccessedDims)
+            remapped.insert(remap.at(gd));
+        solver.constAccessedDims = std::move(remapped);
+    }
+
+    GroupSchedule sched;
+    sched.stages = solver.stages;
+    sched.numGroupDims = solver.numGroupDims;
+
+    // Normalise scales to integers: multiply by the lcm of denominators.
+    std::int64_t denom_lcm = 1;
+    for (const auto &[s, scales] : solver.rscale) {
+        for (const auto &r : scales)
+            denom_lcm = lcm64(denom_lcm, r.den());
+    }
+    for (int s : sched.stages) {
+        StageMapping m;
+        m.groupDim = solver.gdim[s];
+        for (const auto &r : solver.rscale[s]) {
+            const Rational scaled = r * Rational(denom_lcm);
+            PM_ASSERT(scaled.isInteger(), "scale normalisation failed");
+            m.scale.push_back(scaled.asInteger());
+        }
+        sched.mapping[s] = std::move(m);
+    }
+
+    // Local levels by longest path within the group.
+    for (int s : sched.stages) {
+        int lvl = 0;
+        for (int p : g.stage(s).producers) {
+            auto it = sched.localLevel.find(p);
+            if (it != sched.localLevel.end())
+                lvl = std::max(lvl, it->second + 1);
+        }
+        sched.localLevel[s] = lvl;
+        sched.numLevels = std::max(sched.numLevels, lvl + 1);
+    }
+
+    // Dependence widths per dimension and level transition.
+    sched.dims.assign(sched.numGroupDims, GroupDimInfo{});
+    const int transitions = std::max(0, sched.numLevels - 1);
+    std::vector<bool> bad(sched.numGroupDims, false);
+    for (int gd : solver.constAccessedDims)
+        bad[gd] = true;
+    for (auto &info : sched.dims) {
+        info.wl.assign(transitions, 0);
+        info.wr.assign(transitions, 0);
+    }
+
+    for (int c : sched.stages) {
+        const pg::Stage &cons = g.stage(c);
+        const std::set<int> cvars = solver.varIds(cons);
+        for (const auto &[p, accesses] : cons.accesses) {
+            if (!solver.memberSet.count(p))
+                continue;
+            const int lp = sched.localLevel.at(p);
+            const int lc = sched.localLevel.at(c);
+            PM_ASSERT(lc > lp, "consumer at or below producer level");
+            const int gap = lc - lp;
+            for (const auto &args : accesses) {
+                for (std::size_t d = 0; d < args.size(); ++d) {
+                    const int gd = sched.mapping.at(p).groupDim[d];
+                    const std::int64_t sp = sched.mapping.at(p).scale[d];
+                    const AccessDim a =
+                        poly::classifyAccessDim(args[d], cvars);
+                    std::int64_t lo = 0, hi = 0;
+                    switch (a.kind) {
+                      case AccessDim::Kind::Affine:
+                        // dist = -s_p * offset, exactly.
+                        lo = hi = -sp * a.offset;
+                        break;
+                      case AccessDim::Kind::Div: {
+                        // dist in [-s_c*offset, -s_c*offset+s_c*(s-1)]
+                        // with s_c = s_p / div.
+                        const std::int64_t sc = sp / a.div;
+                        lo = -sc * a.offset;
+                        hi = lo + sc * (a.div - 1);
+                        break;
+                      }
+                      case AccessDim::Kind::Constant:
+                      case AccessDim::Kind::NonAffine:
+                        bad[gd] = true;
+                        continue;
+                    }
+                    auto &info = sched.dims[gd];
+                    for (int t = lp; t < lc; ++t) {
+                        if (hi > 0) {
+                            info.wl[t] = std::max(info.wl[t],
+                                                  ceilDiv(hi, gap));
+                        }
+                        if (lo < 0) {
+                            info.wr[t] = std::max(info.wr[t],
+                                                  ceilDiv(-lo, gap));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Tileability: mapped by every stage and never constant-accessed.
+    std::vector<int> mappers(sched.numGroupDims, 0);
+    for (int s : sched.stages) {
+        for (int gd : sched.mapping.at(s).groupDim)
+            ++mappers[gd];
+    }
+    for (int gd = 0; gd < sched.numGroupDims; ++gd) {
+        auto &info = sched.dims[gd];
+        info.tileable =
+            !bad[gd] && mappers[gd] == int(sched.stages.size());
+        // Cumulative extensions (from the top level downwards).
+        info.extLeft.assign(sched.numLevels, 0);
+        info.extRight.assign(sched.numLevels, 0);
+        for (int k = sched.numLevels - 2; k >= 0; --k) {
+            info.extLeft[k] = info.extLeft[k + 1] + info.wl[k];
+            info.extRight[k] = info.extRight[k + 1] + info.wr[k];
+        }
+    }
+
+    return sched;
+}
+
+std::string
+GroupSchedule::toString(const pg::PipelineGraph &g) const
+{
+    std::ostringstream os;
+    os << "group {";
+    for (int s : stages)
+        os << " " << g.stage(s).name() << "@L" << localLevel.at(s);
+    os << " } dims=" << numGroupDims << " levels=" << numLevels;
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        os << " [d" << d << (dims[d].tileable ? " tileable" : "")
+           << " overlap=" << dims[d].overlap() << "]";
+    }
+    return os.str();
+}
+
+} // namespace polymage::core

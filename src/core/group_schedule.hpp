@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Alignment and scaling of a group of stages (paper §3.3) and the
+ * per-dimension dependence summaries that drive overlapped-tile
+ * construction (paper §3.4).
+ *
+ * Every stage in a group is mapped into a common "group space": stage
+ * dimension d of stage S occupies group dimension groupDim[d] at
+ * position scale[d] * x_d.  Scales are solved so that all in-group
+ * dependences become constant (or constant-bounded for floor-division
+ * accesses) vectors; when no consistent solution exists the group is
+ * not schedulable and must not be merged (paper: f(x,y)=g(y,x) or
+ * f(x)=g(x/2)+g(x/4)).
+ */
+#ifndef POLYMAGE_CORE_GROUP_SCHEDULE_HPP
+#define POLYMAGE_CORE_GROUP_SCHEDULE_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+
+namespace polymage::core {
+
+/** Placement of one stage in the group space. */
+struct StageMapping
+{
+    /** Group dimension index per stage dimension. */
+    std::vector<int> groupDim;
+    /** Integer scale per stage dimension (>= 1 after normalisation). */
+    std::vector<std::int64_t> scale;
+};
+
+/** Per-group-dimension dependence summary. */
+struct GroupDimInfo
+{
+    /**
+     * True when every stage maps a variable onto this dimension and all
+     * dependence components along it are constant-bounded -- the
+     * precondition for overlapped tiling along the dimension.
+     */
+    bool tileable = false;
+
+    /**
+     * Maximum dependence widths per level transition t (from local
+     * level t to t+1): wl = backward (toward lower coordinates) reach,
+     * wr = forward reach, both >= 0, in group coordinates.
+     */
+    std::vector<std::int64_t> wl, wr;
+
+    /** Cumulative left extension needed at local level k (paper Fig 6). */
+    std::vector<std::int64_t> extLeft;
+    /** Cumulative right extension needed at local level k. */
+    std::vector<std::int64_t> extRight;
+
+    /** Total overlap along this dim: extLeft[0] + extRight[0]. */
+    std::int64_t overlap() const
+    {
+        return extLeft.empty() ? 0 : extLeft[0] + extRight[0];
+    }
+};
+
+/** A scheduled group: stages, placements, and dependence geometry. */
+struct GroupSchedule
+{
+    /** Member stage indices in topological order. */
+    std::vector<int> stages;
+    /** Local level per stage index (0 = deepest producers). */
+    std::map<int, int> localLevel;
+    /** Number of local levels (tile height + 1, paper §3.4). */
+    int numLevels = 0;
+    /** Number of group dimensions. */
+    int numGroupDims = 0;
+    /** Placement per stage index. */
+    std::map<int, StageMapping> mapping;
+    /** Dependence summary per group dimension. */
+    std::vector<GroupDimInfo> dims;
+
+    /** Group dimensions eligible for tiling, in order. */
+    std::vector<int> tileableDims() const;
+
+    std::string toString(const pg::PipelineGraph &g) const;
+};
+
+/**
+ * Align and scale the given stages (paper §3.3) and summarise their
+ * dependences per dimension (paper §3.4).
+ *
+ * @param g the pipeline graph
+ * @param stages member stage indices; every non-sink member must have
+ *               at least one consumer inside the set
+ * @return the schedule, or nullopt when no consistent alignment and
+ *         scaling exists
+ */
+std::optional<GroupSchedule>
+buildGroupSchedule(const pg::PipelineGraph &g,
+                   const std::vector<int> &stages);
+
+} // namespace polymage::core
+
+#endif // POLYMAGE_CORE_GROUP_SCHEDULE_HPP

@@ -1,0 +1,89 @@
+#include "core/storage.hpp"
+
+#include <algorithm>
+
+#include "poly/range.hpp"
+#include "support/intmath.hpp"
+
+namespace polymage::core {
+
+StoragePlan
+planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
+            const GroupingOptions &opts, bool tiling_enabled)
+{
+    StoragePlan plan;
+    for (std::size_t gi = 0; gi < grouping.groups.size(); ++gi) {
+        const GroupSchedule &grp = grouping.groups[gi];
+        const auto tiled_dims = tiledDimsFor(grp, g, opts);
+        const bool group_tiled = tiling_enabled &&
+                                 grp.stages.size() > 1 &&
+                                 !tiled_dims.empty();
+        std::int64_t group_bytes = 0;
+
+        for (int s : grp.stages) {
+            const pg::Stage &stage = g.stage(s);
+            StageStorage st;
+            st.kind = StorageKind::FullBuffer;
+
+            bool eligible = group_tiled && stage.isFunction() &&
+                            !stage.liveOut && !stage.selfRecurrent;
+            for (int c : stage.consumers) {
+                eligible &= std::find(grp.stages.begin(),
+                                      grp.stages.end(),
+                                      c) != grp.stages.end();
+            }
+
+            if (eligible) {
+                // Extent per stage dimension.
+                const StageMapping &m = grp.mapping.at(s);
+                const int level = grp.localLevel.at(s);
+                std::vector<std::int64_t> extents;
+                for (std::size_t d = 0;
+                     d < stage.loopVars().size() && eligible; ++d) {
+                    const int gd = m.groupDim[d];
+                    auto pos = std::find(tiled_dims.begin(),
+                                         tiled_dims.end(), gd);
+                    if (pos != tiled_dims.end()) {
+                        const int ti = int(pos - tiled_dims.begin());
+                        const std::int64_t tau = tileSizeFor(opts, ti);
+                        const auto &info = grp.dims[gd];
+                        // Region width at this stage's level, in stage
+                        // coordinates, plus slack for origin rounding.
+                        const std::int64_t span =
+                            tau - 1 + info.extLeft[level] +
+                            info.extRight[level];
+                        extents.push_back(
+                            floorDiv(span, m.scale[d]) + 2);
+                    } else {
+                        // Untiled dimension: needs a parameter-free
+                        // constant extent to stay on a scratchpad.
+                        poly::RangeEnv empty;
+                        auto lo = poly::evalConstant(
+                            stage.loopDom()[d].lower(), empty);
+                        auto hi = poly::evalConstant(
+                            stage.loopDom()[d].upper(), empty);
+                        if (!lo || !hi || *lo < 0 || *hi < *lo) {
+                            eligible = false;
+                        } else {
+                            extents.push_back(*hi + 1);
+                        }
+                    }
+                }
+                if (eligible) {
+                    st.kind = StorageKind::Scratchpad;
+                    st.scratchExtent = std::move(extents);
+                    st.scratchBytes = std::int64_t(
+                        dsl::dtypeSize(stage.callable->dtype()));
+                    for (auto e : st.scratchExtent)
+                        st.scratchBytes *= e;
+                    group_bytes += st.scratchBytes;
+                }
+            }
+            plan.stages[s] = std::move(st);
+        }
+        plan.groupScratchBytes[int(gi)] = group_bytes;
+    }
+    return plan;
+}
+
+} // namespace polymage::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Storage mapping (paper §3.6): live-outs and inter-group values get
+ * full arrays; values private to a tiled group get small per-tile
+ * scratchpads sized by the tile extent plus overlap, reused by every
+ * tile a thread executes.
+ */
+#ifndef POLYMAGE_CORE_STORAGE_HPP
+#define POLYMAGE_CORE_STORAGE_HPP
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/grouping.hpp"
+
+namespace polymage::core {
+
+/** Where a stage's values live. */
+enum class StorageKind {
+    FullBuffer, ///< array covering [0, upper] per dimension
+    Scratchpad, ///< per-tile array, relative indexing
+};
+
+/** Storage decision for one stage. */
+struct StageStorage
+{
+    StorageKind kind = StorageKind::FullBuffer;
+    /**
+     * Scratchpad extent per stage dimension (compile-time constants);
+     * empty for full buffers.
+     */
+    std::vector<std::int64_t> scratchExtent;
+    /** Total scratchpad bytes (0 for full buffers). */
+    std::int64_t scratchBytes = 0;
+};
+
+/** Storage plan for the whole pipeline. */
+struct StoragePlan
+{
+    std::map<int, StageStorage> stages; // stage idx -> storage
+    /**
+     * Per group index: total scratchpad bytes; codegen places them on
+     * the stack when under the configured limit, else on the heap.
+     */
+    std::map<int, std::int64_t> groupScratchBytes;
+
+    bool
+    isScratch(int stage_idx) const
+    {
+        auto it = stages.find(stage_idx);
+        return it != stages.end() &&
+               it->second.kind == StorageKind::Scratchpad;
+    }
+};
+
+/**
+ * Decide storage for every stage.
+ *
+ * A stage becomes a scratchpad when it is a non-live-out function whose
+ * consumers all sit in its own (tiled, multi-stage) group and every one
+ * of its dimensions is either tiled (extent tau + overlap, scaled) or
+ * has a parameter-free constant extent.
+ *
+ * @param tiling_enabled matches the code generator's tiling switch;
+ *        when false everything is a full buffer
+ */
+StoragePlan planStorage(const pg::PipelineGraph &g,
+                        const GroupingResult &grouping,
+                        const GroupingOptions &opts,
+                        bool tiling_enabled = true);
+
+} // namespace polymage::core
+
+#endif // POLYMAGE_CORE_STORAGE_HPP

@@ -1,0 +1,91 @@
+#include "driver/compiler.hpp"
+
+#include <sstream>
+
+namespace polymage {
+
+CompileOptions
+CompileOptions::optimized()
+{
+    return CompileOptions{};
+}
+
+CompileOptions
+CompileOptions::optNoVec()
+{
+    CompileOptions o;
+    o.codegen.vectorize = false;
+    return o;
+}
+
+CompileOptions
+CompileOptions::baseline(bool vectorize)
+{
+    CompileOptions o;
+    o.grouping.enable = false;
+    o.codegen.tile = false;
+    o.codegen.vectorize = vectorize;
+    return o;
+}
+
+std::string
+CompiledPipeline::report() const
+{
+    std::ostringstream os;
+    os << graph.toString();
+    if (!inlined.empty()) {
+        os << "inlined:";
+        for (const auto &n : inlined)
+            os << " " << n;
+        os << "\n";
+    }
+    os << grouping.toString(graph);
+    os << "storage:\n";
+    for (const auto &[s, st] : storage.stages) {
+        os << "  " << graph.stage(s).name() << ": "
+           << (st.kind == core::StorageKind::Scratchpad ? "scratchpad"
+                                                        : "full");
+        if (st.kind == core::StorageKind::Scratchpad) {
+            os << " [";
+            for (std::size_t d = 0; d < st.scratchExtent.size(); ++d)
+                os << (d ? " x " : "") << st.scratchExtent[d];
+            os << "]";
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+CompiledPipeline
+compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
+{
+    // Validate the raw specification first: bounds errors should be
+    // reported against the user's own stages, before inlining rewrites
+    // them.
+    {
+        pg::PipelineGraph raw = pg::PipelineGraph::build(spec);
+        pg::checkBounds(raw);
+    }
+
+    auto inlined = pg::inlinePointwise(spec, opts.inlining);
+
+    CompiledPipeline out{std::move(inlined.spec),
+                         std::move(inlined.inlined),
+                         pg::PipelineGraph(),
+                         {},
+                         {},
+                         {},
+                         {}};
+    out.graph = pg::PipelineGraph::build(out.spec);
+    out.bounds = pg::checkBounds(out.graph);
+    out.grouping = core::groupStages(out.graph, opts.grouping);
+    out.storage = core::planStorage(out.graph, out.grouping,
+                                    opts.grouping,
+                                    opts.codegen.tile &&
+                                        opts.codegen.storageOpt);
+    out.code = cg::generate(out.graph, out.grouping, opts.grouping,
+                            out.storage, opts.codegen);
+    return out;
+}
+
+} // namespace polymage

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Top-level compiler driver: runs the full phase sequence of paper
+ * Fig. 4 (graph construction, static bounds check, inlining, grouping
+ * with alignment/scaling, storage mapping, code generation) and
+ * returns everything a client needs to inspect or execute the result.
+ */
+#ifndef POLYMAGE_DRIVER_COMPILER_HPP
+#define POLYMAGE_DRIVER_COMPILER_HPP
+
+#include "codegen/generate.hpp"
+#include "core/grouping.hpp"
+#include "core/storage.hpp"
+#include "pipeline/bounds_check.hpp"
+#include "pipeline/inline.hpp"
+
+namespace polymage {
+
+/** All compiler knobs, grouped by phase. */
+struct CompileOptions
+{
+    pg::InlineOptions inlining;
+    core::GroupingOptions grouping;
+    cg::CodegenOptions codegen;
+
+    /** Everything on (the paper's PolyMage opt+vec). */
+    static CompileOptions optimized();
+    /** opt without vectorisation pragmas (PolyMage opt). */
+    static CompileOptions optNoVec();
+    /**
+     * PolyMage base(+vec): inlining and parallel per-stage loops, but
+     * no grouping, tiling, or storage optimisation (paper §4).
+     */
+    static CompileOptions baseline(bool vectorize);
+};
+
+/** Result of a full compilation. */
+struct CompiledPipeline
+{
+    /** Specification after inlining (clones; input spec untouched). */
+    dsl::PipelineSpec spec;
+    /** Names of inlined stages. */
+    std::vector<std::string> inlined;
+    /** Graph of the post-inlining pipeline. */
+    pg::PipelineGraph graph;
+    /** Bounds-check warnings (violations throw). */
+    pg::BoundsReport bounds;
+    core::GroupingResult grouping;
+    core::StoragePlan storage;
+    cg::GeneratedCode code;
+
+    /** Human-readable phase report (groups, storage, sizes). */
+    std::string report() const;
+};
+
+/**
+ * Compile a pipeline specification to C++ source.
+ *
+ * @throws SpecError for invalid specifications.
+ */
+CompiledPipeline compilePipeline(const dsl::PipelineSpec &spec,
+                                 const CompileOptions &opts =
+                                     CompileOptions::optimized());
+
+} // namespace polymage
+
+#endif // POLYMAGE_DRIVER_COMPILER_HPP

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Implementations of the Image, Function, and Accumulator handles.
+ */
+#include "dsl/function.hpp"
+#include "dsl/image.hpp"
+#include "dsl/reduction.hpp"
+
+#include <limits>
+
+namespace polymage::dsl {
+
+namespace {
+
+Expr
+makeCall(CallablePtr callee, std::vector<Expr> args)
+{
+    if (int(args.size()) != callee->numDims()) {
+        specError("call to '", callee->name(), "' with ", args.size(),
+                  " indices; expected ", callee->numDims());
+    }
+    for (const auto &a : args) {
+        if (!a.defined())
+            specError("undefined index in call to '", callee->name(), "'");
+        if (dtypeIsFloat(a.type())) {
+            specError("non-integer index in call to '", callee->name(),
+                      "'; cast or floor the expression explicitly");
+        }
+    }
+    return Expr(std::make_shared<CallNode>(std::move(callee),
+                                           std::move(args)));
+}
+
+} // namespace
+
+//--------------------------------------------------------------------------
+// Image
+//--------------------------------------------------------------------------
+
+Image::Image(std::string name, DType dtype, std::vector<Expr> extents)
+{
+    if (extents.empty())
+        specError("image '", name, "' must have at least one dimension");
+    for (const auto &e : extents) {
+        if (!e.defined())
+            specError("undefined extent for image '", name, "'");
+    }
+    data_ = std::make_shared<ImageData>(std::move(name), dtype,
+                                        std::move(extents));
+}
+
+Image::Image(DType dtype, std::vector<Expr> extents)
+    : Image("img" + std::to_string(nextEntityId()), dtype,
+            std::move(extents))
+{}
+
+Expr
+Image::operator()(std::vector<Expr> args) const
+{
+    return makeCall(data_, std::move(args));
+}
+
+//--------------------------------------------------------------------------
+// Function
+//--------------------------------------------------------------------------
+
+Function::Function(std::string name, std::vector<Variable> vars,
+                   std::vector<Interval> dom, DType dtype)
+{
+    if (vars.empty())
+        specError("function '", name, "' must have at least one variable");
+    if (vars.size() != dom.size()) {
+        specError("function '", name, "' has ", vars.size(),
+                  " variables but ", dom.size(), " intervals");
+    }
+    for (std::size_t i = 0; i < vars.size(); ++i) {
+        for (std::size_t j = i + 1; j < vars.size(); ++j) {
+            if (vars[i] == vars[j]) {
+                specError("function '", name,
+                          "' repeats a domain variable");
+            }
+        }
+    }
+    for (const auto &iv : dom) {
+        if (!iv.lower().defined() || !iv.upper().defined())
+            specError("function '", name, "' has an undefined interval");
+        if (iv.step() != 1)
+            specError("function '", name,
+                      "' uses a non-unit interval step; unsupported");
+    }
+    data_ = std::make_shared<FuncData>(std::move(name), dtype,
+                                       std::move(vars), std::move(dom));
+}
+
+void
+Function::define(Expr value)
+{
+    define(std::vector<Case>{Case(std::move(value))});
+}
+
+void
+Function::define(std::vector<Case> cases)
+{
+    if (data_->isDefined())
+        specError("function '", name(), "' is defined twice");
+    if (cases.empty())
+        specError("function '", name(), "' defined with no cases");
+    bool unguarded = false;
+    for (const auto &c : cases) {
+        if (!c.value().defined())
+            specError("function '", name(), "' has an undefined case value");
+        if (!c.hasCondition())
+            unguarded = true;
+    }
+    if (unguarded && cases.size() > 1) {
+        specError("function '", name(), "' mixes an unconditional case ",
+                  "with other cases; the definition is ambiguous");
+    }
+    data_->setCases(std::move(cases));
+}
+
+Expr
+Function::operator()(std::vector<Expr> args) const
+{
+    return makeCall(data_, std::move(args));
+}
+
+//--------------------------------------------------------------------------
+// Accumulator
+//--------------------------------------------------------------------------
+
+Expr
+reduceIdentity(ReduceOp op, DType t)
+{
+    const bool flt = dtypeIsFloat(t);
+    switch (op) {
+      case ReduceOp::Sum:
+        return flt ? constFloat(0.0, t) : constInt(0, t);
+      case ReduceOp::Product:
+        return flt ? constFloat(1.0, t) : constInt(1, t);
+      case ReduceOp::Min:
+        // Largest representable value of the type.
+        if (flt)
+            return constFloat(std::numeric_limits<double>::infinity(), t);
+        switch (t) {
+          case DType::UChar: return constInt(255, t);
+          case DType::Short: return constInt(32767, t);
+          case DType::UShort: return constInt(65535, t);
+          case DType::Int:
+            return constInt(std::numeric_limits<std::int32_t>::max(), t);
+          default:
+            return constInt(std::numeric_limits<std::int64_t>::max(), t);
+        }
+      case ReduceOp::Max:
+        if (flt)
+            return constFloat(-std::numeric_limits<double>::infinity(), t);
+        switch (t) {
+          case DType::UChar:
+          case DType::UShort: return constInt(0, t);
+          case DType::Short: return constInt(-32768, t);
+          case DType::Int:
+            return constInt(std::numeric_limits<std::int32_t>::min(), t);
+          default:
+            return constInt(std::numeric_limits<std::int64_t>::min(), t);
+        }
+    }
+    internalError("unknown reduce op");
+}
+
+Accumulator::Accumulator(std::string name, std::vector<Variable> var_vars,
+                         std::vector<Interval> var_dom,
+                         std::vector<Variable> red_vars,
+                         std::vector<Interval> red_dom, DType dtype)
+{
+    if (var_vars.size() != var_dom.size()) {
+        specError("accumulator '", name, "' variable domain mismatch: ",
+                  var_vars.size(), " vars vs ", var_dom.size(),
+                  " intervals");
+    }
+    if (red_vars.size() != red_dom.size()) {
+        specError("accumulator '", name, "' reduction domain mismatch: ",
+                  red_vars.size(), " vars vs ", red_dom.size(),
+                  " intervals");
+    }
+    if (var_vars.empty() || red_vars.empty())
+        specError("accumulator '", name, "' requires both domains");
+    data_ = std::make_shared<AccumData>(std::move(name), dtype,
+                                        std::move(var_vars),
+                                        std::move(var_dom),
+                                        std::move(red_vars),
+                                        std::move(red_dom));
+}
+
+void
+Accumulator::accumulate(std::vector<Expr> target, Expr update, ReduceOp op,
+                        Expr init, std::optional<Condition> guard)
+{
+    if (data_->isDefined())
+        specError("accumulator '", name(), "' is defined twice");
+    if (int(target.size()) != data_->numDims()) {
+        specError("accumulator '", name(), "' updated with ",
+                  target.size(), " target indices; expected ",
+                  data_->numDims());
+    }
+    for (const auto &t : target) {
+        if (!t.defined())
+            specError("accumulator '", name(),
+                      "' has an undefined target index");
+    }
+    if (!update.defined())
+        specError("accumulator '", name(), "' has an undefined update");
+    if (!init.defined())
+        init = reduceIdentity(op, dtype());
+    data_->setAccumulation(std::move(target), std::move(update), op,
+                           std::move(init), std::move(guard));
+}
+
+Expr
+Accumulator::operator()(std::vector<Expr> args) const
+{
+    return makeCall(data_, std::move(args));
+}
+
+} // namespace polymage::dsl

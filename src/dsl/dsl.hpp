@@ -1,0 +1,17 @@
+/**
+ * @file
+ * Umbrella header for the PolyMage DSL: include this to write pipeline
+ * specifications.
+ */
+#ifndef POLYMAGE_DSL_DSL_HPP
+#define POLYMAGE_DSL_DSL_HPP
+
+#include "dsl/expr.hpp"          // IWYU pragma: export
+#include "dsl/function.hpp"      // IWYU pragma: export
+#include "dsl/image.hpp"         // IWYU pragma: export
+#include "dsl/pipeline_spec.hpp" // IWYU pragma: export
+#include "dsl/reduction.hpp"     // IWYU pragma: export
+#include "dsl/stencil.hpp"       // IWYU pragma: export
+#include "dsl/types.hpp"         // IWYU pragma: export
+
+#endif // POLYMAGE_DSL_DSL_HPP

@@ -1,0 +1,498 @@
+#include "dsl/expr.hpp"
+
+#include <atomic>
+#include <sstream>
+
+namespace polymage::dsl {
+
+int
+nextEntityId()
+{
+    static std::atomic<int> counter{0};
+    return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+//--------------------------------------------------------------------------
+// Variable / Parameter
+//--------------------------------------------------------------------------
+
+Variable::Variable()
+{
+    auto d = std::make_shared<VarData>();
+    d->id = nextEntityId();
+    d->name = "v" + std::to_string(d->id);
+    data_ = std::move(d);
+}
+
+Variable::Variable(std::string name)
+{
+    auto d = std::make_shared<VarData>();
+    d->id = nextEntityId();
+    d->name = std::move(name);
+    data_ = std::move(d);
+}
+
+Variable::operator Expr() const
+{
+    return Expr(std::make_shared<VarRefNode>(data_));
+}
+
+Parameter::Parameter(DType dtype)
+{
+    auto d = std::make_shared<ParamData>();
+    d->id = nextEntityId();
+    d->name = "p" + std::to_string(d->id);
+    d->dtype = dtype;
+    data_ = std::move(d);
+}
+
+Parameter::Parameter(std::string name, DType dtype)
+{
+    auto d = std::make_shared<ParamData>();
+    d->id = nextEntityId();
+    d->name = std::move(name);
+    d->dtype = dtype;
+    data_ = std::move(d);
+}
+
+Parameter::operator Expr() const
+{
+    return Expr(std::make_shared<ParamRefNode>(data_));
+}
+
+//--------------------------------------------------------------------------
+// Expr basics
+//--------------------------------------------------------------------------
+
+Expr::Expr(int v) : node_(std::make_shared<ConstIntNode>(v)) {}
+Expr::Expr(std::int64_t v) : node_(std::make_shared<ConstIntNode>(v)) {}
+Expr::Expr(double v) : node_(std::make_shared<ConstFloatNode>(v)) {}
+Expr::Expr(float v) : node_(std::make_shared<ConstFloatNode>(v)) {}
+
+const ExprNode &
+Expr::node() const
+{
+    if (!node_)
+        specError("use of an undefined expression");
+    return *node_;
+}
+
+DType
+Expr::type() const
+{
+    return node().dtype();
+}
+
+namespace {
+
+void
+requireDefined(const Expr &e, const char *what)
+{
+    if (!e.defined())
+        specError("undefined operand in ", what);
+}
+
+Expr
+makeBinOp(BinOpKind op, Expr a, Expr b)
+{
+    requireDefined(a, "binary operation");
+    requireDefined(b, "binary operation");
+    DType t = dtypePromote(a.type(), b.type());
+    return Expr(std::make_shared<BinOpNode>(op, std::move(a), std::move(b),
+                                            t));
+}
+
+} // namespace
+
+Expr operator+(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Add, std::move(a), std::move(b)); }
+Expr operator-(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Sub, std::move(a), std::move(b)); }
+Expr operator*(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Mul, std::move(a), std::move(b)); }
+Expr operator/(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Div, std::move(a), std::move(b)); }
+Expr operator%(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Mod, std::move(a), std::move(b)); }
+
+Expr
+operator-(Expr a)
+{
+    requireDefined(a, "negation");
+    DType t = a.type();
+    return Expr(std::make_shared<UnOpNode>(UnOpKind::Neg, std::move(a), t));
+}
+
+Expr min(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Min, std::move(a), std::move(b)); }
+Expr max(Expr a, Expr b)
+{ return makeBinOp(BinOpKind::Max, std::move(a), std::move(b)); }
+
+Expr
+clamp(Expr v, Expr lo, Expr hi)
+{
+    return max(min(std::move(v), std::move(hi)), std::move(lo));
+}
+
+Expr
+select(Condition cond, Expr t, Expr f)
+{
+    if (!cond.defined())
+        specError("undefined condition in select");
+    requireDefined(t, "select");
+    requireDefined(f, "select");
+    DType ty = dtypePromote(t.type(), f.type());
+    return Expr(std::make_shared<SelectNode>(std::move(cond), std::move(t),
+                                             std::move(f), ty));
+}
+
+Expr
+cast(DType t, Expr e)
+{
+    requireDefined(e, "cast");
+    return Expr(std::make_shared<CastNode>(t, std::move(e)));
+}
+
+namespace {
+
+Expr
+makeMathFn(MathFnKind fn, std::vector<Expr> args)
+{
+    DType t = DType::Float;
+    for (const auto &a : args) {
+        requireDefined(a, "math intrinsic");
+        t = dtypePromote(t, a.type());
+    }
+    // abs of an integer stays integral.
+    if (fn == MathFnKind::Abs && !dtypeIsFloat(args[0].type()))
+        t = args[0].type();
+    return Expr(std::make_shared<MathFnNode>(fn, std::move(args), t));
+}
+
+} // namespace
+
+Expr exp(Expr e) { return makeMathFn(MathFnKind::Exp, {std::move(e)}); }
+Expr log(Expr e) { return makeMathFn(MathFnKind::Log, {std::move(e)}); }
+Expr sqrt(Expr e) { return makeMathFn(MathFnKind::Sqrt, {std::move(e)}); }
+Expr sin(Expr e) { return makeMathFn(MathFnKind::Sin, {std::move(e)}); }
+Expr cos(Expr e) { return makeMathFn(MathFnKind::Cos, {std::move(e)}); }
+Expr abs(Expr e) { return makeMathFn(MathFnKind::Abs, {std::move(e)}); }
+Expr floorE(Expr e) { return makeMathFn(MathFnKind::Floor, {std::move(e)}); }
+Expr ceilE(Expr e) { return makeMathFn(MathFnKind::Ceil, {std::move(e)}); }
+
+Expr
+pow(Expr base, Expr exponent)
+{
+    return makeMathFn(MathFnKind::Pow, {std::move(base),
+                                        std::move(exponent)});
+}
+
+Expr
+constInt(std::int64_t v, DType t)
+{
+    return Expr(std::make_shared<ConstIntNode>(v, t));
+}
+
+Expr
+constFloat(double v, DType t)
+{
+    return Expr(std::make_shared<ConstFloatNode>(v, t));
+}
+
+//--------------------------------------------------------------------------
+// Conditions
+//--------------------------------------------------------------------------
+
+const CondNode &
+Condition::node() const
+{
+    if (!node_)
+        specError("use of an undefined condition");
+    return *node_;
+}
+
+Condition
+Condition::cmp(Expr lhs, CmpOp op, Expr rhs)
+{
+    requireDefined(lhs, "comparison");
+    requireDefined(rhs, "comparison");
+    auto n = std::make_shared<CondNode>();
+    n->kind = CondNode::Kind::Cmp;
+    n->op = op;
+    n->lhs = std::move(lhs);
+    n->rhs = std::move(rhs);
+    return Condition(std::move(n));
+}
+
+Condition
+Condition::operator&(const Condition &o) const
+{
+    node();
+    o.node();
+    auto n = std::make_shared<CondNode>();
+    n->kind = CondNode::Kind::And;
+    n->a = node_;
+    n->b = o.node_;
+    return Condition(std::move(n));
+}
+
+Condition
+Condition::operator|(const Condition &o) const
+{
+    node();
+    o.node();
+    auto n = std::make_shared<CondNode>();
+    n->kind = CondNode::Kind::Or;
+    n->a = node_;
+    n->b = o.node_;
+    return Condition(std::move(n));
+}
+
+Condition operator<(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::LT, std::move(b)); }
+Condition operator<=(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::LE, std::move(b)); }
+Condition operator>(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::GT, std::move(b)); }
+Condition operator>=(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::GE, std::move(b)); }
+Condition operator==(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::EQ, std::move(b)); }
+Condition operator!=(Expr a, Expr b)
+{ return Condition::cmp(std::move(a), CmpOp::NE, std::move(b)); }
+
+//--------------------------------------------------------------------------
+// Traversal
+//--------------------------------------------------------------------------
+
+void
+forEachNode(const Expr &e, const std::function<void(const ExprNode &)> &fn)
+{
+    const ExprNode &n = e.node();
+    fn(n);
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+      case ExprKind::ConstFloat:
+      case ExprKind::VarRef:
+      case ExprKind::ParamRef:
+        break;
+      case ExprKind::Call:
+        for (const auto &a : static_cast<const CallNode &>(n).args)
+            forEachNode(a, fn);
+        break;
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const BinOpNode &>(n);
+        forEachNode(b.a, fn);
+        forEachNode(b.b, fn);
+        break;
+      }
+      case ExprKind::UnOp:
+        forEachNode(static_cast<const UnOpNode &>(n).a, fn);
+        break;
+      case ExprKind::Cast:
+        forEachNode(static_cast<const CastNode &>(n).a, fn);
+        break;
+      case ExprKind::Select: {
+        const auto &s = static_cast<const SelectNode &>(n);
+        forEachNode(s.cond, fn);
+        forEachNode(s.t, fn);
+        forEachNode(s.f, fn);
+        break;
+      }
+      case ExprKind::MathFn:
+        for (const auto &a : static_cast<const MathFnNode &>(n).args)
+            forEachNode(a, fn);
+        break;
+    }
+}
+
+void
+forEachNode(const Condition &c,
+            const std::function<void(const ExprNode &)> &fn)
+{
+    const CondNode &n = c.node();
+    if (n.kind == CondNode::Kind::Cmp) {
+        forEachNode(n.lhs, fn);
+        forEachNode(n.rhs, fn);
+    } else {
+        forEachNode(Condition(n.a), fn);
+        forEachNode(Condition(n.b), fn);
+    }
+}
+
+//--------------------------------------------------------------------------
+// Printing
+//--------------------------------------------------------------------------
+
+namespace {
+
+const char *
+binOpToken(BinOpKind op)
+{
+    switch (op) {
+      case BinOpKind::Add: return "+";
+      case BinOpKind::Sub: return "-";
+      case BinOpKind::Mul: return "*";
+      case BinOpKind::Div: return "/";
+      case BinOpKind::Mod: return "%";
+      case BinOpKind::Min: return "min";
+      case BinOpKind::Max: return "max";
+    }
+    internalError("unknown binop");
+}
+
+const char *
+cmpToken(CmpOp op)
+{
+    switch (op) {
+      case CmpOp::LT: return "<";
+      case CmpOp::LE: return "<=";
+      case CmpOp::GT: return ">";
+      case CmpOp::GE: return ">=";
+      case CmpOp::EQ: return "==";
+      case CmpOp::NE: return "!=";
+    }
+    internalError("unknown cmp");
+}
+
+const char *
+mathFnName(MathFnKind fn)
+{
+    switch (fn) {
+      case MathFnKind::Exp: return "exp";
+      case MathFnKind::Log: return "log";
+      case MathFnKind::Sqrt: return "sqrt";
+      case MathFnKind::Sin: return "sin";
+      case MathFnKind::Cos: return "cos";
+      case MathFnKind::Abs: return "abs";
+      case MathFnKind::Pow: return "pow";
+      case MathFnKind::Floor: return "floor";
+      case MathFnKind::Ceil: return "ceil";
+    }
+    internalError("unknown math fn");
+}
+
+void printExpr(std::ostream &os, const Expr &e);
+
+void
+printCond(std::ostream &os, const Condition &c)
+{
+    const CondNode &n = c.node();
+    switch (n.kind) {
+      case CondNode::Kind::Cmp:
+        printExpr(os, n.lhs);
+        os << " " << cmpToken(n.op) << " ";
+        printExpr(os, n.rhs);
+        break;
+      case CondNode::Kind::And:
+      case CondNode::Kind::Or:
+        os << "(";
+        printCond(os, Condition(n.a));
+        os << (n.kind == CondNode::Kind::And ? " & " : " | ");
+        printCond(os, Condition(n.b));
+        os << ")";
+        break;
+    }
+}
+
+void
+printExpr(std::ostream &os, const Expr &e)
+{
+    const ExprNode &n = e.node();
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+        os << static_cast<const ConstIntNode &>(n).value;
+        break;
+      case ExprKind::ConstFloat:
+        os << static_cast<const ConstFloatNode &>(n).value;
+        break;
+      case ExprKind::VarRef:
+        os << static_cast<const VarRefNode &>(n).var->name;
+        break;
+      case ExprKind::ParamRef:
+        os << static_cast<const ParamRefNode &>(n).param->name;
+        break;
+      case ExprKind::Call: {
+        const auto &c = static_cast<const CallNode &>(n);
+        os << c.callee->name() << "(";
+        for (std::size_t i = 0; i < c.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printExpr(os, c.args[i]);
+        }
+        os << ")";
+        break;
+      }
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const BinOpNode &>(n);
+        if (b.op == BinOpKind::Min || b.op == BinOpKind::Max) {
+            os << binOpToken(b.op) << "(";
+            printExpr(os, b.a);
+            os << ", ";
+            printExpr(os, b.b);
+            os << ")";
+        } else {
+            os << "(";
+            printExpr(os, b.a);
+            os << " " << binOpToken(b.op) << " ";
+            printExpr(os, b.b);
+            os << ")";
+        }
+        break;
+      }
+      case ExprKind::UnOp:
+        os << "(-";
+        printExpr(os, static_cast<const UnOpNode &>(n).a);
+        os << ")";
+        break;
+      case ExprKind::Cast: {
+        const auto &c = static_cast<const CastNode &>(n);
+        os << dtypeName(n.dtype()) << "(";
+        printExpr(os, c.a);
+        os << ")";
+        break;
+      }
+      case ExprKind::Select: {
+        const auto &s = static_cast<const SelectNode &>(n);
+        os << "select(";
+        printCond(os, s.cond);
+        os << ", ";
+        printExpr(os, s.t);
+        os << ", ";
+        printExpr(os, s.f);
+        os << ")";
+        break;
+      }
+      case ExprKind::MathFn: {
+        const auto &m = static_cast<const MathFnNode &>(n);
+        os << mathFnName(m.fn) << "(";
+        for (std::size_t i = 0; i < m.args.size(); ++i) {
+            if (i)
+                os << ", ";
+            printExpr(os, m.args[i]);
+        }
+        os << ")";
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+toString(const Expr &e)
+{
+    std::ostringstream os;
+    printExpr(os, e);
+    return os.str();
+}
+
+std::string
+toString(const Condition &c)
+{
+    std::ostringstream os;
+    printCond(os, c);
+    return os.str();
+}
+
+} // namespace polymage::dsl

@@ -1,0 +1,415 @@
+/**
+ * @file
+ * Expression AST of the PolyMage DSL.
+ *
+ * Images and functions are abstractions of infinite integer grids; new
+ * functions are defined by expressions over other functions' values
+ * (paper §2).  Expr is an immutable value type wrapping a shared AST
+ * node.  Variables and parameters are lightweight handles convertible to
+ * Expr; comparisons on Expr build Condition trees used in piecewise Case
+ * definitions and Select expressions.
+ */
+#ifndef POLYMAGE_DSL_EXPR_HPP
+#define POLYMAGE_DSL_EXPR_HPP
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/types.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::dsl {
+
+class Expr;
+class Condition;
+
+/** Discriminator for ExprNode. */
+enum class ExprKind {
+    ConstInt,
+    ConstFloat,
+    VarRef,
+    ParamRef,
+    Call,
+    BinOp,
+    UnOp,
+    Cast,
+    Select,
+    MathFn,
+};
+
+/** Binary operator kinds.  Div on integer operands is floor division. */
+enum class BinOpKind { Add, Sub, Mul, Div, Mod, Min, Max };
+
+/** Unary operator kinds. */
+enum class UnOpKind { Neg };
+
+/** Math intrinsics available in definitions. */
+enum class MathFnKind { Exp, Log, Sqrt, Sin, Cos, Abs, Pow, Floor, Ceil };
+
+/** Comparison operators for conditions. */
+enum class CmpOp { LT, LE, GT, GE, EQ, NE };
+
+//--------------------------------------------------------------------------
+// Named entities referenced by expressions
+//--------------------------------------------------------------------------
+
+/** Allocate a process-unique id for DSL entities. */
+int nextEntityId();
+
+/** Shared payload of a Variable handle. */
+struct VarData
+{
+    int id;
+    std::string name;
+};
+
+/** Shared payload of a Parameter handle. */
+struct ParamData
+{
+    int id;
+    std::string name;
+    DType dtype;
+};
+
+/**
+ * Common base of everything callable in an expression: images,
+ * functions, and accumulators.  Call nodes hold a shared_ptr to this
+ * base; compiler passes downcast via kind().
+ */
+class CallableData
+{
+  public:
+    enum class Kind { Image, Function, Accumulator };
+
+    CallableData(Kind kind, std::string name, DType dtype)
+        : kind_(kind), id_(nextEntityId()), name_(std::move(name)),
+          dtype_(dtype)
+    {}
+    virtual ~CallableData() = default;
+
+    Kind kind() const { return kind_; }
+    int id() const { return id_; }
+    const std::string &name() const { return name_; }
+    DType dtype() const { return dtype_; }
+
+    /** Number of index dimensions expected in a call. */
+    virtual int numDims() const = 0;
+
+  private:
+    Kind kind_;
+    int id_;
+    std::string name_;
+    DType dtype_;
+};
+
+using CallablePtr = std::shared_ptr<const CallableData>;
+
+/**
+ * Integer variable labelling a function dimension (paper's Variable
+ * construct).  Copies share identity.
+ */
+class Variable
+{
+  public:
+    /** Create a fresh variable with a generated name. */
+    Variable();
+    /** Create a fresh variable with the given display name. */
+    explicit Variable(std::string name);
+
+    int id() const { return data_->id; }
+    const std::string &name() const { return data_->name; }
+
+    /** Variables are usable directly in expressions. */
+    operator Expr() const;
+
+    bool operator==(const Variable &o) const { return data_ == o.data_; }
+
+    std::shared_ptr<const VarData> data() const { return data_; }
+
+  private:
+    std::shared_ptr<const VarData> data_;
+};
+
+/**
+ * Pipeline input scalar (paper's Parameter construct), e.g. image width
+ * and height.  Restricted to integer types for use in bounds.
+ */
+class Parameter
+{
+  public:
+    explicit Parameter(DType dtype = DType::Int);
+    Parameter(std::string name, DType dtype = DType::Int);
+
+    int id() const { return data_->id; }
+    const std::string &name() const { return data_->name; }
+    DType dtype() const { return data_->dtype; }
+
+    operator Expr() const;
+
+    bool operator==(const Parameter &o) const { return data_ == o.data_; }
+
+    std::shared_ptr<const ParamData> data() const { return data_; }
+
+  private:
+    std::shared_ptr<const ParamData> data_;
+};
+
+//--------------------------------------------------------------------------
+// Expression nodes
+//--------------------------------------------------------------------------
+
+/** Immutable AST node base. */
+class ExprNode
+{
+  public:
+    virtual ~ExprNode() = default;
+
+    ExprKind kind() const { return kind_; }
+    DType dtype() const { return dtype_; }
+
+  protected:
+    ExprNode(ExprKind kind, DType dtype) : kind_(kind), dtype_(dtype) {}
+
+  private:
+    ExprKind kind_;
+    DType dtype_;
+};
+
+using ExprNodePtr = std::shared_ptr<const ExprNode>;
+
+/**
+ * Immutable expression value.  Copying is cheap (shared node).  An Expr
+ * may be default-constructed in which case defined() is false; using an
+ * undefined Expr in a builder raises SpecError.
+ */
+class Expr
+{
+  public:
+    Expr() = default;
+    Expr(int v);
+    Expr(std::int64_t v);
+    Expr(double v);
+    Expr(float v);
+    explicit Expr(ExprNodePtr node) : node_(std::move(node)) {}
+
+    bool defined() const { return node_ != nullptr; }
+
+    /** Element type of the expression value. */
+    DType type() const;
+
+    const ExprNode &node() const;
+    const ExprNodePtr &nodePtr() const { return node_; }
+
+    /** Structural equality of the underlying node pointer. */
+    bool sameAs(const Expr &o) const { return node_ == o.node_; }
+
+  private:
+    ExprNodePtr node_;
+};
+
+struct ConstIntNode : ExprNode
+{
+    std::int64_t value;
+    ConstIntNode(std::int64_t v, DType t = DType::Int)
+        : ExprNode(ExprKind::ConstInt, t), value(v)
+    {}
+};
+
+struct ConstFloatNode : ExprNode
+{
+    double value;
+    ConstFloatNode(double v, DType t = DType::Float)
+        : ExprNode(ExprKind::ConstFloat, t), value(v)
+    {}
+};
+
+struct VarRefNode : ExprNode
+{
+    std::shared_ptr<const VarData> var;
+    explicit VarRefNode(std::shared_ptr<const VarData> v)
+        : ExprNode(ExprKind::VarRef, DType::Int), var(std::move(v))
+    {}
+};
+
+struct ParamRefNode : ExprNode
+{
+    std::shared_ptr<const ParamData> param;
+    explicit ParamRefNode(std::shared_ptr<const ParamData> p)
+        : ExprNode(ExprKind::ParamRef, p->dtype), param(std::move(p))
+    {}
+};
+
+/**
+ * Access to a value of an image, function, or accumulator at the given
+ * index expressions.
+ *
+ * @note A self-referential call (a function referenced inside its own
+ *       definition, used for time-iterated patterns) creates a
+ *       shared_ptr cycle; specs are small and built once, so the leak is
+ *       bounded and accepted for interface simplicity.
+ */
+struct CallNode : ExprNode
+{
+    CallablePtr callee;
+    std::vector<Expr> args;
+    CallNode(CallablePtr c, std::vector<Expr> a)
+        : ExprNode(ExprKind::Call, c->dtype()), callee(std::move(c)),
+          args(std::move(a))
+    {}
+};
+
+struct BinOpNode : ExprNode
+{
+    BinOpKind op;
+    Expr a, b;
+    BinOpNode(BinOpKind op, Expr a, Expr b, DType t)
+        : ExprNode(ExprKind::BinOp, t), op(op), a(std::move(a)),
+          b(std::move(b))
+    {}
+};
+
+struct UnOpNode : ExprNode
+{
+    UnOpKind op;
+    Expr a;
+    UnOpNode(UnOpKind op, Expr a, DType t)
+        : ExprNode(ExprKind::UnOp, t), op(op), a(std::move(a))
+    {}
+};
+
+struct CastNode : ExprNode
+{
+    Expr a;
+    CastNode(DType t, Expr a) : ExprNode(ExprKind::Cast, t), a(std::move(a))
+    {}
+};
+
+struct MathFnNode : ExprNode
+{
+    MathFnKind fn;
+    std::vector<Expr> args;
+    MathFnNode(MathFnKind fn, std::vector<Expr> a, DType t)
+        : ExprNode(ExprKind::MathFn, t), fn(fn), args(std::move(a))
+    {}
+};
+
+//--------------------------------------------------------------------------
+// Conditions
+//--------------------------------------------------------------------------
+
+/** Node of a condition tree: a comparison leaf or a boolean combinator. */
+struct CondNode
+{
+    enum class Kind { Cmp, And, Or };
+
+    Kind kind;
+    // Cmp leaves:
+    CmpOp op = CmpOp::EQ;
+    Expr lhs, rhs;
+    // And/Or children:
+    std::shared_ptr<const CondNode> a, b;
+};
+
+/**
+ * Boolean condition over expressions (paper's Condition construct),
+ * combined with & and |.
+ */
+class Condition
+{
+  public:
+    Condition() = default;
+    explicit Condition(std::shared_ptr<const CondNode> n)
+        : node_(std::move(n))
+    {}
+
+    /** Build a comparison condition lhs op rhs. */
+    static Condition cmp(Expr lhs, CmpOp op, Expr rhs);
+
+    bool defined() const { return node_ != nullptr; }
+    const CondNode &node() const;
+
+    /** Conjunction. */
+    Condition operator&(const Condition &o) const;
+    /** Disjunction. */
+    Condition operator|(const Condition &o) const;
+
+  private:
+    std::shared_ptr<const CondNode> node_;
+};
+
+struct SelectNode : ExprNode
+{
+    Condition cond;
+    Expr t, f;
+    SelectNode(Condition c, Expr t, Expr f, DType ty)
+        : ExprNode(ExprKind::Select, ty), cond(std::move(c)),
+          t(std::move(t)), f(std::move(f))
+    {}
+};
+
+//--------------------------------------------------------------------------
+// Operators and builders
+//--------------------------------------------------------------------------
+
+Expr operator+(Expr a, Expr b);
+Expr operator-(Expr a, Expr b);
+Expr operator*(Expr a, Expr b);
+Expr operator/(Expr a, Expr b);
+Expr operator%(Expr a, Expr b);
+Expr operator-(Expr a);
+
+Condition operator<(Expr a, Expr b);
+Condition operator<=(Expr a, Expr b);
+Condition operator>(Expr a, Expr b);
+Condition operator>=(Expr a, Expr b);
+Condition operator==(Expr a, Expr b);
+Condition operator!=(Expr a, Expr b);
+
+/** Elementwise minimum. */
+Expr min(Expr a, Expr b);
+/** Elementwise maximum. */
+Expr max(Expr a, Expr b);
+/** Clamp v into [lo, hi]. */
+Expr clamp(Expr v, Expr lo, Expr hi);
+/** cond ? t : f.  Branch types are promoted. */
+Expr select(Condition cond, Expr t, Expr f);
+/** Explicit type conversion. */
+Expr cast(DType t, Expr e);
+
+Expr exp(Expr e);
+Expr log(Expr e);
+Expr sqrt(Expr e);
+Expr sin(Expr e);
+Expr cos(Expr e);
+Expr abs(Expr e);
+Expr pow(Expr base, Expr exponent);
+Expr floorE(Expr e);
+Expr ceilE(Expr e);
+
+/** Integer constant of a specific type. */
+Expr constInt(std::int64_t v, DType t = DType::Int);
+/** Floating constant of a specific type. */
+Expr constFloat(double v, DType t = DType::Float);
+
+/** Render an expression for diagnostics. */
+std::string toString(const Expr &e);
+/** Render a condition for diagnostics. */
+std::string toString(const Condition &c);
+
+/**
+ * Pre-order traversal of an expression tree, descending into Select
+ * conditions.  @p fn is invoked once per node.
+ */
+void forEachNode(const Expr &e,
+                 const std::function<void(const ExprNode &)> &fn);
+
+/** Pre-order traversal of the comparison leaves of a condition. */
+void forEachNode(const Condition &c,
+                 const std::function<void(const ExprNode &)> &fn);
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_EXPR_HPP

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * The Function construct: a mapping from a multi-dimensional integer
+ * domain to scalar values, optionally defined piecewise through Cases
+ * (paper §2).  Also defines Interval (variable ranges) and Case.
+ */
+#ifndef POLYMAGE_DSL_FUNCTION_HPP
+#define POLYMAGE_DSL_FUNCTION_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::dsl {
+
+/**
+ * Range of a function dimension: lower and upper bound (inclusive) as
+ * affine expressions of parameters and constants, plus a step.  Only
+ * step 1 is accepted by the compiler.
+ */
+class Interval
+{
+  public:
+    Interval() = default;
+    Interval(Expr lower, Expr upper, std::int64_t step = 1)
+        : lower_(std::move(lower)), upper_(std::move(upper)), step_(step)
+    {}
+
+    const Expr &lower() const { return lower_; }
+    const Expr &upper() const { return upper_; }
+    std::int64_t step() const { return step_; }
+
+  private:
+    Expr lower_, upper_;
+    std::int64_t step_ = 1;
+};
+
+/** One piece of a piecewise function definition. */
+class Case
+{
+  public:
+    /** Guarded piece: value applies where the condition holds. */
+    Case(Condition cond, Expr value)
+        : cond_(std::move(cond)), value_(std::move(value))
+    {}
+    /** Unguarded piece: value applies over the whole domain. */
+    explicit Case(Expr value) : value_(std::move(value)) {}
+
+    bool hasCondition() const { return cond_.has_value(); }
+    const Condition &condition() const { return *cond_; }
+    const Expr &value() const { return value_; }
+
+  private:
+    std::optional<Condition> cond_;
+    Expr value_;
+};
+
+/** Shared payload of a Function handle. */
+class FuncData : public CallableData
+{
+  public:
+    FuncData(std::string name, DType dtype, std::vector<Variable> vars,
+             std::vector<Interval> dom)
+        : CallableData(Kind::Function, std::move(name), dtype),
+          vars_(std::move(vars)), dom_(std::move(dom))
+    {}
+
+    int numDims() const override { return int(vars_.size()); }
+
+    const std::vector<Variable> &vars() const { return vars_; }
+    const std::vector<Interval> &dom() const { return dom_; }
+    const std::vector<Case> &cases() const { return cases_; }
+    bool isDefined() const { return !cases_.empty(); }
+
+    void setCases(std::vector<Case> cases) { cases_ = std::move(cases); }
+
+  private:
+    std::vector<Variable> vars_;
+    std::vector<Interval> dom_;
+    std::vector<Case> cases_;
+};
+
+/**
+ * Handle to a pipeline function.  Construct with a variable domain, then
+ * assign the definition via define().  Calling the handle with index
+ * expressions references its values in other definitions.
+ */
+class Function
+{
+  public:
+    /**
+     * Declare a function.
+     *
+     * @param name display name (also used in generated code)
+     * @param vars domain variables, outermost first
+     * @param dom per-variable ranges
+     * @param dtype element type of the function's values
+     */
+    Function(std::string name, std::vector<Variable> vars,
+             std::vector<Interval> dom, DType dtype);
+
+    const std::string &name() const { return data_->name(); }
+    DType dtype() const { return data_->dtype(); }
+    int numDims() const { return data_->numDims(); }
+    const std::vector<Variable> &vars() const { return data_->vars(); }
+    const std::vector<Interval> &dom() const { return data_->dom(); }
+
+    /** Define by a single expression over the whole domain. */
+    void define(Expr value);
+    /** Define piecewise; cases must be mutually exclusive. */
+    void define(std::vector<Case> cases);
+
+    bool isDefined() const { return data_->isDefined(); }
+    const std::vector<Case> &cases() const { return data_->cases(); }
+
+    /** Reference this function's value at the given coordinates. */
+    Expr operator()(std::vector<Expr> args) const;
+
+    template <typename... E>
+    Expr
+    operator()(E &&...args) const
+    {
+        return (*this)(std::vector<Expr>{Expr(std::forward<E>(args))...});
+    }
+
+    std::shared_ptr<FuncData> data() const { return data_; }
+
+    bool operator==(const Function &o) const { return data_ == o.data_; }
+
+  private:
+    std::shared_ptr<FuncData> data_;
+};
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_FUNCTION_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Pipeline input images (paper's Image construct): typed multi-
+ * dimensional grids whose extents are affine expressions of parameters
+ * and constants.
+ */
+#ifndef POLYMAGE_DSL_IMAGE_HPP
+#define POLYMAGE_DSL_IMAGE_HPP
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::dsl {
+
+/** Shared payload of an Image handle. */
+class ImageData : public CallableData
+{
+  public:
+    ImageData(std::string name, DType dtype, std::vector<Expr> extents)
+        : CallableData(Kind::Image, std::move(name), dtype),
+          extents_(std::move(extents))
+    {}
+
+    int numDims() const override { return int(extents_.size()); }
+
+    /** Extent (size) of each dimension; index i ranges over [0, extent). */
+    const std::vector<Expr> &extents() const { return extents_; }
+
+  private:
+    std::vector<Expr> extents_;
+};
+
+/**
+ * Handle to a pipeline input image.  Calling the handle with index
+ * expressions yields the pixel value at those coordinates.
+ */
+class Image
+{
+  public:
+    /** Declare an input image of the given type and per-dim extents. */
+    Image(std::string name, DType dtype, std::vector<Expr> extents);
+    Image(DType dtype, std::vector<Expr> extents);
+
+    const std::string &name() const { return data_->name(); }
+    DType dtype() const { return data_->dtype(); }
+    int numDims() const { return data_->numDims(); }
+    const std::vector<Expr> &extents() const { return data_->extents(); }
+
+    /** Access a pixel value. */
+    Expr operator()(std::vector<Expr> args) const;
+
+    template <typename... E>
+    Expr
+    operator()(E &&...args) const
+    {
+        return (*this)(std::vector<Expr>{Expr(std::forward<E>(args))...});
+    }
+
+    std::shared_ptr<const ImageData> data() const { return data_; }
+
+    bool operator==(const Image &o) const { return data_ == o.data_; }
+
+  private:
+    std::shared_ptr<const ImageData> data_;
+};
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_IMAGE_HPP

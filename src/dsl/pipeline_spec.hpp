@@ -1,0 +1,107 @@
+/**
+ * @file
+ * A complete pipeline specification: the live-out functions plus
+ * parameter estimates used by the grouping heuristic (paper §3.5: "the
+ * user has an idea of the range of image dimensions ...").
+ */
+#ifndef POLYMAGE_DSL_PIPELINE_SPEC_HPP
+#define POLYMAGE_DSL_PIPELINE_SPEC_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dsl/function.hpp"
+#include "dsl/image.hpp"
+#include "dsl/reduction.hpp"
+
+namespace polymage::dsl {
+
+/**
+ * User-facing description of a pipeline handed to the compiler: a name,
+ * the live-out stages, and estimates for the pipeline parameters.  The
+ * generated implementation remains valid for all parameter values; the
+ * estimates only steer the grouping heuristic.
+ */
+class PipelineSpec
+{
+  public:
+    explicit PipelineSpec(std::string name) : name_(std::move(name)) {}
+
+    const std::string &name() const { return name_; }
+
+    /** Mark a function as a live-out (pipeline output). */
+    void addOutput(const Function &f) { outputs_.push_back(f.data()); }
+    /** Mark an accumulator as a live-out. */
+    void addOutput(const Accumulator &a) { outputs_.push_back(a.data()); }
+
+    const std::vector<CallablePtr> &outputs() const { return outputs_; }
+
+    /**
+     * Register a scalar parameter.  Registration order defines the
+     * parameter order of the generated entry point; parameters that are
+     * used but not registered are appended in discovery order.
+     */
+    void addParam(const Parameter &p) { params_.push_back(p.data()); }
+
+    /** Register an input image; order defines the entry-point ABI. */
+    void addInput(const Image &img) { inputs_.push_back(img.data()); }
+
+    /// @name Pass-author interface (used by compiler rewrites)
+    /// @{
+    void addOutput(CallablePtr c) { outputs_.push_back(std::move(c)); }
+    void
+    addParam(std::shared_ptr<const ParamData> p)
+    {
+        params_.push_back(std::move(p));
+    }
+    void
+    addInput(std::shared_ptr<const ImageData> img)
+    {
+        inputs_.push_back(std::move(img));
+    }
+    void estimateById(int id, std::int64_t v) { estimates_[id] = v; }
+    /// @}
+
+    const std::vector<std::shared_ptr<const ParamData>> &params() const
+    {
+        return params_;
+    }
+
+    const std::vector<std::shared_ptr<const ImageData>> &inputs() const
+    {
+        return inputs_;
+    }
+
+    /** Provide an approximate value for a parameter (e.g. image width). */
+    void
+    estimate(const Parameter &p, std::int64_t value)
+    {
+        estimates_[p.data()->id] = value;
+    }
+
+    /** Estimate for the parameter id, or @p fallback if none given. */
+    std::int64_t
+    estimateFor(int param_id, std::int64_t fallback = 1024) const
+    {
+        auto it = estimates_.find(param_id);
+        return it == estimates_.end() ? fallback : it->second;
+    }
+
+    const std::map<int, std::int64_t> &estimates() const
+    {
+        return estimates_;
+    }
+
+  private:
+    std::string name_;
+    std::vector<CallablePtr> outputs_;
+    std::vector<std::shared_ptr<const ParamData>> params_;
+    std::vector<std::shared_ptr<const ImageData>> inputs_;
+    std::map<int, std::int64_t> estimates_;
+};
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_PIPELINE_SPEC_HPP

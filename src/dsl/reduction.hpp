@@ -1,0 +1,133 @@
+/**
+ * @file
+ * The Accumulator construct (paper §2, Fig. 3): a function-like entity
+ * with state, evaluated over a reduction domain while being defined on a
+ * variable domain.  Expresses histograms and other reductions.
+ */
+#ifndef POLYMAGE_DSL_REDUCTION_HPP
+#define POLYMAGE_DSL_REDUCTION_HPP
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dsl/expr.hpp"
+#include "dsl/function.hpp"
+
+namespace polymage::dsl {
+
+/** Combining operator of an accumulation. */
+enum class ReduceOp { Sum, Product, Min, Max };
+
+/** Identity element of a reduce op for the given type, as an Expr. */
+Expr reduceIdentity(ReduceOp op, DType t);
+
+/** Shared payload of an Accumulator handle. */
+class AccumData : public CallableData
+{
+  public:
+    AccumData(std::string name, DType dtype, std::vector<Variable> var_vars,
+              std::vector<Interval> var_dom, std::vector<Variable> red_vars,
+              std::vector<Interval> red_dom)
+        : CallableData(Kind::Accumulator, std::move(name), dtype),
+          varVars_(std::move(var_vars)), varDom_(std::move(var_dom)),
+          redVars_(std::move(red_vars)), redDom_(std::move(red_dom))
+    {}
+
+    int numDims() const override { return int(varVars_.size()); }
+
+    const std::vector<Variable> &varVars() const { return varVars_; }
+    const std::vector<Interval> &varDom() const { return varDom_; }
+    const std::vector<Variable> &redVars() const { return redVars_; }
+    const std::vector<Interval> &redDom() const { return redDom_; }
+
+    const std::vector<Expr> &targetIndices() const { return target_; }
+    const Expr &update() const { return update_; }
+    ReduceOp op() const { return op_; }
+    const Expr &init() const { return init_; }
+    const std::optional<Condition> &guard() const { return guard_; }
+    bool isDefined() const { return update_.defined(); }
+
+    void
+    setAccumulation(std::vector<Expr> target, Expr update, ReduceOp op,
+                    Expr init, std::optional<Condition> guard)
+    {
+        target_ = std::move(target);
+        update_ = std::move(update);
+        op_ = op;
+        init_ = std::move(init);
+        guard_ = std::move(guard);
+    }
+
+  private:
+    std::vector<Variable> varVars_;
+    std::vector<Interval> varDom_;
+    std::vector<Variable> redVars_;
+    std::vector<Interval> redDom_;
+    std::vector<Expr> target_;
+    Expr update_;
+    ReduceOp op_ = ReduceOp::Sum;
+    Expr init_;
+    std::optional<Condition> guard_;
+};
+
+/**
+ * Handle to an accumulator.  Example (grayscale histogram, Fig. 3):
+ * @code
+ *   Accumulator hist("hist", {x}, {bins}, {i, j}, {rows, cols}, Int);
+ *   hist.accumulate({I(i, j)}, 1, ReduceOp::Sum);
+ * @endcode
+ * The evaluation iterates the reduction domain (i, j); each iteration
+ * combines the update value into the accumulator cell addressed by the
+ * target index expressions.
+ */
+class Accumulator
+{
+  public:
+    Accumulator(std::string name, std::vector<Variable> var_vars,
+                std::vector<Interval> var_dom,
+                std::vector<Variable> red_vars,
+                std::vector<Interval> red_dom, DType dtype);
+
+    const std::string &name() const { return data_->name(); }
+    DType dtype() const { return data_->dtype(); }
+    int numDims() const { return data_->numDims(); }
+
+    /**
+     * Define the accumulation.
+     *
+     * @param target index expressions (over the reduction variables)
+     *               addressing the accumulator cell to update
+     * @param update value combined into the cell
+     * @param op combining operator
+     * @param init initial cell value; defaults to the op identity
+     * @param guard optional condition restricting the reduction domain
+     */
+    void accumulate(std::vector<Expr> target, Expr update,
+                    ReduceOp op = ReduceOp::Sum, Expr init = Expr(),
+                    std::optional<Condition> guard = std::nullopt);
+
+    bool isDefined() const { return data_->isDefined(); }
+
+    /** Reference the accumulator's (final) value at the coordinates. */
+    Expr operator()(std::vector<Expr> args) const;
+
+    template <typename... E>
+    Expr
+    operator()(E &&...args) const
+    {
+        return (*this)(std::vector<Expr>{Expr(std::forward<E>(args))...});
+    }
+
+    std::shared_ptr<AccumData> data() const { return data_; }
+
+    bool operator==(const Accumulator &o) const { return data_ == o.data_; }
+
+  private:
+    std::shared_ptr<AccumData> data_;
+};
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_REDUCTION_HPP

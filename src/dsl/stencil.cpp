@@ -1,0 +1,99 @@
+#include "dsl/stencil.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::dsl {
+
+namespace {
+
+/** Fold term into sum, skipping the initial undefined accumulator. */
+void
+addTerm(Expr &sum, Expr term)
+{
+    sum = sum.defined() ? sum + term : term;
+}
+
+Expr
+weightTerm(Expr value, double w)
+{
+    if (w == 1.0)
+        return value;
+    if (w == -1.0)
+        return -value;
+    return value * Expr(w);
+}
+
+/** p + off rendered without the redundant "+ 0" / "+ -k" forms. */
+Expr
+offsetIndex(Expr p, std::int64_t off)
+{
+    if (off == 0)
+        return p;
+    if (off < 0)
+        return std::move(p) - Expr(-off);
+    return std::move(p) + Expr(off);
+}
+
+} // namespace
+
+Expr
+stencil(const std::function<Expr(Expr, Expr)> &access, Expr x, Expr y,
+        const std::vector<std::vector<double>> &weights, double scale)
+{
+    if (weights.empty() || weights[0].empty())
+        specError("stencil with empty weight matrix");
+    const std::size_t rows = weights.size();
+    const std::size_t cols = weights[0].size();
+    for (const auto &r : weights) {
+        if (r.size() != cols)
+            specError("stencil weight matrix is not rectangular");
+    }
+    if (rows % 2 == 0 || cols % 2 == 0)
+        specError("stencil weight matrix extents must be odd");
+
+    const std::int64_t ci = std::int64_t(rows) / 2;
+    const std::int64_t cj = std::int64_t(cols) / 2;
+    Expr sum;
+    for (std::size_t i = 0; i < rows; ++i) {
+        for (std::size_t j = 0; j < cols; ++j) {
+            const double w = weights[i][j];
+            if (w == 0.0)
+                continue;
+            Expr xi = offsetIndex(x, std::int64_t(i) - ci);
+            Expr yj = offsetIndex(y, std::int64_t(j) - cj);
+            addTerm(sum, weightTerm(access(xi, yj), w));
+        }
+    }
+    if (!sum.defined())
+        specError("stencil with all-zero weights");
+    if (scale != 1.0)
+        sum = sum * Expr(scale);
+    return sum;
+}
+
+Expr
+stencil1d(const std::function<Expr(Expr)> &access, Expr p,
+          const std::vector<double> &weights, double scale)
+{
+    if (weights.empty())
+        specError("stencil with empty weight vector");
+    if (weights.size() % 2 == 0)
+        specError("stencil weight vector length must be odd");
+
+    const std::int64_t c = std::int64_t(weights.size()) / 2;
+    Expr sum;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+        const double w = weights[i];
+        if (w == 0.0)
+            continue;
+        addTerm(sum,
+                weightTerm(access(offsetIndex(p, std::int64_t(i) - c)), w));
+    }
+    if (!sum.defined())
+        specError("stencil with all-zero weights");
+    if (scale != 1.0)
+        sum = sum * Expr(scale);
+    return sum;
+}
+
+} // namespace polymage::dsl

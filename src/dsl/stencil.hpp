@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The Stencil construct (paper §2): a compact way to specify spatial
+ * filtering as a weighted sum over a neighbourhood.  Expands into plain
+ * arithmetic on the accessed values.
+ */
+#ifndef POLYMAGE_DSL_STENCIL_HPP
+#define POLYMAGE_DSL_STENCIL_HPP
+
+#include <functional>
+#include <vector>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::dsl {
+
+/**
+ * 2-D stencil over @p access, centred at (x, y).
+ *
+ * Builds scale * sum_{i,j} weights[i][j] * access(x + i - ci, y + j - cj)
+ * where (ci, cj) is the centre of the weight matrix.  Zero weights are
+ * skipped.  The matrix must be rectangular with odd extents.
+ *
+ * @param access callback mapping two index Exprs to the accessed value,
+ *               typically a Function or Image handle
+ * @param x row variable/expression
+ * @param y column variable/expression
+ * @param weights weight matrix, weights[row][col]
+ * @param scale overall scale factor applied to the sum
+ */
+Expr stencil(const std::function<Expr(Expr, Expr)> &access, Expr x, Expr y,
+             const std::vector<std::vector<double>> &weights,
+             double scale = 1.0);
+
+/**
+ * Separable 1-D stencil along one dimension.
+ *
+ * Builds scale * sum_i weights[i] * access(p + i - c) where c is the
+ * centre index of the weight vector (length must be odd).
+ */
+Expr stencil1d(const std::function<Expr(Expr)> &access, Expr p,
+               const std::vector<double> &weights, double scale = 1.0);
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_STENCIL_HPP

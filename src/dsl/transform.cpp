@@ -1,0 +1,157 @@
+#include "dsl/transform.hpp"
+
+namespace polymage::dsl {
+
+namespace {
+
+using RewriteCache = std::map<const ExprNode *, Expr>;
+
+Expr rewriteCached(const Expr &e, const RewriteFn &fn,
+                   RewriteCache &cache);
+
+Condition
+rewriteCondCached(const Condition &c, const RewriteFn &fn,
+                  RewriteCache &cache)
+{
+    const CondNode &n = c.node();
+    if (n.kind == CondNode::Kind::Cmp) {
+        return Condition::cmp(rewriteCached(n.lhs, fn, cache), n.op,
+                              rewriteCached(n.rhs, fn, cache));
+    }
+    Condition ca = rewriteCondCached(Condition(n.a), fn, cache);
+    Condition cb = rewriteCondCached(Condition(n.b), fn, cache);
+    return n.kind == CondNode::Kind::And ? (ca & cb) : (ca | cb);
+}
+
+/**
+ * Memoised rewrite: expression trees are DAGs (shared subtrees, e.g.
+ * the corner coordinates of an interpolation); rewriting a shared node
+ * once keeps the sharing intact, which downstream code generation
+ * exploits for common-subexpression temporaries.
+ */
+Expr
+rewriteCached(const Expr &e, const RewriteFn &fn, RewriteCache &cache)
+{
+    auto hit = cache.find(&e.node());
+    if (hit != cache.end())
+        return hit->second;
+    const ExprNode &n = e.node();
+    Expr rebuilt;
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+      case ExprKind::ConstFloat:
+      case ExprKind::VarRef:
+      case ExprKind::ParamRef:
+        rebuilt = e;
+        break;
+      case ExprKind::Call: {
+        const auto &c = static_cast<const CallNode &>(n);
+        std::vector<Expr> args;
+        args.reserve(c.args.size());
+        for (const auto &a : c.args)
+            args.push_back(rewriteCached(a, fn, cache));
+        rebuilt = Expr(std::make_shared<CallNode>(c.callee,
+                                                  std::move(args)));
+        break;
+      }
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const BinOpNode &>(n);
+        Expr a = rewriteCached(b.a, fn, cache);
+        Expr c = rewriteCached(b.b, fn, cache);
+        rebuilt = Expr(std::make_shared<BinOpNode>(
+            b.op, std::move(a), std::move(c), n.dtype()));
+        break;
+      }
+      case ExprKind::UnOp: {
+        const auto &u = static_cast<const UnOpNode &>(n);
+        rebuilt = Expr(std::make_shared<UnOpNode>(
+            u.op, rewriteCached(u.a, fn, cache), n.dtype()));
+        break;
+      }
+      case ExprKind::Cast: {
+        const auto &c = static_cast<const CastNode &>(n);
+        rebuilt = Expr(std::make_shared<CastNode>(
+            n.dtype(), rewriteCached(c.a, fn, cache)));
+        break;
+      }
+      case ExprKind::Select: {
+        const auto &s = static_cast<const SelectNode &>(n);
+        rebuilt = Expr(std::make_shared<SelectNode>(
+            rewriteCondCached(s.cond, fn, cache),
+            rewriteCached(s.t, fn, cache),
+            rewriteCached(s.f, fn, cache), n.dtype()));
+        break;
+      }
+      case ExprKind::MathFn: {
+        const auto &m = static_cast<const MathFnNode &>(n);
+        std::vector<Expr> args;
+        args.reserve(m.args.size());
+        for (const auto &a : m.args)
+            args.push_back(rewriteCached(a, fn, cache));
+        rebuilt = Expr(std::make_shared<MathFnNode>(m.fn, std::move(args),
+                                                    n.dtype()));
+        break;
+      }
+    }
+    if (auto repl = fn(rebuilt.node())) {
+        cache.emplace(&n, *repl);
+        return *repl;
+    }
+    cache.emplace(&n, rebuilt);
+    return rebuilt;
+}
+
+} // namespace
+
+Expr
+rewriteExpr(const Expr &e, const RewriteFn &fn)
+{
+    RewriteCache cache;
+    return rewriteCached(e, fn, cache);
+}
+
+Condition
+rewriteCondition(const Condition &c, const RewriteFn &fn)
+{
+    RewriteCache cache;
+    return rewriteCondCached(c, fn, cache);
+}
+
+
+Expr
+substituteVars(const Expr &e, const std::map<int, Expr> &subst)
+{
+    return rewriteExpr(e, [&](const ExprNode &n) -> std::optional<Expr> {
+        if (n.kind() != ExprKind::VarRef)
+            return std::nullopt;
+        auto it = subst.find(static_cast<const VarRefNode &>(n).var->id);
+        if (it == subst.end())
+            return std::nullopt;
+        return it->second;
+    });
+}
+
+Condition
+substituteVars(const Condition &c, const std::map<int, Expr> &subst)
+{
+    return rewriteCondition(
+        c, [&](const ExprNode &n) -> std::optional<Expr> {
+            if (n.kind() != ExprKind::VarRef)
+                return std::nullopt;
+            auto it =
+                subst.find(static_cast<const VarRefNode &>(n).var->id);
+            if (it == subst.end())
+                return std::nullopt;
+            return it->second;
+        });
+}
+
+int
+countNodes(const Expr &e)
+{
+    int count = 0;
+    forEachNode(e, [&](const ExprNode &) { ++count; });
+    return count;
+}
+
+} // namespace polymage::dsl

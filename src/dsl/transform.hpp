@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Structural rewriting of DSL expressions and conditions, used by the
+ * inlining pass and schedule-driven code generation.
+ */
+#ifndef POLYMAGE_DSL_TRANSFORM_HPP
+#define POLYMAGE_DSL_TRANSFORM_HPP
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::dsl {
+
+/**
+ * Callback deciding node replacements.  Invoked bottom-up on every node
+ * after its children were rewritten; returning an Expr substitutes the
+ * node, returning nullopt keeps the (rebuilt) node.
+ */
+using RewriteFn = std::function<std::optional<Expr>(const ExprNode &)>;
+
+/** Rewrite an expression bottom-up with @p fn. */
+Expr rewriteExpr(const Expr &e, const RewriteFn &fn);
+
+/** Rewrite the expressions inside a condition bottom-up with @p fn. */
+Condition rewriteCondition(const Condition &c, const RewriteFn &fn);
+
+/** Substitute variables by expressions (keyed by variable entity id). */
+Expr substituteVars(const Expr &e, const std::map<int, Expr> &subst);
+
+/** Substitute variables inside a condition. */
+Condition substituteVars(const Condition &c,
+                         const std::map<int, Expr> &subst);
+
+/** Number of nodes in an expression tree (for inlining size limits). */
+int countNodes(const Expr &e);
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_TRANSFORM_HPP

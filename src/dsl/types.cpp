@@ -1,0 +1,91 @@
+#include "dsl/types.hpp"
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::dsl {
+
+std::size_t
+dtypeSize(DType t)
+{
+    switch (t) {
+      case DType::UChar: return 1;
+      case DType::Short: return 2;
+      case DType::UShort: return 2;
+      case DType::Int: return 4;
+      case DType::Long: return 8;
+      case DType::Float: return 4;
+      case DType::Double: return 8;
+    }
+    internalError("unknown dtype");
+}
+
+const char *
+dtypeCName(DType t)
+{
+    switch (t) {
+      case DType::UChar: return "unsigned char";
+      case DType::Short: return "short";
+      case DType::UShort: return "unsigned short";
+      case DType::Int: return "int";
+      case DType::Long: return "long long";
+      case DType::Float: return "float";
+      case DType::Double: return "double";
+    }
+    internalError("unknown dtype");
+}
+
+const char *
+dtypeName(DType t)
+{
+    switch (t) {
+      case DType::UChar: return "UChar";
+      case DType::Short: return "Short";
+      case DType::UShort: return "UShort";
+      case DType::Int: return "Int";
+      case DType::Long: return "Long";
+      case DType::Float: return "Float";
+      case DType::Double: return "Double";
+    }
+    internalError("unknown dtype");
+}
+
+bool
+dtypeIsFloat(DType t)
+{
+    return t == DType::Float || t == DType::Double;
+}
+
+bool
+dtypeIsSignedInt(DType t)
+{
+    return t == DType::Short || t == DType::Int || t == DType::Long;
+}
+
+int
+dtypeRank(DType t)
+{
+    switch (t) {
+      case DType::UChar: return 0;
+      case DType::Short: return 1;
+      case DType::UShort: return 2;
+      case DType::Int: return 3;
+      case DType::Long: return 4;
+      case DType::Float: return 5;
+      case DType::Double: return 6;
+    }
+    internalError("unknown dtype");
+}
+
+DType
+dtypePromote(DType a, DType b)
+{
+    if (a == b)
+        return a;
+    DType hi = dtypeRank(a) >= dtypeRank(b) ? a : b;
+    // Mixed narrow integer arithmetic widens to Int, as in C.
+    if (!dtypeIsFloat(hi) && dtypeRank(hi) < dtypeRank(DType::Int))
+        return DType::Int;
+    return hi;
+}
+
+} // namespace polymage::dsl

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Scalar element types usable in PolyMage pipelines, with the promotion
+ * rules applied to mixed-type expressions and the mapping to C++ type
+ * names used by the code generator.
+ */
+#ifndef POLYMAGE_DSL_TYPES_HPP
+#define POLYMAGE_DSL_TYPES_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace polymage::dsl {
+
+/** Element type of images, functions and expressions. */
+enum class DType {
+    UChar,   ///< 8-bit unsigned integer
+    Short,   ///< 16-bit signed integer
+    UShort,  ///< 16-bit unsigned integer
+    Int,     ///< 32-bit signed integer
+    Long,    ///< 64-bit signed integer
+    Float,   ///< 32-bit IEEE float
+    Double,  ///< 64-bit IEEE float
+};
+
+/** Size of one element in bytes. */
+std::size_t dtypeSize(DType t);
+
+/** C++ spelling of the type, as emitted in generated code. */
+const char *dtypeCName(DType t);
+
+/** Short human-readable name used in diagnostics. */
+const char *dtypeName(DType t);
+
+/** True for Float/Double. */
+bool dtypeIsFloat(DType t);
+
+/** True for the signed integer types (Short, Int, Long). */
+bool dtypeIsSignedInt(DType t);
+
+/**
+ * Result type of a binary arithmetic operation on operands of types a
+ * and b.  Floats dominate integers, wider dominates narrower, and mixed
+ * integer arithmetic widens to Int (matching C integer promotion closely
+ * enough for image kernels).
+ */
+DType dtypePromote(DType a, DType b);
+
+/** Rank used by dtypePromote; exposed for tests. */
+int dtypeRank(DType t);
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_TYPES_HPP

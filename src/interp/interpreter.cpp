@@ -1,0 +1,441 @@
+#include "interp/interpreter.hpp"
+
+#include <cmath>
+#include <functional>
+
+#include "poly/range.hpp"
+#include "support/diagnostics.hpp"
+#include "support/intmath.hpp"
+
+namespace polymage::interp {
+
+using dsl::BinOpKind;
+using dsl::DType;
+using dsl::Expr;
+using dsl::ExprKind;
+using dsl::MathFnKind;
+
+namespace {
+
+/** Coerce a value to an element type with C conversion semantics. */
+double
+coerce(DType t, double v)
+{
+    switch (t) {
+      case DType::UChar:
+        return double(
+            static_cast<unsigned char>(static_cast<std::int64_t>(v)));
+      case DType::Short:
+        return double(static_cast<short>(static_cast<std::int64_t>(v)));
+      case DType::UShort:
+        return double(
+            static_cast<unsigned short>(static_cast<std::int64_t>(v)));
+      case DType::Int:
+        return double(static_cast<int>(static_cast<std::int64_t>(v)));
+      case DType::Long:
+        return double(static_cast<long long>(v));
+      case DType::Float:
+        return double(static_cast<float>(v));
+      case DType::Double:
+        return v;
+    }
+    internalError("unknown dtype");
+}
+
+/** Evaluation context for one pipeline run. */
+struct Ctx
+{
+    const pg::PipelineGraph *graph = nullptr;
+    std::map<int, std::int64_t> params;     // param id -> value
+    std::map<int, std::int64_t> vars;       // var id -> current value
+    std::map<int, const rt::Buffer *> bufs; // callable id -> buffer
+    const EvalOptions *opts = nullptr;
+};
+
+double evalExpr(const Expr &e, Ctx &ctx);
+
+bool
+evalCond(const dsl::Condition &c, Ctx &ctx)
+{
+    const dsl::CondNode &n = c.node();
+    switch (n.kind) {
+      case dsl::CondNode::Kind::And:
+        return evalCond(dsl::Condition(n.a), ctx) &&
+               evalCond(dsl::Condition(n.b), ctx);
+      case dsl::CondNode::Kind::Or:
+        return evalCond(dsl::Condition(n.a), ctx) ||
+               evalCond(dsl::Condition(n.b), ctx);
+      case dsl::CondNode::Kind::Cmp: {
+        const double a = evalExpr(n.lhs, ctx);
+        const double b = evalExpr(n.rhs, ctx);
+        switch (n.op) {
+          case dsl::CmpOp::LT: return a < b;
+          case dsl::CmpOp::LE: return a <= b;
+          case dsl::CmpOp::GT: return a > b;
+          case dsl::CmpOp::GE: return a >= b;
+          case dsl::CmpOp::EQ: return a == b;
+          case dsl::CmpOp::NE: return a != b;
+        }
+        internalError("unknown cmp");
+      }
+    }
+    internalError("unknown condition node");
+}
+
+std::int64_t
+evalIndex(const Expr &e, Ctx &ctx)
+{
+    // Index expressions are integer-typed; their double carrier is
+    // exact, so rounding recovers the integer.
+    return std::llround(evalExpr(e, ctx));
+}
+
+double
+evalCall(const dsl::CallNode &call, Ctx &ctx)
+{
+    auto it = ctx.bufs.find(call.callee->id());
+    PM_ASSERT(it != ctx.bufs.end(), "stage evaluated before producer");
+    const rt::Buffer &buf = *it->second;
+
+    std::vector<std::int64_t> coords(call.args.size());
+    for (std::size_t d = 0; d < call.args.size(); ++d)
+        coords[d] = evalIndex(call.args[d], ctx);
+    if (!buf.inBounds(coords.data())) {
+        std::string pos;
+        for (std::size_t d = 0; d < coords.size(); ++d)
+            pos += (d ? ", " : "") + std::to_string(coords[d]);
+        specError("runtime out-of-bounds access to '",
+                  call.callee->name(), "' at (", pos, ")");
+    }
+    return buf.loadAsDouble(buf.flatIndex(coords.data()));
+}
+
+double
+evalBinOp(const dsl::BinOpNode &b, Ctx &ctx)
+{
+    const double x = evalExpr(b.a, ctx);
+    const double y = evalExpr(b.b, ctx);
+    const bool integral = !dsl::dtypeIsFloat(b.dtype());
+    switch (b.op) {
+      case BinOpKind::Add: return x + y;
+      case BinOpKind::Sub: return x - y;
+      case BinOpKind::Mul: return x * y;
+      case BinOpKind::Div:
+        if (integral) {
+            const auto yi = std::int64_t(y);
+            if (yi == 0)
+                specError("integer division by zero in pipeline");
+            return double(floorDiv(std::int64_t(x), yi));
+        }
+        return x / y;
+      case BinOpKind::Mod: {
+        if (integral) {
+            const auto yi = std::int64_t(y);
+            if (yi == 0)
+                specError("integer modulo by zero in pipeline");
+            return double(floorMod(std::int64_t(x), yi));
+        }
+        return std::fmod(x, y);
+      }
+      case BinOpKind::Min: return std::min(x, y);
+      case BinOpKind::Max: return std::max(x, y);
+    }
+    internalError("unknown binop");
+}
+
+double
+evalMathFn(const dsl::MathFnNode &m, Ctx &ctx)
+{
+    const double a = evalExpr(m.args[0], ctx);
+    switch (m.fn) {
+      case MathFnKind::Exp: return std::exp(a);
+      case MathFnKind::Log: return std::log(a);
+      case MathFnKind::Sqrt: return std::sqrt(a);
+      case MathFnKind::Sin: return std::sin(a);
+      case MathFnKind::Cos: return std::cos(a);
+      case MathFnKind::Abs: return std::abs(a);
+      case MathFnKind::Pow: return std::pow(a, evalExpr(m.args[1], ctx));
+      case MathFnKind::Floor: return std::floor(a);
+      case MathFnKind::Ceil: return std::ceil(a);
+    }
+    internalError("unknown math fn");
+}
+
+double
+evalExpr(const Expr &e, Ctx &ctx)
+{
+    const dsl::ExprNode &n = e.node();
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+        return coerce(n.dtype(),
+                      double(static_cast<const dsl::ConstIntNode &>(n)
+                                 .value));
+      case ExprKind::ConstFloat:
+        return coerce(n.dtype(),
+                      static_cast<const dsl::ConstFloatNode &>(n).value);
+      case ExprKind::VarRef: {
+        const int id = static_cast<const dsl::VarRefNode &>(n).var->id;
+        auto it = ctx.vars.find(id);
+        if (it == ctx.vars.end())
+            specError("expression references a variable outside its ",
+                      "function domain");
+        return double(it->second);
+      }
+      case ExprKind::ParamRef: {
+        const int id =
+            static_cast<const dsl::ParamRefNode &>(n).param->id;
+        auto it = ctx.params.find(id);
+        PM_ASSERT(it != ctx.params.end(), "unbound parameter");
+        return double(it->second);
+      }
+      case ExprKind::Call:
+        return evalCall(static_cast<const dsl::CallNode &>(n), ctx);
+      case ExprKind::BinOp:
+        return coerce(n.dtype(),
+                      evalBinOp(static_cast<const dsl::BinOpNode &>(n),
+                                ctx));
+      case ExprKind::UnOp:
+        return coerce(
+            n.dtype(),
+            -evalExpr(static_cast<const dsl::UnOpNode &>(n).a, ctx));
+      case ExprKind::Cast:
+        return coerce(
+            n.dtype(),
+            evalExpr(static_cast<const dsl::CastNode &>(n).a, ctx));
+      case ExprKind::Select: {
+        const auto &s = static_cast<const dsl::SelectNode &>(n);
+        return coerce(n.dtype(), evalCond(s.cond, ctx)
+                                     ? evalExpr(s.t, ctx)
+                                     : evalExpr(s.f, ctx));
+      }
+      case ExprKind::MathFn:
+        return coerce(
+            n.dtype(),
+            evalMathFn(static_cast<const dsl::MathFnNode &>(n), ctx));
+    }
+    internalError("unknown expr node");
+}
+
+/** Evaluate a parameter-only expression to an integer. */
+std::int64_t
+evalParamExpr(const Expr &e, const std::map<int, std::int64_t> &params,
+              const char *what)
+{
+    poly::RangeEnv env;
+    env.params = params;
+    auto v = poly::evalConstant(e, env);
+    if (!v) {
+        specError(what, " '", dsl::toString(e),
+                  "' is not an integer expression of parameters");
+    }
+    return *v;
+}
+
+/** Run nested loops over [lo[d], hi[d]] binding vars and calling body. */
+void
+forEachPoint(const std::vector<dsl::Variable> &vars,
+             const std::vector<std::int64_t> &lo,
+             const std::vector<std::int64_t> &hi, Ctx &ctx,
+             const std::function<void()> &body, std::size_t d = 0)
+{
+    if (d == vars.size()) {
+        body();
+        return;
+    }
+    for (std::int64_t v = lo[d]; v <= hi[d]; ++v) {
+        ctx.vars[vars[d].id()] = v;
+        forEachPoint(vars, lo, hi, ctx, body, d + 1);
+    }
+    ctx.vars.erase(vars[d].id());
+}
+
+/** Evaluate interval bounds of a domain under the run's parameters. */
+void
+domainBounds(const std::vector<dsl::Interval> &dom,
+             const std::map<int, std::int64_t> &params,
+             std::vector<std::int64_t> &lo, std::vector<std::int64_t> &hi)
+{
+    lo.clear();
+    hi.clear();
+    for (const auto &iv : dom) {
+        lo.push_back(evalParamExpr(iv.lower(), params, "interval bound"));
+        hi.push_back(evalParamExpr(iv.upper(), params, "interval bound"));
+    }
+}
+
+double
+combine(dsl::ReduceOp op, double acc, double v)
+{
+    switch (op) {
+      case dsl::ReduceOp::Sum: return acc + v;
+      case dsl::ReduceOp::Product: return acc * v;
+      case dsl::ReduceOp::Min: return std::min(acc, v);
+      case dsl::ReduceOp::Max: return std::max(acc, v);
+    }
+    internalError("unknown reduce op");
+}
+
+void
+evalFunctionStage(const pg::Stage &s, rt::Buffer &out, Ctx &ctx)
+{
+    const dsl::FuncData &f = s.func();
+    std::vector<std::int64_t> lo, hi;
+    domainBounds(f.dom(), ctx.params, lo, hi);
+    const auto &vars = f.vars();
+    std::vector<std::int64_t> coords(vars.size());
+
+    forEachPoint(vars, lo, hi, ctx, [&] {
+        for (std::size_t d = 0; d < vars.size(); ++d)
+            coords[d] = ctx.vars.at(vars[d].id());
+        bool matched = false;
+        for (const auto &cs : f.cases()) {
+            if (cs.hasCondition() && !evalCond(cs.condition(), ctx))
+                continue;
+            if (matched && ctx.opts->checkCaseOverlap) {
+                specError("function '", f.name(),
+                          "' has overlapping cases; the definition is ",
+                          "ambiguous");
+            }
+            const double v = coerce(f.dtype(), evalExpr(cs.value(), ctx));
+            out.storeFromDouble(out.flatIndex(coords.data()), v);
+            matched = true;
+            if (!ctx.opts->checkCaseOverlap)
+                break;
+        }
+        // Unmatched points stay at their zero-initialised value.
+    });
+}
+
+void
+evalAccumulatorStage(const pg::Stage &s, rt::Buffer &out, Ctx &ctx)
+{
+    const dsl::AccumData &a = s.accum();
+
+    // Initialise the variable domain.
+    const double init = coerce(a.dtype(), evalExpr(a.init(), ctx));
+    out.fill(init);
+
+    // Sweep the reduction domain.
+    std::vector<std::int64_t> lo, hi;
+    domainBounds(a.redDom(), ctx.params, lo, hi);
+    std::vector<std::int64_t> target(a.targetIndices().size());
+    forEachPoint(a.redVars(), lo, hi, ctx, [&] {
+        if (a.guard() && !evalCond(*a.guard(), ctx))
+            return;
+        for (std::size_t d = 0; d < target.size(); ++d)
+            target[d] = evalIndex(a.targetIndices()[d], ctx);
+        if (!out.inBounds(target.data())) {
+            specError("accumulator '", a.name(),
+                      "' update targets a cell outside its domain");
+        }
+        const std::int64_t flat = out.flatIndex(target.data());
+        const double v = evalExpr(a.update(), ctx);
+        out.storeFromDouble(
+            flat,
+            coerce(a.dtype(), combine(a.op(), out.loadAsDouble(flat), v)));
+    });
+}
+
+} // namespace
+
+std::vector<std::int64_t>
+stageShape(const pg::Stage &s, const pg::PipelineGraph &g,
+           const std::vector<std::int64_t> &params)
+{
+    std::map<int, std::int64_t> pv;
+    PM_ASSERT(params.size() == g.params().size(),
+              "parameter count mismatch");
+    for (std::size_t i = 0; i < params.size(); ++i)
+        pv[g.params()[i]->id] = params[i];
+
+    const auto &dom = s.isFunction() ? s.func().dom() : s.accum().varDom();
+    std::vector<std::int64_t> shape;
+    for (const auto &iv : dom) {
+        const std::int64_t lo =
+            evalParamExpr(iv.lower(), pv, "interval bound");
+        const std::int64_t hi =
+            evalParamExpr(iv.upper(), pv, "interval bound");
+        if (lo < 0) {
+            specError("stage '", s.name(), "' has a negative domain ",
+                      "lower bound (", lo, "); allocations cover [0, hi]");
+        }
+        if (hi < lo)
+            specError("stage '", s.name(), "' has an empty domain");
+        shape.push_back(hi + 1);
+    }
+    return shape;
+}
+
+std::vector<std::int64_t>
+imageShape(const dsl::ImageData &img, const pg::PipelineGraph &g,
+           const std::vector<std::int64_t> &params)
+{
+    std::map<int, std::int64_t> pv;
+    for (std::size_t i = 0; i < params.size(); ++i)
+        pv[g.params()[i]->id] = params[i];
+    std::vector<std::int64_t> shape;
+    for (const auto &e : img.extents())
+        shape.push_back(evalParamExpr(e, pv, "image extent"));
+    return shape;
+}
+
+EvalResult
+evaluate(const pg::PipelineGraph &g,
+         const std::vector<std::int64_t> &params,
+         const std::vector<const rt::Buffer *> &inputs,
+         const EvalOptions &opts)
+{
+    if (params.size() != g.params().size()) {
+        specError("pipeline '", g.name(), "' expects ",
+                  g.params().size(), " parameters, got ", params.size());
+    }
+    if (inputs.size() != g.images().size()) {
+        specError("pipeline '", g.name(), "' expects ",
+                  g.images().size(), " input images, got ",
+                  inputs.size());
+    }
+
+    Ctx ctx;
+    ctx.graph = &g;
+    ctx.opts = &opts;
+    for (std::size_t i = 0; i < params.size(); ++i)
+        ctx.params[g.params()[i]->id] = params[i];
+
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        const auto &img = *g.images()[i];
+        PM_ASSERT(inputs[i] != nullptr, "null input buffer");
+        const auto want = imageShape(img, g, params);
+        if (inputs[i]->dims() != want) {
+            specError("input image '", img.name(),
+                      "' has mismatched dimensions");
+        }
+        if (inputs[i]->dtype() != img.dtype()) {
+            specError("input image '", img.name(), "' expects dtype ",
+                      dsl::dtypeName(img.dtype()), ", got ",
+                      dsl::dtypeName(inputs[i]->dtype()));
+        }
+        ctx.bufs[img.id()] = inputs[i];
+    }
+
+    EvalResult result;
+    for (const pg::Stage &s : g.stages()) {
+        rt::Buffer buf(s.callable->dtype(), stageShape(s, g, params));
+        // Self-recurrent stages read their own partially-filled buffer.
+        ctx.bufs[s.callable->id()] = nullptr; // placeholder
+        result.stageBuffers[s.callable->id()] = std::move(buf);
+        rt::Buffer &stored = result.stageBuffers[s.callable->id()];
+        ctx.bufs[s.callable->id()] = &stored;
+        if (s.isFunction())
+            evalFunctionStage(s, stored, ctx);
+        else
+            evalAccumulatorStage(s, stored, ctx);
+    }
+
+    for (int out_idx : g.outputs()) {
+        result.outputs.push_back(
+            result.stageBuffers.at(g.stage(out_idx).callable->id()));
+    }
+    return result;
+}
+
+} // namespace polymage::interp

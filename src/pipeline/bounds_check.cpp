@@ -1,0 +1,298 @@
+#include "pipeline/bounds_check.hpp"
+
+#include <set>
+#include <sstream>
+
+#include "poly/cond_box.hpp"
+#include "poly/set.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::pg {
+
+using dsl::Expr;
+using poly::AffineExpr;
+using poly::IntRange;
+using poly::RangeEnv;
+
+namespace {
+
+/** Per-dimension target bounds of an accessed producer. */
+struct TargetDim
+{
+    Expr lo, hi; // inclusive bounds as DSL expressions
+};
+
+std::vector<TargetDim>
+targetDims(const dsl::CallableData &callee)
+{
+    std::vector<TargetDim> dims;
+    switch (callee.kind()) {
+      case dsl::CallableData::Kind::Image: {
+        const auto &img = static_cast<const dsl::ImageData &>(callee);
+        for (const auto &e : img.extents())
+            dims.push_back({Expr(0), e - Expr(1)});
+        break;
+      }
+      case dsl::CallableData::Kind::Function: {
+        const auto &f = static_cast<const dsl::FuncData &>(callee);
+        for (const auto &iv : f.dom())
+            dims.push_back({iv.lower(), iv.upper()});
+        break;
+      }
+      case dsl::CallableData::Kind::Accumulator: {
+        const auto &a = static_cast<const dsl::AccumData &>(callee);
+        for (const auto &iv : a.varDom())
+            dims.push_back({iv.lower(), iv.upper()});
+        break;
+      }
+    }
+    return dims;
+}
+
+/** Context for checking one definition piece (a case or accumulation). */
+struct PieceContext
+{
+    const PipelineGraph *graph = nullptr;
+    const Stage *stage = nullptr;
+    RangeEnv env;                       // case-refined variable ranges
+    std::set<int> varIds;               // iteration variable ids
+    poly::IntegerSet domainSet;         // affine domain + condition
+    // domainSet holds every affine constraint that could be extracted;
+    // unanalysable conjuncts are simply dropped, which over-approximates
+    // the domain and keeps the Fourier-Motzkin emptiness test sound.
+    BoundsReport *report = nullptr;
+};
+
+Rational
+paramBinding(const RangeEnv &env, int id)
+{
+    auto it = env.params.find(id);
+    // Symbols without estimates are parameters never registered;
+    // estimateEnv always carries a fallback, so this is internal.
+    PM_ASSERT(it != env.params.end(), "missing parameter estimate");
+    return Rational(it->second);
+}
+
+/**
+ * Exact affine fallback: is the violation set
+ *   domain and (index < lo  or  index > hi)
+ * empty?  Returns true when emptiness is proven.
+ */
+bool
+proveInBoundsAffine(const PieceContext &ctx, const Expr &index,
+                    const TargetDim &target)
+{
+    auto idx = poly::affineFromExpr(index);
+    auto lo = poly::affineFromExpr(target.lo);
+    auto hi = poly::affineFromExpr(target.hi);
+    if (!idx || !lo || !hi)
+        return false;
+
+    auto binding = [&](int id) {
+        return paramBinding(ctx.env, id);
+    };
+
+    // Violation below: lo - idx - 1 >= 0.
+    poly::IntegerSet below = ctx.domainSet;
+    below.addGe(*lo - *idx - AffineExpr(1));
+    if (!below.emptyAfterEliminating(ctx.varIds, binding))
+        return false;
+
+    // Violation above: idx - hi - 1 >= 0.
+    poly::IntegerSet above = ctx.domainSet;
+    above.addGe(*idx - *hi - AffineExpr(1));
+    return above.emptyAfterEliminating(ctx.varIds, binding);
+}
+
+void
+checkCall(const PieceContext &ctx, const dsl::CallNode &call)
+{
+    const auto dims = targetDims(*call.callee);
+    for (std::size_t d = 0; d < dims.size(); ++d) {
+        const Expr &index = call.args[d];
+        auto t_lo = poly::evalConstant(dims[d].lo, ctx.env);
+        auto t_hi = poly::evalConstant(dims[d].hi, ctx.env);
+        auto r = poly::evalRange(index, ctx.env);
+
+        if (t_lo && t_hi && r && t_lo <= r->lo && r->hi <= t_hi)
+            continue; // interval analysis proves the access safe
+
+        if (proveInBoundsAffine(ctx, index, dims[d]))
+            continue; // exact affine analysis proves it safe
+
+        if (!r || !t_lo || !t_hi) {
+            std::ostringstream os;
+            os << "cannot analyse access to '" << call.callee->name()
+               << "' dim " << d << " from stage '" << ctx.stage->name()
+               << "' (index " << dsl::toString(index) << ")";
+            ctx.report->warnings.push_back(os.str());
+            continue;
+        }
+
+        specError("stage '", ctx.stage->name(), "' accesses '",
+                  call.callee->name(), "' out of bounds in dim ", d,
+                  ": index ", dsl::toString(index), " spans [", r->lo,
+                  ", ", r->hi, "] but the domain is [", *t_lo, ", ",
+                  *t_hi, "] (under parameter estimates)");
+    }
+}
+
+void
+checkExpr(const PieceContext &ctx, const Expr &e)
+{
+    dsl::forEachNode(e, [&](const dsl::ExprNode &n) {
+        if (n.kind() == dsl::ExprKind::Call)
+            checkCall(ctx, static_cast<const dsl::CallNode &>(n));
+    });
+}
+
+void
+checkCondExpr(const PieceContext &ctx, const dsl::Condition &c)
+{
+    dsl::forEachNode(c, [&](const dsl::ExprNode &n) {
+        if (n.kind() == dsl::ExprKind::Call)
+            checkCall(ctx, static_cast<const dsl::CallNode &>(n));
+    });
+}
+
+/** Base context over the stage's loop domain (no case refinement). */
+PieceContext
+baseContext(const PipelineGraph &g, const Stage &s, BoundsReport &report)
+{
+    PieceContext ctx;
+    ctx.graph = &g;
+    ctx.stage = &s;
+    ctx.report = &report;
+    ctx.env = g.estimateEnv();
+
+    const auto &vars = s.loopVars();
+    const auto &dom = s.loopDom();
+    for (std::size_t d = 0; d < vars.size(); ++d) {
+        ctx.varIds.insert(vars[d].id());
+        auto lo = poly::evalConstant(dom[d].lower(), g.estimateEnv());
+        auto hi = poly::evalConstant(dom[d].upper(), g.estimateEnv());
+        if (lo && hi)
+            ctx.env.vars[vars[d].id()] = IntRange{*lo, *hi};
+
+        auto alo = poly::affineFromExpr(dom[d].lower());
+        auto ahi = poly::affineFromExpr(dom[d].upper());
+        if (alo && ahi)
+            ctx.domainSet.addBounds(vars[d].id(), *alo, *ahi);
+    }
+    return ctx;
+}
+
+/**
+ * Add a conjunctive affine condition to a set; false when any part is
+ * a disjunction, inequality (!=), or non-affine comparison.
+ */
+bool
+tryAddAffineCond(poly::IntegerSet &set, const dsl::CondNode &n)
+{
+    using dsl::CmpOp;
+    using dsl::CondNode;
+    switch (n.kind) {
+      case CondNode::Kind::And:
+        return tryAddAffineCond(set, *n.a) && tryAddAffineCond(set, *n.b);
+      case CondNode::Kind::Or:
+        return false;
+      case CondNode::Kind::Cmp: {
+        auto lhs = poly::affineFromExpr(n.lhs);
+        auto rhs = poly::affineFromExpr(n.rhs);
+        if (!lhs || !rhs)
+            return false;
+        const AffineExpr diff = *lhs - *rhs;
+        switch (n.op) {
+          case CmpOp::GE: set.addGe(diff); return true;
+          case CmpOp::GT: set.addGe(diff - AffineExpr(1)); return true;
+          case CmpOp::LE: set.addGe(-diff); return true;
+          case CmpOp::LT: set.addGe(-diff - AffineExpr(1)); return true;
+          case CmpOp::EQ: set.addEq(diff); return true;
+          case CmpOp::NE: return false;
+        }
+        return false;
+      }
+    }
+    return false;
+}
+
+/** Refine a context with a case condition (box part tightens ranges). */
+void
+refineWithCondition(PieceContext &ctx, const dsl::Condition &cond)
+{
+    poly::CondBox box = poly::analyzeCondition(cond, ctx.varIds);
+    auto binding = [&](int id) { return paramBinding(ctx.env, id); };
+    for (const auto &[var, vb] : box.bounds) {
+        auto it = ctx.env.vars.find(var);
+        for (const auto &lo : vb.lowers) {
+            const std::int64_t v = lo.eval(binding).ceil();
+            ctx.domainSet.addGe(AffineExpr::symbol(var) - lo);
+            if (it != ctx.env.vars.end())
+                it->second.lo = std::max(it->second.lo, v);
+        }
+        for (const auto &hi : vb.uppers) {
+            const std::int64_t v = hi.eval(binding).floor();
+            ctx.domainSet.addGe(hi - AffineExpr::symbol(var));
+            if (it != ctx.env.vars.end())
+                it->second.hi = std::min(it->second.hi, v);
+        }
+    }
+    // Residual conjuncts that are still affine (e.g. multi-variable
+    // comparisons like y <= x) feed the Fourier-Motzkin domain;
+    // anything else is dropped (over-approximation, still sound).
+    for (const auto &res : box.residual)
+        (void)tryAddAffineCond(ctx.domainSet, res.node());
+}
+
+} // namespace
+
+BoundsReport
+checkBounds(const PipelineGraph &g)
+{
+    BoundsReport report;
+    for (const Stage &s : g.stages()) {
+        if (s.isFunction()) {
+            for (const auto &cs : s.func().cases()) {
+                PieceContext ctx = baseContext(g, s, report);
+                if (cs.hasCondition()) {
+                    refineWithCondition(ctx, cs.condition());
+                    checkCondExpr(ctx, cs.condition());
+                }
+                checkExpr(ctx, cs.value());
+            }
+        } else {
+            const auto &a = s.accum();
+            PieceContext ctx = baseContext(g, s, report);
+            if (a.guard()) {
+                refineWithCondition(ctx, *a.guard());
+                checkCondExpr(ctx, *a.guard());
+            }
+            checkExpr(ctx, a.update());
+            // Target indices must land inside the accumulator's own
+            // variable domain.
+            for (std::size_t d = 0; d < a.targetIndices().size(); ++d) {
+                const Expr &idx = a.targetIndices()[d];
+                checkExpr(ctx, idx);
+                auto r = poly::evalRange(idx, ctx.env);
+                auto lo = poly::evalConstant(a.varDom()[d].lower(),
+                                             ctx.env);
+                auto hi = poly::evalConstant(a.varDom()[d].upper(),
+                                             ctx.env);
+                if (r && lo && hi && (r->lo < *lo || r->hi > *hi)) {
+                    specError("accumulator '", a.name(),
+                              "' target index dim ", d, " spans [", r->lo,
+                              ", ", r->hi, "] outside its domain [", *lo,
+                              ", ", *hi, "]");
+                }
+                if (!r || !lo || !hi) {
+                    report.warnings.push_back(
+                        "cannot analyse target index of accumulator '" +
+                        a.name() + "'");
+                }
+            }
+        }
+    }
+    return report;
+}
+
+} // namespace polymage::pg

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Static bounds checking (paper §3): verifies that every analysable
+ * access to a function, accumulator, or image stays within the
+ * producer's domain.  Violations raise SpecError; accesses that cannot
+ * be analysed (non-affine, unbounded data-dependent indices) are
+ * reported as warnings, mirroring the paper's restriction to affine
+ * accesses.
+ */
+#ifndef POLYMAGE_PIPELINE_BOUNDS_CHECK_HPP
+#define POLYMAGE_PIPELINE_BOUNDS_CHECK_HPP
+
+#include <string>
+#include <vector>
+
+#include "pipeline/graph.hpp"
+
+namespace polymage::pg {
+
+/** Outcome of the bounds check: warnings for unanalysable accesses. */
+struct BoundsReport
+{
+    std::vector<std::string> warnings;
+};
+
+/**
+ * Check all accesses in the pipeline.
+ *
+ * Two analyses cooperate: conservative interval propagation over the
+ * stage's (case-refined) domain box, and an exact Fourier-Motzkin
+ * emptiness test of the violation set for fully affine accesses, which
+ * rescues accesses the interval analysis over-approximates (e.g.
+ * correlated indices).  Parameters are evaluated at their estimates.
+ *
+ * @throws SpecError when an access provably leaves the producer domain.
+ */
+BoundsReport checkBounds(const PipelineGraph &g);
+
+} // namespace polymage::pg
+
+#endif // POLYMAGE_PIPELINE_BOUNDS_CHECK_HPP

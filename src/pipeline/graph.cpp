@@ -1,0 +1,351 @@
+#include "pipeline/graph.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::pg {
+
+using dsl::AccumData;
+using dsl::CallableData;
+using dsl::CallablePtr;
+using dsl::Expr;
+using dsl::FuncData;
+
+const FuncData &
+Stage::func() const
+{
+    PM_ASSERT(isFunction(), "stage is not a function");
+    return static_cast<const FuncData &>(*callable);
+}
+
+const AccumData &
+Stage::accum() const
+{
+    PM_ASSERT(isAccumulator(), "stage is not an accumulator");
+    return static_cast<const AccumData &>(*callable);
+}
+
+const std::vector<dsl::Variable> &
+Stage::loopVars() const
+{
+    return isFunction() ? func().vars() : accum().redVars();
+}
+
+const std::vector<dsl::Interval> &
+Stage::loopDom() const
+{
+    return isFunction() ? func().dom() : accum().redDom();
+}
+
+namespace {
+
+/** All root expressions of a stage's definition, for traversal. */
+void
+forEachRootExpr(const CallableData &c,
+                const std::function<void(const Expr &)> &fn,
+                const std::function<void(const dsl::Condition &)> &cfn)
+{
+    if (c.kind() == CallableData::Kind::Function) {
+        const auto &f = static_cast<const FuncData &>(c);
+        if (!f.isDefined())
+            specError("function '", f.name(), "' is used but never defined");
+        for (const auto &cs : f.cases()) {
+            if (cs.hasCondition())
+                cfn(cs.condition());
+            fn(cs.value());
+        }
+        for (const auto &iv : f.dom()) {
+            fn(iv.lower());
+            fn(iv.upper());
+        }
+    } else {
+        const auto &a = static_cast<const AccumData &>(c);
+        if (!a.isDefined()) {
+            specError("accumulator '", a.name(),
+                      "' is used but never defined");
+        }
+        for (const auto &t : a.targetIndices())
+            fn(t);
+        fn(a.update());
+        fn(a.init());
+        if (a.guard())
+            cfn(*a.guard());
+        for (const auto &iv : a.varDom()) {
+            fn(iv.lower());
+            fn(iv.upper());
+        }
+        for (const auto &iv : a.redDom()) {
+            fn(iv.lower());
+            fn(iv.upper());
+        }
+    }
+}
+
+/** Calls appearing anywhere in a stage's definition. */
+void
+forEachCall(const CallableData &c,
+            const std::function<void(const dsl::CallNode &)> &fn)
+{
+    auto walk_expr = [&](const Expr &e) {
+        dsl::forEachNode(e, [&](const dsl::ExprNode &n) {
+            if (n.kind() == dsl::ExprKind::Call)
+                fn(static_cast<const dsl::CallNode &>(n));
+        });
+    };
+    auto walk_cond = [&](const dsl::Condition &cd) {
+        dsl::forEachNode(cd, [&](const dsl::ExprNode &n) {
+            if (n.kind() == dsl::ExprKind::Call)
+                fn(static_cast<const dsl::CallNode &>(n));
+        });
+    };
+    forEachRootExpr(c, walk_expr, walk_cond);
+}
+
+} // namespace
+
+PipelineGraph
+PipelineGraph::build(const dsl::PipelineSpec &spec)
+{
+    if (spec.outputs().empty())
+        specError("pipeline '", spec.name(), "' declares no outputs");
+
+    PipelineGraph g;
+    g.name_ = spec.name();
+
+    // Discover reachable stages depth-first from the outputs, checking
+    // for cycles.  Colour: 0 unvisited, 1 on stack, 2 done.
+    std::map<int, int> colour;
+    std::map<int, bool> self_rec;
+    std::vector<CallablePtr> order; // post-order (producers first)
+    std::vector<std::shared_ptr<const dsl::ImageData>> images;
+    std::function<void(const CallablePtr &)> visit =
+        [&](const CallablePtr &c) {
+            auto &col = colour[c->id()];
+            if (col == 2)
+                return;
+            if (col == 1) {
+                specError("pipeline '", spec.name(),
+                          "' has a cycle through stage '", c->name(), "'");
+            }
+            col = 1;
+            forEachCall(*c, [&](const dsl::CallNode &call) {
+                if (call.callee->kind() == CallableData::Kind::Image) {
+                    const auto img = std::static_pointer_cast<
+                        const dsl::ImageData>(call.callee);
+                    if (std::find(images.begin(), images.end(), img) ==
+                        images.end()) {
+                        images.push_back(img);
+                    }
+                    return;
+                }
+                if (call.callee->id() == c->id()) {
+                    self_rec[c->id()] = true;
+                    return;
+                }
+                visit(call.callee);
+            });
+            col = 2;
+            order.push_back(c);
+        };
+    for (const auto &out : spec.outputs())
+        visit(out);
+
+    // Levels: longest path from the sources.
+    std::map<int, int> level;
+    for (const auto &c : order) {
+        int lvl = 0;
+        forEachCall(*c, [&](const dsl::CallNode &call) {
+            if (call.callee->kind() == CallableData::Kind::Image ||
+                call.callee->id() == c->id()) {
+                return;
+            }
+            lvl = std::max(lvl, level[call.callee->id()] + 1);
+        });
+        level[c->id()] = lvl;
+    }
+
+    // Deterministic topological order: by level, then discovery order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&](const CallablePtr &a, const CallablePtr &b) {
+                         return level[a->id()] < level[b->id()];
+                     });
+
+    for (const auto &c : order) {
+        Stage s;
+        s.callable = c;
+        s.level = level[c->id()];
+        s.selfRecurrent = self_rec.count(c->id()) > 0;
+        g.stageIndex_[c->id()] = int(g.stages_.size());
+        g.stages_.push_back(std::move(s));
+    }
+
+    // Edges and access lists.
+    for (std::size_t i = 0; i < g.stages_.size(); ++i) {
+        Stage &s = g.stages_[i];
+        forEachCall(*s.callable, [&](const dsl::CallNode &call) {
+            if (call.callee->kind() == CallableData::Kind::Image) {
+                s.imageAccesses[call.callee->id()].push_back(call.args);
+                return;
+            }
+            if (call.callee->id() == s.callable->id())
+                return;
+            const int p = g.stageIndexOf(call.callee->id());
+            PM_ASSERT(p >= 0 && p < int(i), "bad topological order");
+            s.accesses[p].push_back(call.args);
+            if (std::find(s.producers.begin(), s.producers.end(), p) ==
+                s.producers.end()) {
+                s.producers.push_back(p);
+                g.stages_[p].consumers.push_back(int(i));
+            }
+        });
+    }
+
+    // Outputs.
+    for (const auto &out : spec.outputs()) {
+        const int idx = g.stageIndexOf(out->id());
+        PM_ASSERT(idx >= 0, "output not discovered");
+        if (g.stages_[idx].liveOut)
+            specError("stage '", out->name(), "' declared as output twice");
+        g.stages_[idx].liveOut = true;
+        g.outputs_.push_back(idx);
+    }
+
+    // Parameters: registered order first, then discovery order over all
+    // root expressions and image extents.
+    std::vector<std::shared_ptr<const dsl::ParamData>> params =
+        spec.params();
+    auto add_param = [&](const std::shared_ptr<const dsl::ParamData> &p) {
+        for (const auto &q : params) {
+            if (q->id == p->id)
+                return;
+        }
+        params.push_back(p);
+    };
+    auto scan_expr = [&](const Expr &e) {
+        dsl::forEachNode(e, [&](const dsl::ExprNode &n) {
+            if (n.kind() == dsl::ExprKind::ParamRef)
+                add_param(static_cast<const dsl::ParamRefNode &>(n).param);
+        });
+    };
+    auto scan_cond = [&](const dsl::Condition &cd) {
+        dsl::forEachNode(cd, [&](const dsl::ExprNode &n) {
+            if (n.kind() == dsl::ExprKind::ParamRef)
+                add_param(static_cast<const dsl::ParamRefNode &>(n).param);
+        });
+    };
+    for (const auto &s : g.stages_)
+        forEachRootExpr(*s.callable, scan_expr, scan_cond);
+
+    // Input images: registered order first, then discovery order.
+    std::vector<std::shared_ptr<const dsl::ImageData>> ordered_images;
+    for (const auto &img : spec.inputs())
+        ordered_images.push_back(img);
+    for (const auto &img : images) {
+        if (std::find(ordered_images.begin(), ordered_images.end(), img) ==
+            ordered_images.end()) {
+            ordered_images.push_back(img);
+        }
+    }
+    for (const auto &img : ordered_images) {
+        for (const auto &e : img->extents())
+            scan_expr(e);
+    }
+    g.images_ = std::move(ordered_images);
+    g.params_ = std::move(params);
+
+    // Estimate environment for range analyses.
+    for (const auto &p : g.params_)
+        g.estimateEnv_.params[p->id] = spec.estimateFor(p->id);
+
+    return g;
+}
+
+int
+PipelineGraph::stageIndexOf(int entity_id) const
+{
+    auto it = stageIndex_.find(entity_id);
+    return it == stageIndex_.end() ? -1 : it->second;
+}
+
+std::int64_t
+PipelineGraph::estimatedSize(int stage_idx) const
+{
+    const Stage &s = stages_[stage_idx];
+    const auto &dom =
+        s.isFunction() ? s.func().dom() : s.accum().varDom();
+    std::int64_t size = 1;
+    for (const auto &iv : dom) {
+        auto lo = poly::evalConstant(iv.lower(), estimateEnv_);
+        auto hi = poly::evalConstant(iv.upper(), estimateEnv_);
+        if (!lo || !hi)
+            return -1; // unknown
+        size *= std::max<std::int64_t>(0, *hi - *lo + 1);
+    }
+    return size;
+}
+
+std::string
+PipelineGraph::toString() const
+{
+    std::ostringstream os;
+    os << "pipeline " << name_ << ":\n";
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        const Stage &s = stages_[i];
+        os << "  [" << i << "] L" << s.level << " " << s.name();
+        if (s.liveOut)
+            os << " (out)";
+        if (s.selfRecurrent)
+            os << " (self)";
+        if (!s.producers.empty()) {
+            os << " <-";
+            for (int p : s.producers)
+                os << " " << stages_[p].name();
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::string
+PipelineGraph::toDot(const std::vector<std::vector<int>> &groups) const
+{
+    std::ostringstream os;
+    os << "digraph \"" << name_ << "\" {\n"
+       << "  rankdir=BT;\n"
+       << "  node [shape=box, fontname=\"Helvetica\"];\n";
+
+    auto emit_node = [&](int idx) {
+        const Stage &s = stages_[std::size_t(idx)];
+        os << "    s" << idx << " [label=\"" << s.name() << "\"";
+        if (s.liveOut)
+            os << ", style=bold";
+        if (s.isAccumulator())
+            os << ", shape=ellipse";
+        os << "];\n";
+    };
+
+    if (groups.empty()) {
+        for (std::size_t i = 0; i < stages_.size(); ++i)
+            emit_node(int(i));
+    } else {
+        for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+            os << "  subgraph cluster_" << gi << " {\n"
+               << "    style=dashed;\n";
+            for (int sidx : groups[gi])
+                emit_node(sidx);
+            os << "  }\n";
+        }
+    }
+
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        for (int p : stages_[i].producers)
+            os << "  s" << p << " -> s" << i << ";\n";
+    }
+    os << "}\n";
+    return os.str();
+}
+
+} // namespace polymage::pg

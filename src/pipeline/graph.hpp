@@ -1,0 +1,143 @@
+/**
+ * @file
+ * The pipeline DAG (paper §3, Fig. 2): stages are functions and
+ * accumulators, edges are producer-consumer relations extracted from
+ * the definitions.  The graph also collects the images and parameters
+ * the pipeline depends on and assigns each stage its topological level,
+ * which becomes the leading dimension of the initial schedule.
+ */
+#ifndef POLYMAGE_PIPELINE_GRAPH_HPP
+#define POLYMAGE_PIPELINE_GRAPH_HPP
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dsl/dsl.hpp"
+#include "poly/range.hpp"
+
+namespace polymage::pg {
+
+/** One producer-consumer access: the argument list of a call site. */
+using AccessArgs = std::vector<dsl::Expr>;
+
+/** A node of the pipeline DAG. */
+struct Stage
+{
+    dsl::CallablePtr callable;
+
+    /** Topological level: 0 for stages reading only inputs. */
+    int level = 0;
+    /** True if the stage is a declared pipeline output. */
+    bool liveOut = false;
+    /** True if the definition references the stage itself. */
+    bool selfRecurrent = false;
+
+    /** Producer stage indices (deduplicated, excludes self). */
+    std::vector<int> producers;
+    /** Consumer stage indices (deduplicated, excludes self). */
+    std::vector<int> consumers;
+
+    /** All accesses to each producer stage, keyed by stage index. */
+    std::map<int, std::vector<AccessArgs>> accesses;
+    /** All accesses to input images, keyed by image entity id. */
+    std::map<int, std::vector<AccessArgs>> imageAccesses;
+
+    bool isFunction() const
+    {
+        return callable->kind() == dsl::CallableData::Kind::Function;
+    }
+    bool isAccumulator() const
+    {
+        return callable->kind() == dsl::CallableData::Kind::Accumulator;
+    }
+
+    const dsl::FuncData &func() const;
+    const dsl::AccumData &accum() const;
+
+    const std::string &name() const { return callable->name(); }
+
+    /**
+     * Iteration variables of the stage: the function domain variables,
+     * or for accumulators the reduction variables (the accumulation is
+     * evaluated on the reduction domain, paper §2).
+     */
+    const std::vector<dsl::Variable> &loopVars() const;
+    /** Intervals matching loopVars(). */
+    const std::vector<dsl::Interval> &loopDom() const;
+};
+
+/**
+ * The pipeline DAG plus everything discovered while walking the
+ * specification.  Stage indices are topological: every producer index
+ * is smaller than its consumers' indices.
+ */
+class PipelineGraph
+{
+  public:
+    /**
+     * Extract the graph from a specification.
+     *
+     * @throws SpecError on cycles (other than self-recurrence),
+     *         undefined stages, or arity errors.
+     */
+    static PipelineGraph build(const dsl::PipelineSpec &spec);
+
+    const std::string &name() const { return name_; }
+    const std::vector<Stage> &stages() const { return stages_; }
+    Stage &stage(int idx) { return stages_[idx]; }
+    const Stage &stage(int idx) const { return stages_[idx]; }
+
+    /** Stage index for a callable entity id; -1 if absent. */
+    int stageIndexOf(int entity_id) const;
+
+    /** Input images in ABI order (registered first, then discovered). */
+    const std::vector<std::shared_ptr<const dsl::ImageData>> &
+    images() const
+    {
+        return images_;
+    }
+
+    /** Parameters in ABI order (registered first, then discovered). */
+    const std::vector<std::shared_ptr<const dsl::ParamData>> &
+    params() const
+    {
+        return params_;
+    }
+
+    /** Live-out stage indices in declaration order. */
+    const std::vector<int> &outputs() const { return outputs_; }
+
+    /** Parameter estimates (paper §3.5) as a range-analysis binding. */
+    const poly::RangeEnv &estimateEnv() const { return estimateEnv_; }
+
+    /** Number of grid points of a stage's domain under the estimates. */
+    std::int64_t estimatedSize(int stage_idx) const;
+
+    /** Render the DAG for diagnostics. */
+    std::string toString() const;
+
+    /**
+     * Render the DAG in Graphviz DOT syntax (one node per stage, edges
+     * for producer-consumer relations), optionally clustering nodes by
+     * the given group partition (the paper's Fig. 8 dashed boxes).
+     *
+     * @param groups stage-index partition, or empty for no clusters
+     */
+    std::string toDot(
+        const std::vector<std::vector<int>> &groups = {}) const;
+
+  private:
+    std::string name_;
+    std::vector<Stage> stages_;
+    std::map<int, int> stageIndex_; // entity id -> index
+    std::vector<std::shared_ptr<const dsl::ImageData>> images_;
+    std::vector<std::shared_ptr<const dsl::ParamData>> params_;
+    std::vector<int> outputs_;
+    poly::RangeEnv estimateEnv_;
+};
+
+} // namespace polymage::pg
+
+#endif // POLYMAGE_PIPELINE_GRAPH_HPP

@@ -1,0 +1,196 @@
+#include "poly/access.hpp"
+
+#include <sstream>
+
+namespace polymage::poly {
+
+using dsl::Expr;
+using dsl::ExprKind;
+
+namespace {
+
+/**
+ * Decompose an affine expression into (var, coeff, rest) where rest is
+ * the parameter/constant part.  Fails (returns false) when more than
+ * one variable appears or a coefficient is fractional.
+ */
+bool
+splitSingleVar(const AffineExpr &ae, const std::set<int> &var_ids,
+               int &var_id, std::int64_t &coeff, AffineExpr &rest)
+{
+    var_id = -1;
+    rest = AffineExpr();
+    for (const auto &[id, c] : ae.terms()) {
+        if (var_ids.count(id)) {
+            if (var_id != -1)
+                return false; // multi-variable index
+            if (!c.isInteger())
+                return false;
+            var_id = id;
+            coeff = c.asInteger();
+        } else {
+            rest += AffineExpr::symbol(id) * c;
+        }
+    }
+    rest += AffineExpr(ae.constant());
+    return true;
+}
+
+AccessDim
+makeNonAffine()
+{
+    AccessDim d;
+    d.kind = AccessDim::Kind::NonAffine;
+    return d;
+}
+
+} // namespace
+
+namespace {
+
+AccessDim classifyDivForm(const Expr &index, const std::set<int> &var_ids);
+
+} // namespace
+
+AccessDim
+classifyAccessDim(const Expr &index, const std::set<int> &var_ids)
+{
+    auto ae = affineFromExpr(index);
+    if (!ae) {
+        // Not plain affine: try the floor-division fragment, including
+        // compositions like x/2 + 1 == (x + 2)/2.
+        return classifyDivForm(index, var_ids);
+    }
+
+    AccessDim d;
+    if (!splitSingleVar(*ae, var_ids, d.varId, d.coeff, d.rest))
+        return makeNonAffine();
+    d.paramFree = d.rest.isConstant();
+    if (d.paramFree)
+        d.offset = d.rest.constant().floor();
+    if (d.varId == -1 || d.coeff == 0) {
+        d.kind = AccessDim::Kind::Constant;
+        d.varId = -1;
+        d.coeff = 1;
+    } else {
+        d.kind = AccessDim::Kind::Affine;
+    }
+    return d;
+}
+
+namespace {
+
+/**
+ * Recognise (affine)/s possibly offset by an affine constant:
+ * (a*x + c)/s, (a*x + c)/s + k, k + (a*x + c)/s, (a*x + c)/s - k.
+ * The offset folds into the numerator: floor(e/s) + k == floor((e +
+ * k*s)/s).
+ */
+AccessDim
+classifyDivForm(const Expr &index, const std::set<int> &var_ids)
+{
+    const dsl::ExprNode &n = index.node();
+    if (n.kind() == ExprKind::BinOp) {
+        const auto &b = static_cast<const dsl::BinOpNode &>(n);
+        if (b.op == dsl::BinOpKind::Add ||
+            b.op == dsl::BinOpKind::Sub) {
+            // One side must be a Div form, the other affine-constant.
+            auto fold = [&](const Expr &div_side, const Expr &const_side,
+                            bool negate) -> AccessDim {
+                auto k = affineFromExpr(const_side);
+                if (!k)
+                    return makeNonAffine();
+                // The constant side must involve no variables.
+                for (const auto &[id, c] : k->terms()) {
+                    (void)c;
+                    if (var_ids.count(id))
+                        return makeNonAffine();
+                }
+                AccessDim d = classifyDivForm(div_side, var_ids);
+                if (d.kind != AccessDim::Kind::Div)
+                    return makeNonAffine();
+                AffineExpr shift = *k * Rational(d.div);
+                d.rest = negate ? d.rest - shift : d.rest + shift;
+                d.paramFree = d.rest.isConstant();
+                d.offset = d.paramFree ? d.rest.constant().floor() : 0;
+                return d;
+            };
+            if (b.op == dsl::BinOpKind::Add) {
+                AccessDim d = fold(b.a, b.b, false);
+                if (d.kind != AccessDim::Kind::NonAffine)
+                    return d;
+                return fold(b.b, b.a, false);
+            }
+            return fold(b.a, b.b, true);
+        }
+        if (b.op == dsl::BinOpKind::Div) {
+            auto den = affineFromExpr(b.b);
+            if (!den || !den->isConstant() || !den->constant().isInteger())
+                return makeNonAffine();
+            const std::int64_t s = den->constant().asInteger();
+            if (s <= 0)
+                return makeNonAffine();
+            auto num = affineFromExpr(b.a);
+            if (!num)
+                return makeNonAffine();
+            AccessDim d;
+            if (!splitSingleVar(*num, var_ids, d.varId, d.coeff, d.rest))
+                return makeNonAffine();
+            if (d.varId == -1) {
+                // Constant divided by constant: still constant iff the
+                // rest is parameter-free (floor of a parametric value is
+                // not affine).
+                if (!d.rest.isConstant())
+                    return makeNonAffine();
+                d.kind = AccessDim::Kind::Constant;
+                d.rest = AffineExpr(
+                    Rational((d.rest.constant() / Rational(s)).floor()));
+                d.offset = d.rest.constant().asInteger();
+                return d;
+            }
+            if (s == 1) {
+                d.kind = AccessDim::Kind::Affine;
+            } else {
+                d.kind = AccessDim::Kind::Div;
+                d.div = s;
+            }
+            d.paramFree = d.rest.isConstant();
+            if (d.paramFree)
+                d.offset = d.rest.constant().floor();
+            if (d.coeff == 0) {
+                // Degenerate: variable vanished.
+                d.kind = AccessDim::Kind::Constant;
+                d.varId = -1;
+                d.coeff = 1;
+            }
+            return d;
+        }
+    }
+    return makeNonAffine();
+}
+
+} // namespace
+
+std::string
+AccessDim::toString() const
+{
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::Constant:
+        os << "const(" << rest.toString() << ")";
+        break;
+      case Kind::Affine:
+        os << coeff << "*v" << varId << " + " << rest.toString();
+        break;
+      case Kind::Div:
+        os << "(" << coeff << "*v" << varId << " + " << rest.toString()
+           << ")/" << div;
+        break;
+      case Kind::NonAffine:
+        os << "non-affine";
+        break;
+    }
+    return os.str();
+}
+
+} // namespace polymage::poly

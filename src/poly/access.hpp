@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Classification of the index expressions used in function accesses.
+ *
+ * The alignment, scaling, and tiling machinery (paper §3.3-3.4) needs
+ * to know, per access dimension, whether the index is a constant, an
+ * affine stride a*x + c of a single consumer variable (point-wise,
+ * stencil, downsample), or a floor-divided form (a*x + c)/s (upsample).
+ * Anything else (multi-variable, data-dependent, ...) defeats constant
+ * dependence vectors and is reported as NonAffine.
+ */
+#ifndef POLYMAGE_POLY_ACCESS_HPP
+#define POLYMAGE_POLY_ACCESS_HPP
+
+#include <set>
+#include <string>
+
+#include "poly/affine.hpp"
+
+namespace polymage::poly {
+
+/** Classified form of one index expression of a call. */
+struct AccessDim
+{
+    enum class Kind {
+        Constant,  ///< affine in parameters/constants only
+        Affine,    ///< a*x + c
+        Div,       ///< (a*x + c) / s with s > 1 (floor division)
+        NonAffine, ///< everything else
+    };
+
+    Kind kind = Kind::NonAffine;
+
+    int varId = -1;           ///< consumer variable (Affine/Div)
+    std::int64_t coeff = 1;   ///< a (Affine/Div); always non-zero
+    std::int64_t div = 1;     ///< s (Div)
+    std::int64_t offset = 0;  ///< c, the integer constant part
+
+    /**
+     * Full parameter+constant part of the index (Constant/Affine/Div).
+     * For Affine and Div this includes `offset`; paramFree() tells
+     * whether it is a plain integer.
+     */
+    AffineExpr rest;
+
+    /** True when the constant part involves no parameters. */
+    bool paramFree = true;
+
+    bool isConstant() const { return kind == Kind::Constant; }
+    bool isNonAffine() const { return kind == Kind::NonAffine; }
+
+    std::string toString() const;
+};
+
+/**
+ * Classify one index expression.  @p var_ids is the set of entity ids
+ * that are iteration variables of the consumer; all other symbols are
+ * treated as parameters.
+ */
+AccessDim classifyAccessDim(const dsl::Expr &index,
+                            const std::set<int> &var_ids);
+
+} // namespace polymage::poly
+
+#endif // POLYMAGE_POLY_ACCESS_HPP

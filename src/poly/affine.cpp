@@ -1,0 +1,181 @@
+#include "poly/affine.hpp"
+
+#include <sstream>
+
+namespace polymage::poly {
+
+using dsl::BinOpKind;
+using dsl::Expr;
+using dsl::ExprKind;
+
+AffineExpr
+AffineExpr::symbol(int id)
+{
+    AffineExpr e;
+    e.terms_[id] = Rational(1);
+    return e;
+}
+
+Rational
+AffineExpr::coeff(int id) const
+{
+    auto it = terms_.find(id);
+    return it == terms_.end() ? Rational(0) : it->second;
+}
+
+void
+AffineExpr::setCoeff(int id, Rational c)
+{
+    if (c.isZero())
+        terms_.erase(id);
+    else
+        terms_[id] = c;
+}
+
+AffineExpr
+AffineExpr::operator+(const AffineExpr &o) const
+{
+    AffineExpr r = *this;
+    for (const auto &[id, c] : o.terms_)
+        r.setCoeff(id, r.coeff(id) + c);
+    r.const_ += o.const_;
+    return r;
+}
+
+AffineExpr
+AffineExpr::operator-(const AffineExpr &o) const
+{
+    return *this + (-o);
+}
+
+AffineExpr
+AffineExpr::operator-() const
+{
+    AffineExpr r;
+    for (const auto &[id, c] : terms_)
+        r.terms_[id] = -c;
+    r.const_ = -const_;
+    return r;
+}
+
+AffineExpr
+AffineExpr::operator*(Rational k) const
+{
+    AffineExpr r;
+    if (k.isZero())
+        return r;
+    for (const auto &[id, c] : terms_)
+        r.terms_[id] = c * k;
+    r.const_ = const_ * k;
+    return r;
+}
+
+AffineExpr
+AffineExpr::substitute(int id, const AffineExpr &repl) const
+{
+    const Rational c = coeff(id);
+    if (c.isZero())
+        return *this;
+    AffineExpr r = *this;
+    r.terms_.erase(id);
+    return r + repl * c;
+}
+
+Rational
+AffineExpr::eval(const std::function<Rational(int)> &binding) const
+{
+    Rational v = const_;
+    for (const auto &[id, c] : terms_)
+        v += c * binding(id);
+    return v;
+}
+
+std::string
+AffineExpr::toString(const std::function<std::string(int)> &name) const
+{
+    std::ostringstream os;
+    bool first = true;
+    for (const auto &[id, c] : terms_) {
+        if (!first)
+            os << " + ";
+        first = false;
+        if (!(c == Rational(1)))
+            os << c << "*";
+        if (name)
+            os << name(id);
+        else
+            os << "s" << id;
+    }
+    if (first) {
+        os << const_;
+    } else if (!const_.isZero()) {
+        os << " + " << const_;
+    }
+    return os.str();
+}
+
+namespace {
+
+/** Recursive affine extraction; nullopt on any non-affine construct. */
+std::optional<AffineExpr>
+extract(const Expr &e)
+{
+    const dsl::ExprNode &n = e.node();
+    switch (n.kind()) {
+      case ExprKind::ConstInt:
+        return AffineExpr(
+            Rational(static_cast<const dsl::ConstIntNode &>(n).value));
+      case ExprKind::VarRef:
+        return AffineExpr::symbol(
+            static_cast<const dsl::VarRefNode &>(n).var->id);
+      case ExprKind::ParamRef:
+        return AffineExpr::symbol(
+            static_cast<const dsl::ParamRefNode &>(n).param->id);
+      case ExprKind::UnOp: {
+        const auto &u = static_cast<const dsl::UnOpNode &>(n);
+        if (u.op != dsl::UnOpKind::Neg)
+            return std::nullopt;
+        auto a = extract(u.a);
+        if (!a)
+            return std::nullopt;
+        return -*a;
+      }
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const dsl::BinOpNode &>(n);
+        auto a = extract(b.a);
+        auto c = extract(b.b);
+        if (!a || !c)
+            return std::nullopt;
+        switch (b.op) {
+          case BinOpKind::Add:
+            return *a + *c;
+          case BinOpKind::Sub:
+            return *a - *c;
+          case BinOpKind::Mul:
+            if (c->isConstant())
+                return *a * c->constant();
+            if (a->isConstant())
+                return *c * a->constant();
+            return std::nullopt;
+          default:
+            return std::nullopt;
+        }
+      }
+      default:
+        return std::nullopt;
+    }
+}
+
+} // namespace
+
+std::optional<AffineExpr>
+affineFromExpr(const Expr &e)
+{
+    if (!e.defined())
+        return std::nullopt;
+    if (dsl::dtypeIsFloat(e.type()))
+        return std::nullopt;
+    return extract(e);
+}
+
+} // namespace polymage::poly

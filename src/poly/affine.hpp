@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Affine (linear + constant) expressions over DSL variables and
+ * parameters with exact rational coefficients.  These are the atoms of
+ * the polyhedral representation: function domains, schedules, and
+ * dependence constraints are all built from them (paper §3.1).
+ */
+#ifndef POLYMAGE_POLY_AFFINE_HPP
+#define POLYMAGE_POLY_AFFINE_HPP
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "dsl/expr.hpp"
+#include "support/rational.hpp"
+
+namespace polymage::poly {
+
+/**
+ * An affine expression sum_i c_i * s_i + c0 where each symbol s_i is a
+ * DSL Variable or Parameter identified by its entity id.  Symbol kinds
+ * (variable vs parameter) are tracked by the client; the id space is
+ * shared so no ambiguity arises.
+ */
+class AffineExpr
+{
+  public:
+    /** The zero expression. */
+    AffineExpr() = default;
+    /** A constant expression. */
+    AffineExpr(Rational c) : const_(c) {}
+    AffineExpr(std::int64_t c) : const_(c) {}
+
+    /** The expression 1 * symbol. */
+    static AffineExpr symbol(int id);
+
+    /** Coefficient of a symbol (zero if absent). */
+    Rational coeff(int id) const;
+    /** The constant term. */
+    Rational constant() const { return const_; }
+
+    /** All symbols with non-zero coefficients. */
+    const std::map<int, Rational> &terms() const { return terms_; }
+
+    bool isConstant() const { return terms_.empty(); }
+    bool isZero() const { return terms_.empty() && const_.isZero(); }
+
+    AffineExpr operator+(const AffineExpr &o) const;
+    AffineExpr operator-(const AffineExpr &o) const;
+    AffineExpr operator-() const;
+    AffineExpr operator*(Rational k) const;
+
+    AffineExpr &operator+=(const AffineExpr &o) { return *this = *this + o; }
+    AffineExpr &operator-=(const AffineExpr &o) { return *this = *this - o; }
+
+    bool operator==(const AffineExpr &o) const
+    {
+        return terms_ == o.terms_ && const_ == o.const_;
+    }
+
+    /** Replace a symbol by an affine expression. */
+    AffineExpr substitute(int id, const AffineExpr &repl) const;
+
+    /** Evaluate under a total binding of symbols to rationals. */
+    Rational eval(const std::function<Rational(int)> &binding) const;
+
+    /**
+     * Render for diagnostics; @p name maps symbol ids to display names
+     * (defaults to "s<id>").
+     */
+    std::string
+    toString(const std::function<std::string(int)> &name = {}) const;
+
+  private:
+    void setCoeff(int id, Rational c);
+
+    std::map<int, Rational> terms_;
+    Rational const_;
+};
+
+/**
+ * Convert a DSL expression to affine form if it is an affine
+ * combination of variables and parameters (integer constants, +, -,
+ * unary -, and * by constants).  Division, min/max, calls, selects, and
+ * products of symbols yield nullopt.
+ */
+std::optional<AffineExpr> affineFromExpr(const dsl::Expr &e);
+
+} // namespace polymage::poly
+
+#endif // POLYMAGE_POLY_AFFINE_HPP

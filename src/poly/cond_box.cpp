@@ -1,0 +1,116 @@
+#include "poly/cond_box.hpp"
+
+namespace polymage::poly {
+
+using dsl::CmpOp;
+using dsl::CondNode;
+using dsl::Condition;
+
+namespace {
+
+/**
+ * Try to fold one comparison into box bounds; returns false if it must
+ * stay residual.
+ */
+bool
+foldCmp(const CondNode &n, const std::set<int> &var_ids, CondBox &out)
+{
+    auto lhs = affineFromExpr(n.lhs);
+    auto rhs = affineFromExpr(n.rhs);
+    if (!lhs || !rhs)
+        return false;
+
+    // diff = lhs - rhs; the comparison becomes diff OP 0.
+    AffineExpr diff = *lhs - *rhs;
+    int var_id = -1;
+    Rational coeff;
+    AffineExpr rest;
+    for (const auto &[id, c] : diff.terms()) {
+        if (var_ids.count(id)) {
+            if (var_id != -1)
+                return false; // multi-variable comparison
+            var_id = id;
+            coeff = c;
+        } else {
+            rest += AffineExpr::symbol(id) * c;
+        }
+    }
+    rest += AffineExpr(diff.constant());
+    if (var_id == -1)
+        return false; // parameter-only condition: keep as guard
+    if (!(coeff == Rational(1) || coeff == Rational(-1)))
+        return false; // avoid fractional bounds
+
+    // coeff = +1:  x + rest OP 0  <=>  x OP -rest.
+    // coeff = -1: -x + rest OP 0  <=>  x (flipped OP) rest.
+    CmpOp op = n.op;
+    if (op == CmpOp::NE)
+        return false;
+    AffineExpr bound = -rest;
+    if (coeff == Rational(-1)) {
+        bound = rest;
+        switch (op) {
+          case CmpOp::LT: op = CmpOp::GT; break;
+          case CmpOp::LE: op = CmpOp::GE; break;
+          case CmpOp::GT: op = CmpOp::LT; break;
+          case CmpOp::GE: op = CmpOp::LE; break;
+          default: break;
+        }
+    }
+
+    VarBounds &vb = out.bounds[var_id];
+    switch (op) {
+      case CmpOp::GE:
+        vb.lowers.push_back(bound);
+        break;
+      case CmpOp::GT:
+        vb.lowers.push_back(bound + AffineExpr(1));
+        break;
+      case CmpOp::LE:
+        vb.uppers.push_back(bound);
+        break;
+      case CmpOp::LT:
+        vb.uppers.push_back(bound - AffineExpr(1));
+        break;
+      case CmpOp::EQ:
+        vb.lowers.push_back(bound);
+        vb.uppers.push_back(bound);
+        break;
+      case CmpOp::NE:
+        return false;
+    }
+    return true;
+}
+
+void
+walk(const CondNode &n, const std::set<int> &var_ids, CondBox &out)
+{
+    switch (n.kind) {
+      case CondNode::Kind::Cmp:
+        if (!foldCmp(n, var_ids, out)) {
+            out.residual.push_back(Condition(
+                std::make_shared<CondNode>(n)));
+        }
+        break;
+      case CondNode::Kind::And:
+        walk(*n.a, var_ids, out);
+        walk(*n.b, var_ids, out);
+        break;
+      case CondNode::Kind::Or:
+        // A disjunction cannot refine a box; keep it whole.
+        out.residual.push_back(Condition(std::make_shared<CondNode>(n)));
+        break;
+    }
+}
+
+} // namespace
+
+CondBox
+analyzeCondition(const Condition &cond, const std::set<int> &var_ids)
+{
+    CondBox out;
+    walk(cond.node(), var_ids, out);
+    return out;
+}
+
+} // namespace polymage::poly

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Extraction of per-variable box bounds from DSL conditions.
+ *
+ * Case conditions in image pipelines are almost always rectangular
+ * domain refinements (e.g. interior vs boundary).  This analysis splits
+ * a condition into per-variable affine bounds -- used to tighten loop
+ * bounds and domain ranges -- plus a residual list of conjuncts that
+ * must be kept as runtime guards.
+ */
+#ifndef POLYMAGE_POLY_COND_BOX_HPP
+#define POLYMAGE_POLY_COND_BOX_HPP
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "poly/affine.hpp"
+
+namespace polymage::poly {
+
+/** Affine lower/upper bounds of one variable (inclusive). */
+struct VarBounds
+{
+    std::vector<AffineExpr> lowers; ///< var >= each of these
+    std::vector<AffineExpr> uppers; ///< var <= each of these
+};
+
+/** Result of analysing a condition. */
+struct CondBox
+{
+    /** Box constraints per variable entity id. */
+    std::map<int, VarBounds> bounds;
+    /**
+     * Conjuncts that could not be expressed as box bounds and must be
+     * evaluated at runtime.
+     */
+    std::vector<dsl::Condition> residual;
+};
+
+/**
+ * Analyse @p cond.  Conjunctions are traversed; a comparison whose two
+ * sides differ by an affine expression with exactly one variable from
+ * @p var_ids and a +/-1 coefficient becomes a box bound.  Disjunctions
+ * and other comparisons land in residual whole.
+ */
+CondBox analyzeCondition(const dsl::Condition &cond,
+                         const std::set<int> &var_ids);
+
+} // namespace polymage::poly
+
+#endif // POLYMAGE_POLY_COND_BOX_HPP

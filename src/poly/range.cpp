@@ -1,0 +1,173 @@
+#include "poly/range.hpp"
+
+#include <algorithm>
+
+#include "support/intmath.hpp"
+
+namespace polymage::poly {
+
+using dsl::BinOpKind;
+using dsl::DType;
+using dsl::Expr;
+using dsl::ExprKind;
+
+namespace {
+
+using OptRange = std::optional<IntRange>;
+
+OptRange
+range(std::int64_t lo, std::int64_t hi)
+{
+    return IntRange{lo, hi};
+}
+
+/** Range of values representable by small integer element types. */
+OptRange
+dtypeRange(DType t)
+{
+    switch (t) {
+      case DType::UChar: return range(0, 255);
+      case DType::Short: return range(-32768, 32767);
+      case DType::UShort: return range(0, 65535);
+      default: return std::nullopt;
+    }
+}
+
+OptRange
+binOpRange(BinOpKind op, const IntRange &a, const IntRange &b)
+{
+    switch (op) {
+      case BinOpKind::Add:
+        return range(a.lo + b.lo, a.hi + b.hi);
+      case BinOpKind::Sub:
+        return range(a.lo - b.hi, a.hi - b.lo);
+      case BinOpKind::Mul: {
+        const std::int64_t c[4] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo,
+                                   a.hi * b.hi};
+        return range(*std::min_element(c, c + 4),
+                     *std::max_element(c, c + 4));
+      }
+      case BinOpKind::Div: {
+        if (b.lo <= 0 && b.hi >= 0)
+            return std::nullopt; // divisor range contains zero
+        const std::int64_t c[4] = {
+            polymage::floorDiv(a.lo, b.lo), polymage::floorDiv(a.lo, b.hi),
+            polymage::floorDiv(a.hi, b.lo), polymage::floorDiv(a.hi, b.hi)};
+        return range(*std::min_element(c, c + 4),
+                     *std::max_element(c, c + 4));
+      }
+      case BinOpKind::Mod: {
+        if (b.lo <= 0)
+            return std::nullopt; // only positive moduli analysed
+        // floorMod lands in [0, modulus).
+        return range(0, b.hi - 1);
+      }
+      case BinOpKind::Min:
+        return range(std::min(a.lo, b.lo), std::min(a.hi, b.hi));
+      case BinOpKind::Max:
+        return range(std::max(a.lo, b.lo), std::max(a.hi, b.hi));
+    }
+    return std::nullopt;
+}
+
+} // namespace
+
+std::optional<IntRange>
+evalRange(const Expr &e, const RangeEnv &env)
+{
+    if (!e.defined())
+        return std::nullopt;
+    const dsl::ExprNode &n = e.node();
+    if (dsl::dtypeIsFloat(n.dtype()) && n.kind() != ExprKind::Call &&
+        n.kind() != ExprKind::Cast) {
+        return std::nullopt;
+    }
+    switch (n.kind()) {
+      case ExprKind::ConstInt: {
+        const auto v = static_cast<const dsl::ConstIntNode &>(n).value;
+        return range(v, v);
+      }
+      case ExprKind::ConstFloat:
+        return std::nullopt;
+      case ExprKind::VarRef: {
+        const int id = static_cast<const dsl::VarRefNode &>(n).var->id;
+        auto it = env.vars.find(id);
+        if (it == env.vars.end())
+            return std::nullopt;
+        return it->second;
+      }
+      case ExprKind::ParamRef: {
+        const int id = static_cast<const dsl::ParamRefNode &>(n).param->id;
+        auto it = env.params.find(id);
+        if (it == env.params.end())
+            return std::nullopt;
+        return range(it->second, it->second);
+      }
+      case ExprKind::Call:
+        // The value of a data-dependent access is bounded only by its
+        // element type (e.g. a UChar image indexes at most 0..255).
+        return dtypeRange(n.dtype());
+      case ExprKind::BinOp: {
+        const auto &b = static_cast<const dsl::BinOpNode &>(n);
+        auto ra = evalRange(b.a, env);
+        auto rb = evalRange(b.b, env);
+        if (!ra || !rb)
+            return std::nullopt;
+        return binOpRange(b.op, *ra, *rb);
+      }
+      case ExprKind::UnOp: {
+        auto ra = evalRange(static_cast<const dsl::UnOpNode &>(n).a, env);
+        if (!ra)
+            return std::nullopt;
+        return range(-ra->hi, -ra->lo);
+      }
+      case ExprKind::Cast: {
+        const auto &c = static_cast<const dsl::CastNode &>(n);
+        if (dsl::dtypeIsFloat(n.dtype()))
+            return std::nullopt;
+        auto ra = evalRange(c.a, env);
+        // A narrowing integer cast keeps the value when in range; we
+        // conservatively intersect with the target type's range.
+        auto tr = dtypeRange(n.dtype());
+        if (!ra)
+            return tr;
+        if (!tr)
+            return ra;
+        return range(std::max(ra->lo, tr->lo), std::min(ra->hi, tr->hi));
+      }
+      case ExprKind::Select: {
+        const auto &s = static_cast<const dsl::SelectNode &>(n);
+        auto rt = evalRange(s.t, env);
+        auto rf = evalRange(s.f, env);
+        if (!rt || !rf)
+            return std::nullopt;
+        return range(std::min(rt->lo, rf->lo), std::max(rt->hi, rf->hi));
+      }
+      case ExprKind::MathFn: {
+        const auto &m = static_cast<const dsl::MathFnNode &>(n);
+        if (m.fn == dsl::MathFnKind::Abs) {
+            auto ra = evalRange(m.args[0], env);
+            if (!ra)
+                return std::nullopt;
+            const std::int64_t alo = std::abs(ra->lo);
+            const std::int64_t ahi = std::abs(ra->hi);
+            const bool spans_zero = ra->lo <= 0 && ra->hi >= 0;
+            return range(spans_zero ? 0 : std::min(alo, ahi),
+                         std::max(alo, ahi));
+        }
+        return std::nullopt;
+      }
+    }
+    return std::nullopt;
+}
+
+std::optional<std::int64_t>
+evalConstant(const Expr &e, const RangeEnv &env)
+{
+    auto r = evalRange(e, env);
+    if (!r || r->lo != r->hi)
+        return std::nullopt;
+    return r->lo;
+}
+
+} // namespace polymage::poly

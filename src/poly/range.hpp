@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Conservative integer range analysis of DSL expressions over boxed
+ * variable domains.  Drives the static bounds checker and the grouping
+ * heuristic's size estimates (paper §3, §3.5): given ranges for the
+ * iteration variables and concrete parameter values, computes an
+ * enclosing interval for any integer index expression, including
+ * floor-division (sampling), min/max (clamping), selects, and
+ * data-dependent accesses bounded by their element type.
+ */
+#ifndef POLYMAGE_POLY_RANGE_HPP
+#define POLYMAGE_POLY_RANGE_HPP
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "dsl/expr.hpp"
+
+namespace polymage::poly {
+
+/** A closed integer interval [lo, hi]. */
+struct IntRange
+{
+    std::int64_t lo = 0;
+    std::int64_t hi = 0;
+
+    bool contains(const IntRange &o) const
+    {
+        return lo <= o.lo && o.hi <= hi;
+    }
+    std::int64_t width() const { return hi - lo + 1; }
+};
+
+/** Bindings used by range evaluation. */
+struct RangeEnv
+{
+    /** Iteration-variable ranges, keyed by entity id. */
+    std::map<int, IntRange> vars;
+    /** Concrete parameter values, keyed by entity id. */
+    std::map<int, std::int64_t> params;
+};
+
+/**
+ * Conservative range of an integer-typed expression under @p env, or
+ * nullopt when no finite bound can be established (unbound symbols,
+ * float operands, wide data-dependent values).
+ */
+std::optional<IntRange> evalRange(const dsl::Expr &e, const RangeEnv &env);
+
+/**
+ * Evaluate an expression of parameters/constants to a single integer
+ * (used for extents and interval bounds under estimates); nullopt if
+ * the expression involves iteration variables not bound in @p env or
+ * non-integer operations.
+ */
+std::optional<std::int64_t> evalConstant(const dsl::Expr &e,
+                                         const RangeEnv &env);
+
+} // namespace polymage::poly
+
+#endif // POLYMAGE_POLY_RANGE_HPP

@@ -1,0 +1,138 @@
+#include "poly/set.hpp"
+
+#include <sstream>
+
+namespace polymage::poly {
+
+void
+IntegerSet::addGe(const AffineExpr &expr)
+{
+    cons_.push_back({expr, false});
+}
+
+void
+IntegerSet::addEq(const AffineExpr &expr)
+{
+    cons_.push_back({expr, true});
+}
+
+void
+IntegerSet::addBounds(int sym, const AffineExpr &lo, const AffineExpr &hi)
+{
+    // sym - lo >= 0 and hi - sym >= 0.
+    addGe(AffineExpr::symbol(sym) - lo);
+    addGe(hi - AffineExpr::symbol(sym));
+}
+
+IntegerSet
+IntegerSet::intersect(const IntegerSet &o) const
+{
+    IntegerSet r = *this;
+    r.cons_.insert(r.cons_.end(), o.cons_.begin(), o.cons_.end());
+    return r;
+}
+
+IntegerSet
+IntegerSet::eliminate(int sym) const
+{
+    // Split equalities into two inequalities first, then apply the
+    // classical pairing of lower bounds (positive coefficient) with
+    // upper bounds (negative coefficient).
+    std::vector<AffineExpr> lower, upper, free_of;
+    auto classify = [&](const AffineExpr &e) {
+        const Rational c = e.coeff(sym);
+        if (c.isZero())
+            free_of.push_back(e);
+        else if (c > Rational(0))
+            lower.push_back(e);
+        else
+            upper.push_back(e);
+    };
+    for (const auto &c : cons_) {
+        classify(c.expr);
+        if (c.isEquality)
+            classify(-c.expr);
+    }
+
+    IntegerSet r;
+    for (const auto &e : free_of)
+        r.addGe(e);
+    // lower: a*sym + f >= 0 with a > 0  =>  sym >= -f/a
+    // upper: -b*sym + g >= 0 with b > 0 =>  sym <= g/b
+    // combine: g/b >= -f/a  =>  a*g + b*f >= 0.
+    for (const auto &lo : lower) {
+        const Rational a = lo.coeff(sym);
+        AffineExpr f = lo - AffineExpr::symbol(sym) * a;
+        for (const auto &up : upper) {
+            const Rational b = -up.coeff(sym);
+            AffineExpr g = up + AffineExpr::symbol(sym) * b;
+            r.addGe(g * a + f * b);
+        }
+    }
+    return r;
+}
+
+bool
+IntegerSet::emptyAfterEliminating(
+    const std::set<int> &elim_syms,
+    const std::function<Rational(int)> &binding) const
+{
+    IntegerSet cur = *this;
+    for (int sym : elim_syms)
+        cur = cur.eliminate(sym);
+    for (const auto &c : cur.cons_) {
+        const Rational v = c.expr.eval(binding);
+        if (c.isEquality ? !v.isZero() : v < Rational(0))
+            return true;
+    }
+    return false;
+}
+
+std::pair<std::optional<Rational>, std::optional<Rational>>
+IntegerSet::boundsOf(int sym, const std::set<int> &other_syms,
+                     const std::function<Rational(int)> &binding) const
+{
+    IntegerSet cur = *this;
+    for (int other : other_syms) {
+        if (other != sym)
+            cur = cur.eliminate(other);
+    }
+    std::optional<Rational> lo, hi;
+    auto fold = [&](const AffineExpr &e) {
+        const Rational c = e.coeff(sym);
+        if (c.isZero())
+            return;
+        // c*sym + rest >= 0.
+        AffineExpr rest = e - AffineExpr::symbol(sym) * c;
+        const Rational v = -rest.eval(binding) / c;
+        if (c > Rational(0)) {
+            if (!lo || v > *lo)
+                lo = v;
+        } else {
+            if (!hi || v < *hi)
+                hi = v;
+        }
+    };
+    for (const auto &c : cur.cons_) {
+        fold(c.expr);
+        if (c.isEquality)
+            fold(-c.expr);
+    }
+    return {lo, hi};
+}
+
+std::string
+IntegerSet::toString(const std::function<std::string(int)> &name) const
+{
+    std::ostringstream os;
+    os << "{ ";
+    for (std::size_t i = 0; i < cons_.size(); ++i) {
+        if (i)
+            os << " and ";
+        os << cons_[i].toString(name);
+    }
+    os << " }";
+    return os.str();
+}
+
+} // namespace polymage::poly

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Conjunctive integer sets over affine constraints with Fourier-Motzkin
+ * elimination.  Used by the static bounds checker (paper §3) to decide
+ * emptiness of access-violation sets, replacing the role ISL plays in
+ * the original implementation for this analysis.
+ *
+ * Elimination is performed over the rationals, which is sound for
+ * proving emptiness (an empty rational relaxation has no integer
+ * points).  The converse direction is resolved by evaluating residual
+ * parametric constraints under the user's parameter estimates.
+ */
+#ifndef POLYMAGE_POLY_SET_HPP
+#define POLYMAGE_POLY_SET_HPP
+
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "poly/affine.hpp"
+
+namespace polymage::poly {
+
+/** A single constraint: expr >= 0 (inequality) or expr == 0 (equality). */
+struct Constraint
+{
+    AffineExpr expr;
+    bool isEquality = false;
+
+    std::string
+    toString(const std::function<std::string(int)> &name = {}) const
+    {
+        return expr.toString(name) + (isEquality ? " == 0" : " >= 0");
+    }
+};
+
+/**
+ * A conjunction of affine constraints describing a (parametric) integer
+ * set, e.g. a function domain { (x, y) | 2 <= x <= R-1 ... }.
+ */
+class IntegerSet
+{
+  public:
+    IntegerSet() = default;
+
+    /** Add expr >= 0. */
+    void addGe(const AffineExpr &expr);
+    /** Add expr == 0. */
+    void addEq(const AffineExpr &expr);
+    /** Add lo <= sym and sym <= hi. */
+    void addBounds(int sym, const AffineExpr &lo, const AffineExpr &hi);
+
+    const std::vector<Constraint> &constraints() const { return cons_; }
+    bool hasConstraints() const { return !cons_.empty(); }
+
+    /** Union of the two constraint lists (set intersection). */
+    IntegerSet intersect(const IntegerSet &o) const;
+
+    /**
+     * Project out a symbol by Fourier-Motzkin elimination: the result
+     * constrains only the remaining symbols and contains the rational
+     * shadow of this set.
+     */
+    IntegerSet eliminate(int sym) const;
+
+    /**
+     * Decide emptiness after eliminating @p elim_syms, evaluating
+     * whatever residual symbols remain (typically parameters) with
+     * @p binding.
+     *
+     * @retval true  the set is certainly empty (no rational point)
+     * @retval false the rational relaxation has a point under binding
+     */
+    bool emptyAfterEliminating(const std::set<int> &elim_syms,
+                               const std::function<Rational(int)> &binding)
+        const;
+
+    /**
+     * Rational bounds of a symbol implied by single-symbol residuals
+     * after eliminating every other symbol that appears in the set.
+     * Returns {lo, hi}; a missing bound is nullopt.  Parameters are
+     * evaluated with @p binding.
+     */
+    std::pair<std::optional<Rational>, std::optional<Rational>>
+    boundsOf(int sym, const std::set<int> &other_syms,
+             const std::function<Rational(int)> &binding) const;
+
+    std::string
+    toString(const std::function<std::string(int)> &name = {}) const;
+
+  private:
+    std::vector<Constraint> cons_;
+};
+
+} // namespace polymage::poly
+
+#endif // POLYMAGE_POLY_SET_HPP

@@ -1,0 +1,143 @@
+#include "runtime/buffer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace polymage::rt {
+
+using dsl::DType;
+
+Buffer::Buffer(DType dtype, std::vector<std::int64_t> dims)
+    : dtype_(dtype), dims_(std::move(dims))
+{
+    PM_ASSERT(!dims_.empty(), "buffer must have at least one dimension");
+    numel_ = 1;
+    for (auto d : dims_) {
+        PM_ASSERT(d > 0, "buffer dimensions must be positive");
+        numel_ *= d;
+    }
+    strides_.assign(dims_.size(), 1);
+    for (int d = int(dims_.size()) - 2; d >= 0; --d)
+        strides_[d] = strides_[d + 1] * dims_[d + 1];
+
+    const std::size_t elem = dsl::dtypeSize(dtype_);
+    std::size_t size = std::size_t(numel_) * elem;
+    // Round up to the 64-byte alignment granule.
+    size = (size + 63) & ~std::size_t(63);
+    void *p = std::aligned_alloc(64, size);
+    PM_ASSERT(p != nullptr, "buffer allocation failed");
+    std::memset(p, 0, size);
+    data_.reset(p);
+}
+
+Buffer::Buffer(const Buffer &o) : Buffer(o.dtype_, o.dims_)
+{
+    std::memcpy(data_.get(), o.data_.get(), std::size_t(bytes()));
+}
+
+Buffer &
+Buffer::operator=(const Buffer &o)
+{
+    if (this != &o) {
+        Buffer tmp(o);
+        *this = std::move(tmp);
+    }
+    return *this;
+}
+
+std::int64_t
+Buffer::flatIndex(const std::int64_t *coords) const
+{
+    std::int64_t flat = 0;
+    for (std::size_t d = 0; d < dims_.size(); ++d)
+        flat += coords[d] * strides_[d];
+    return flat;
+}
+
+bool
+Buffer::inBounds(const std::int64_t *coords) const
+{
+    for (std::size_t d = 0; d < dims_.size(); ++d) {
+        if (coords[d] < 0 || coords[d] >= dims_[d])
+            return false;
+    }
+    return true;
+}
+
+double
+Buffer::loadAsDouble(std::int64_t flat) const
+{
+    switch (dtype_) {
+      case DType::UChar:
+        return reinterpret_cast<const unsigned char *>(data())[flat];
+      case DType::Short:
+        return reinterpret_cast<const short *>(data())[flat];
+      case DType::UShort:
+        return reinterpret_cast<const unsigned short *>(data())[flat];
+      case DType::Int:
+        return reinterpret_cast<const int *>(data())[flat];
+      case DType::Long:
+        return double(
+            reinterpret_cast<const long long *>(data())[flat]);
+      case DType::Float:
+        return reinterpret_cast<const float *>(data())[flat];
+      case DType::Double:
+        return reinterpret_cast<const double *>(data())[flat];
+    }
+    internalError("unknown dtype");
+}
+
+void
+Buffer::storeFromDouble(std::int64_t flat, double v)
+{
+    switch (dtype_) {
+      case DType::UChar:
+        dataAs<unsigned char>()[flat] =
+            static_cast<unsigned char>(static_cast<std::int64_t>(v));
+        return;
+      case DType::Short:
+        dataAs<short>()[flat] =
+            static_cast<short>(static_cast<std::int64_t>(v));
+        return;
+      case DType::UShort:
+        dataAs<unsigned short>()[flat] =
+            static_cast<unsigned short>(static_cast<std::int64_t>(v));
+        return;
+      case DType::Int:
+        dataAs<int>()[flat] =
+            static_cast<int>(static_cast<std::int64_t>(v));
+        return;
+      case DType::Long:
+        dataAs<long long>()[flat] = static_cast<long long>(v);
+        return;
+      case DType::Float:
+        dataAs<float>()[flat] = static_cast<float>(v);
+        return;
+      case DType::Double:
+        dataAs<double>()[flat] = v;
+        return;
+    }
+    internalError("unknown dtype");
+}
+
+void
+Buffer::fill(double v)
+{
+    for (std::int64_t i = 0; i < numel_; ++i)
+        storeFromDouble(i, v);
+}
+
+double
+Buffer::maxAbsDiff(const Buffer &o) const
+{
+    PM_ASSERT(dims_ == o.dims_, "shape mismatch in comparison");
+    double worst = 0.0;
+    for (std::int64_t i = 0; i < numel_; ++i)
+        worst = std::max(worst,
+                         std::abs(loadAsDouble(i) - o.loadAsDouble(i)));
+    return worst;
+}
+
+} // namespace polymage::rt

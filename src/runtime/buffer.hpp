@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Dense, dtype-erased, row-major N-dimensional buffers used for
+ * pipeline inputs, outputs, and interpreter intermediates.  Storage is
+ * 64-byte aligned for vectorised kernels.
+ */
+#ifndef POLYMAGE_RUNTIME_BUFFER_HPP
+#define POLYMAGE_RUNTIME_BUFFER_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "dsl/types.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::rt {
+
+/**
+ * A dense row-major buffer.  The last dimension is contiguous.
+ * Copyable (deep) and movable.
+ */
+class Buffer
+{
+  public:
+    /** An empty buffer (no storage). */
+    Buffer() = default;
+
+    /** Allocate a zero-initialised buffer. */
+    Buffer(dsl::DType dtype, std::vector<std::int64_t> dims);
+
+    Buffer(const Buffer &o);
+    Buffer &operator=(const Buffer &o);
+    Buffer(Buffer &&) = default;
+    Buffer &operator=(Buffer &&) = default;
+
+    bool valid() const { return data_ != nullptr; }
+    dsl::DType dtype() const { return dtype_; }
+    const std::vector<std::int64_t> &dims() const { return dims_; }
+    int rank() const { return int(dims_.size()); }
+
+    /** Total number of elements. */
+    std::int64_t numel() const { return numel_; }
+    /** Total storage size in bytes. */
+    std::int64_t bytes() const
+    {
+        return numel_ * std::int64_t(dsl::dtypeSize(dtype_));
+    }
+
+    void *data() { return data_.get(); }
+    const void *data() const { return data_.get(); }
+
+    /** Typed pointer; T must match the element size. */
+    template <typename T>
+    T *
+    dataAs()
+    {
+        PM_ASSERT(sizeof(T) == dsl::dtypeSize(dtype_),
+                  "element size mismatch");
+        return reinterpret_cast<T *>(data_.get());
+    }
+
+    template <typename T>
+    const T *
+    dataAs() const
+    {
+        PM_ASSERT(sizeof(T) == dsl::dtypeSize(dtype_),
+                  "element size mismatch");
+        return reinterpret_cast<const T *>(data_.get());
+    }
+
+    /** Flat index of a coordinate vector (row-major). */
+    std::int64_t flatIndex(const std::int64_t *coords) const;
+
+    /** True iff every coordinate is within [0, dim). */
+    bool inBounds(const std::int64_t *coords) const;
+
+    /** Element value converted to double (any dtype). */
+    double loadAsDouble(std::int64_t flat) const;
+    /** Store a double, coerced to the buffer dtype (C cast semantics). */
+    void storeFromDouble(std::int64_t flat, double v);
+
+    /** Set every element to the given value (coerced). */
+    void fill(double v);
+
+    /**
+     * Largest absolute elementwise difference to another buffer of the
+     * same shape.
+     */
+    double maxAbsDiff(const Buffer &o) const;
+
+  private:
+    struct Free
+    {
+        void operator()(void *p) const { std::free(p); }
+    };
+
+    dsl::DType dtype_ = dsl::DType::Float;
+    std::vector<std::int64_t> dims_;
+    std::vector<std::int64_t> strides_;
+    std::int64_t numel_ = 0;
+    std::unique_ptr<void, Free> data_;
+};
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_BUFFER_HPP

@@ -1,0 +1,164 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "interp/interpreter.hpp"
+
+namespace polymage::rt {
+
+Executable
+Executable::build(const dsl::PipelineSpec &spec,
+                  const CompileOptions &opts, JitOptions jit)
+{
+    Executable exe;
+    exe.compiled_ = std::make_shared<CompiledPipeline>(
+        compilePipeline(spec, opts));
+    jit.vectorize = jit.vectorize && opts.codegen.vectorize;
+    exe.module_ = std::make_shared<JitModule>(
+        JitModule::compile(exe.compiled_->code.source, jit));
+    exe.fn_ = reinterpret_cast<PipelineFn>(
+        exe.module_->symbol(exe.compiled_->code.entry));
+    if (!exe.compiled_->code.instrEntry.empty()) {
+        exe.instrFn_ = reinterpret_cast<InstrFn>(
+            exe.module_->symbol(exe.compiled_->code.instrEntry));
+    }
+    return exe;
+}
+
+std::vector<std::vector<std::int64_t>>
+Executable::outputShapes(const std::vector<std::int64_t> &params) const
+{
+    const auto &g = compiled_->graph;
+    std::vector<std::vector<std::int64_t>> shapes;
+    for (int out : g.outputs())
+        shapes.push_back(interp::stageShape(g.stage(out), g, params));
+    return shapes;
+}
+
+namespace {
+
+void
+validateRun(const CompiledPipeline &c,
+            const std::vector<std::int64_t> &params,
+            const std::vector<const Buffer *> &inputs)
+{
+    const auto &g = c.graph;
+    if (params.size() != g.params().size()) {
+        specError("pipeline '", g.name(), "' expects ",
+                  g.params().size(), " parameters, got ", params.size());
+    }
+    if (inputs.size() != g.images().size()) {
+        specError("pipeline '", g.name(), "' expects ",
+                  g.images().size(), " inputs, got ", inputs.size());
+    }
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        PM_ASSERT(inputs[i] != nullptr, "null input buffer");
+        const auto &img = *g.images()[i];
+        if (inputs[i]->dims() != interp::imageShape(img, g, params)) {
+            specError("input image '", img.name(),
+                      "' has mismatched dimensions");
+        }
+        if (inputs[i]->dtype() != img.dtype()) {
+            specError("input image '", img.name(),
+                      "' has mismatched dtype");
+        }
+    }
+}
+
+} // namespace
+
+void
+Executable::runInto(const std::vector<std::int64_t> &params,
+                    const std::vector<const Buffer *> &inputs,
+                    std::vector<Buffer> &outputs) const
+{
+    validateRun(*compiled_, params, inputs);
+    // Inputs are read-only in generated code; the ABI uses void* const*.
+    std::vector<void *> in_ptrs;
+    for (const Buffer *b : inputs)
+        in_ptrs.push_back(const_cast<void *>(b->data()));
+    std::vector<void *> out_ptrs;
+    for (Buffer &b : outputs)
+        out_ptrs.push_back(b.data());
+    std::vector<long long> p(params.begin(), params.end());
+    fn_(p.data(), in_ptrs.data(), out_ptrs.data());
+}
+
+std::vector<Buffer>
+Executable::run(const std::vector<std::int64_t> &params,
+                const std::vector<const Buffer *> &inputs) const
+{
+    validateRun(*compiled_, params, inputs);
+    std::vector<Buffer> outputs;
+    const auto &g = compiled_->graph;
+    for (int out : g.outputs()) {
+        outputs.emplace_back(g.stage(out).callable->dtype(),
+                             interp::stageShape(g.stage(out), g,
+                                                params));
+    }
+    runInto(params, inputs, outputs);
+    return outputs;
+}
+
+TaskProfile
+Executable::profile(const std::vector<std::int64_t> &params,
+                    const std::vector<const Buffer *> &inputs) const
+{
+    PM_ASSERT(instrFn_ != nullptr,
+              "pipeline built without codegen.instrument");
+    validateRun(*compiled_, params, inputs);
+
+    const auto &g = compiled_->graph;
+    std::vector<Buffer> outputs;
+    for (int out : g.outputs()) {
+        outputs.emplace_back(g.stage(out).callable->dtype(),
+                             interp::stageShape(g.stage(out), g,
+                                                params));
+    }
+    std::vector<void *> in_ptrs;
+    for (const Buffer *b : inputs)
+        in_ptrs.push_back(const_cast<void *>(b->data()));
+    std::vector<void *> out_ptrs;
+    for (Buffer &b : outputs)
+        out_ptrs.push_back(b.data());
+    std::vector<long long> p(params.begin(), params.end());
+
+    const long long cap = 1 << 22;
+    TaskProfile prof;
+    prof.costs.resize(cap);
+    prof.phase.resize(cap);
+    long long count = 0;
+    instrFn_(p.data(), in_ptrs.data(), out_ptrs.data(),
+             prof.costs.data(), prof.phase.data(), cap, &count,
+             &prof.serialSeconds);
+    if (count > cap) {
+        warn("instrumented run produced more tasks than the capacity; "
+             "profile truncated");
+        count = cap;
+    }
+    prof.costs.resize(count);
+    prof.phase.resize(count);
+
+    // The serial instrumented run is deterministic, so repeat it and
+    // keep the per-task minimum: OS preemption spikes on a shared core
+    // would otherwise masquerade as giant tasks and wreck the LPT
+    // makespan.
+    for (int rep = 1; rep < 3; ++rep) {
+        std::vector<double> costs(static_cast<std::size_t>(count), 0.0);
+        std::vector<long long> phase(static_cast<std::size_t>(count), 0);
+        long long n2 = 0;
+        double serial2 = 0;
+        instrFn_(p.data(), in_ptrs.data(), out_ptrs.data(),
+                 costs.data(), phase.data(), count, &n2, &serial2);
+        if (n2 != count)
+            break; // unexpected; keep the first profile
+        for (long long i = 0; i < count; ++i) {
+            prof.costs[std::size_t(i)] = std::min(
+                prof.costs[std::size_t(i)], costs[std::size_t(i)]);
+        }
+        prof.serialSeconds = std::min(prof.serialSeconds, serial2);
+    }
+    return prof;
+}
+
+} // namespace polymage::rt

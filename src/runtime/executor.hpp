@@ -1,0 +1,94 @@
+/**
+ * @file
+ * High-level execution of compiled pipelines: ties the compiler driver
+ * and JIT together, allocates output buffers, and exposes the
+ * instrumented profile used by the multicore scaling model.
+ */
+#ifndef POLYMAGE_RUNTIME_EXECUTOR_HPP
+#define POLYMAGE_RUNTIME_EXECUTOR_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "runtime/buffer.hpp"
+#include "runtime/jit.hpp"
+
+namespace polymage::rt {
+
+/** ABI of generated pipeline entry points. */
+using PipelineFn = void (*)(const long long *, void *const *, void **);
+/** ABI of instrumented entry points. */
+using InstrFn = void (*)(const long long *, void *const *, void **,
+                         double *, long long *, long long, long long *,
+                         double *);
+
+/** Per-task timing profile from an instrumented run. */
+struct TaskProfile
+{
+    /** Seconds per parallel task. */
+    std::vector<double> costs;
+    /** Parallel phase (barrier region) of each task. */
+    std::vector<long long> phase;
+    /** Seconds spent in inherently serial stages. */
+    double serialSeconds = 0.0;
+
+    double
+    totalSeconds() const
+    {
+        double t = serialSeconds;
+        for (double c : costs)
+            t += c;
+        return t;
+    }
+};
+
+/** A compiled, loaded, runnable pipeline. */
+class Executable
+{
+  public:
+    /**
+     * Compile a specification end to end.  The JIT vectorisation flag
+     * follows opts.codegen.vectorize unless overridden via @p jit.
+     */
+    static Executable build(const dsl::PipelineSpec &spec,
+                            const CompileOptions &opts =
+                                CompileOptions::optimized(),
+                            JitOptions jit = {});
+
+    /** Compiler artefacts (graph, grouping, storage, source). */
+    const CompiledPipeline &info() const { return *compiled_; }
+
+    /** Allocate outputs and run. */
+    std::vector<Buffer> run(const std::vector<std::int64_t> &params,
+                            const std::vector<const Buffer *> &inputs)
+        const;
+
+    /** Run into caller-provided outputs. */
+    void runInto(const std::vector<std::int64_t> &params,
+                 const std::vector<const Buffer *> &inputs,
+                 std::vector<Buffer> &outputs) const;
+
+    /**
+     * Run the instrumented entry (serial) and collect per-task costs.
+     * Requires opts.codegen.instrument at build time.
+     */
+    TaskProfile profile(const std::vector<std::int64_t> &params,
+                        const std::vector<const Buffer *> &inputs) const;
+
+    /** Shapes of the output buffers under the given parameters. */
+    std::vector<std::vector<std::int64_t>>
+    outputShapes(const std::vector<std::int64_t> &params) const;
+
+  private:
+    Executable() = default;
+
+    std::shared_ptr<const CompiledPipeline> compiled_;
+    std::shared_ptr<JitModule> module_;
+    PipelineFn fn_ = nullptr;
+    InstrFn instrFn_ = nullptr;
+};
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_EXECUTOR_HPP

@@ -1,0 +1,127 @@
+#include "runtime/imageio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <fstream>
+#include <vector>
+
+namespace polymage::rt {
+
+namespace {
+
+unsigned char
+quantise(const Buffer &img, std::int64_t flat)
+{
+    const double v = img.loadAsDouble(flat);
+    if (dsl::dtypeIsFloat(img.dtype())) {
+        const double s = std::clamp(v, 0.0, 1.0) * 255.0;
+        return static_cast<unsigned char>(std::lround(s));
+    }
+    return static_cast<unsigned char>(
+        std::clamp<std::int64_t>(std::int64_t(v), 0, 255));
+}
+
+int
+readToken(std::istream &in)
+{
+    // Skip whitespace and comments per the netpbm grammar.
+    while (true) {
+        int c = in.peek();
+        if (c == '#') {
+            std::string line;
+            std::getline(in, line);
+        } else if (std::isspace(c)) {
+            in.get();
+        } else {
+            break;
+        }
+    }
+    int value = 0;
+    in >> value;
+    return value;
+}
+
+} // namespace
+
+void
+writeImage(const Buffer &img, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        specError("cannot open '", path, "' for writing");
+
+    if (img.rank() == 2) {
+        const std::int64_t rows = img.dims()[0], cols = img.dims()[1];
+        out << "P5\n" << cols << " " << rows << "\n255\n";
+        for (std::int64_t i = 0; i < rows * cols; ++i)
+            out.put(char(quantise(img, i)));
+    } else if (img.rank() == 3 && img.dims()[0] == 3) {
+        const std::int64_t rows = img.dims()[1], cols = img.dims()[2];
+        out << "P6\n" << cols << " " << rows << "\n255\n";
+        const std::int64_t plane = rows * cols;
+        for (std::int64_t i = 0; i < plane; ++i) {
+            for (int c = 0; c < 3; ++c)
+                out.put(char(quantise(img, c * plane + i)));
+        }
+    } else {
+        specError("writeImage supports rank-2 or 3x(rank-2) buffers");
+    }
+    if (!out)
+        specError("failed writing image to '", path, "'");
+}
+
+Buffer
+readImage(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        specError("cannot open '", path, "' for reading");
+    std::string magic;
+    in >> magic;
+    if (magic != "P5" && magic != "P6")
+        specError("'", path, "' is not a binary PGM/PPM file");
+    const int cols = readToken(in);
+    const int rows = readToken(in);
+    const int maxval = readToken(in);
+    if (cols <= 0 || rows <= 0 || maxval != 255)
+        specError("unsupported PNM header in '", path, "'");
+    in.get(); // single whitespace before raster
+
+    if (magic == "P5") {
+        Buffer img(dsl::DType::UChar, {rows, cols});
+        in.read(reinterpret_cast<char *>(img.data()),
+                std::streamsize(rows) * cols);
+        if (!in)
+            specError("truncated PGM raster in '", path, "'");
+        return img;
+    }
+    Buffer img(dsl::DType::UChar, {3, rows, cols});
+    unsigned char *p = img.dataAs<unsigned char>();
+    const std::int64_t plane = std::int64_t(rows) * cols;
+    std::vector<unsigned char> row(std::size_t(cols) * 3);
+    for (std::int64_t i = 0; i < rows; ++i) {
+        in.read(reinterpret_cast<char *>(row.data()),
+                std::streamsize(row.size()));
+        if (!in)
+            specError("truncated PPM raster in '", path, "'");
+        for (std::int64_t j = 0; j < cols; ++j) {
+            for (int c = 0; c < 3; ++c)
+                p[c * plane + i * cols + j] =
+                    row[std::size_t(j) * 3 + std::size_t(c)];
+        }
+    }
+    return img;
+}
+
+Buffer
+toFloat(const Buffer &img)
+{
+    PM_ASSERT(img.dtype() == dsl::DType::UChar, "expected UChar image");
+    Buffer out(dsl::DType::Float, img.dims());
+    for (std::int64_t i = 0; i < img.numel(); ++i)
+        out.storeFromDouble(i, img.loadAsDouble(i) / 256.0);
+    return out;
+}
+
+} // namespace polymage::rt

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Minimal binary PGM (P5) / PPM (P6) image I/O for the example
+ * applications: dependency-free, 8-bit.
+ */
+#ifndef POLYMAGE_RUNTIME_IMAGEIO_HPP
+#define POLYMAGE_RUNTIME_IMAGEIO_HPP
+
+#include <string>
+
+#include "runtime/buffer.hpp"
+
+namespace polymage::rt {
+
+/**
+ * Write an image as PGM (rank-2 buffer) or PPM (rank-3 with the
+ * channel dimension outermost and extent 3).  Float buffers are
+ * assumed in [0, 1] and quantised; integer buffers are clamped to
+ * 0..255.
+ *
+ * @throws SpecError on unsupported shapes or I/O failure.
+ */
+void writeImage(const Buffer &img, const std::string &path);
+
+/**
+ * Read a binary PGM/PPM file: PGM yields a rank-2 UChar buffer, PPM a
+ * rank-3 UChar buffer with the channel dimension outermost.
+ */
+Buffer readImage(const std::string &path);
+
+/** Convert a UChar buffer to Float in [0, 1). */
+Buffer toFloat(const Buffer &img);
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_IMAGEIO_HPP

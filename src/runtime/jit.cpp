@@ -1,0 +1,129 @@
+#include "runtime/jit.hpp"
+
+#include <cstdlib>
+#include <dlfcn.h>
+#include <fstream>
+#include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::rt {
+
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+void
+removeTree(const std::string &dir)
+{
+    // The directory contains only files we created; a shell-out keeps
+    // this dependency-free.
+    std::string cmd = "rm -rf '" + dir + "'";
+    if (std::system(cmd.c_str()) != 0)
+        warn("failed to remove JIT temp dir " + dir);
+}
+
+} // namespace
+
+JitModule
+JitModule::compile(const std::string &source, const JitOptions &opts)
+{
+    char tmpl[] = "/tmp/polymage_jit_XXXXXX";
+    const char *dir = mkdtemp(tmpl);
+    if (dir == nullptr)
+        internalError("mkdtemp failed for JIT compilation");
+
+    JitModule mod;
+    mod.dir_ = dir;
+    mod.keep_ = opts.keepFiles;
+    mod.sourcePath_ = mod.dir_ + "/pipeline.cpp";
+    const std::string so_path = mod.dir_ + "/pipeline.so";
+    const std::string err_path = mod.dir_ + "/compile.log";
+
+    {
+        std::ofstream out(mod.sourcePath_);
+        out << source;
+        if (!out)
+            internalError("cannot write JIT source to ",
+                          mod.sourcePath_);
+    }
+
+    std::ostringstream cmd;
+    // -fno-math-errno lets gcc vectorise transcendental calls (expf,
+    // powf) under omp simd via libmvec, matching what icc does by
+    // default in the paper's setup.  It is not -ffast-math: IEEE
+    // semantics are otherwise preserved.
+    cmd << opts.compiler << " -shared -fPIC -std=c++17 -w "
+        << "-fno-math-errno " << opts.optLevel;
+    if (opts.nativeArch)
+        cmd << " -march=native";
+    if (opts.openmp)
+        cmd << " -fopenmp";
+    if (!opts.vectorize)
+        cmd << " -fno-tree-vectorize -fno-tree-slp-vectorize";
+    if (!opts.extraFlags.empty())
+        cmd << " " << opts.extraFlags;
+    cmd << " '" << mod.sourcePath_ << "' -o '" << so_path << "' 2> '"
+        << err_path << "'";
+
+    if (std::system(cmd.str().c_str()) != 0) {
+        const std::string log = readFile(err_path);
+        mod.keep_ = true; // preserve evidence
+        internalError("JIT compilation failed (sources kept in ",
+                      mod.dir_, "):\n", cmd.str(), "\n", log);
+    }
+
+    mod.handle_ = dlopen(so_path.c_str(), RTLD_NOW | RTLD_LOCAL);
+    if (mod.handle_ == nullptr) {
+        mod.keep_ = true;
+        internalError("dlopen failed: ", dlerror());
+    }
+    return mod;
+}
+
+JitModule::JitModule(JitModule &&o) noexcept
+    : handle_(o.handle_), dir_(std::move(o.dir_)),
+      sourcePath_(std::move(o.sourcePath_)), keep_(o.keep_)
+{
+    o.handle_ = nullptr;
+    o.dir_.clear();
+}
+
+JitModule &
+JitModule::operator=(JitModule &&o) noexcept
+{
+    if (this != &o) {
+        this->~JitModule();
+        new (this) JitModule(std::move(o));
+    }
+    return *this;
+}
+
+JitModule::~JitModule()
+{
+    if (handle_ != nullptr)
+        dlclose(handle_);
+    if (!dir_.empty() && !keep_)
+        removeTree(dir_);
+}
+
+void *
+JitModule::symbol(const std::string &name) const
+{
+    PM_ASSERT(handle_ != nullptr, "module not loaded");
+    void *sym = dlsym(handle_, name.c_str());
+    if (sym == nullptr)
+        internalError("symbol '", name, "' not found in JIT module");
+    return sym;
+}
+
+} // namespace polymage::rt

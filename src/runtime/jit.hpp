@@ -1,0 +1,64 @@
+/**
+ * @file
+ * JIT harness: compiles generated C++ with the system compiler into a
+ * shared object and loads it, mirroring how PolyMage's generated code
+ * was built with icc in the paper (here: g++ -O3 -march=native
+ * -fopenmp).
+ */
+#ifndef POLYMAGE_RUNTIME_JIT_HPP
+#define POLYMAGE_RUNTIME_JIT_HPP
+
+#include <memory>
+#include <string>
+
+namespace polymage::rt {
+
+/** Flags for the downstream C++ compiler. */
+struct JitOptions
+{
+    std::string compiler = "g++";
+    std::string optLevel = "-O3";
+    bool nativeArch = true;
+    bool openmp = true;
+    /** When false, auto-vectorisation is disabled (-fno-tree-vectorize). */
+    bool vectorize = true;
+    /** Keep the temp directory (sources, errors) for inspection. */
+    bool keepFiles = false;
+    std::string extraFlags;
+};
+
+/** A compiled and loaded shared object. */
+class JitModule
+{
+  public:
+    /**
+     * Compile @p source and load the resulting shared object.
+     * @throws InternalError with the compiler diagnostics on failure.
+     */
+    static JitModule compile(const std::string &source,
+                             const JitOptions &opts = {});
+
+    JitModule(JitModule &&) noexcept;
+    JitModule &operator=(JitModule &&) noexcept;
+    JitModule(const JitModule &) = delete;
+    JitModule &operator=(const JitModule &) = delete;
+    ~JitModule();
+
+    /** Resolve a symbol; throws InternalError when missing. */
+    void *symbol(const std::string &name) const;
+
+    /** Path of the generated source file. */
+    const std::string &sourcePath() const { return sourcePath_; }
+
+  private:
+    JitModule() = default;
+
+    void *handle_ = nullptr;
+    std::string dir_;
+    std::string sourcePath_;
+    bool keep_ = false;
+};
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_JIT_HPP

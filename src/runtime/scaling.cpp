@@ -1,0 +1,68 @@
+#include "runtime/scaling.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::rt {
+
+double
+lptMakespan(const std::vector<double> &costs, int workers)
+{
+    PM_ASSERT(workers >= 1, "worker count must be positive");
+    if (costs.empty())
+        return 0.0;
+    if (workers == 1) {
+        double total = 0;
+        for (double c : costs)
+            total += c;
+        return total;
+    }
+    std::vector<double> sorted = costs;
+    std::sort(sorted.begin(), sorted.end(), std::greater<>());
+    // Min-heap of worker loads.
+    std::priority_queue<double, std::vector<double>, std::greater<>>
+        loads;
+    for (int i = 0; i < workers; ++i)
+        loads.push(0.0);
+    for (double c : sorted) {
+        double least = loads.top();
+        loads.pop();
+        loads.push(least + c);
+    }
+    double makespan = 0;
+    while (!loads.empty()) {
+        makespan = std::max(makespan, loads.top());
+        loads.pop();
+    }
+    return makespan;
+}
+
+double
+predictTime(const TaskProfile &profile, int workers)
+{
+    std::map<long long, std::vector<double>> phases;
+    for (std::size_t i = 0; i < profile.costs.size(); ++i)
+        phases[profile.phase[i]].push_back(profile.costs[i]);
+    double t = profile.serialSeconds;
+    for (const auto &[phase, costs] : phases) {
+        (void)phase;
+        t += lptMakespan(costs, workers);
+    }
+    return t;
+}
+
+std::vector<double>
+predictSpeedups(const TaskProfile &profile,
+                const std::vector<int> &workers)
+{
+    const double base = predictTime(profile, 1);
+    std::vector<double> out;
+    for (int w : workers)
+        out.push_back(base / predictTime(profile, w));
+    return out;
+}
+
+} // namespace polymage::rt

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Multicore scaling model.  The container this reproduction runs in has
+ * a single core, so the paper's 1..16-core measurements (Table 2,
+ * Fig. 10) are predicted from measured per-task costs: generated code
+ * is embarrassingly parallel across overlapped tiles (no inter-tile
+ * communication -- the property the paper exploits), so the time on p
+ * workers is the sum over barrier-separated parallel phases of an LPT
+ * (longest-processing-time) list-scheduling makespan, plus the
+ * measured serial portion.  Load imbalance from uneven boundary tiles
+ * is captured; shared-bandwidth saturation is not (documented in
+ * EXPERIMENTS.md).
+ */
+#ifndef POLYMAGE_RUNTIME_SCALING_HPP
+#define POLYMAGE_RUNTIME_SCALING_HPP
+
+#include "runtime/executor.hpp"
+
+namespace polymage::rt {
+
+/**
+ * LPT makespan of the given task costs on @p workers workers.
+ */
+double lptMakespan(const std::vector<double> &costs, int workers);
+
+/**
+ * Predicted wall time of a profiled run on @p workers workers:
+ * serial time + sum over phases of the phase's LPT makespan.
+ */
+double predictTime(const TaskProfile &profile, int workers);
+
+/**
+ * Predicted speedup curve over the given worker counts, relative to
+ * the 1-worker prediction.
+ */
+std::vector<double> predictSpeedups(const TaskProfile &profile,
+                                    const std::vector<int> &workers);
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_SCALING_HPP

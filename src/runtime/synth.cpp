@@ -1,0 +1,137 @@
+#include "runtime/synth.hpp"
+
+#include <cmath>
+
+#include "support/rng.hpp"
+
+namespace polymage::rt::synth {
+
+namespace {
+
+/** Smooth pseudo-photo intensity in [0, 1). */
+double
+photoValue(std::int64_t i, std::int64_t j, std::int64_t rows,
+           std::int64_t cols, Rng &rng)
+{
+    const double u = double(i) / double(rows);
+    const double v = double(j) / double(cols);
+    double val = 0.35 + 0.25 * u + 0.15 * v;
+    val += 0.12 * std::sin(u * 21.0 + 2.0 * v) *
+           std::cos(v * 17.0 - u * 3.0);
+    val += 0.05 * std::sin(u * 113.0) * std::sin(v * 127.0);
+    val += 0.02 * (rng.uniform01() - 0.5);
+    if (val < 0.0)
+        val = 0.0;
+    if (val >= 1.0)
+        val = 0.999;
+    return val;
+}
+
+} // namespace
+
+Buffer
+photo(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Buffer b(dsl::DType::Float, {rows, cols});
+    Rng rng(seed);
+    float *p = b.dataAs<float>();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j)
+            p[i * cols + j] = float(photoValue(i, j, rows, cols, rng));
+    }
+    return b;
+}
+
+Buffer
+photoRgb(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Buffer b(dsl::DType::Float, {3, rows, cols});
+    float *p = b.dataAs<float>();
+    for (int c = 0; c < 3; ++c) {
+        Rng rng(seed + std::uint64_t(c) * 977);
+        for (std::int64_t i = 0; i < rows; ++i) {
+            for (std::int64_t j = 0; j < cols; ++j) {
+                p[(c * rows + i) * cols + j] =
+                    float(photoValue(i, j, rows, cols, rng));
+            }
+        }
+    }
+    return b;
+}
+
+Buffer
+photoU8(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Buffer b(dsl::DType::UChar, {rows, cols});
+    Rng rng(seed);
+    unsigned char *p = b.dataAs<unsigned char>();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            p[i * cols + j] = static_cast<unsigned char>(
+                photoValue(i, j, rows, cols, rng) * 256.0);
+        }
+    }
+    return b;
+}
+
+Buffer
+bayerRaw(std::int64_t rows, std::int64_t cols, std::uint64_t seed)
+{
+    Buffer b(dsl::DType::UShort, {rows, cols});
+    Rng rng(seed);
+    unsigned short *p = b.dataAs<unsigned short>();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            const double v = photoValue(i, j, rows, cols, rng);
+            // GRBG mosaic: scale per colour site to mimic channel
+            // sensitivities.
+            double gain = 1.0;
+            const bool odd_row = (i & 1) != 0;
+            const bool odd_col = (j & 1) != 0;
+            if (!odd_row && odd_col)
+                gain = 0.8; // red site
+            else if (odd_row && !odd_col)
+                gain = 0.7; // blue site
+            p[i * cols + j] =
+                static_cast<unsigned short>(v * gain * 1023.0);
+        }
+    }
+    return b;
+}
+
+Buffer
+blendMask(std::int64_t rows, std::int64_t cols)
+{
+    Buffer b(dsl::DType::Float, {rows, cols});
+    float *p = b.dataAs<float>();
+    const double mid = double(cols) / 2.0;
+    const double soft = double(cols) / 16.0 + 1.0;
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            const double t = (double(j) - mid) / soft;
+            p[i * cols + j] = float(1.0 / (1.0 + std::exp(t)));
+        }
+    }
+    return b;
+}
+
+Buffer
+sparseAlpha(std::int64_t rows, std::int64_t cols, double density,
+            std::uint64_t seed)
+{
+    Buffer b(dsl::DType::Float, {2, rows, cols});
+    Rng rng(seed);
+    float *p = b.dataAs<float>();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j) {
+            const bool sample = rng.chance(density);
+            const double v = photoValue(i, j, rows, cols, rng);
+            // Channel 0: alpha-premultiplied value; channel 1: alpha.
+            p[(0 * rows + i) * cols + j] = sample ? float(v) : 0.0f;
+            p[(1 * rows + i) * cols + j] = sample ? 1.0f : 0.0f;
+        }
+    }
+    return b;
+}
+
+} // namespace polymage::rt::synth

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Synthetic input generators.  The paper benchmarks on camera raw
+ * frames and photographs; this reproduction generates structured test
+ * patterns (band-limited noise over gradients, Bayer mosaics, focus
+ * masks) that exercise the same value ranges and code paths.  All
+ * generators are deterministic in the seed.
+ */
+#ifndef POLYMAGE_RUNTIME_SYNTH_HPP
+#define POLYMAGE_RUNTIME_SYNTH_HPP
+
+#include <cstdint>
+
+#include "runtime/buffer.hpp"
+
+namespace polymage::rt::synth {
+
+/** Float image in [0, 1): smooth gradients plus band-limited detail. */
+Buffer photo(std::int64_t rows, std::int64_t cols,
+             std::uint64_t seed = 1);
+
+/** 3-channel float image (planes outermost): photo per channel. */
+Buffer photoRgb(std::int64_t rows, std::int64_t cols,
+                std::uint64_t seed = 1);
+
+/** UChar image 0..255 with the photo structure. */
+Buffer photoU8(std::int64_t rows, std::int64_t cols,
+               std::uint64_t seed = 1);
+
+/** 10-bit GRBG Bayer mosaic (UShort, values 0..1023). */
+Buffer bayerRaw(std::int64_t rows, std::int64_t cols,
+                std::uint64_t seed = 1);
+
+/** Soft vertical half-half blend mask in [0, 1] (pyramid blending). */
+Buffer blendMask(std::int64_t rows, std::int64_t cols);
+
+/**
+ * Sparse alpha mask: fraction @p density of pixels carry samples
+ * (multiscale interpolation input).
+ */
+Buffer sparseAlpha(std::int64_t rows, std::int64_t cols, double density,
+                   std::uint64_t seed = 1);
+
+} // namespace polymage::rt::synth
+
+#endif // POLYMAGE_RUNTIME_SYNTH_HPP

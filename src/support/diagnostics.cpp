@@ -1,0 +1,13 @@
+#include "support/diagnostics.hpp"
+
+#include <iostream>
+
+namespace polymage {
+
+void
+warn(const std::string &msg)
+{
+    std::cerr << "polymage: warning: " << msg << "\n";
+}
+
+} // namespace polymage

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Error reporting for the PolyMage compiler.
+ *
+ * Two kinds of failures, following the fatal/panic distinction used in
+ * systems simulators:
+ *
+ *  - SpecError: the user's pipeline specification is invalid (cycles,
+ *    out-of-bounds accesses, ambiguous cases, ...).  Thrown as an
+ *    exception so embedding applications can recover and report.
+ *  - InternalError: a compiler invariant was violated; indicates a bug in
+ *    PolyMage itself.  Raised via PM_ASSERT / internalError().
+ */
+#ifndef POLYMAGE_SUPPORT_DIAGNOSTICS_HPP
+#define POLYMAGE_SUPPORT_DIAGNOSTICS_HPP
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace polymage {
+
+/** Exception thrown for invalid user pipeline specifications. */
+class SpecError : public std::runtime_error
+{
+  public:
+    explicit SpecError(const std::string &msg)
+        : std::runtime_error("polymage: invalid specification: " + msg)
+    {}
+};
+
+/** Exception thrown when a compiler-internal invariant is violated. */
+class InternalError : public std::logic_error
+{
+  public:
+    explicit InternalError(const std::string &msg)
+        : std::logic_error("polymage: internal error: " + msg)
+    {}
+};
+
+/** Throw a SpecError built from streamable arguments. */
+template <typename... Args>
+[[noreturn]] void
+specError(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw SpecError(os.str());
+}
+
+/** Throw an InternalError built from streamable arguments. */
+template <typename... Args>
+[[noreturn]] void
+internalError(const Args &...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    throw InternalError(os.str());
+}
+
+/** Emit a non-fatal warning on stderr. */
+void warn(const std::string &msg);
+
+} // namespace polymage
+
+/** Assert a compiler-internal invariant; throws InternalError on failure. */
+#define PM_ASSERT(cond, msg)                                                 \
+    do {                                                                     \
+        if (!(cond)) {                                                       \
+            ::polymage::internalError("assertion `", #cond, "` failed at ",  \
+                                      __FILE__, ":", __LINE__, ": ", msg);   \
+        }                                                                    \
+    } while (0)
+
+#endif // POLYMAGE_SUPPORT_DIAGNOSTICS_HPP

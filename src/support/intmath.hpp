@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Integer arithmetic helpers used across the compiler and mirrored in
+ * generated code: floor/ceil division with mathematically correct behaviour
+ * for negative operands, gcd/lcm, and power-of-two checks.
+ */
+#ifndef POLYMAGE_SUPPORT_INTMATH_HPP
+#define POLYMAGE_SUPPORT_INTMATH_HPP
+
+#include <cstdint>
+#include <numeric>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage {
+
+/** Floor division: largest q with q*b <= a. Requires b != 0. */
+constexpr std::int64_t
+floorDiv(std::int64_t a, std::int64_t b)
+{
+    std::int64_t q = a / b;
+    std::int64_t r = a % b;
+    if (r != 0 && ((r < 0) != (b < 0)))
+        --q;
+    return q;
+}
+
+/** Ceiling division: smallest q with q*b >= a. Requires b != 0. */
+constexpr std::int64_t
+ceilDiv(std::int64_t a, std::int64_t b)
+{
+    return -floorDiv(-a, b);
+}
+
+/** Mathematical modulo with result in [0, |b|). */
+constexpr std::int64_t
+floorMod(std::int64_t a, std::int64_t b)
+{
+    return a - floorDiv(a, b) * b;
+}
+
+/** Greatest common divisor of the absolute values; gcd(0, 0) == 0. */
+constexpr std::int64_t
+gcd64(std::int64_t a, std::int64_t b)
+{
+    return std::gcd(a, b);
+}
+
+/** Least common multiple of the absolute values. */
+constexpr std::int64_t
+lcm64(std::int64_t a, std::int64_t b)
+{
+    return std::lcm(a, b);
+}
+
+/** True iff v is a positive power of two. */
+constexpr bool
+isPowerOfTwo(std::int64_t v)
+{
+    return v > 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace polymage
+
+#endif // POLYMAGE_SUPPORT_INTMATH_HPP

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Exact rational arithmetic.
+ *
+ * Fourier–Motzkin elimination and tile-slope computation require exact
+ * fractions (slopes of bounding hyperplanes are ratios of dependence
+ * distances to level gaps).  Rational keeps a canonical form: reduced
+ * terms and a strictly positive denominator.
+ */
+#ifndef POLYMAGE_SUPPORT_RATIONAL_HPP
+#define POLYMAGE_SUPPORT_RATIONAL_HPP
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+#include "support/diagnostics.hpp"
+#include "support/intmath.hpp"
+
+namespace polymage {
+
+/** An exact rational number num/den with den > 0 and gcd(num, den) == 1. */
+class Rational
+{
+  public:
+    constexpr Rational() : num_(0), den_(1) {}
+    constexpr Rational(std::int64_t v) : num_(v), den_(1) {}
+
+    /** Construct num/den; den may be negative or zero (zero is an error). */
+    constexpr
+    Rational(std::int64_t num, std::int64_t den)
+        : num_(num), den_(den)
+    {
+        normalize();
+    }
+
+    constexpr std::int64_t num() const { return num_; }
+    constexpr std::int64_t den() const { return den_; }
+
+    constexpr bool isInteger() const { return den_ == 1; }
+    constexpr bool isZero() const { return num_ == 0; }
+
+    /** Integer value; requires isInteger(). */
+    constexpr std::int64_t
+    asInteger() const
+    {
+        PM_ASSERT(den_ == 1, "rational is not an integer");
+        return num_;
+    }
+
+    /** Largest integer <= this. */
+    constexpr std::int64_t floor() const { return floorDiv(num_, den_); }
+    /** Smallest integer >= this. */
+    constexpr std::int64_t ceil() const { return ceilDiv(num_, den_); }
+
+    constexpr Rational
+    operator-() const
+    {
+        Rational r;
+        r.num_ = -num_;
+        r.den_ = den_;
+        return r;
+    }
+
+    constexpr Rational
+    operator+(const Rational &o) const
+    {
+        return Rational(num_ * o.den_ + o.num_ * den_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator-(const Rational &o) const
+    {
+        return Rational(num_ * o.den_ - o.num_ * den_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator*(const Rational &o) const
+    {
+        return Rational(num_ * o.num_, den_ * o.den_);
+    }
+
+    constexpr Rational
+    operator/(const Rational &o) const
+    {
+        PM_ASSERT(o.num_ != 0, "rational division by zero");
+        return Rational(num_ * o.den_, den_ * o.num_);
+    }
+
+    constexpr Rational &operator+=(const Rational &o) { return *this = *this + o; }
+    constexpr Rational &operator-=(const Rational &o) { return *this = *this - o; }
+    constexpr Rational &operator*=(const Rational &o) { return *this = *this * o; }
+    constexpr Rational &operator/=(const Rational &o) { return *this = *this / o; }
+
+    constexpr bool
+    operator==(const Rational &o) const
+    {
+        return num_ == o.num_ && den_ == o.den_;
+    }
+
+    constexpr std::strong_ordering
+    operator<=>(const Rational &o) const
+    {
+        // Cross-multiply; denominators are positive so order is preserved.
+        return num_ * o.den_ <=> o.num_ * den_;
+    }
+
+    /** Absolute value. */
+    constexpr Rational
+    abs() const
+    {
+        return num_ < 0 ? -*this : *this;
+    }
+
+    double toDouble() const { return double(num_) / double(den_); }
+
+  private:
+    constexpr void
+    normalize()
+    {
+        PM_ASSERT(den_ != 0, "rational with zero denominator");
+        if (den_ < 0) {
+            num_ = -num_;
+            den_ = -den_;
+        }
+        std::int64_t g = gcd64(num_, den_);
+        if (g > 1) {
+            num_ /= g;
+            den_ /= g;
+        }
+    }
+
+    std::int64_t num_;
+    std::int64_t den_;
+};
+
+inline std::ostream &
+operator<<(std::ostream &os, const Rational &r)
+{
+    os << r.num();
+    if (!r.isInteger())
+        os << "/" << r.den();
+    return os;
+}
+
+} // namespace polymage
+
+#endif // POLYMAGE_SUPPORT_RATIONAL_HPP

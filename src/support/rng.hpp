@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation (xoshiro256**) used by the
+ * synthetic image generators and the property-test harnesses.  The
+ * standard library engines are avoided so streams are reproducible across
+ * library implementations.
+ */
+#ifndef POLYMAGE_SUPPORT_RNG_HPP
+#define POLYMAGE_SUPPORT_RNG_HPP
+
+#include <cstdint>
+
+namespace polymage {
+
+/** Small, fast, seedable PRNG with a reproducible stream. */
+class Rng
+{
+  public:
+    explicit
+    Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // SplitMix64 seeding as recommended by the xoshiro authors.
+        std::uint64_t z = seed;
+        for (auto &s : state_) {
+            z += 0x9e3779b97f4a7c15ull;
+            std::uint64_t t = z;
+            t = (t ^ (t >> 30)) * 0xbf58476d1ce4e5b9ull;
+            t = (t ^ (t >> 27)) * 0x94d049bb133111ebull;
+            s = t ^ (t >> 31);
+        }
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        auto rotl = [](std::uint64_t x, int k) {
+            return (x << k) | (x >> (64 - k));
+        };
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [lo, hi] (inclusive). Requires lo <= hi. */
+    std::int64_t
+    uniformInt(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span = std::uint64_t(hi - lo) + 1;
+        return lo + std::int64_t(next() % span);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform01()
+    {
+        return double(next() >> 11) * (1.0 / 9007199254740992.0);
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniformReal(double lo, double hi)
+    {
+        return lo + uniform01() * (hi - lo);
+    }
+
+    /** Bernoulli trial with probability p of returning true. */
+    bool chance(double p) { return uniform01() < p; }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace polymage
+
+#endif // POLYMAGE_SUPPORT_RNG_HPP

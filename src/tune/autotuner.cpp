@@ -1,0 +1,138 @@
+#include "tune/autotuner.hpp"
+
+#include <chrono>
+#include <sstream>
+
+#include "runtime/scaling.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::tune {
+
+std::int64_t
+TuneSpace::size() const
+{
+    std::int64_t n = std::int64_t(thresholds.size());
+    for (int d = 0; d < tiledDims; ++d)
+        n *= std::int64_t(tileSizes.size());
+    return n;
+}
+
+std::string
+TuneConfig::toString() const
+{
+    std::ostringstream os;
+    os << "tiles=";
+    for (std::size_t i = 0; i < tiles.size(); ++i)
+        os << (i ? "x" : "") << tiles[i];
+    os << " othresh=" << threshold;
+    return os.str();
+}
+
+std::vector<TuneConfig>
+enumerateSpace(const TuneSpace &space)
+{
+    PM_ASSERT(space.tiledDims >= 1, "need at least one tiled dim");
+    std::vector<TuneConfig> configs;
+    std::vector<std::size_t> idx(std::size_t(space.tiledDims), 0);
+    while (true) {
+        for (double th : space.thresholds) {
+            TuneConfig cfg;
+            for (auto i : idx)
+                cfg.tiles.push_back(space.tileSizes[i]);
+            cfg.threshold = th;
+            configs.push_back(std::move(cfg));
+        }
+        // Odometer increment.
+        int d = space.tiledDims - 1;
+        while (d >= 0 && ++idx[std::size_t(d)] ==
+                             space.tileSizes.size()) {
+            idx[std::size_t(d)] = 0;
+            --d;
+        }
+        if (d < 0)
+            break;
+    }
+    return configs;
+}
+
+std::string
+TuneResult::csv() const
+{
+    std::ostringstream os;
+    os << "tiles,othresh,t1_seconds,tp_seconds,groups\n";
+    for (const auto &e : entries) {
+        for (std::size_t i = 0; i < e.config.tiles.size(); ++i)
+            os << (i ? "x" : "") << e.config.tiles[i];
+        os << "," << e.config.threshold << "," << e.seconds1 << ","
+           << e.secondsP << "," << e.groups << "\n";
+    }
+    return os.str();
+}
+
+TuneResult
+autotune(const dsl::PipelineSpec &spec,
+         const std::vector<std::int64_t> &params,
+         const std::vector<const rt::Buffer *> &inputs,
+         const TuneSpace &space, const TuneOptions &opts)
+{
+    const auto configs = enumerateSpace(space);
+    TuneResult result;
+
+    int index = 0;
+    for (const auto &cfg : configs) {
+        if (opts.progress)
+            opts.progress(index, int(configs.size()));
+        ++index;
+
+        CompileOptions copts = opts.base;
+        copts.grouping.tileSizes = cfg.tiles;
+        copts.grouping.overlapThreshold = cfg.threshold;
+        copts.codegen.instrument = true;
+
+        rt::Executable exe = rt::Executable::build(spec, copts);
+
+        TuneEntry entry;
+        entry.config = cfg;
+        entry.groups = int(exe.info().grouping.groups.size());
+
+        // Measure single-thread wall time (warm-up + best of repeats).
+        auto outputs = exe.run(params, inputs);
+        double best = 1e300;
+        for (int r = 0; r < std::max(1, opts.repeats); ++r) {
+            const auto t0 = std::chrono::steady_clock::now();
+            exe.runInto(params, inputs, outputs);
+            const double dt =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+            best = std::min(best, dt);
+        }
+        entry.seconds1 = best;
+
+        // Model the parallel time from the instrumented profile.
+        rt::TaskProfile prof = exe.profile(params, inputs);
+        const double serial_model = rt::predictTime(prof, 1);
+        if (serial_model > 0) {
+            // Scale the model to the measured 1-thread time so the
+            // modelled p-thread value inherits measurement calibration.
+            entry.secondsP = rt::predictTime(prof, opts.modelWorkers) *
+                             (entry.seconds1 / serial_model);
+        }
+
+        result.entries.push_back(std::move(entry));
+    }
+
+    for (std::size_t i = 0; i < result.entries.size(); ++i) {
+        if (result.best < 0)
+            result.best = int(i);
+        const auto &cur = result.entries[i];
+        const auto &b = result.entries[std::size_t(result.best)];
+        if (cur.secondsP < b.secondsP ||
+            (cur.secondsP == b.secondsP && cur.seconds1 < b.seconds1)) {
+            result.best = int(i);
+        }
+    }
+    return result;
+}
+
+} // namespace polymage::tune

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Autotuning (paper §3.8): the model-driven compiler narrows the
+ * search space to tile sizes and the overlap threshold; the autotuner
+ * enumerates that small space, builds each configuration, measures it,
+ * and picks the best.  The paper's full space is 7 tile sizes per
+ * tiled dimension x 3 thresholds (147 configurations for 2-D
+ * pipelines, explored in under 30 minutes).
+ */
+#ifndef POLYMAGE_TUNE_AUTOTUNER_HPP
+#define POLYMAGE_TUNE_AUTOTUNER_HPP
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+
+namespace polymage::tune {
+
+/** The explored parameter space. */
+struct TuneSpace
+{
+    /** Candidate tile sizes per dimension (paper: 8..512). */
+    std::vector<std::int64_t> tileSizes{8, 16, 32, 64, 128, 256, 512};
+    /** Candidate overlap thresholds (paper: 0.2, 0.4, 0.5). */
+    std::vector<double> thresholds{0.2, 0.4, 0.5};
+    /** Number of tiled dimensions receiving independent sizes. */
+    int tiledDims = 2;
+
+    /** Number of configurations (|tileSizes|^dims * |thresholds|). */
+    std::int64_t size() const;
+};
+
+/** One point of the space. */
+struct TuneConfig
+{
+    std::vector<std::int64_t> tiles;
+    double threshold = 0.4;
+
+    std::string toString() const;
+};
+
+/** Measurement of one configuration. */
+struct TuneEntry
+{
+    TuneConfig config;
+    /** Measured single-thread wall time (seconds). */
+    double seconds1 = 0.0;
+    /** Modelled wall time on `modelWorkers` workers. */
+    double secondsP = 0.0;
+    /** Number of groups the heuristic produced. */
+    int groups = 0;
+};
+
+/** Full sweep outcome. */
+struct TuneResult
+{
+    std::vector<TuneEntry> entries;
+    /** Index of the best entry by secondsP (ties by seconds1). */
+    int best = -1;
+
+    const TuneEntry &bestEntry() const { return entries.at(best); }
+
+    /** Dump as CSV (tiles..., threshold, t1, tp, groups). */
+    std::string csv() const;
+};
+
+/** Options of a sweep. */
+struct TuneOptions
+{
+    /** Base compile options; tile sizes/threshold are overridden. */
+    CompileOptions base;
+    /** Worker count for the modelled parallel time (paper: 16). */
+    int modelWorkers = 16;
+    /** Timed repetitions (after one warm-up); best is kept. */
+    int repeats = 2;
+    /** Progress callback (config index, total). */
+    std::function<void(int, int)> progress;
+};
+
+/** Enumerate every configuration of a space. */
+std::vector<TuneConfig> enumerateSpace(const TuneSpace &space);
+
+/**
+ * Sweep the space for a pipeline on the given inputs: build, run,
+ * measure, and model each configuration.
+ */
+TuneResult autotune(const dsl::PipelineSpec &spec,
+                    const std::vector<std::int64_t> &params,
+                    const std::vector<const rt::Buffer *> &inputs,
+                    const TuneSpace &space, const TuneOptions &opts = {});
+
+} // namespace polymage::tune
+
+#endif // POLYMAGE_TUNE_AUTOTUNER_HPP

@@ -1,0 +1,151 @@
+/**
+ * @file
+ * The comparator kernels must compute the same mathematical results as
+ * the DSL pipelines they are benchmarked against (paper §4 compares
+ * implementations of identical algorithms).  Each comparator is
+ * checked against the reference interpreter, and the scaling model's
+ * basic properties are verified.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "comparators/comparators.hpp"
+#include "interp/interpreter.hpp"
+#include "runtime/synth.hpp"
+
+namespace polymage::cmp {
+namespace {
+
+using rt::Buffer;
+
+rt::Buffer
+interpOutput(const dsl::PipelineSpec &spec,
+             const std::vector<std::int64_t> &params,
+             const std::vector<const Buffer *> &inputs)
+{
+    auto g = pg::PipelineGraph::build(spec);
+    return interp::evaluate(g, params, inputs).outputs.at(0);
+}
+
+TEST(Comparators, UnsharpMatchesPipeline)
+{
+    const std::int64_t n = 40;
+    Buffer in = rt::synth::photoRgb(n + 4, n + 4);
+    Buffer ref = interpOutput(apps::buildUnsharpMask(n, n), {n, n},
+                              {&in});
+    for (bool vec : {false, true}) {
+        CmpResult r = htunedUnsharp(in, vec);
+        EXPECT_LE(r.output.maxAbsDiff(ref), 1e-4) << vec;
+        EXPECT_FALSE(r.passes.empty());
+    }
+    CmpResult lib = libstyleUnsharp(in);
+    EXPECT_LE(lib.output.maxAbsDiff(ref), 1e-4);
+    EXPECT_GE(lib.passes.size(), 9u); // 3 channels x 3 routines
+}
+
+TEST(Comparators, HarrisMatchesPipeline)
+{
+    const std::int64_t n = 48;
+    Buffer in = rt::synth::photo(n + 2, n + 2);
+    Buffer ref = interpOutput(apps::buildHarris(n, n), {n, n}, {&in});
+    for (bool vec : {false, true})
+        EXPECT_LE(htunedHarris(in, vec).output.maxAbsDiff(ref), 1e-3);
+    CmpResult lib = libstyleHarris(in);
+    EXPECT_LE(lib.output.maxAbsDiff(ref), 1e-3);
+    EXPECT_GE(lib.passes.size(), 9u); // OpenCV-style routine chain
+}
+
+TEST(Comparators, BilateralMatchesPipeline)
+{
+    const std::int64_t n = 64;
+    Buffer in = rt::synth::photo(n, n);
+    Buffer ref = interpOutput(apps::buildBilateralGrid(n, n), {n, n},
+                              {&in});
+    for (bool vec : {false, true})
+        EXPECT_LE(htunedBilateral(in, vec).output.maxAbsDiff(ref),
+                  1e-4);
+}
+
+TEST(Comparators, CameraMatchesPipeline)
+{
+    const std::int64_t rows = 48, cols = 64;
+    Buffer raw = rt::synth::bayerRaw(rows + 4, cols + 4);
+    Buffer ref = interpOutput(apps::buildCameraPipeline(rows, cols),
+                              {rows, cols}, {&raw});
+    for (bool vec : {false, true})
+        EXPECT_LE(htunedCamera(raw, vec).output.maxAbsDiff(ref), 1.0);
+}
+
+TEST(Comparators, PyramidBlendMatchesPipeline)
+{
+    const std::int64_t n = 64;
+    const int levels = 4;
+    Buffer a = rt::synth::photo(n, n, 1);
+    Buffer b = rt::synth::photo(n, n, 2);
+    Buffer m = rt::synth::blendMask(n, n);
+    Buffer ref = interpOutput(apps::buildPyramidBlend(n, n, levels),
+                              apps::pyramidParams(n, n, levels),
+                              {&a, &b, &m});
+    for (bool vec : {false, true}) {
+        EXPECT_LE(
+            htunedPyramidBlend(a, b, m, levels, vec).output.maxAbsDiff(
+                ref),
+            1e-4);
+    }
+    EXPECT_LE(libstylePyramidBlend(a, b, m, levels)
+                  .output.maxAbsDiff(ref),
+              1e-4);
+}
+
+TEST(Comparators, InterpMatchesPipeline)
+{
+    const std::int64_t n = 64;
+    const int levels = 4;
+    Buffer in = rt::synth::sparseAlpha(n, n, 0.1);
+    Buffer ref = interpOutput(apps::buildMultiscaleInterp(n, n, levels),
+                              apps::pyramidParams(n, n, levels),
+                              {&in});
+    for (bool vec : {false, true})
+        EXPECT_LE(htunedInterp(in, levels, vec).output.maxAbsDiff(ref),
+                  1e-4);
+}
+
+TEST(Comparators, LocalLaplacianMatchesPipeline)
+{
+    const std::int64_t n = 64;
+    const int levels = 3, k = 4;
+    Buffer in = rt::synth::photo(n, n);
+    Buffer ref =
+        interpOutput(apps::buildLocalLaplacian(n, n, levels, k),
+                     apps::pyramidParams(n, n, levels), {&in});
+    for (bool vec : {false, true}) {
+        EXPECT_LE(
+            htunedLocalLaplacian(in, levels, k, vec).output.maxAbsDiff(
+                ref),
+            1e-3);
+    }
+}
+
+TEST(Comparators, ModeledTimeProperties)
+{
+    std::vector<StagePass> passes{{"par", 1.0, 100}, {"ser", 0.5, 1}};
+    // One worker: total time.
+    EXPECT_DOUBLE_EQ(modeledTime(passes, 1), 1.5);
+    // Serial part never shrinks; parallel part scales.
+    const double t4 = modeledTime(passes, 4);
+    EXPECT_NEAR(t4, 0.5 + 0.25, 1e-9);
+    // Monotone non-increasing in workers.
+    double prev = modeledTime(passes, 1);
+    for (int w = 2; w <= 32; w *= 2) {
+        const double t = modeledTime(passes, w);
+        EXPECT_LE(t, prev + 1e-12);
+        prev = t;
+    }
+    // Ceil-based load imbalance: 100 iters on 64 workers costs the
+    // same as on 50.
+    EXPECT_NEAR(modeledTime(passes, 64), modeledTime(passes, 50),
+                1e-12);
+}
+
+} // namespace
+} // namespace polymage::cmp

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Structural checks on the generated C++ for Harris corner detection
+ * against the shape of the paper's Figure 7: OpenMP-parallel tile
+ * loops, thread-private scratchpads, clamped per-level bounds,
+ * vectorisation pragmas, and a single full allocation for the
+ * live-out.
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "driver/compiler.hpp"
+
+#include "common/test_pipelines.hpp"
+
+namespace polymage::cg {
+namespace {
+
+int
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    int n = 0;
+    for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size())) {
+        ++n;
+    }
+    return n;
+}
+
+class HarrisSource : public ::testing::Test
+{
+  protected:
+    static void
+    SetUpTestSuite()
+    {
+        compiled_ = new CompiledPipeline(
+            compilePipeline(apps::buildHarris(2048, 2048)));
+    }
+    static void TearDownTestSuite()
+    {
+        delete compiled_;
+        compiled_ = nullptr;
+    }
+
+    const std::string &src() const { return compiled_->code.source; }
+
+    static CompiledPipeline *compiled_;
+};
+
+CompiledPipeline *HarrisSource::compiled_ = nullptr;
+
+TEST_F(HarrisSource, EntrySymbolAndAbi)
+{
+    EXPECT_EQ(compiled_->code.entry, "polymage_harris");
+    EXPECT_NE(src().find("extern \"C\" void polymage_harris(const long "
+                         "long *params"),
+              std::string::npos);
+}
+
+TEST_F(HarrisSource, ParallelTileLoop)
+{
+    // One fused group: exactly one parallel tile loop (Fig. 7's Ti).
+    EXPECT_EQ(countOccurrences(src(), "#pragma omp parallel for"), 1);
+    EXPECT_NE(src().find("for (long long T0 ="), std::string::npos);
+    EXPECT_NE(src().find("for (long long T1 ="), std::string::npos);
+}
+
+TEST_F(HarrisSource, ScratchpadsAreThreadPrivateArrays)
+{
+    // Five scratchpads: Ix, Iy, Sxx, Syy, Sxy (Fig. 7).
+    EXPECT_EQ(countOccurrences(src(), "float scr_"), 5);
+    EXPECT_NE(src().find("float scr_Ix["), std::string::npos);
+    EXPECT_NE(src().find("float scr_Sxx["), std::string::npos);
+    // Relative indexing against per-tile origins.
+    EXPECT_NE(src().find("ob_Ix_0"), std::string::npos);
+    // The live-out is written through the full buffer.
+    EXPECT_NE(src().find("buf_harris["), std::string::npos);
+    // No heap allocation for intermediates (all scratchpads).
+    EXPECT_EQ(src().find("std::malloc"), std::string::npos);
+}
+
+TEST_F(HarrisSource, ClampedBoundsLikeFigure7)
+{
+    // Bounds combine domain clamps with tile regions via min/max.
+    EXPECT_GT(countOccurrences(src(), "pm_max_i"), 5);
+    EXPECT_GT(countOccurrences(src(), "pm_min_i"), 5);
+}
+
+TEST_F(HarrisSource, VectorisationPragmas)
+{
+    EXPECT_GT(countOccurrences(src(), "#pragma omp simd"), 0);
+
+    CompileOptions novec = CompileOptions::optNoVec();
+    auto c = compilePipeline(apps::buildHarris(256, 256), novec);
+    EXPECT_EQ(countOccurrences(c.code.source, "#pragma omp simd"), 0);
+}
+
+TEST_F(HarrisSource, BaselineHasNoTilesOrScratchpads)
+{
+    auto c = compilePipeline(apps::buildHarris(256, 256),
+                             CompileOptions::baseline(true));
+    EXPECT_EQ(c.code.source.find("scr_"), std::string::npos);
+    EXPECT_EQ(c.code.source.find("for (long long T0"),
+              std::string::npos);
+    // Six parallel loops: one per remaining stage case.
+    EXPECT_GT(countOccurrences(c.code.source, "#pragma omp parallel"),
+              5);
+}
+
+TEST_F(HarrisSource, InstrumentedEntryOnlyOnRequest)
+{
+    EXPECT_EQ(src().find("_pm_instr"), std::string::npos);
+    CompileOptions opts;
+    opts.codegen.instrument = true;
+    auto c = compilePipeline(apps::buildHarris(256, 256), opts);
+    EXPECT_EQ(c.code.instrEntry, "polymage_harris_pm_instr");
+    EXPECT_NE(c.code.source.find("polymage_harris_pm_instr"),
+              std::string::npos);
+    EXPECT_NE(c.code.source.find("pm_record"), std::string::npos);
+}
+
+TEST_F(HarrisSource, ReportMentionsPhases)
+{
+    const std::string rep = compiled_->report();
+    EXPECT_NE(rep.find("grouping"), std::string::npos);
+    EXPECT_NE(rep.find("scratchpad"), std::string::npos);
+    EXPECT_NE(rep.find("inlined"), std::string::npos);
+}
+
+} // namespace
+} // namespace polymage::cg
+
+namespace polymage::cg {
+namespace {
+
+TEST(CodegenFeatures, StorageOptOffSpillsToFullBuffers)
+{
+    CompileOptions opts;
+    opts.codegen.storageOpt = false;
+    auto c = compilePipeline(apps::buildHarris(256, 256), opts);
+    // Tiling still happens, but no scratchpads: intermediates malloc'd.
+    EXPECT_NE(c.code.source.find("for (long long T0"),
+              std::string::npos);
+    EXPECT_EQ(c.code.source.find("scr_"), std::string::npos);
+    EXPECT_NE(c.code.source.find("std::malloc"), std::string::npos);
+}
+
+TEST(CodegenFeatures, ParityCasesBecomeStridedLoops)
+{
+    auto c = compilePipeline(apps::buildPyramidBlend(512, 512, 3));
+    // Upsampling stages iterate even/odd residue classes with stride-2
+    // loops instead of per-point guards.
+    EXPECT_NE(c.code.source.find("+= 2)"), std::string::npos);
+    EXPECT_EQ(c.code.source.find("pm_floormod((long long)y, (long "
+                                 "long)2) == 0"),
+              std::string::npos);
+}
+
+TEST(CodegenFeatures, ReductionsPrivatisedUnderOpenMP)
+{
+    auto t = polymage::testing::makeHistogram(512);
+    auto c = compilePipeline(t.spec);
+    EXPECT_NE(c.code.source.find("pm_priv"), std::string::npos);
+    EXPECT_NE(c.code.source.find("#pragma omp critical"),
+              std::string::npos);
+
+    // Without parallelisation the loop stays sequential and direct.
+    CompileOptions serial;
+    serial.codegen.parallelize = false;
+    auto c2 = compilePipeline(t.spec, serial);
+    EXPECT_EQ(c2.code.source.find("pm_priv"), std::string::npos);
+}
+
+TEST(CodegenFeatures, SelfRecurrentScanStaysSequentialAndDirect)
+{
+    auto spec = apps::buildHistogramEq(512, 512);
+    auto c = compilePipeline(spec);
+    // The cdf scan (self-recurrent) must not be parallelised; the
+    // histogram before it is privatised.
+    EXPECT_NE(c.code.source.find("pm_priv"), std::string::npos);
+    const auto cdf_pos = c.code.source.find("// ---- group");
+    EXPECT_NE(cdf_pos, std::string::npos);
+}
+
+} // namespace
+} // namespace polymage::cg

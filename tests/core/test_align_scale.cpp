@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "common/test_pipelines.hpp"
+#include "core/group_schedule.hpp"
+
+namespace polymage::core {
+namespace {
+
+using namespace dsl;
+
+std::vector<int>
+allStages(const pg::PipelineGraph &g)
+{
+    std::vector<int> v;
+    for (std::size_t i = 0; i < g.stages().size(); ++i)
+        v.push_back(int(i));
+    return v;
+}
+
+TEST(AlignScale, StencilChainIsIdentityMapped)
+{
+    auto t = testing::makeBlurChain();
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched.has_value());
+    EXPECT_EQ(sched->numGroupDims, 2);
+    EXPECT_EQ(sched->numLevels, 2);
+    for (int s : sched->stages) {
+        const StageMapping &m = sched->mapping.at(s);
+        EXPECT_EQ(m.groupDim, (std::vector<int>{0, 1}));
+        EXPECT_EQ(m.scale, (std::vector<std::int64_t>{1, 1}));
+    }
+    // Both dims tileable; 3x3 stencil gives width 1 on each side.
+    for (int gd : {0, 1}) {
+        EXPECT_TRUE(sched->dims[gd].tileable);
+        ASSERT_EQ(sched->dims[gd].wl.size(), 1u);
+        EXPECT_EQ(sched->dims[gd].wl[0], 1);
+        EXPECT_EQ(sched->dims[gd].wr[0], 1);
+        EXPECT_EQ(sched->dims[gd].overlap(), 2);
+    }
+}
+
+/**
+ * Paper Fig. 6: the heterogeneous chain f -> g -> h -> f_up -> f_out
+ * with downsampling below and upsampling above gets the scaled
+ * schedules (0,x), (1,2x), (2,4x), (3,2x), (4,x).
+ */
+TEST(AlignScale, Figure6ScalesMatchPaper)
+{
+    Parameter N("N");
+    Variable x("x");
+    Image fin("fin", DType::Float, {Expr(N) * 4 + 4});
+
+    // Domains sized so every access stays in bounds.
+    Function f("f", {x}, {Interval(Expr(0), Expr(N) * 4 + 3)},
+               DType::Float);
+    f.define(fin(Expr(x)));
+    Function gf("g", {x}, {Interval(Expr(0), Expr(N) * 2)},
+                DType::Float);
+    gf.define(f(Expr(x) * 2 - 1) * f(Expr(x) * 2 + 1));
+    Function h("h", {x}, {Interval(Expr(1), Expr(N) - 1)}, DType::Float);
+    h.define(gf(Expr(x) * 2 - 1) * gf(Expr(x) * 2 + 1));
+    Function fup("fup", {x}, {Interval(Expr(2), Expr(N) * 2 - 4)},
+                 DType::Float);
+    fup.define(h(Expr(x) / 2) * h(Expr(x) / 2 + 1));
+    Function fout("fout", {x}, {Interval(Expr(4), Expr(N) * 4 - 8)},
+                  DType::Float);
+    fout.define(fup(Expr(x) / 2));
+
+    PipelineSpec spec("fig6");
+    spec.addParam(N);
+    spec.addInput(fin);
+    spec.addOutput(fout);
+    spec.estimate(N, 256);
+
+    auto g = pg::PipelineGraph::build(spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched.has_value());
+    EXPECT_EQ(sched->numLevels, 5);
+
+    auto scale_of = [&](const std::string &name) {
+        for (int s : sched->stages) {
+            if (g.stage(s).name() == name)
+                return sched->mapping.at(s).scale[0];
+        }
+        return std::int64_t(-1);
+    };
+    EXPECT_EQ(scale_of("fout"), 1);
+    EXPECT_EQ(scale_of("fup"), 2);
+    EXPECT_EQ(scale_of("h"), 4);
+    EXPECT_EQ(scale_of("g"), 2);
+    EXPECT_EQ(scale_of("f"), 1);
+    EXPECT_TRUE(sched->dims[0].tileable);
+    EXPECT_GT(sched->dims[0].overlap(), 0);
+}
+
+TEST(AlignScale, TransposedAccessFails)
+{
+    // Paper §3.3: f(x,y) = g(x,y) + g(y,x) cannot be aligned.
+    Parameter R("R");
+    Variable x("x"), y("y");
+    Interval iv(Expr(0), Expr(R) - 1);
+    Image I("I", DType::Float, {Expr(R), Expr(R)});
+    Function gfun("g", {x, y}, {iv, iv}, DType::Float);
+    gfun.define(I(Expr(x), Expr(y)));
+    Function f("f", {x, y}, {iv, iv}, DType::Float);
+    f.define(gfun(Expr(x), Expr(y)) + gfun(Expr(y), Expr(x)));
+    PipelineSpec spec("transpose");
+    spec.addOutput(f);
+    spec.estimate(R, 64);
+    auto g = pg::PipelineGraph::build(spec);
+    EXPECT_FALSE(buildGroupSchedule(g, allStages(g)).has_value());
+}
+
+TEST(AlignScale, IncompatibleScalesFail)
+{
+    // Paper §3.3: f(x) = g(x/2) + g(x/4) has no consistent scaling.
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function gfun("g", {x}, {Interval(Expr(0), Expr(R) - 1)},
+                  DType::Float);
+    gfun.define(I(Expr(x)));
+    Function f("f", {x},
+               {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(gfun(Expr(x) / 2) + gfun(Expr(x) / 4));
+    PipelineSpec spec("incompatible");
+    spec.addOutput(f);
+    spec.estimate(R, 64);
+    auto g = pg::PipelineGraph::build(spec);
+    EXPECT_FALSE(buildGroupSchedule(g, allStages(g)).has_value());
+}
+
+TEST(AlignScale, ChannelConstantAccessUntilable)
+{
+    // gray(x,y) = dot(I, rgb weights): stays schedulable but only the
+    // spatial dims are tileable (paper's colour-to-gray example, with a
+    // function standing in for the image).
+    Parameter R("R"), C("C");
+    Variable c("c"), x("x"), y("y");
+    Image I("I", DType::Float, {Expr(3), Expr(R), Expr(C)});
+    Function planes("planes", {c, x, y},
+                    {Interval(Expr(0), Expr(2)),
+                     Interval(Expr(0), Expr(R) - 1),
+                     Interval(Expr(0), Expr(C) - 1)},
+                    DType::Float);
+    planes.define(I(Expr(c), Expr(x), Expr(y)) * Expr(2.0));
+    Function gray("gray", {x, y},
+                  {Interval(Expr(0), Expr(R) - 1),
+                   Interval(Expr(0), Expr(C) - 1)},
+                  DType::Float);
+    gray.define(planes(Expr(0), Expr(x), Expr(y)) * Expr(0.299) +
+                planes(Expr(1), Expr(x), Expr(y)) * Expr(0.587) +
+                planes(Expr(2), Expr(x), Expr(y)) * Expr(0.114));
+    PipelineSpec spec("gray");
+    spec.addOutput(gray);
+    spec.estimate(R, 64);
+    spec.estimate(C, 64);
+    auto g = pg::PipelineGraph::build(spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched.has_value());
+    EXPECT_EQ(sched->numGroupDims, 3);
+    // The channel dim is inserted as the outermost group dim (paper:
+    // gray (x,y) -> (1, 0, x, y)) and, being constant-accessed, is not
+    // tileable.  The spatial dims are.
+    EXPECT_EQ(sched->tileableDims(), (std::vector<int>{1, 2}));
+    // planes keeps its declared loop order in group space.
+    for (int s : sched->stages) {
+        if (g.stage(s).name() == "planes") {
+            EXPECT_EQ(sched->mapping.at(s).groupDim,
+                      (std::vector<int>{0, 1, 2}));
+        }
+        if (g.stage(s).name() == "gray") {
+            EXPECT_EQ(sched->mapping.at(s).groupDim,
+                      (std::vector<int>{1, 2}));
+        }
+    }
+}
+
+TEST(AlignScale, MultipleSinksFail)
+{
+    Parameter R("R");
+    Variable x("x");
+    Interval iv(Expr(0), Expr(R) - 1);
+    Image I("I", DType::Float, {Expr(R)});
+    Function a("a", {x}, {iv}, DType::Float);
+    a.define(I(Expr(x)));
+    Function b("b", {x}, {iv}, DType::Float);
+    b.define(a(Expr(x)));
+    Function c("c", {x}, {iv}, DType::Float);
+    c.define(a(Expr(x)));
+    PipelineSpec spec("two_sinks");
+    spec.addOutput(b);
+    spec.addOutput(c);
+    spec.estimate(R, 64);
+    auto g = pg::PipelineGraph::build(spec);
+    EXPECT_FALSE(buildGroupSchedule(g, allStages(g)).has_value());
+}
+
+TEST(AlignScale, AccumulatorNeverInMultiStageGroup)
+{
+    auto t = testing::makeHistogram();
+    auto g = pg::PipelineGraph::build(t.spec);
+    // Singleton accumulator group is schedulable...
+    EXPECT_TRUE(buildGroupSchedule(g, {0}).has_value());
+}
+
+TEST(AlignScale, DownsampleScalesProducerUp)
+{
+    auto t = testing::makeDownsample();
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched.has_value());
+    // base is the fine stage (scale 1); down is coarse (scale 2).
+    auto scale_of = [&](const std::string &name) {
+        for (int s : sched->stages) {
+            if (g.stage(s).name() == name)
+                return sched->mapping.at(s).scale[0];
+        }
+        return std::int64_t(-1);
+    };
+    EXPECT_EQ(scale_of("base"), 1);
+    EXPECT_EQ(scale_of("down"), 2);
+}
+
+} // namespace
+} // namespace polymage::core

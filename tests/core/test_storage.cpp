@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "common/test_pipelines.hpp"
+#include "core/storage.hpp"
+#include "pipeline/inline.hpp"
+
+namespace polymage::core {
+namespace {
+
+using namespace dsl;
+
+/**
+ * Paper Fig. 7: with 32x256 tiles on Harris (after inlining), the five
+ * intermediate stencil stages get scratchpads sized tile + overlap and
+ * the live-out stays a full buffer.  The paper's uniform-slope shapes
+ * are 36x260; our per-level ("tight", Fig. 6) shapes are one/three
+ * cells smaller per dim: 35x259 at the bottom level, 33x257 mid-level.
+ */
+TEST(Storage, HarrisScratchpadsMatchFigure7)
+{
+    auto inlined = pg::inlinePointwise(apps::buildHarris(2048, 2048));
+    auto g = pg::PipelineGraph::build(inlined.spec);
+    GroupingOptions opts;
+    opts.tileSizes = {32, 256};
+    auto grouping = groupStages(g, opts);
+    ASSERT_EQ(grouping.groups.size(), 1u);
+    auto plan = planStorage(g, grouping, opts);
+
+    int scratch = 0, full = 0;
+    for (std::size_t i = 0; i < g.stages().size(); ++i) {
+        const auto &st = plan.stages.at(int(i));
+        if (st.kind == StorageKind::Scratchpad) {
+            ++scratch;
+            const bool bottom = grouping.groups[0].localLevel.at(
+                                    int(i)) == 0;
+            const auto want = bottom
+                                  ? std::vector<std::int64_t>{35, 259}
+                                  : std::vector<std::int64_t>{33, 257};
+            EXPECT_EQ(st.scratchExtent, want)
+                << g.stage(int(i)).name();
+            EXPECT_EQ(st.scratchBytes,
+                      want[0] * want[1] * 4);
+        } else {
+            ++full;
+            EXPECT_TRUE(g.stage(int(i)).liveOut);
+        }
+    }
+    EXPECT_EQ(scratch, 5); // Ix, Iy, Sxx, Syy, Sxy
+    EXPECT_EQ(full, 1);    // harris
+    EXPECT_EQ(plan.groupScratchBytes.at(0),
+              (2 * 35 * 259 + 3 * 33 * 257) * 4);
+}
+
+TEST(Storage, ScaledStagesGetScaledScratchpads)
+{
+    auto t = testing::makeUpsample(1 << 16);
+    auto g = pg::PipelineGraph::build(t.spec);
+    GroupingOptions opts;
+    opts.tileSizes = {64};
+    auto grouping = groupStages(g, opts);
+    ASSERT_EQ(grouping.groups.size(), 1u);
+    auto plan = planStorage(g, grouping, opts);
+    // base has scale 2 in group coords: its scratchpad covers
+    // (64 - 1 + 1) / 2 + 2 = 34 points.
+    for (std::size_t i = 0; i < g.stages().size(); ++i) {
+        if (g.stage(int(i)).name() == "base") {
+            EXPECT_EQ(plan.stages.at(int(i)).kind,
+                      StorageKind::Scratchpad);
+            EXPECT_EQ(plan.stages.at(int(i)).scratchExtent[0], 34);
+        }
+    }
+}
+
+TEST(Storage, EverythingFullWhenTilingDisabled)
+{
+    auto inlined = pg::inlinePointwise(apps::buildHarris(512, 512));
+    auto g = pg::PipelineGraph::build(inlined.spec);
+    GroupingOptions opts;
+    auto grouping = groupStages(g, opts);
+    auto plan = planStorage(g, grouping, opts, /*tiling_enabled=*/false);
+    for (std::size_t i = 0; i < g.stages().size(); ++i)
+        EXPECT_EQ(plan.stages.at(int(i)).kind, StorageKind::FullBuffer);
+}
+
+TEST(Storage, LiveOutAndExternallyConsumedAreFull)
+{
+    // Two outputs: blur1 is consumed by blur2 *and* is a live-out.
+    auto t = testing::makeBlurChain(512);
+    // Rebuild with both outputs.
+    auto g0 = pg::PipelineGraph::build(t.spec);
+    ASSERT_EQ(g0.stages().size(), 2u);
+
+    // Mark blur1 live-out through a new spec.
+    PipelineSpec spec2("blur_both");
+    spec2.addOutput(g0.stage(0).callable);
+    spec2.addOutput(g0.stage(1).callable);
+    for (const auto &p : t.spec.params())
+        spec2.addParam(p);
+    for (const auto &[id, v] : t.spec.estimates())
+        spec2.estimateById(id, v);
+    auto g = pg::PipelineGraph::build(spec2);
+    GroupingOptions opts;
+    auto grouping = groupStages(g, opts);
+    auto plan = planStorage(g, grouping, opts);
+    for (std::size_t i = 0; i < g.stages().size(); ++i)
+        EXPECT_EQ(plan.stages.at(int(i)).kind, StorageKind::FullBuffer);
+}
+
+TEST(Storage, AccumulatorAlwaysFull)
+{
+    auto t = testing::makeHistogram(512);
+    auto g = pg::PipelineGraph::build(t.spec);
+    GroupingOptions opts;
+    auto grouping = groupStages(g, opts);
+    auto plan = planStorage(g, grouping, opts);
+    EXPECT_EQ(plan.stages.at(0).kind, StorageKind::FullBuffer);
+}
+
+} // namespace
+} // namespace polymage::core

@@ -1,0 +1,216 @@
+/**
+ * @file
+ * Properties of overlapped tile shapes (paper §3.4, Figs. 5-6):
+ * cumulative extensions are monotone, the overlap formula matches the
+ * per-level widths, and -- the key validity property -- the dependence
+ * cone of every live-out point is contained in its tile.
+ */
+#include <gtest/gtest.h>
+
+#include "common/test_pipelines.hpp"
+#include "core/group_schedule.hpp"
+#include "support/rng.hpp"
+
+namespace polymage::core {
+namespace {
+
+using namespace dsl;
+
+std::vector<int>
+allStages(const pg::PipelineGraph &g)
+{
+    std::vector<int> v;
+    for (std::size_t i = 0; i < g.stages().size(); ++i)
+        v.push_back(int(i));
+    return v;
+}
+
+/**
+ * Build a random 1-D stencil chain of `depth` stages, each reading its
+ * producer over a random window [-wl, +wr], with domains wide enough to
+ * satisfy bounds.  Returns the spec plus the per-transition widths.
+ */
+struct RandomChain
+{
+    dsl::PipelineSpec spec{"chain"};
+    std::vector<std::int64_t> wl, wr; // per stage (producer access)
+};
+
+RandomChain
+makeRandomChain(Rng &rng, int depth)
+{
+    RandomChain out;
+    Parameter N("N");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(N)});
+
+    const std::int64_t margin = 4 * depth;
+    std::vector<Function> fs;
+    for (int k = 0; k < depth; ++k) {
+        const std::int64_t wl = rng.uniformInt(0, 3);
+        const std::int64_t wr = rng.uniformInt(0, 3);
+        out.wl.push_back(wl);
+        out.wr.push_back(wr);
+        Interval dom(Expr(margin + 4 * k),
+                     Expr(N) - 1 - margin - 4 * k);
+        Function f("s" + std::to_string(k), {x}, {dom}, DType::Float);
+        Expr body;
+        auto access = [&](std::int64_t off) {
+            Expr idx = Expr(x) + Expr(off);
+            return k == 0 ? I(idx) : fs.back()(idx);
+        };
+        body = access(-wl) + access(wr);
+        f.define(body);
+        fs.push_back(f);
+    }
+    out.spec.addParam(N);
+    out.spec.addInput(I);
+    out.spec.addOutput(fs.back());
+    out.spec.estimateById(N.id(), 512);
+    return out;
+}
+
+TEST(TileShapes, BlurChainExtensionsAndOverlap)
+{
+    auto t = testing::makeBlurChain();
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched);
+    const auto &d = sched->dims[0];
+    // Two levels: extensions are 1 at the bottom, 0 at the top.
+    EXPECT_EQ(d.extLeft, (std::vector<std::int64_t>{1, 0}));
+    EXPECT_EQ(d.extRight, (std::vector<std::int64_t>{1, 0}));
+    EXPECT_EQ(d.overlap(), 2);
+}
+
+// Property: on random stencil chains the cumulative extensions equal
+// the suffix sums of the per-transition widths, extensions are
+// monotonically non-increasing with level, and the overlap matches the
+// paper's formula o = sum of per-level widths.
+TEST(TileShapes, PropertyRandomChainsExtensionsAreSuffixSums)
+{
+    Rng rng(77);
+    for (int trial = 0; trial < 40; ++trial) {
+        const int depth = int(rng.uniformInt(2, 6));
+        RandomChain chain = makeRandomChain(rng, depth);
+        auto g = pg::PipelineGraph::build(chain.spec);
+        auto sched = buildGroupSchedule(g, allStages(g));
+        ASSERT_TRUE(sched) << "trial " << trial;
+        ASSERT_EQ(sched->numLevels, depth);
+        const auto &d = sched->dims[0];
+        ASSERT_TRUE(d.tileable);
+
+        // Transition t is the access of stage t+1 into stage t; stage 0
+        // reads only the input image.
+        for (int tr = 0; tr < depth - 1; ++tr) {
+            EXPECT_EQ(d.wl[tr], chain.wl[tr + 1]) << trial << ":" << tr;
+            EXPECT_EQ(d.wr[tr], chain.wr[tr + 1]);
+        }
+        std::int64_t suffix_l = 0, suffix_r = 0;
+        for (int k = depth - 1; k >= 0; --k) {
+            EXPECT_EQ(d.extLeft[k], suffix_l);
+            EXPECT_EQ(d.extRight[k], suffix_r);
+            if (k > 0) {
+                suffix_l += d.wl[k - 1];
+                suffix_r += d.wr[k - 1];
+            }
+        }
+        EXPECT_EQ(d.overlap(), d.extLeft[0] + d.extRight[0]);
+    }
+}
+
+/**
+ * Cone containment: simulate tile evaluation bottom-up.  For every
+ * stage, the region provided at its level must contain everything the
+ * consumers' regions demand through their accesses.
+ */
+TEST(TileShapes, PropertyDependenceConeContainedInTile)
+{
+    Rng rng(99);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int depth = int(rng.uniformInt(2, 5));
+        RandomChain chain = makeRandomChain(rng, depth);
+        auto g = pg::PipelineGraph::build(chain.spec);
+        auto sched = buildGroupSchedule(g, allStages(g));
+        ASSERT_TRUE(sched);
+        const auto &d = sched->dims[0];
+
+        const std::int64_t tau = 32;
+        for (std::int64_t T : {-1, 0, 3}) {
+            // Region at level k: [tau*T - extLeft[k],
+            //                     tau*(T+1)-1 + extRight[k]].
+            for (int s = 1; s < depth; ++s) {
+                const int kc = sched->localLevel.at(s);
+                const int kp = kc - 1;
+                const std::int64_t clo = tau * T - d.extLeft[kc];
+                const std::int64_t chi =
+                    tau * (T + 1) - 1 + d.extRight[kc];
+                // Consumer at x reads producer [x-wl, x+wr].
+                const std::int64_t need_lo = clo - chain.wl[s];
+                const std::int64_t need_hi = chi + chain.wr[s];
+                const std::int64_t plo = tau * T - d.extLeft[kp];
+                const std::int64_t phi =
+                    tau * (T + 1) - 1 + d.extRight[kp];
+                EXPECT_LE(plo, need_lo);
+                EXPECT_GE(phi, need_hi);
+            }
+        }
+    }
+}
+
+/** Sampling chains: extensions stay bounded by scale-adjusted widths. */
+TEST(TileShapes, UpsampleChainHasBoundedOverlap)
+{
+    auto t = testing::makeUpsample();
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched);
+    const auto &d = sched->dims[0];
+    ASSERT_TRUE(d.tileable);
+    // up(x) = base(x/2): dist in [0, s_c*(div-1)] = [0, 1] with
+    // s_c = 1: only a left-side extension of 1.
+    EXPECT_EQ(d.extLeft[0], 1);
+    EXPECT_EQ(d.extRight[0], 0);
+}
+
+TEST(TileShapes, DownsampleChainOverlap)
+{
+    auto t = testing::makeDownsample();
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto sched = buildGroupSchedule(g, allStages(g));
+    ASSERT_TRUE(sched);
+    const auto &d = sched->dims[0];
+    ASSERT_TRUE(d.tileable);
+    // down(x) reads base(2x), base(2x+1): dists 0 and -s_p = -1 (in
+    // group coords): a right-side extension of 1.
+    EXPECT_EQ(d.extLeft[0], 0);
+    EXPECT_EQ(d.extRight[0], 1);
+}
+
+/**
+ * The naive uniform-dependence approximation (paper Fig. 6 "extended
+ * region") is never tighter than the per-level analysis.
+ */
+TEST(TileShapes, PerLevelTighterThanUniformApproximation)
+{
+    Rng rng(123);
+    for (int trial = 0; trial < 20; ++trial) {
+        const int depth = int(rng.uniformInt(3, 6));
+        RandomChain chain = makeRandomChain(rng, depth);
+        auto g = pg::PipelineGraph::build(chain.spec);
+        auto sched = buildGroupSchedule(g, allStages(g));
+        ASSERT_TRUE(sched);
+        const auto &d = sched->dims[0];
+        std::int64_t wl_max = 0, wr_max = 0;
+        for (int tr = 0; tr < depth - 1; ++tr) {
+            wl_max = std::max(wl_max, d.wl[tr]);
+            wr_max = std::max(wr_max, d.wr[tr]);
+        }
+        const std::int64_t uniform =
+            (depth - 1) * (wl_max + wr_max); // h * (|l| + |r|)
+        EXPECT_LE(d.overlap(), uniform);
+    }
+}
+
+} // namespace
+} // namespace polymage::core

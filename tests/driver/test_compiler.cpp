@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "common/test_pipelines.hpp"
+#include "driver/compiler.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/synth.hpp"
+
+namespace polymage {
+namespace {
+
+using namespace dsl;
+
+TEST(Driver, OptionFactoriesMatchPaperVariants)
+{
+    auto opt = CompileOptions::optimized();
+    EXPECT_TRUE(opt.codegen.tile);
+    EXPECT_TRUE(opt.codegen.vectorize);
+    EXPECT_TRUE(opt.grouping.enable);
+
+    auto novec = CompileOptions::optNoVec();
+    EXPECT_TRUE(novec.codegen.tile);
+    EXPECT_FALSE(novec.codegen.vectorize);
+
+    auto base = CompileOptions::baseline(true);
+    EXPECT_FALSE(base.codegen.tile);
+    EXPECT_FALSE(base.grouping.enable);
+    EXPECT_TRUE(base.codegen.vectorize);
+    EXPECT_TRUE(base.inlining.enable); // base keeps inlining (paper §4)
+}
+
+TEST(Driver, InvalidSpecFailsBeforeCodegen)
+{
+    // Out-of-bounds access caught by the static checker.
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(I(Expr(x) + 5));
+    PipelineSpec spec("oob");
+    spec.addOutput(f);
+    spec.estimate(R, 64);
+    EXPECT_THROW(compilePipeline(spec), SpecError);
+}
+
+TEST(Driver, BoundsErrorsReportUserStageNames)
+{
+    // The pre-inlining check reports against the user's own stages.
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function pw("pointwise_helper", {x},
+                {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    pw.define(I(Expr(x)) * Expr(2.0));
+    Function bad("bad_consumer", {x},
+                 {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    bad.define(pw(Expr(x) + 3));
+    PipelineSpec spec("named");
+    spec.addOutput(bad);
+    spec.estimate(R, 64);
+    try {
+        compilePipeline(spec);
+        FAIL() << "expected SpecError";
+    } catch (const SpecError &e) {
+        EXPECT_NE(std::string(e.what()).find("bad_consumer"),
+                  std::string::npos);
+    }
+}
+
+TEST(Driver, ReportListsAllPhases)
+{
+    auto c = compilePipeline(apps::buildHarris(512, 512));
+    const std::string rep = c.report();
+    for (const char *needle :
+         {"pipeline harris", "inlined", "grouping", "scratchpad",
+          "full"}) {
+        EXPECT_NE(rep.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Driver, CompilationIsFast)
+{
+    // §3.8 relies on cheap recompilation: the compiler itself (without
+    // the system C++ compiler) must run in milliseconds even for the
+    // largest pipeline.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto c = compilePipeline(apps::buildLocalLaplacian(2560, 1536, 4, 8));
+    const double dt = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count();
+    EXPECT_FALSE(c.code.source.empty());
+    EXPECT_LT(dt, 5.0);
+}
+
+TEST(Driver, ExecutorValidatesArguments)
+{
+    auto t = testing::makePointwise(32);
+    rt::Executable exe = rt::Executable::build(t.spec);
+    rt::Buffer good(DType::Float, {32, 32});
+    rt::Buffer wrong_shape(DType::Float, {16, 16});
+    rt::Buffer wrong_type(DType::Double, {32, 32});
+
+    EXPECT_NO_THROW(exe.run({32, 32}, {&good}));
+    EXPECT_THROW(exe.run({32}, {&good}), SpecError);
+    EXPECT_THROW(exe.run({32, 32}, {}), SpecError);
+    EXPECT_THROW(exe.run({32, 32}, {&wrong_shape}), SpecError);
+    EXPECT_THROW(exe.run({32, 32}, {&wrong_type}), SpecError);
+}
+
+TEST(Driver, ProfileRequiresInstrumentation)
+{
+    auto t = testing::makePointwise(32);
+    rt::Executable exe = rt::Executable::build(t.spec); // no instrument
+    rt::Buffer in(DType::Float, {32, 32});
+    EXPECT_THROW(exe.profile({32, 32}, {&in}), InternalError);
+}
+
+TEST(Driver, OutputShapesMatchDomains)
+{
+    auto spec = apps::buildHarris(128, 96);
+    rt::Executable exe = rt::Executable::build(spec);
+    auto shapes = exe.outputShapes({128, 96});
+    ASSERT_EQ(shapes.size(), 1u);
+    EXPECT_EQ(shapes[0], (std::vector<std::int64_t>{130, 98}));
+}
+
+} // namespace
+} // namespace polymage

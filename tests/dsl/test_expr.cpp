@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "dsl/dsl.hpp"
+
+namespace polymage::dsl {
+namespace {
+
+TEST(DTypes, SizesAndNames)
+{
+    EXPECT_EQ(dtypeSize(DType::UChar), 1u);
+    EXPECT_EQ(dtypeSize(DType::Float), 4u);
+    EXPECT_EQ(dtypeSize(DType::Double), 8u);
+    EXPECT_STREQ(dtypeCName(DType::UChar), "unsigned char");
+    EXPECT_STREQ(dtypeCName(DType::Float), "float");
+    EXPECT_TRUE(dtypeIsFloat(DType::Double));
+    EXPECT_FALSE(dtypeIsFloat(DType::Int));
+}
+
+TEST(DTypes, Promotion)
+{
+    EXPECT_EQ(dtypePromote(DType::Int, DType::Float), DType::Float);
+    EXPECT_EQ(dtypePromote(DType::Float, DType::Double), DType::Double);
+    EXPECT_EQ(dtypePromote(DType::UChar, DType::UChar), DType::UChar);
+    // Mixed narrow integers widen to Int.
+    EXPECT_EQ(dtypePromote(DType::UChar, DType::Short), DType::Int);
+    EXPECT_EQ(dtypePromote(DType::Int, DType::Long), DType::Long);
+}
+
+TEST(Expr, ConstantsCarryTypes)
+{
+    EXPECT_EQ(Expr(3).type(), DType::Int);
+    EXPECT_EQ(Expr(2.5).type(), DType::Float);
+    EXPECT_EQ(constInt(7, DType::UChar).type(), DType::UChar);
+    EXPECT_EQ(constFloat(1.0, DType::Double).type(), DType::Double);
+}
+
+TEST(Expr, OperatorTypesPromote)
+{
+    Variable x("x");
+    Expr e = Expr(x) + Expr(1);
+    EXPECT_EQ(e.type(), DType::Int);
+    Expr f = Expr(x) * Expr(0.5);
+    EXPECT_EQ(f.type(), DType::Float);
+}
+
+TEST(Expr, UndefinedExprRejected)
+{
+    Expr undef;
+    EXPECT_FALSE(undef.defined());
+    EXPECT_THROW(undef + Expr(1), SpecError);
+    EXPECT_THROW(undef.type(), SpecError);
+}
+
+TEST(Expr, PrintingIsReadable)
+{
+    Variable x("x"), y("y");
+    Parameter r("R");
+    Expr e = (Expr(x) + 1) * Expr(y) - Expr(r);
+    EXPECT_EQ(toString(e), "(((x + 1) * y) - R)");
+}
+
+TEST(Expr, MinMaxClampPrint)
+{
+    Variable x("x");
+    EXPECT_EQ(toString(min(Expr(x), Expr(3))), "min(x, 3)");
+    EXPECT_EQ(toString(clamp(Expr(x), Expr(0), Expr(9))),
+              "max(min(x, 9), 0)");
+}
+
+TEST(Expr, MathIntrinsicTypes)
+{
+    Variable x("x");
+    EXPECT_EQ(exp(Expr(x)).type(), DType::Float);
+    EXPECT_EQ(abs(Expr(x)).type(), DType::Int);
+    EXPECT_EQ(abs(Expr(1.5)).type(), DType::Float);
+    EXPECT_EQ(pow(Expr(2.0), Expr(3.0)).type(), DType::Float);
+    EXPECT_EQ(sqrt(constFloat(2, DType::Double)).type(), DType::Double);
+}
+
+TEST(Condition, ComparisonSugarAndCombinators)
+{
+    Variable x("x");
+    Parameter r("R");
+    Condition c = (Expr(x) >= Expr(1)) & (Expr(x) <= Expr(r));
+    EXPECT_EQ(toString(c), "(x >= 1 & x <= R)");
+    Condition d = (Expr(x) == Expr(0)) | (Expr(x) != Expr(5));
+    EXPECT_EQ(toString(d), "(x == 0 | x != 5)");
+}
+
+TEST(Condition, UndefinedConditionRejected)
+{
+    Condition c;
+    EXPECT_FALSE(c.defined());
+    EXPECT_THROW(c.node(), SpecError);
+    EXPECT_THROW(select(c, Expr(1), Expr(2)), SpecError);
+}
+
+TEST(Expr, SelectPromotesBranchTypes)
+{
+    Variable x("x");
+    Expr s = select(Expr(x) > Expr(0), Expr(1), Expr(2.0));
+    EXPECT_EQ(s.type(), DType::Float);
+}
+
+TEST(Expr, CastChangesType)
+{
+    Expr c = cast(DType::UChar, Expr(300));
+    EXPECT_EQ(c.type(), DType::UChar);
+    EXPECT_EQ(toString(c), "UChar(300)");
+}
+
+TEST(Expr, ForEachNodeVisitsAll)
+{
+    Variable x("x");
+    Expr e = select(Expr(x) > Expr(0), Expr(x) + Expr(1), Expr(2));
+    int count = 0;
+    forEachNode(e, [&](const ExprNode &) { ++count; });
+    // select + (x, 0) from cond + (x + 1 -> 3 nodes) + const 2.
+    EXPECT_EQ(count, 7);
+}
+
+TEST(Variable, IdentityIsShared)
+{
+    Variable x("x");
+    Variable y = x;
+    EXPECT_EQ(x, y);
+    EXPECT_EQ(x.id(), y.id());
+    Variable z("x");
+    EXPECT_FALSE(x == z);
+}
+
+TEST(Parameter, NamesAndTypes)
+{
+    Parameter p("width");
+    EXPECT_EQ(p.name(), "width");
+    EXPECT_EQ(p.dtype(), DType::Int);
+    Expr e = Expr(p) + 1;
+    EXPECT_EQ(e.type(), DType::Int);
+}
+
+} // namespace
+} // namespace polymage::dsl

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "dsl/dsl.hpp"
+
+namespace polymage::dsl {
+namespace {
+
+class FunctionTest : public ::testing::Test
+{
+  protected:
+    Parameter R{"R"}, C{"C"};
+    Variable x{"x"}, y{"y"};
+    Interval row{Expr(0), Expr(R) + 1};
+    Interval col{Expr(0), Expr(C) + 1};
+};
+
+TEST_F(FunctionTest, BasicDeclarationAndDefinition)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    EXPECT_EQ(f.numDims(), 2);
+    EXPECT_FALSE(f.isDefined());
+    f.define(Expr(x) + Expr(y));
+    EXPECT_TRUE(f.isDefined());
+    ASSERT_EQ(f.cases().size(), 1u);
+    EXPECT_FALSE(f.cases()[0].hasCondition());
+}
+
+TEST_F(FunctionTest, PiecewiseDefinition)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    Condition interior = (Expr(x) >= 1) & (Expr(x) <= Expr(R));
+    f.define({Case(interior, Expr(1.0)),
+              Case((Expr(x) < 1) | (Expr(x) > Expr(R)), Expr(0.0))});
+    EXPECT_EQ(f.cases().size(), 2u);
+    EXPECT_TRUE(f.cases()[0].hasCondition());
+}
+
+TEST_F(FunctionTest, DoubleDefinitionRejected)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    f.define(Expr(0.0));
+    EXPECT_THROW(f.define(Expr(1.0)), SpecError);
+}
+
+TEST_F(FunctionTest, AmbiguousMixedCasesRejected)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    EXPECT_THROW(f.define({Case(Expr(1.0)),
+                           Case(Expr(x) > 0, Expr(2.0))}),
+                 SpecError);
+}
+
+TEST_F(FunctionTest, ArityMismatchRejected)
+{
+    EXPECT_THROW(Function("f", {x, y}, {row}, DType::Float), SpecError);
+    EXPECT_THROW(Function("f", {x, x}, {row, col}, DType::Float),
+                 SpecError);
+}
+
+TEST_F(FunctionTest, CallArityChecked)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    EXPECT_NO_THROW(f(Expr(x), Expr(y)));
+    EXPECT_THROW(f(Expr(x)), SpecError);
+    EXPECT_THROW(f(Expr(x), Expr(y), Expr(0)), SpecError);
+}
+
+TEST_F(FunctionTest, FloatIndexRejected)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    EXPECT_THROW(f(Expr(0.5), Expr(y)), SpecError);
+}
+
+TEST_F(FunctionTest, NonUnitStepRejected)
+{
+    Interval stepped(Expr(0), Expr(R), 2);
+    EXPECT_THROW(Function("f", {x}, {stepped}, DType::Float), SpecError);
+}
+
+TEST_F(FunctionTest, CallPrinting)
+{
+    Function f("f", {x, y}, {row, col}, DType::Float);
+    Expr e = f(Expr(x) - 1, Expr(y) + 1);
+    EXPECT_EQ(toString(e), "f((x - 1), (y + 1))");
+}
+
+TEST(ImageTest, DeclarationAndAccess)
+{
+    Parameter R("R"), C("C");
+    Image img("I", DType::Float, {Expr(R) + 2, Expr(C) + 2});
+    EXPECT_EQ(img.numDims(), 2);
+    EXPECT_EQ(img.dtype(), DType::Float);
+    Variable x("x"), y("y");
+    Expr e = img(Expr(x), Expr(y));
+    EXPECT_EQ(e.type(), DType::Float);
+    EXPECT_THROW(img(Expr(x)), SpecError);
+}
+
+TEST(ImageTest, EmptyExtentsRejected)
+{
+    EXPECT_THROW(Image("I", DType::Float, {}), SpecError);
+}
+
+TEST(StencilTest, WeightedSumExpansion)
+{
+    Parameter R("R"), C("C");
+    Image img("I", DType::Float, {Expr(R), Expr(C)});
+    Variable x("x"), y("y");
+    Expr e = stencil([&](Expr i, Expr j) { return img(i, j); }, Expr(x),
+                     Expr(y),
+                     {{0, 1, 0},
+                      {1, -4, 1},
+                      {0, 1, 0}});
+    // 5 nonzero taps => 4 adds over 5 terms.
+    int calls = 0;
+    forEachNode(e, [&](const ExprNode &n) {
+        if (n.kind() == ExprKind::Call)
+            ++calls;
+    });
+    EXPECT_EQ(calls, 5);
+}
+
+TEST(StencilTest, ScaleApplied)
+{
+    Parameter R("R");
+    Image img("I", DType::Float, {Expr(R)});
+    Variable x("x");
+    Expr e = stencil1d([&](Expr i) { return img(i); }, Expr(x),
+                       {1, 2, 1}, 0.25);
+    // Three taps (weight-2 centre) scaled by 0.25.
+    EXPECT_EQ(toString(e),
+              "(((I((x - 1)) + (I(x) * 2)) + I((x + 1))) * 0.25)");
+}
+
+TEST(StencilTest, BadShapesRejected)
+{
+    Parameter R("R");
+    Image img("I", DType::Float, {Expr(R), Expr(R)});
+    Variable x("x"), y("y");
+    auto acc = [&](Expr i, Expr j) { return img(i, j); };
+    EXPECT_THROW(stencil(acc, Expr(x), Expr(y), {}), SpecError);
+    EXPECT_THROW(stencil(acc, Expr(x), Expr(y), {{1, 2}, {3, 4}}),
+                 SpecError);
+    EXPECT_THROW(stencil(acc, Expr(x), Expr(y), {{1, 2, 3}, {4, 5}}),
+                 SpecError);
+    EXPECT_THROW(stencil(acc, Expr(x), Expr(y), {{0, 0, 0}}), SpecError);
+}
+
+TEST(AccumulatorTest, HistogramSpec)
+{
+    Parameter R("R"), C("C");
+    Image img("I", DType::UChar, {Expr(R), Expr(C)});
+    Variable x("x"), y("y"), b("b");
+    Interval rows(Expr(0), Expr(R) - 1), cols(Expr(0), Expr(C) - 1);
+    Interval bins(Expr(0), Expr(255));
+
+    Accumulator hist("hist", {b}, {bins}, {x, y}, {rows, cols},
+                     DType::Int);
+    EXPECT_FALSE(hist.isDefined());
+    hist.accumulate({img(Expr(x), Expr(y))}, Expr(1));
+    EXPECT_TRUE(hist.isDefined());
+    EXPECT_EQ(hist.data()->op(), ReduceOp::Sum);
+    // Default init is the Sum identity.
+    EXPECT_EQ(toString(hist.data()->init()), "0");
+}
+
+TEST(AccumulatorTest, TargetArityChecked)
+{
+    Parameter R("R");
+    Variable x("x"), b("b");
+    Interval rows(Expr(0), Expr(R) - 1), bins(Expr(0), Expr(255));
+    Accumulator a("a", {b}, {bins}, {x}, {rows}, DType::Int);
+    EXPECT_THROW(a.accumulate({Expr(x), Expr(x)}, Expr(1)), SpecError);
+}
+
+TEST(AccumulatorTest, ReduceIdentities)
+{
+    EXPECT_EQ(toString(reduceIdentity(ReduceOp::Sum, DType::Int)), "0");
+    EXPECT_EQ(toString(reduceIdentity(ReduceOp::Product, DType::Int)),
+              "1");
+    EXPECT_EQ(toString(reduceIdentity(ReduceOp::Min, DType::UChar)),
+              "255");
+    EXPECT_EQ(toString(reduceIdentity(ReduceOp::Max, DType::UChar)), "0");
+}
+
+TEST(PipelineSpecTest, OutputsAndEstimates)
+{
+    Parameter R("R"), C("C");
+    Variable x("x"), y("y");
+    Interval rows(Expr(0), Expr(R)), cols(Expr(0), Expr(C));
+    Function f("f", {x, y}, {rows, cols}, DType::Float);
+    f.define(Expr(0.0));
+
+    PipelineSpec spec("demo");
+    spec.addOutput(f);
+    spec.estimate(R, 2048);
+    EXPECT_EQ(spec.outputs().size(), 1u);
+    EXPECT_EQ(spec.estimateFor(R.id()), 2048);
+    EXPECT_EQ(spec.estimateFor(C.id(), 99), 99);
+}
+
+} // namespace
+} // namespace polymage::dsl

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/apps.hpp"
+#include "common/test_pipelines.hpp"
+#include "interp/interpreter.hpp"
+#include "pipeline/inline.hpp"
+
+namespace polymage::interp {
+namespace {
+
+using namespace dsl;
+using rt::Buffer;
+
+Buffer
+rampImage(std::int64_t rows, std::int64_t cols)
+{
+    Buffer b(DType::Float, {rows, cols});
+    float *p = b.dataAs<float>();
+    for (std::int64_t i = 0; i < rows; ++i) {
+        for (std::int64_t j = 0; j < cols; ++j)
+            p[i * cols + j] = float(i * 3 + j) * 0.25f;
+    }
+    return b;
+}
+
+TEST(Interpreter, PointwiseMatchesFormula)
+{
+    auto t = testing::makePointwise();
+    auto g = pg::PipelineGraph::build(t.spec);
+    Buffer in = rampImage(8, 10);
+    auto res = evaluate(g, {8, 10}, {&in});
+    ASSERT_EQ(res.outputs.size(), 1u);
+    const Buffer &out = res.outputs[0];
+    ASSERT_EQ(out.dims(), (std::vector<std::int64_t>{8, 10}));
+    for (std::int64_t i = 0; i < out.numel(); ++i)
+        EXPECT_FLOAT_EQ(out.loadAsDouble(i), 2.0 * in.loadAsDouble(i) + 1);
+}
+
+TEST(Interpreter, BlurChainInteriorAndBoundary)
+{
+    auto t = testing::makeBlurChain();
+    auto g = pg::PipelineGraph::build(t.spec);
+    Buffer in(DType::Float, {16, 16});
+    in.fill(3.0);
+    auto res = evaluate(g, {16, 16}, {&in});
+    const Buffer &out = res.outputs[0];
+    // Interior of a constant image blurs to the same constant.
+    const float *p = out.dataAs<float>();
+    EXPECT_NEAR(p[8 * 16 + 8], 3.0, 1e-5);
+    // Boundary rows are outside every case: stay zero.
+    EXPECT_EQ(p[0], 0.0f);
+    EXPECT_EQ(p[1 * 16 + 1], 0.0f); // outside blur2's case
+}
+
+TEST(Interpreter, UpsampleAndDownsampleSemantics)
+{
+    auto up = testing::makeUpsample();
+    auto gu = pg::PipelineGraph::build(up.spec);
+    Buffer in(DType::Float, {8});
+    for (int i = 0; i < 8; ++i)
+        in.dataAs<float>()[i] = float(10 * i);
+    auto ru = evaluate(gu, {8}, {&in});
+    const float *u = ru.outputs[0].dataAs<float>();
+    // up(x) = base(x/2) = 0.5 * I(x/2).
+    EXPECT_FLOAT_EQ(u[0], 0.0f);
+    EXPECT_FLOAT_EQ(u[1], 0.0f);
+    EXPECT_FLOAT_EQ(u[2], 5.0f);
+    EXPECT_FLOAT_EQ(u[3], 5.0f);
+    EXPECT_FLOAT_EQ(u[13], 30.0f);
+
+    auto down = testing::makeDownsample();
+    auto gd = pg::PipelineGraph::build(down.spec);
+    auto rd = evaluate(gd, {8}, {&in});
+    const float *d = rd.outputs[0].dataAs<float>();
+    // down(x) = ((I(2x)+1) + (I(2x+1)+1)) / 2.
+    EXPECT_FLOAT_EQ(d[0], 6.0f);
+    EXPECT_FLOAT_EQ(d[3], 66.0f);
+}
+
+TEST(Interpreter, HistogramCountsPixels)
+{
+    auto t = testing::makeHistogram();
+    auto g = pg::PipelineGraph::build(t.spec);
+    Buffer in(DType::UChar, {4, 4});
+    unsigned char *p = in.dataAs<unsigned char>();
+    for (int i = 0; i < 16; ++i)
+        p[i] = static_cast<unsigned char>(i % 3); // 6,5,5 of 0,1,2
+    auto res = evaluate(g, {4, 4}, {&in});
+    const int *h = res.outputs[0].dataAs<int>();
+    EXPECT_EQ(h[0], 6);
+    EXPECT_EQ(h[1], 5);
+    EXPECT_EQ(h[2], 5);
+    for (int b = 3; b < 256; ++b)
+        EXPECT_EQ(h[b], 0);
+}
+
+TEST(Interpreter, TimeIteratedConverges)
+{
+    auto t = testing::makeTimeIterated(16, 4);
+    auto g = pg::PipelineGraph::build(t.spec);
+    Buffer in(DType::Float, {16});
+    in.fill(0.0);
+    in.dataAs<float>()[8] = 16.0f; // impulse
+    auto res = evaluate(g, {16}, {&in});
+    const Buffer &out = res.outputs[0];
+    ASSERT_EQ(out.dims(), (std::vector<std::int64_t>{5, 16}));
+    const float *p = out.dataAs<float>();
+    // t=0 copies the input.
+    EXPECT_FLOAT_EQ(p[8], 16.0f);
+    // Mass is conserved in the interior for this averaging kernel after
+    // one step: 16 spreads to (16/3) at 7, 8, 9.
+    EXPECT_NEAR(p[16 + 7], 16.0 / 3, 1e-4);
+    EXPECT_NEAR(p[16 + 8], 16.0 / 3, 1e-4);
+    // Smoothing: the impulse peak decays (after the initial plateau).
+    EXPECT_GT(p[1 * 16 + 8], p[3 * 16 + 8]);
+    EXPECT_GT(p[3 * 16 + 8], p[4 * 16 + 8]);
+}
+
+TEST(Interpreter, HarrisFlatImageHasZeroResponse)
+{
+    auto spec = apps::buildHarris(16, 16);
+    auto g = pg::PipelineGraph::build(spec);
+    Buffer in(DType::Float, {18, 18});
+    in.fill(7.0);
+    auto res = evaluate(g, {16, 16}, {&in});
+    // A constant image has no gradients: response is identically 0.
+    EXPECT_EQ(res.outputs[0].maxAbsDiff(
+                  Buffer(DType::Float, {18, 18})),
+              0.0);
+}
+
+TEST(Interpreter, HarrisCornerRespondsStrongerThanEdge)
+{
+    const std::int64_t n = 24;
+    auto spec = apps::buildHarris(n, n);
+    auto g = pg::PipelineGraph::build(spec);
+    Buffer in(DType::Float, {n + 2, n + 2});
+    float *p = in.dataAs<float>();
+    // Bright quadrant: corner at (12, 12), edges along row/col 12.
+    for (std::int64_t i = 0; i < n + 2; ++i) {
+        for (std::int64_t j = 0; j < n + 2; ++j)
+            p[i * (n + 2) + j] = (i >= 12 && j >= 12) ? 1.0f : 0.0f;
+    }
+    auto res = evaluate(g, {n, n}, {&in});
+    const float *h = res.outputs[0].dataAs<float>();
+    auto at = [&](std::int64_t i, std::int64_t j) {
+        return h[i * (n + 2) + j];
+    };
+    // Corner response at the corner beats the response along the edge
+    // far from the corner.
+    EXPECT_GT(at(12, 12), at(12, 20));
+    EXPECT_GT(at(12, 12), at(20, 12));
+    EXPECT_GT(at(12, 12), 0.0f);
+}
+
+TEST(Interpreter, InliningPreservesSemantics)
+{
+    auto spec = apps::buildHarris(16, 16);
+    auto g = pg::PipelineGraph::build(spec);
+    Buffer in = rampImage(18, 18);
+    // Make it non-linear so the response is non-trivial.
+    float *p = in.dataAs<float>();
+    for (std::int64_t i = 0; i < in.numel(); ++i)
+        p[i] = std::sin(0.3f * float(i)) * 10.0f;
+
+    auto base = evaluate(g, {16, 16}, {&in});
+
+    auto inlined = pg::inlinePointwise(spec);
+    auto gi = pg::PipelineGraph::build(inlined.spec);
+    auto opt = evaluate(gi, {16, 16}, {&in});
+
+    EXPECT_LT(base.outputs[0].maxAbsDiff(opt.outputs[0]), 1e-3);
+}
+
+TEST(Interpreter, AmbiguousCasesDetected)
+{
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define({Case(Expr(x) >= 0, I(Expr(x))),
+              Case(Expr(x) >= 2, I(Expr(x)) * Expr(2.0))});
+    PipelineSpec spec("ambiguous");
+    spec.addOutput(f);
+    spec.estimate(R, 8);
+    auto g = pg::PipelineGraph::build(spec);
+    Buffer in(DType::Float, {8});
+    EXPECT_THROW(evaluate(g, {8}, {&in}), SpecError);
+
+    EvalOptions lax;
+    lax.checkCaseOverlap = false;
+    EXPECT_NO_THROW(evaluate(g, {8}, {&in}, lax));
+}
+
+TEST(Interpreter, RuntimeOutOfBoundsDetected)
+{
+    // Data-dependent access that goes out of bounds for this input.
+    Parameter R("R");
+    Variable x("x");
+    Image idx("idx", DType::Int, {Expr(R)});
+    Image src("src", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(src(idx(Expr(x))));
+    PipelineSpec spec("indirect");
+    spec.addInput(idx);
+    spec.addInput(src);
+    spec.addOutput(f);
+    spec.estimate(R, 8);
+    auto g = pg::PipelineGraph::build(spec);
+
+    Buffer iv(DType::Int, {8});
+    Buffer sv(DType::Float, {8});
+    iv.dataAs<int>()[3] = 42; // out of range
+    EXPECT_THROW(evaluate(g, {8}, {&iv, &sv}), SpecError);
+    iv.dataAs<int>()[3] = 7;
+    EXPECT_NO_THROW(evaluate(g, {8}, {&iv, &sv}));
+}
+
+TEST(Interpreter, ParamAndInputCountValidated)
+{
+    auto t = testing::makePointwise();
+    auto g = pg::PipelineGraph::build(t.spec);
+    Buffer in = rampImage(8, 10);
+    EXPECT_THROW(evaluate(g, {8}, {&in}), SpecError);
+    EXPECT_THROW(evaluate(g, {8, 10}, {}), SpecError);
+    Buffer wrong = rampImage(4, 4);
+    EXPECT_THROW(evaluate(g, {8, 10}, {&wrong}), SpecError);
+}
+
+TEST(Interpreter, UCharWrapsLikeC)
+{
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::UChar, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::UChar);
+    f.define(cast(DType::UChar, I(Expr(x)) + 200));
+    PipelineSpec spec("wrap");
+    spec.addOutput(f);
+    spec.estimate(R, 4);
+    auto g = pg::PipelineGraph::build(spec);
+    Buffer in(DType::UChar, {4});
+    in.dataAs<unsigned char>()[0] = 100; // 300 wraps to 44
+    in.dataAs<unsigned char>()[1] = 10;  // 210 stays
+    auto res = evaluate(g, {4}, {&in});
+    EXPECT_EQ(res.outputs[0].dataAs<unsigned char>()[0], 44);
+    EXPECT_EQ(res.outputs[0].dataAs<unsigned char>()[1], 210);
+}
+
+} // namespace
+} // namespace polymage::interp

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "common/test_pipelines.hpp"
+#include "pipeline/bounds_check.hpp"
+
+namespace polymage::pg {
+namespace {
+
+using namespace dsl;
+
+TEST(Bounds, HarrisPasses)
+{
+    auto spec = apps::buildHarris(64, 64);
+    PipelineGraph g = PipelineGraph::build(spec);
+    BoundsReport rep;
+    EXPECT_NO_THROW(rep = checkBounds(g));
+    EXPECT_TRUE(rep.warnings.empty());
+}
+
+TEST(Bounds, StencilWithoutGuardIsRejected)
+{
+    // f(x) = I(x - 1) over [0, R-1] reads I(-1).
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(I(Expr(x) - 1));
+    PipelineSpec spec("bad");
+    spec.addOutput(f);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_THROW(checkBounds(g), SpecError);
+}
+
+TEST(Bounds, GuardedStencilPasses)
+{
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define({Case((Expr(x) >= 1) & (Expr(x) <= Expr(R) - 2),
+                   I(Expr(x) - 1) + I(Expr(x) + 1))});
+    PipelineSpec spec("guarded");
+    spec.addOutput(f);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_NO_THROW(checkBounds(g));
+}
+
+TEST(Bounds, ClampedAccessPasses)
+{
+    // Clamping with min/max is analysed by interval propagation.
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(I(clamp(Expr(x) - 2, Expr(0), Expr(R) - 1)));
+    PipelineSpec spec("clamped");
+    spec.addOutput(f);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_NO_THROW(checkBounds(g));
+}
+
+TEST(Bounds, FourierMotzkinRescuesCorrelatedAccess)
+{
+    // f(x, y) = g(x - y) with 0 <= y <= x <= R: the index x - y is in
+    // [0, R] even though independent interval propagation sees
+    // [-R, R].  Only the FM path proves this safe.
+    Parameter R("R");
+    Variable x("x"), y("y");
+    Interval iv(Expr(0), Expr(R));
+    Function gfun("g", {x}, {iv}, DType::Float);
+    Image I("I", DType::Float, {Expr(R) + 1});
+    gfun.define(I(Expr(x)));
+    Function f("f", {x, y}, {iv, iv}, DType::Float);
+    f.define({Case(Expr(y) <= Expr(x), gfun(Expr(x) - Expr(y))),
+              Case(Expr(y) > Expr(x), Expr(0.0))});
+    PipelineSpec spec("correlated");
+    spec.addOutput(f);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_NO_THROW(checkBounds(g));
+}
+
+TEST(Bounds, HistogramTargetBoundedByDtype)
+{
+    // UChar pixel values index exactly the 256 bins: passes.
+    auto t = testing::makeHistogram(32);
+    PipelineGraph g = PipelineGraph::build(t.spec);
+    BoundsReport rep = checkBounds(g);
+    EXPECT_TRUE(rep.warnings.empty());
+}
+
+TEST(Bounds, HistogramTooFewBinsRejected)
+{
+    Parameter R("R"), C("C");
+    Image I("I", DType::UChar, {Expr(R), Expr(C)});
+    Variable x("x"), y("y"), b("b");
+    Accumulator hist("hist", {b}, {Interval(Expr(0), Expr(127))},
+                     {x, y},
+                     {Interval(Expr(0), Expr(R) - 1),
+                      Interval(Expr(0), Expr(C) - 1)},
+                     DType::Int);
+    hist.accumulate({I(Expr(x), Expr(y))}, Expr(1));
+    PipelineSpec spec("hist128");
+    spec.addOutput(hist);
+    spec.estimate(R, 32);
+    spec.estimate(C, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_THROW(checkBounds(g), SpecError);
+}
+
+TEST(Bounds, UnanalysableAccessWarns)
+{
+    // Index depends on a Float image value: no static bound exists.
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Image lut("lut", DType::Float, {Expr(R)});
+    Function f("f", {x}, {Interval(Expr(0), Expr(R) - 1)}, DType::Float);
+    f.define(lut(cast(DType::Int, I(Expr(x)))));
+    PipelineSpec spec("dyn");
+    spec.addOutput(f);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    BoundsReport rep = checkBounds(g);
+    EXPECT_FALSE(rep.warnings.empty());
+}
+
+TEST(Bounds, UpsampleDownsampleChecked)
+{
+    // Valid sampling chain passes; an off-by-one downsample fails.
+    auto up = testing::makeUpsample(32);
+    EXPECT_NO_THROW(checkBounds(PipelineGraph::build(up.spec)));
+    auto down = testing::makeDownsample(32);
+    EXPECT_NO_THROW(checkBounds(PipelineGraph::build(down.spec)));
+
+    Parameter R("R");
+    Variable x("x");
+    Image I("I", DType::Float, {Expr(R)});
+    Function base("base", {x}, {Interval(Expr(0), Expr(R) - 1)},
+                  DType::Float);
+    base.define(I(Expr(x)));
+    Function bad("bad", {x}, {Interval(Expr(0), Expr(R) / 2)},
+                 DType::Float);
+    bad.define(base(Expr(x) * 2 + 1)); // reads base(R+1) at x = R/2
+    PipelineSpec spec("badsample");
+    spec.addOutput(bad);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    EXPECT_THROW(checkBounds(g), SpecError);
+}
+
+} // namespace
+} // namespace polymage::pg

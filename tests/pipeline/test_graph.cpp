@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "common/test_pipelines.hpp"
+#include "pipeline/graph.hpp"
+
+namespace polymage::pg {
+namespace {
+
+using namespace dsl;
+
+/** Figure 2: the Harris DAG has 11 stages in 6 levels. */
+TEST(Graph, HarrisStructureMatchesFigure2)
+{
+    auto spec = apps::buildHarris(64, 64);
+    PipelineGraph g = PipelineGraph::build(spec);
+
+    ASSERT_EQ(g.stages().size(), 11u);
+
+    auto idx = [&](const std::string &name) {
+        for (std::size_t i = 0; i < g.stages().size(); ++i) {
+            if (g.stage(int(i)).name() == name)
+                return int(i);
+        }
+        return -1;
+    };
+
+    // Levels as in the figure: Ix/Iy at 0; Ixx/Ixy/Iyy at 1; Sxx.. at 2;
+    // det/trace at 3; harris at 4.
+    EXPECT_EQ(g.stage(idx("Ix")).level, 0);
+    EXPECT_EQ(g.stage(idx("Iy")).level, 0);
+    EXPECT_EQ(g.stage(idx("Ixx")).level, 1);
+    EXPECT_EQ(g.stage(idx("Ixy")).level, 1);
+    EXPECT_EQ(g.stage(idx("Sxy")).level, 2);
+    EXPECT_EQ(g.stage(idx("det")).level, 3);
+    EXPECT_EQ(g.stage(idx("trace")).level, 3);
+    EXPECT_EQ(g.stage(idx("harris")).level, 4);
+
+    // harris consumes det and trace.
+    const Stage &h = g.stage(idx("harris"));
+    EXPECT_TRUE(h.liveOut);
+    ASSERT_EQ(h.producers.size(), 2u);
+    // Ixy consumes both Ix and Iy.
+    EXPECT_EQ(g.stage(idx("Ixy")).producers.size(), 2u);
+    // Ix feeds Ixx and Ixy.
+    EXPECT_EQ(g.stage(idx("Ix")).consumers.size(), 2u);
+
+    // Topological invariant: producers precede consumers.
+    for (std::size_t i = 0; i < g.stages().size(); ++i) {
+        for (int p : g.stage(int(i)).producers)
+            EXPECT_LT(p, int(i));
+    }
+
+    // The 3x3 box sum accesses its producer at 9 sites.
+    const Stage &sxx = g.stage(idx("Sxx"));
+    ASSERT_EQ(sxx.producers.size(), 1u);
+    EXPECT_EQ(sxx.accesses.at(sxx.producers[0]).size(), 9u);
+
+    // Ix/Iy read the input image (9 taps, 6 non-zero).
+    EXPECT_EQ(g.stage(idx("Ix")).imageAccesses.size(), 1u);
+
+    // ABI: two params (R, C) and one image.
+    ASSERT_EQ(g.params().size(), 2u);
+    EXPECT_EQ(g.params()[0]->name, "R");
+    EXPECT_EQ(g.params()[1]->name, "C");
+    EXPECT_EQ(g.images().size(), 1u);
+}
+
+TEST(Graph, EstimatedSizes)
+{
+    auto spec = apps::buildHarris(100, 50);
+    PipelineGraph g = PipelineGraph::build(spec);
+    // Every stage domain is [0, R+1] x [0, C+1] = 102 x 52.
+    EXPECT_EQ(g.estimatedSize(0), 102 * 52);
+}
+
+TEST(Graph, CycleRejected)
+{
+    Parameter R("R");
+    Variable x("x");
+    Interval iv(Expr(0), Expr(R));
+    Function a("a", {x}, {iv}, DType::Float);
+    Function b("b", {x}, {iv}, DType::Float);
+    a.define(b(Expr(x)));
+    b.define(a(Expr(x)));
+    PipelineSpec spec("cyclic");
+    spec.addOutput(b);
+    spec.estimate(R, 16);
+    EXPECT_THROW(PipelineGraph::build(spec), SpecError);
+}
+
+TEST(Graph, SelfRecurrenceIsAllowedAndFlagged)
+{
+    auto t = testing::makeTimeIterated(32);
+    PipelineGraph g = PipelineGraph::build(t.spec);
+    ASSERT_EQ(g.stages().size(), 1u);
+    EXPECT_TRUE(g.stage(0).selfRecurrent);
+    EXPECT_TRUE(g.stage(0).liveOut);
+}
+
+TEST(Graph, UndefinedFunctionRejected)
+{
+    Parameter R("R");
+    Variable x("x");
+    Function f("f", {x}, {Interval(Expr(0), Expr(R))}, DType::Float);
+    // f never defined.
+    PipelineSpec spec("undef");
+    spec.addOutput(f);
+    EXPECT_THROW(PipelineGraph::build(spec), SpecError);
+}
+
+TEST(Graph, NoOutputsRejected)
+{
+    PipelineSpec spec("empty");
+    EXPECT_THROW(PipelineGraph::build(spec), SpecError);
+}
+
+TEST(Graph, AccumulatorGraph)
+{
+    auto t = testing::makeHistogram(32);
+    PipelineGraph g = PipelineGraph::build(t.spec);
+    ASSERT_EQ(g.stages().size(), 1u);
+    EXPECT_TRUE(g.stage(0).isAccumulator());
+    // The reduction domain variables are the loop variables.
+    EXPECT_EQ(g.stage(0).loopVars().size(), 2u);
+}
+
+TEST(Graph, DiamondLevels)
+{
+    // a -> b, a -> c, (b, c) -> d; and a long arm a -> e -> f -> d.
+    Parameter R("R");
+    Variable x("x");
+    Interval iv(Expr(1), Expr(R));
+    auto mk = [&](const char *n) {
+        return Function(n, {x}, {iv}, DType::Float);
+    };
+    Image I("I", DType::Float, {Expr(R) + 2});
+    Function a = mk("a"), b = mk("b"), c = mk("c"), d = mk("d"),
+             e = mk("e"), f = mk("f");
+    a.define(I(Expr(x)));
+    b.define(a(Expr(x)));
+    c.define(a(Expr(x)));
+    e.define(a(Expr(x)));
+    f.define(e(Expr(x)));
+    d.define(b(Expr(x)) + c(Expr(x)) + f(Expr(x)));
+    PipelineSpec spec("diamond");
+    spec.addOutput(d);
+    spec.estimate(R, 32);
+    PipelineGraph g = PipelineGraph::build(spec);
+    ASSERT_EQ(g.stages().size(), 6u);
+    // Longest-path levels: a=0; b,c,e=1; f=2; d=3.
+    auto level_of = [&](const std::string &name) {
+        for (const auto &s : g.stages()) {
+            if (s.name() == name)
+                return s.level;
+        }
+        return -1;
+    };
+    EXPECT_EQ(level_of("a"), 0);
+    EXPECT_EQ(level_of("b"), 1);
+    EXPECT_EQ(level_of("f"), 2);
+    EXPECT_EQ(level_of("d"), 3);
+}
+
+} // namespace
+} // namespace polymage::pg

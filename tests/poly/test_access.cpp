@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "poly/access.hpp"
+
+namespace polymage::poly {
+namespace {
+
+using dsl::Expr;
+using dsl::Parameter;
+using dsl::Variable;
+
+class AccessTest : public ::testing::Test
+{
+  protected:
+    Variable x{"x"}, y{"y"};
+    Parameter r{"R"};
+    std::set<int> vars() const { return {x.id(), y.id()}; }
+};
+
+TEST_F(AccessTest, Identity)
+{
+    auto d = classifyAccessDim(Expr(x), vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Affine);
+    EXPECT_EQ(d.varId, x.id());
+    EXPECT_EQ(d.coeff, 1);
+    EXPECT_EQ(d.offset, 0);
+    EXPECT_TRUE(d.paramFree);
+}
+
+TEST_F(AccessTest, StencilOffset)
+{
+    auto d = classifyAccessDim(Expr(x) - 1, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Affine);
+    EXPECT_EQ(d.coeff, 1);
+    EXPECT_EQ(d.offset, -1);
+}
+
+TEST_F(AccessTest, Downsample)
+{
+    auto d = classifyAccessDim(Expr(x) * 2 + 1, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Affine);
+    EXPECT_EQ(d.coeff, 2);
+    EXPECT_EQ(d.offset, 1);
+}
+
+TEST_F(AccessTest, Upsample)
+{
+    auto d = classifyAccessDim(Expr(x) / 2, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Div);
+    EXPECT_EQ(d.varId, x.id());
+    EXPECT_EQ(d.coeff, 1);
+    EXPECT_EQ(d.div, 2);
+    EXPECT_EQ(d.offset, 0);
+}
+
+TEST_F(AccessTest, UpsampleWithOffset)
+{
+    auto d = classifyAccessDim((Expr(x) + 1) / 2, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Div);
+    EXPECT_EQ(d.div, 2);
+    EXPECT_EQ(d.offset, 1);
+}
+
+TEST_F(AccessTest, DivByOneIsAffine)
+{
+    auto d = classifyAccessDim((Expr(x) + 3) / 1, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Affine);
+    EXPECT_EQ(d.offset, 3);
+}
+
+TEST_F(AccessTest, ConstantAndParamConstant)
+{
+    auto d = classifyAccessDim(Expr(4), vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Constant);
+    EXPECT_EQ(d.offset, 4);
+
+    auto p = classifyAccessDim(Expr(r) - 1, vars());
+    EXPECT_EQ(p.kind, AccessDim::Kind::Constant);
+    EXPECT_FALSE(p.paramFree);
+}
+
+TEST_F(AccessTest, ParamOffsetAffine)
+{
+    auto d = classifyAccessDim(Expr(x) + Expr(r), vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Affine);
+    EXPECT_FALSE(d.paramFree);
+}
+
+TEST_F(AccessTest, NonAffineForms)
+{
+    EXPECT_TRUE(classifyAccessDim(Expr(x) + Expr(y), vars()).isNonAffine());
+    EXPECT_TRUE(classifyAccessDim(Expr(x) * Expr(y), vars()).isNonAffine());
+    EXPECT_TRUE(
+        classifyAccessDim(Expr(x) / Expr(y), vars()).isNonAffine());
+    // Nested division is out of the recognised fragment.
+    EXPECT_TRUE(classifyAccessDim((Expr(x) / 2) / 2, vars()).isNonAffine());
+    // Division by a parameter is not constant-foldable.
+    EXPECT_TRUE(classifyAccessDim(Expr(x) / Expr(r), vars()).isNonAffine());
+    // min/max clamping is data-dependent from the tiler's viewpoint.
+    EXPECT_TRUE(classifyAccessDim(dsl::min(Expr(x), Expr(3)), vars())
+                    .isNonAffine());
+}
+
+TEST_F(AccessTest, ConstantFoldedDiv)
+{
+    auto d = classifyAccessDim(Expr(7) / 2, vars());
+    EXPECT_EQ(d.kind, AccessDim::Kind::Constant);
+    EXPECT_EQ(d.offset, 3);
+}
+
+} // namespace
+} // namespace polymage::poly

@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "poly/affine.hpp"
+
+namespace polymage::poly {
+namespace {
+
+using dsl::Expr;
+using dsl::Parameter;
+using dsl::Variable;
+
+TEST(Affine, BasicOps)
+{
+    AffineExpr a = AffineExpr::symbol(1) * Rational(2) + AffineExpr(3);
+    AffineExpr b = AffineExpr::symbol(1) + AffineExpr::symbol(2);
+    AffineExpr s = a + b;
+    EXPECT_EQ(s.coeff(1), Rational(3));
+    EXPECT_EQ(s.coeff(2), Rational(1));
+    EXPECT_EQ(s.constant(), Rational(3));
+
+    AffineExpr d = a - a;
+    EXPECT_TRUE(d.isZero());
+}
+
+TEST(Affine, CancellationRemovesTerms)
+{
+    AffineExpr a = AffineExpr::symbol(7);
+    AffineExpr b = -a;
+    EXPECT_TRUE((a + b).terms().empty());
+    EXPECT_TRUE((a * Rational(0)).isZero());
+}
+
+TEST(Affine, Substitution)
+{
+    // 2*x + y + 1 with x := y - 3  =>  3*y - 5.
+    AffineExpr e = AffineExpr::symbol(1) * Rational(2) +
+                   AffineExpr::symbol(2) + AffineExpr(1);
+    AffineExpr repl = AffineExpr::symbol(2) - AffineExpr(3);
+    AffineExpr r = e.substitute(1, repl);
+    EXPECT_EQ(r.coeff(1), Rational(0));
+    EXPECT_EQ(r.coeff(2), Rational(3));
+    EXPECT_EQ(r.constant(), Rational(-5));
+}
+
+TEST(Affine, Eval)
+{
+    AffineExpr e = AffineExpr::symbol(1) * Rational(2) +
+                   AffineExpr::symbol(2) * Rational(-1) + AffineExpr(5);
+    auto binding = [](int id) {
+        return id == 1 ? Rational(3) : Rational(4);
+    };
+    EXPECT_EQ(e.eval(binding), Rational(7));
+}
+
+TEST(Affine, FromExprAcceptsAffine)
+{
+    Variable x("x"), y("y");
+    Parameter r("R");
+    Expr e = Expr(x) * 2 + Expr(y) - (Expr(r) + 1);
+    auto ae = affineFromExpr(e);
+    ASSERT_TRUE(ae.has_value());
+    EXPECT_EQ(ae->coeff(x.id()), Rational(2));
+    EXPECT_EQ(ae->coeff(y.id()), Rational(1));
+    EXPECT_EQ(ae->coeff(r.id()), Rational(-1));
+    EXPECT_EQ(ae->constant(), Rational(-1));
+}
+
+TEST(Affine, FromExprAcceptsNegationAndConstMul)
+{
+    Variable x("x");
+    auto ae = affineFromExpr(-(Expr(3) * Expr(x)));
+    ASSERT_TRUE(ae.has_value());
+    EXPECT_EQ(ae->coeff(x.id()), Rational(-3));
+}
+
+TEST(Affine, FromExprRejectsNonAffine)
+{
+    Variable x("x"), y("y");
+    EXPECT_FALSE(affineFromExpr(Expr(x) * Expr(y)).has_value());
+    EXPECT_FALSE(affineFromExpr(Expr(x) / Expr(2)).has_value());
+    EXPECT_FALSE(affineFromExpr(dsl::min(Expr(x), Expr(y))).has_value());
+    EXPECT_FALSE(affineFromExpr(Expr(1.5) * Expr(x)).has_value());
+    EXPECT_FALSE(affineFromExpr(Expr()).has_value());
+}
+
+TEST(Affine, ToString)
+{
+    AffineExpr e = AffineExpr::symbol(1) * Rational(2) + AffineExpr(7);
+    EXPECT_EQ(e.toString(), "2*s1 + 7");
+    EXPECT_EQ(AffineExpr(0).toString(), "0");
+}
+
+} // namespace
+} // namespace polymage::poly

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include "poly/cond_box.hpp"
+
+namespace polymage::poly {
+namespace {
+
+using dsl::Condition;
+using dsl::Expr;
+using dsl::Parameter;
+using dsl::Variable;
+
+class CondBoxTest : public ::testing::Test
+{
+  protected:
+    Variable x{"x"}, y{"y"};
+    Parameter r{"R"};
+    std::set<int> vars() const { return {x.id(), y.id()}; }
+
+    Rational
+    evalBound(const AffineExpr &e) const
+    {
+        return e.eval([&](int id) {
+            EXPECT_EQ(id, r.id());
+            return Rational(100);
+        });
+    }
+};
+
+TEST_F(CondBoxTest, InteriorConjunction)
+{
+    Condition c = (Expr(x) >= 1) & (Expr(x) <= Expr(r) - 1) &
+                  (Expr(y) >= 2) & (Expr(y) <= Expr(r) - 2);
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_TRUE(box.residual.empty());
+    ASSERT_EQ(box.bounds.count(x.id()), 1u);
+    ASSERT_EQ(box.bounds.count(y.id()), 1u);
+    EXPECT_EQ(evalBound(box.bounds[x.id()].lowers.at(0)), Rational(1));
+    EXPECT_EQ(evalBound(box.bounds[x.id()].uppers.at(0)), Rational(99));
+    EXPECT_EQ(evalBound(box.bounds[y.id()].lowers.at(0)), Rational(2));
+    EXPECT_EQ(evalBound(box.bounds[y.id()].uppers.at(0)), Rational(98));
+}
+
+TEST_F(CondBoxTest, StrictAndFlippedComparisons)
+{
+    Condition c = (Expr(x) > 0) & (Expr(5) >= Expr(x));
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_TRUE(box.residual.empty());
+    EXPECT_EQ(evalBound(box.bounds[x.id()].lowers.at(0)), Rational(1));
+    EXPECT_EQ(evalBound(box.bounds[x.id()].uppers.at(0)), Rational(5));
+}
+
+TEST_F(CondBoxTest, EqualityGivesBothBounds)
+{
+    Condition c = (Expr(x) == Expr(3));
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_EQ(evalBound(box.bounds[x.id()].lowers.at(0)), Rational(3));
+    EXPECT_EQ(evalBound(box.bounds[x.id()].uppers.at(0)), Rational(3));
+}
+
+TEST_F(CondBoxTest, DisjunctionIsResidual)
+{
+    Condition c = (Expr(x) < 1) | (Expr(x) > 5);
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_TRUE(box.bounds.empty());
+    ASSERT_EQ(box.residual.size(), 1u);
+}
+
+TEST_F(CondBoxTest, MixedConjunctionSplits)
+{
+    // Box part on x; the multi-variable part stays residual.
+    Condition c = (Expr(x) >= 1) & (Expr(x) + Expr(y) <= 7);
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_EQ(box.bounds.count(x.id()), 1u);
+    EXPECT_EQ(box.residual.size(), 1u);
+}
+
+TEST_F(CondBoxTest, NotEqualIsResidual)
+{
+    Condition c = (Expr(x) != Expr(4));
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_TRUE(box.bounds.empty());
+    EXPECT_EQ(box.residual.size(), 1u);
+}
+
+TEST_F(CondBoxTest, ParamOnlyConditionResidual)
+{
+    Condition c = (Expr(r) >= 4);
+    CondBox box = analyzeCondition(c, vars());
+    EXPECT_TRUE(box.bounds.empty());
+    EXPECT_EQ(box.residual.size(), 1u);
+}
+
+TEST_F(CondBoxTest, NegatedCoefficientFlips)
+{
+    // R - x >= 0  <=>  x <= R.
+    Condition c = (Expr(r) - Expr(x) >= 0);
+    CondBox box = analyzeCondition(c, vars());
+    ASSERT_EQ(box.bounds.count(x.id()), 1u);
+    EXPECT_TRUE(box.bounds[x.id()].lowers.empty());
+    EXPECT_EQ(evalBound(box.bounds[x.id()].uppers.at(0)), Rational(100));
+}
+
+} // namespace
+} // namespace polymage::poly

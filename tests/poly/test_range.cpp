@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "dsl/image.hpp"
+#include "poly/range.hpp"
+
+namespace polymage::poly {
+namespace {
+
+using dsl::DType;
+using dsl::Expr;
+using dsl::Parameter;
+using dsl::Variable;
+
+class RangeTest : public ::testing::Test
+{
+  protected:
+    Variable x{"x"}, y{"y"};
+    Parameter r{"R"};
+    RangeEnv env;
+
+    void
+    SetUp() override
+    {
+        env.vars[x.id()] = {0, 9};
+        env.vars[y.id()] = {-3, 3};
+        env.params[r.id()] = 100;
+    }
+};
+
+TEST_F(RangeTest, Basics)
+{
+    auto rg = evalRange(Expr(x) + 1, env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 1);
+    EXPECT_EQ(rg->hi, 10);
+
+    rg = evalRange(Expr(x) - Expr(y), env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, -3);
+    EXPECT_EQ(rg->hi, 12);
+
+    rg = evalRange(Expr(r) - Expr(x), env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 91);
+    EXPECT_EQ(rg->hi, 100);
+}
+
+TEST_F(RangeTest, MulSignHandling)
+{
+    auto rg = evalRange(Expr(y) * Expr(y), env);
+    ASSERT_TRUE(rg);
+    // Interval product over-approximates but must contain [0, 9].
+    EXPECT_LE(rg->lo, 0);
+    EXPECT_GE(rg->hi, 9);
+    EXPECT_EQ(rg->lo, -9);
+    EXPECT_EQ(rg->hi, 9);
+}
+
+TEST_F(RangeTest, FloorDivision)
+{
+    auto rg = evalRange(Expr(x) / 2, env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 0);
+    EXPECT_EQ(rg->hi, 4);
+
+    rg = evalRange(Expr(y) / 2, env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, -2); // floor(-3/2) = -2
+    EXPECT_EQ(rg->hi, 1);
+
+    EXPECT_FALSE(evalRange(Expr(x) / Expr(y), env)); // divisor spans 0
+}
+
+TEST_F(RangeTest, ModuloAndClamp)
+{
+    auto rg = evalRange(Expr(x) % 4, env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 0);
+    EXPECT_EQ(rg->hi, 3);
+
+    rg = evalRange(dsl::clamp(Expr(y), Expr(0), Expr(2)), env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 0);
+    EXPECT_EQ(rg->hi, 2);
+}
+
+TEST_F(RangeTest, SelectUnionsBranches)
+{
+    Expr s = dsl::select(Expr(x) > 5, Expr(x), -Expr(x));
+    auto rg = evalRange(s, env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, -9);
+    EXPECT_EQ(rg->hi, 9);
+}
+
+TEST_F(RangeTest, DataDependentBoundedByDtype)
+{
+    Parameter n("N");
+    env.params[n.id()] = 16;
+    dsl::Image img("I", DType::UChar, {Expr(n)});
+    auto rg = evalRange(img(Expr(x)), env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 0);
+    EXPECT_EQ(rg->hi, 255);
+
+    dsl::Image wide("W", DType::Float, {Expr(n)});
+    EXPECT_FALSE(evalRange(wide(Expr(x)), env));
+}
+
+TEST_F(RangeTest, AbsRange)
+{
+    auto rg = evalRange(dsl::abs(Expr(y)), env);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 0);
+    EXPECT_EQ(rg->hi, 3);
+
+    RangeEnv env2 = env;
+    env2.vars[y.id()] = {2, 5};
+    rg = evalRange(dsl::abs(Expr(y)), env2);
+    ASSERT_TRUE(rg);
+    EXPECT_EQ(rg->lo, 2);
+    EXPECT_EQ(rg->hi, 5);
+}
+
+TEST_F(RangeTest, UnknownsYieldNullopt)
+{
+    Variable z("z"); // unbound
+    EXPECT_FALSE(evalRange(Expr(z), env));
+    EXPECT_FALSE(evalRange(Expr(1.5), env));
+}
+
+TEST_F(RangeTest, EvalConstant)
+{
+    EXPECT_EQ(evalConstant(Expr(r) + 2, env), 102);
+    EXPECT_EQ(evalConstant(Expr(7) * 3, env), 21);
+    EXPECT_FALSE(evalConstant(Expr(x), env)); // not a single value
+}
+
+} // namespace
+} // namespace polymage::poly

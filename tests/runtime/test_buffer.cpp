@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "runtime/buffer.hpp"
+
+namespace polymage::rt {
+namespace {
+
+using dsl::DType;
+
+TEST(Buffer, AllocationAndZeroInit)
+{
+    Buffer b(DType::Float, {4, 6});
+    EXPECT_TRUE(b.valid());
+    EXPECT_EQ(b.numel(), 24);
+    EXPECT_EQ(b.bytes(), 96);
+    EXPECT_EQ(b.rank(), 2);
+    for (std::int64_t i = 0; i < b.numel(); ++i)
+        EXPECT_EQ(b.loadAsDouble(i), 0.0);
+    // 64-byte alignment for vectorised kernels.
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(b.data()) % 64, 0u);
+}
+
+TEST(Buffer, FlatIndexRowMajor)
+{
+    Buffer b(DType::Int, {3, 4, 5});
+    const std::int64_t c0[] = {0, 0, 0};
+    const std::int64_t c1[] = {0, 0, 1};
+    const std::int64_t c2[] = {0, 1, 0};
+    const std::int64_t c3[] = {1, 0, 0};
+    EXPECT_EQ(b.flatIndex(c0), 0);
+    EXPECT_EQ(b.flatIndex(c1), 1);
+    EXPECT_EQ(b.flatIndex(c2), 5);
+    EXPECT_EQ(b.flatIndex(c3), 20);
+}
+
+TEST(Buffer, InBounds)
+{
+    Buffer b(DType::Float, {2, 3});
+    const std::int64_t ok[] = {1, 2};
+    const std::int64_t neg[] = {-1, 0};
+    const std::int64_t over[] = {0, 3};
+    EXPECT_TRUE(b.inBounds(ok));
+    EXPECT_FALSE(b.inBounds(neg));
+    EXPECT_FALSE(b.inBounds(over));
+}
+
+TEST(Buffer, LoadStoreRoundTripAllTypes)
+{
+    for (DType t : {DType::UChar, DType::Short, DType::UShort,
+                    DType::Int, DType::Long, DType::Float,
+                    DType::Double}) {
+        Buffer b(t, {8});
+        b.storeFromDouble(3, 42.0);
+        EXPECT_EQ(b.loadAsDouble(3), 42.0) << dsl::dtypeName(t);
+    }
+}
+
+TEST(Buffer, NarrowStoreWraps)
+{
+    Buffer b(DType::UChar, {2});
+    b.storeFromDouble(0, 300.0); // wraps to 44
+    EXPECT_EQ(b.loadAsDouble(0), 44.0);
+}
+
+TEST(Buffer, DeepCopy)
+{
+    Buffer a(DType::Float, {4});
+    a.fill(2.5);
+    Buffer b = a;
+    b.storeFromDouble(0, 9.0);
+    EXPECT_EQ(a.loadAsDouble(0), 2.5);
+    EXPECT_EQ(b.loadAsDouble(0), 9.0);
+
+    Buffer c(DType::Float, {1});
+    c = a;
+    EXPECT_EQ(c.numel(), 4);
+    EXPECT_EQ(c.loadAsDouble(3), 2.5);
+}
+
+TEST(Buffer, MaxAbsDiff)
+{
+    Buffer a(DType::Float, {4});
+    Buffer b(DType::Float, {4});
+    a.fill(1.0);
+    b.fill(1.0);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+    b.storeFromDouble(2, 1.5);
+    EXPECT_FLOAT_EQ(a.maxAbsDiff(b), 0.5);
+}
+
+TEST(Buffer, TypedAccessChecksSize)
+{
+    Buffer b(DType::Float, {4});
+    EXPECT_NO_THROW(b.dataAs<float>());
+    EXPECT_THROW(b.dataAs<double>(), InternalError);
+}
+
+} // namespace
+} // namespace polymage::rt

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "runtime/imageio.hpp"
+#include "runtime/synth.hpp"
+
+namespace polymage::rt {
+namespace {
+
+class ImageIoTest : public ::testing::Test
+{
+  protected:
+    std::string
+    tmpPath(const char *name)
+    {
+        return ::testing::TempDir() + name;
+    }
+};
+
+TEST_F(ImageIoTest, PgmRoundTrip)
+{
+    Buffer img = synth::photoU8(13, 17);
+    const std::string path = tmpPath("roundtrip.pgm");
+    writeImage(img, path);
+    Buffer back = readImage(path);
+    ASSERT_EQ(back.dims(), img.dims());
+    EXPECT_EQ(back.maxAbsDiff(img), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ImageIoTest, PpmRoundTrip)
+{
+    Buffer img(dsl::DType::UChar, {3, 5, 7});
+    for (std::int64_t i = 0; i < img.numel(); ++i)
+        img.storeFromDouble(i, double((i * 37) % 256));
+    const std::string path = tmpPath("roundtrip.ppm");
+    writeImage(img, path);
+    Buffer back = readImage(path);
+    ASSERT_EQ(back.dims(), img.dims());
+    EXPECT_EQ(back.maxAbsDiff(img), 0.0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ImageIoTest, FloatQuantisation)
+{
+    Buffer img(dsl::DType::Float, {1, 3});
+    img.storeFromDouble(0, -0.5); // clamps to 0
+    img.storeFromDouble(1, 0.5);  // 128
+    img.storeFromDouble(2, 2.0);  // clamps to 255
+    const std::string path = tmpPath("quant.pgm");
+    writeImage(img, path);
+    Buffer back = readImage(path);
+    EXPECT_EQ(back.loadAsDouble(0), 0.0);
+    EXPECT_EQ(back.loadAsDouble(1), 128.0);
+    EXPECT_EQ(back.loadAsDouble(2), 255.0);
+    std::remove(path.c_str());
+}
+
+TEST_F(ImageIoTest, BadInputsRejected)
+{
+    Buffer bad_rank(dsl::DType::Float, {2, 2, 2}); // 2 channels
+    EXPECT_THROW(writeImage(bad_rank, tmpPath("x.ppm")), SpecError);
+    EXPECT_THROW(readImage("/nonexistent/file.pgm"), SpecError);
+
+    // Not a PNM file.
+    const std::string path = tmpPath("junk.pgm");
+    FILE *f = fopen(path.c_str(), "w");
+    fputs("hello world", f);
+    fclose(f);
+    EXPECT_THROW(readImage(path), SpecError);
+    std::remove(path.c_str());
+}
+
+TEST_F(ImageIoTest, ToFloatScales)
+{
+    Buffer img(dsl::DType::UChar, {2});
+    img.storeFromDouble(0, 0);
+    img.storeFromDouble(1, 255);
+    Buffer f = toFloat(img);
+    EXPECT_EQ(f.dtype(), dsl::DType::Float);
+    EXPECT_NEAR(f.loadAsDouble(0), 0.0, 1e-6);
+    EXPECT_NEAR(f.loadAsDouble(1), 255.0 / 256.0, 1e-6);
+}
+
+} // namespace
+} // namespace polymage::rt

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "runtime/jit.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::rt {
+namespace {
+
+TEST(Jit, CompileAndCall)
+{
+    JitModule mod = JitModule::compile(
+        "extern \"C\" int pm_test_add(int a, int b) { return a + b; }\n");
+    auto fn = reinterpret_cast<int (*)(int, int)>(
+        mod.symbol("pm_test_add"));
+    EXPECT_EQ(fn(2, 40), 42);
+}
+
+TEST(Jit, MissingSymbolThrows)
+{
+    JitModule mod = JitModule::compile(
+        "extern \"C\" void pm_present() {}\n");
+    EXPECT_NO_THROW(mod.symbol("pm_present"));
+    EXPECT_THROW(mod.symbol("pm_absent"), InternalError);
+}
+
+TEST(Jit, CompileErrorIncludesDiagnostics)
+{
+    try {
+        JitModule::compile("this is not C++\n");
+        FAIL() << "expected InternalError";
+    } catch (const InternalError &e) {
+        // The exception carries the compiler invocation and log.
+        EXPECT_NE(std::string(e.what()).find("JIT compilation failed"),
+                  std::string::npos);
+    }
+}
+
+TEST(Jit, MoveTransfersOwnership)
+{
+    JitModule a = JitModule::compile(
+        "extern \"C\" int pm_seven() { return 7; }\n");
+    JitModule b = std::move(a);
+    auto fn = reinterpret_cast<int (*)()>(b.symbol("pm_seven"));
+    EXPECT_EQ(fn(), 7);
+}
+
+TEST(Jit, OpenMPAvailableInJitCode)
+{
+    JitModule mod = JitModule::compile(
+        "#include <omp.h>\n"
+        "extern \"C\" int pm_threads() { return omp_get_max_threads(); "
+        "}\n");
+    auto fn = reinterpret_cast<int (*)()>(mod.symbol("pm_threads"));
+    EXPECT_GE(fn(), 1);
+}
+
+} // namespace
+} // namespace polymage::rt

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "runtime/scaling.hpp"
+#include "support/rng.hpp"
+
+namespace polymage::rt {
+namespace {
+
+TEST(Scaling, LptUniformTasks)
+{
+    std::vector<double> costs(16, 1.0);
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 1), 16.0);
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 4), 4.0);
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 16), 1.0);
+    // More workers than tasks: bound by the largest task.
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 64), 1.0);
+}
+
+TEST(Scaling, LptImbalancedTasks)
+{
+    // One huge task dominates.
+    std::vector<double> costs{8.0, 1.0, 1.0, 1.0, 1.0};
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 4), 8.0);
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 2), 8.0);
+    EXPECT_DOUBLE_EQ(lptMakespan(costs, 1), 12.0);
+}
+
+TEST(Scaling, LptNeverBeatsTheoreticalBounds)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> costs;
+        double total = 0, largest = 0;
+        const int n = int(rng.uniformInt(1, 40));
+        for (int i = 0; i < n; ++i) {
+            const double c = rng.uniformReal(0.1, 3.0);
+            costs.push_back(c);
+            total += c;
+            largest = std::max(largest, c);
+        }
+        for (int w : {1, 2, 4, 8, 16}) {
+            const double ms = lptMakespan(costs, w);
+            // Lower bounds: perfect split and the largest task.
+            EXPECT_GE(ms + 1e-12, total / w);
+            EXPECT_GE(ms + 1e-12, largest);
+            // Upper bound of greedy scheduling.
+            EXPECT_LE(ms, total / w + largest + 1e-12);
+        }
+    }
+}
+
+TEST(Scaling, PredictTimeSumsPhasesAndSerial)
+{
+    TaskProfile prof;
+    prof.serialSeconds = 0.5;
+    // Phase 0: four unit tasks; phase 1: two 2s tasks.
+    prof.costs = {1, 1, 1, 1, 2, 2};
+    prof.phase = {0, 0, 0, 0, 1, 1};
+    EXPECT_DOUBLE_EQ(predictTime(prof, 1), 0.5 + 4 + 4);
+    EXPECT_DOUBLE_EQ(predictTime(prof, 2), 0.5 + 2 + 2);
+    EXPECT_DOUBLE_EQ(predictTime(prof, 4), 0.5 + 1 + 2);
+}
+
+TEST(Scaling, SpeedupsRelativeToOneWorker)
+{
+    TaskProfile prof;
+    prof.costs.assign(64, 1.0);
+    prof.phase.assign(64, 0);
+    auto s = predictSpeedups(prof, {1, 2, 4, 8, 16});
+    ASSERT_EQ(s.size(), 5u);
+    EXPECT_DOUBLE_EQ(s[0], 1.0);
+    EXPECT_DOUBLE_EQ(s[1], 2.0);
+    EXPECT_DOUBLE_EQ(s[4], 16.0);
+}
+
+TEST(Scaling, SerialFractionLimitsSpeedup)
+{
+    TaskProfile prof;
+    prof.serialSeconds = 1.0;
+    prof.costs.assign(100, 0.01); // 1s parallel work
+    prof.phase.assign(100, 0);
+    auto s = predictSpeedups(prof, {16});
+    // Amdahl: at most 2/ (1 + 1/16) ~ 1.88.
+    EXPECT_LT(s[0], 1.9);
+    EXPECT_GT(s[0], 1.5);
+}
+
+} // namespace
+} // namespace polymage::rt

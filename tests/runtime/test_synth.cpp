@@ -1,0 +1,64 @@
+#include <gtest/gtest.h>
+
+#include "runtime/synth.hpp"
+
+namespace polymage::rt {
+namespace {
+
+TEST(Synth, PhotoInRangeAndDeterministic)
+{
+    Buffer a = synth::photo(32, 48, 7);
+    Buffer b = synth::photo(32, 48, 7);
+    EXPECT_EQ(a.maxAbsDiff(b), 0.0);
+    for (std::int64_t i = 0; i < a.numel(); ++i) {
+        EXPECT_GE(a.loadAsDouble(i), 0.0);
+        EXPECT_LT(a.loadAsDouble(i), 1.0);
+    }
+    Buffer c = synth::photo(32, 48, 8);
+    EXPECT_GT(a.maxAbsDiff(c), 0.0);
+}
+
+TEST(Synth, RgbShape)
+{
+    Buffer rgb = synth::photoRgb(16, 20);
+    EXPECT_EQ(rgb.dims(), (std::vector<std::int64_t>{3, 16, 20}));
+}
+
+TEST(Synth, BayerValuesAre10Bit)
+{
+    Buffer raw = synth::bayerRaw(32, 32);
+    EXPECT_EQ(raw.dtype(), dsl::DType::UShort);
+    for (std::int64_t i = 0; i < raw.numel(); ++i) {
+        EXPECT_GE(raw.loadAsDouble(i), 0.0);
+        EXPECT_LE(raw.loadAsDouble(i), 1023.0);
+    }
+}
+
+TEST(Synth, BlendMaskIsSoftStep)
+{
+    Buffer m = synth::blendMask(8, 64);
+    // Near 1 on the left, near 0 on the right, monotone.
+    EXPECT_GT(m.loadAsDouble(0), 0.95);
+    EXPECT_LT(m.loadAsDouble(63), 0.05);
+    for (std::int64_t j = 1; j < 64; ++j)
+        EXPECT_LE(m.loadAsDouble(j), m.loadAsDouble(j - 1) + 1e-9);
+}
+
+TEST(Synth, SparseAlphaDensity)
+{
+    Buffer s = synth::sparseAlpha(64, 64, 0.25, 3);
+    const float *alpha = s.dataAs<const float>() + 64 * 64;
+    int set = 0;
+    for (int i = 0; i < 64 * 64; ++i)
+        set += alpha[i] > 0.5f;
+    EXPECT_NEAR(double(set) / (64 * 64), 0.25, 0.05);
+    // Premultiplied: value is zero wherever alpha is zero.
+    const float *val = s.dataAs<const float>();
+    for (int i = 0; i < 64 * 64; ++i) {
+        if (alpha[i] == 0.0f)
+            EXPECT_EQ(val[i], 0.0f);
+    }
+}
+
+} // namespace
+} // namespace polymage::rt

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "support/intmath.hpp"
+
+namespace polymage {
+namespace {
+
+TEST(IntMath, FloorDivPositive)
+{
+    EXPECT_EQ(floorDiv(7, 2), 3);
+    EXPECT_EQ(floorDiv(8, 2), 4);
+    EXPECT_EQ(floorDiv(0, 5), 0);
+}
+
+TEST(IntMath, FloorDivNegativeNumerator)
+{
+    EXPECT_EQ(floorDiv(-1, 2), -1);
+    EXPECT_EQ(floorDiv(-4, 2), -2);
+    EXPECT_EQ(floorDiv(-7, 3), -3);
+}
+
+TEST(IntMath, FloorDivNegativeDenominator)
+{
+    EXPECT_EQ(floorDiv(7, -2), -4);
+    EXPECT_EQ(floorDiv(-7, -2), 3);
+}
+
+TEST(IntMath, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(7, 2), 4);
+    EXPECT_EQ(ceilDiv(8, 2), 4);
+    EXPECT_EQ(ceilDiv(-7, 2), -3);
+    EXPECT_EQ(ceilDiv(1, 512), 1);
+}
+
+TEST(IntMath, FloorModAlwaysNonNegativeForPositiveModulus)
+{
+    for (std::int64_t a = -20; a <= 20; ++a) {
+        const std::int64_t m = floorMod(a, 7);
+        EXPECT_GE(m, 0);
+        EXPECT_LT(m, 7);
+        EXPECT_EQ(floorDiv(a, 7) * 7 + m, a);
+    }
+}
+
+// Property: floorDiv(a, b) is the unique q with q*b <= a < (q+1)*b for
+// positive b; checked by exhaustive sweep.
+TEST(IntMath, FloorDivDefinitionSweep)
+{
+    for (std::int64_t a = -50; a <= 50; ++a) {
+        for (std::int64_t b = 1; b <= 9; ++b) {
+            const std::int64_t q = floorDiv(a, b);
+            EXPECT_LE(q * b, a);
+            EXPECT_GT((q + 1) * b, a);
+        }
+    }
+}
+
+TEST(IntMath, GcdLcm)
+{
+    EXPECT_EQ(gcd64(12, 18), 6);
+    EXPECT_EQ(gcd64(0, 5), 5);
+    EXPECT_EQ(gcd64(0, 0), 0);
+    EXPECT_EQ(gcd64(-12, 18), 6);
+    EXPECT_EQ(lcm64(4, 6), 12);
+}
+
+TEST(IntMath, PowerOfTwo)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_TRUE(isPowerOfTwo(512));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(-2));
+    EXPECT_FALSE(isPowerOfTwo(12));
+}
+
+} // namespace
+} // namespace polymage

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "support/rational.hpp"
+
+namespace polymage {
+namespace {
+
+TEST(Rational, CanonicalForm)
+{
+    Rational r(6, -4);
+    EXPECT_EQ(r.num(), -3);
+    EXPECT_EQ(r.den(), 2);
+
+    Rational z(0, 7);
+    EXPECT_EQ(z.num(), 0);
+    EXPECT_EQ(z.den(), 1);
+    EXPECT_TRUE(z.isZero());
+}
+
+TEST(Rational, Arithmetic)
+{
+    Rational a(1, 2), b(1, 3);
+    EXPECT_EQ(a + b, Rational(5, 6));
+    EXPECT_EQ(a - b, Rational(1, 6));
+    EXPECT_EQ(a * b, Rational(1, 6));
+    EXPECT_EQ(a / b, Rational(3, 2));
+    EXPECT_EQ(-a, Rational(-1, 2));
+}
+
+TEST(Rational, Comparison)
+{
+    EXPECT_LT(Rational(1, 3), Rational(1, 2));
+    EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+    EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+    EXPECT_LE(Rational(3), Rational(3));
+}
+
+TEST(Rational, FloorCeil)
+{
+    EXPECT_EQ(Rational(7, 2).floor(), 3);
+    EXPECT_EQ(Rational(7, 2).ceil(), 4);
+    EXPECT_EQ(Rational(-7, 2).floor(), -4);
+    EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+    EXPECT_EQ(Rational(4).floor(), 4);
+    EXPECT_EQ(Rational(4).ceil(), 4);
+}
+
+TEST(Rational, IntegerConversion)
+{
+    EXPECT_TRUE(Rational(8, 4).isInteger());
+    EXPECT_EQ(Rational(8, 4).asInteger(), 2);
+    EXPECT_FALSE(Rational(1, 2).isInteger());
+    EXPECT_THROW(Rational(1, 2).asInteger(), InternalError);
+}
+
+TEST(Rational, DivisionByZeroRejected)
+{
+    EXPECT_THROW(Rational(1, 0), InternalError);
+    EXPECT_THROW(Rational(1) / Rational(0), InternalError);
+}
+
+TEST(Rational, AbsAndDouble)
+{
+    EXPECT_EQ(Rational(-3, 2).abs(), Rational(3, 2));
+    EXPECT_DOUBLE_EQ(Rational(3, 4).toDouble(), 0.75);
+}
+
+} // namespace
+} // namespace polymage

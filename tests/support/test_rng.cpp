@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace polymage {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, UniformIntInRange)
+{
+    Rng r(7);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = r.uniformInt(-3, 5);
+        ASSERT_GE(v, -3);
+        ASSERT_LE(v, 5);
+        saw_lo |= (v == -3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, Uniform01InRange)
+{
+    Rng r(9);
+    for (int i = 0; i < 1000; ++i) {
+        const double v = r.uniform01();
+        ASSERT_GE(v, 0.0);
+        ASSERT_LT(v, 1.0);
+    }
+}
+
+} // namespace
+} // namespace polymage

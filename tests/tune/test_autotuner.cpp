@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "runtime/synth.hpp"
+#include "tune/autotuner.hpp"
+
+namespace polymage::tune {
+namespace {
+
+TEST(TuneSpace, PaperSpaceSize)
+{
+    // §3.8: 7 tile sizes per dim, 3 thresholds; 2 tiled dims give
+    // 7^2 * 3 = 147 configurations, 4 dims give 7^4 * 3.
+    TuneSpace two;
+    EXPECT_EQ(two.size(), 147);
+    TuneSpace four;
+    four.tiledDims = 4;
+    EXPECT_EQ(four.size(), 7 * 7 * 7 * 7 * 3);
+}
+
+TEST(TuneSpace, EnumerationCoversSpaceExactly)
+{
+    TuneSpace space;
+    space.tileSizes = {8, 32};
+    space.thresholds = {0.2, 0.5};
+    space.tiledDims = 2;
+    auto configs = enumerateSpace(space);
+    EXPECT_EQ(std::int64_t(configs.size()), space.size());
+    // All distinct.
+    std::set<std::string> seen;
+    for (const auto &c : configs)
+        EXPECT_TRUE(seen.insert(c.toString()).second);
+}
+
+TEST(Autotuner, FindsAWorkingConfigOnHarris)
+{
+    const std::int64_t n = 96;
+    auto spec = apps::buildHarris(n, n);
+    rt::Buffer in = rt::synth::photo(n + 2, n + 2);
+
+    TuneSpace space;
+    space.tileSizes = {16, 64};
+    space.thresholds = {0.4};
+    space.tiledDims = 2;
+
+    TuneOptions opts;
+    opts.repeats = 1;
+    int calls = 0;
+    opts.progress = [&](int, int) { ++calls; };
+
+    auto result = autotune(spec, {n, n}, {&in}, space, opts);
+    ASSERT_EQ(result.entries.size(), 4u);
+    EXPECT_EQ(calls, 4);
+    ASSERT_GE(result.best, 0);
+    for (const auto &e : result.entries) {
+        EXPECT_GT(e.seconds1, 0.0);
+        EXPECT_GT(e.secondsP, 0.0);
+        EXPECT_GE(e.groups, 1);
+        // Parallel model must not exceed the single-thread time.
+        EXPECT_LE(e.secondsP, e.seconds1 * 1.05);
+    }
+    // CSV has a header plus one row per entry.
+    const std::string csv = result.csv();
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+}
+
+} // namespace
+} // namespace polymage::tune
