@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_autotune.dir/bench_fig9_autotune.cpp.o"
+  "CMakeFiles/bench_fig9_autotune.dir/bench_fig9_autotune.cpp.o.d"
+  "bench_fig9_autotune"
+  "bench_fig9_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pyramid_blend_demo.dir/pyramid_blend_demo.cpp.o"
+  "CMakeFiles/pyramid_blend_demo.dir/pyramid_blend_demo.cpp.o.d"
+  "pyramid_blend_demo"
+  "pyramid_blend_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pyramid_blend_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

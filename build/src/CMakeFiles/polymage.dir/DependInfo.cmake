@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/bilateral.cpp" "src/CMakeFiles/polymage.dir/apps/bilateral.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/bilateral.cpp.o.d"
+  "/root/repo/src/apps/camera.cpp" "src/CMakeFiles/polymage.dir/apps/camera.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/camera.cpp.o.d"
+  "/root/repo/src/apps/harris.cpp" "src/CMakeFiles/polymage.dir/apps/harris.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/harris.cpp.o.d"
+  "/root/repo/src/apps/histogram_eq.cpp" "src/CMakeFiles/polymage.dir/apps/histogram_eq.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/histogram_eq.cpp.o.d"
+  "/root/repo/src/apps/interpolate.cpp" "src/CMakeFiles/polymage.dir/apps/interpolate.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/interpolate.cpp.o.d"
+  "/root/repo/src/apps/local_laplacian.cpp" "src/CMakeFiles/polymage.dir/apps/local_laplacian.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/local_laplacian.cpp.o.d"
+  "/root/repo/src/apps/pyramid_blend.cpp" "src/CMakeFiles/polymage.dir/apps/pyramid_blend.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/pyramid_blend.cpp.o.d"
+  "/root/repo/src/apps/pyramid_util.cpp" "src/CMakeFiles/polymage.dir/apps/pyramid_util.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/pyramid_util.cpp.o.d"
+  "/root/repo/src/apps/unsharp.cpp" "src/CMakeFiles/polymage.dir/apps/unsharp.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/apps/unsharp.cpp.o.d"
+  "/root/repo/src/codegen/cexpr.cpp" "src/CMakeFiles/polymage.dir/codegen/cexpr.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/codegen/cexpr.cpp.o.d"
+  "/root/repo/src/codegen/generate.cpp" "src/CMakeFiles/polymage.dir/codegen/generate.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/codegen/generate.cpp.o.d"
+  "/root/repo/src/comparators/comparators.cpp" "src/CMakeFiles/polymage.dir/comparators/comparators.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/comparators/comparators.cpp.o.d"
+  "/root/repo/src/core/group_schedule.cpp" "src/CMakeFiles/polymage.dir/core/group_schedule.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/core/group_schedule.cpp.o.d"
+  "/root/repo/src/core/grouping.cpp" "src/CMakeFiles/polymage.dir/core/grouping.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/core/grouping.cpp.o.d"
+  "/root/repo/src/core/storage.cpp" "src/CMakeFiles/polymage.dir/core/storage.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/core/storage.cpp.o.d"
+  "/root/repo/src/driver/compiler.cpp" "src/CMakeFiles/polymage.dir/driver/compiler.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/driver/compiler.cpp.o.d"
+  "/root/repo/src/dsl/dsl.cpp" "src/CMakeFiles/polymage.dir/dsl/dsl.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/dsl/dsl.cpp.o.d"
+  "/root/repo/src/dsl/expr.cpp" "src/CMakeFiles/polymage.dir/dsl/expr.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/dsl/expr.cpp.o.d"
+  "/root/repo/src/dsl/stencil.cpp" "src/CMakeFiles/polymage.dir/dsl/stencil.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/dsl/stencil.cpp.o.d"
+  "/root/repo/src/dsl/transform.cpp" "src/CMakeFiles/polymage.dir/dsl/transform.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/dsl/transform.cpp.o.d"
+  "/root/repo/src/dsl/types.cpp" "src/CMakeFiles/polymage.dir/dsl/types.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/dsl/types.cpp.o.d"
+  "/root/repo/src/interp/interpreter.cpp" "src/CMakeFiles/polymage.dir/interp/interpreter.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/interp/interpreter.cpp.o.d"
+  "/root/repo/src/pipeline/bounds_check.cpp" "src/CMakeFiles/polymage.dir/pipeline/bounds_check.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/pipeline/bounds_check.cpp.o.d"
+  "/root/repo/src/pipeline/graph.cpp" "src/CMakeFiles/polymage.dir/pipeline/graph.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/pipeline/graph.cpp.o.d"
+  "/root/repo/src/pipeline/inline.cpp" "src/CMakeFiles/polymage.dir/pipeline/inline.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/pipeline/inline.cpp.o.d"
+  "/root/repo/src/poly/access.cpp" "src/CMakeFiles/polymage.dir/poly/access.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/poly/access.cpp.o.d"
+  "/root/repo/src/poly/affine.cpp" "src/CMakeFiles/polymage.dir/poly/affine.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/poly/affine.cpp.o.d"
+  "/root/repo/src/poly/cond_box.cpp" "src/CMakeFiles/polymage.dir/poly/cond_box.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/poly/cond_box.cpp.o.d"
+  "/root/repo/src/poly/range.cpp" "src/CMakeFiles/polymage.dir/poly/range.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/poly/range.cpp.o.d"
+  "/root/repo/src/poly/set.cpp" "src/CMakeFiles/polymage.dir/poly/set.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/poly/set.cpp.o.d"
+  "/root/repo/src/runtime/buffer.cpp" "src/CMakeFiles/polymage.dir/runtime/buffer.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/buffer.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/polymage.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/imageio.cpp" "src/CMakeFiles/polymage.dir/runtime/imageio.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/imageio.cpp.o.d"
+  "/root/repo/src/runtime/jit.cpp" "src/CMakeFiles/polymage.dir/runtime/jit.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/jit.cpp.o.d"
+  "/root/repo/src/runtime/scaling.cpp" "src/CMakeFiles/polymage.dir/runtime/scaling.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/scaling.cpp.o.d"
+  "/root/repo/src/runtime/synth.cpp" "src/CMakeFiles/polymage.dir/runtime/synth.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/runtime/synth.cpp.o.d"
+  "/root/repo/src/support/diagnostics.cpp" "src/CMakeFiles/polymage.dir/support/diagnostics.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/support/diagnostics.cpp.o.d"
+  "/root/repo/src/tune/autotuner.cpp" "src/CMakeFiles/polymage.dir/tune/autotuner.cpp.o" "gcc" "src/CMakeFiles/polymage.dir/tune/autotuner.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

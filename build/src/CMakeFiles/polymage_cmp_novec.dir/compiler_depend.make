@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for polymage_cmp_novec.
+# This may be replaced when dependencies are built.

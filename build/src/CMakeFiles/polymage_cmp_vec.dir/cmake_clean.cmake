@@ -1,0 +1,9 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/polymage_cmp_vec.dir/comparators/comparators_impl.cpp.o"
+  "CMakeFiles/polymage_cmp_vec.dir/comparators/comparators_impl.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/polymage_cmp_vec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

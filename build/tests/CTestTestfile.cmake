@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("dsl")
+subdirs("poly")
+subdirs("pipeline")
+subdirs("core")
+subdirs("interp")
+subdirs("codegen")
+subdirs("apps")
+subdirs("cmp")
+subdirs("tune")
+subdirs("runtime")
+subdirs("integration")
+subdirs("driver")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/codegen/test_cse.cpp" "tests/codegen/CMakeFiles/test_codegen.dir/test_cse.cpp.o" "gcc" "tests/codegen/CMakeFiles/test_codegen.dir/test_cse.cpp.o.d"
+  "/root/repo/tests/codegen/test_exec.cpp" "tests/codegen/CMakeFiles/test_codegen.dir/test_exec.cpp.o" "gcc" "tests/codegen/CMakeFiles/test_codegen.dir/test_exec.cpp.o.d"
+  "/root/repo/tests/codegen/test_source.cpp" "tests/codegen/CMakeFiles/test_codegen.dir/test_source.cpp.o" "gcc" "tests/codegen/CMakeFiles/test_codegen.dir/test_source.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_codegen.dir/test_cse.cpp.o"
+  "CMakeFiles/test_codegen.dir/test_cse.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/test_exec.cpp.o"
+  "CMakeFiles/test_codegen.dir/test_exec.cpp.o.d"
+  "CMakeFiles/test_codegen.dir/test_source.cpp.o"
+  "CMakeFiles/test_codegen.dir/test_source.cpp.o.d"
+  "test_codegen"
+  "test_codegen.pdb"
+  "test_codegen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_align_scale.cpp" "tests/core/CMakeFiles/test_core.dir/test_align_scale.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_align_scale.cpp.o.d"
+  "/root/repo/tests/core/test_grouping.cpp" "tests/core/CMakeFiles/test_core.dir/test_grouping.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_grouping.cpp.o.d"
+  "/root/repo/tests/core/test_storage.cpp" "tests/core/CMakeFiles/test_core.dir/test_storage.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_storage.cpp.o.d"
+  "/root/repo/tests/core/test_tile_shapes.cpp" "tests/core/CMakeFiles/test_core.dir/test_tile_shapes.cpp.o" "gcc" "tests/core/CMakeFiles/test_core.dir/test_tile_shapes.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_align_scale.cpp.o"
+  "CMakeFiles/test_core.dir/test_align_scale.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_grouping.cpp.o"
+  "CMakeFiles/test_core.dir/test_grouping.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_storage.cpp.o"
+  "CMakeFiles/test_core.dir/test_storage.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_tile_shapes.cpp.o"
+  "CMakeFiles/test_core.dir/test_tile_shapes.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/dsl/test_expr.cpp" "tests/dsl/CMakeFiles/test_dsl.dir/test_expr.cpp.o" "gcc" "tests/dsl/CMakeFiles/test_dsl.dir/test_expr.cpp.o.d"
+  "/root/repo/tests/dsl/test_function.cpp" "tests/dsl/CMakeFiles/test_dsl.dir/test_function.cpp.o" "gcc" "tests/dsl/CMakeFiles/test_dsl.dir/test_function.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

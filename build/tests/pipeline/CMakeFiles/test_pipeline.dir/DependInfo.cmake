@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/pipeline/test_bounds.cpp" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_bounds.cpp.o" "gcc" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_bounds.cpp.o.d"
+  "/root/repo/tests/pipeline/test_graph.cpp" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_graph.cpp.o" "gcc" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/pipeline/test_inline.cpp" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_inline.cpp.o" "gcc" "tests/pipeline/CMakeFiles/test_pipeline.dir/test_inline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

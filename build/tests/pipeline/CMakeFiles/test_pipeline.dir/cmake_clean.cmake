@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipeline.dir/test_bounds.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_bounds.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_graph.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_graph.cpp.o.d"
+  "CMakeFiles/test_pipeline.dir/test_inline.cpp.o"
+  "CMakeFiles/test_pipeline.dir/test_inline.cpp.o.d"
+  "test_pipeline"
+  "test_pipeline.pdb"
+  "test_pipeline[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/poly/test_access.cpp" "tests/poly/CMakeFiles/test_poly.dir/test_access.cpp.o" "gcc" "tests/poly/CMakeFiles/test_poly.dir/test_access.cpp.o.d"
+  "/root/repo/tests/poly/test_affine.cpp" "tests/poly/CMakeFiles/test_poly.dir/test_affine.cpp.o" "gcc" "tests/poly/CMakeFiles/test_poly.dir/test_affine.cpp.o.d"
+  "/root/repo/tests/poly/test_cond_box.cpp" "tests/poly/CMakeFiles/test_poly.dir/test_cond_box.cpp.o" "gcc" "tests/poly/CMakeFiles/test_poly.dir/test_cond_box.cpp.o.d"
+  "/root/repo/tests/poly/test_range.cpp" "tests/poly/CMakeFiles/test_poly.dir/test_range.cpp.o" "gcc" "tests/poly/CMakeFiles/test_poly.dir/test_range.cpp.o.d"
+  "/root/repo/tests/poly/test_set.cpp" "tests/poly/CMakeFiles/test_poly.dir/test_set.cpp.o" "gcc" "tests/poly/CMakeFiles/test_poly.dir/test_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

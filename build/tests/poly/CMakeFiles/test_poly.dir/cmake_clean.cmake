@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poly.dir/test_access.cpp.o"
+  "CMakeFiles/test_poly.dir/test_access.cpp.o.d"
+  "CMakeFiles/test_poly.dir/test_affine.cpp.o"
+  "CMakeFiles/test_poly.dir/test_affine.cpp.o.d"
+  "CMakeFiles/test_poly.dir/test_cond_box.cpp.o"
+  "CMakeFiles/test_poly.dir/test_cond_box.cpp.o.d"
+  "CMakeFiles/test_poly.dir/test_range.cpp.o"
+  "CMakeFiles/test_poly.dir/test_range.cpp.o.d"
+  "CMakeFiles/test_poly.dir/test_set.cpp.o"
+  "CMakeFiles/test_poly.dir/test_set.cpp.o.d"
+  "test_poly"
+  "test_poly.pdb"
+  "test_poly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

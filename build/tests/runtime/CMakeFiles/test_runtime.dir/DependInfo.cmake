@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/test_buffer.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_buffer.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_buffer.cpp.o.d"
+  "/root/repo/tests/runtime/test_imageio.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_imageio.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_imageio.cpp.o.d"
+  "/root/repo/tests/runtime/test_jit.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_jit.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_jit.cpp.o.d"
+  "/root/repo/tests/runtime/test_scaling.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_scaling.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_scaling.cpp.o.d"
+  "/root/repo/tests/runtime/test_synth.cpp" "tests/runtime/CMakeFiles/test_runtime.dir/test_synth.cpp.o" "gcc" "tests/runtime/CMakeFiles/test_runtime.dir/test_synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/polymage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/test_buffer.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_buffer.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_imageio.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_imageio.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_jit.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_jit.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_scaling.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_scaling.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/test_synth.cpp.o"
+  "CMakeFiles/test_runtime.dir/test_synth.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
