@@ -49,7 +49,8 @@ deepChain(std::int64_t rows_est, std::int64_t cols_est, int depth)
 void
 sweep(const char *name, const PipelineSpec &spec,
       const std::vector<std::int64_t> &params,
-      const std::vector<const rt::Buffer *> &inputs)
+      const std::vector<const rt::Buffer *> &inputs,
+      ProfileJsonReport &report)
 {
     std::printf("\n-- %s --\n", name);
     std::printf("%8s | %7s %7s | %12s\n", "othresh", "groups", "merges",
@@ -57,8 +58,15 @@ sweep(const char *name, const PipelineSpec &spec,
     for (double th : {0.05, 0.1, 0.2, 0.4, 0.6, 0.9}) {
         CompileOptions opts;
         opts.grouping.overlapThreshold = th;
+        opts.codegen.instrument = report.enabled();
         rt::Executable exe = rt::Executable::build(spec, opts);
         auto outputs = exe.run(params, inputs);
+        if (report.enabled()) {
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s/othresh=%.2f", name,
+                          th);
+            report.add(label, "", exe, exe.profile(params, inputs));
+        }
         const double t = timeBestOf(
             [&] { exe.runInto(params, inputs, outputs); }, 2);
         std::printf("%8.2f | %7zu %7d | %12.2f\n", th,
@@ -71,9 +79,10 @@ sweep(const char *name, const PipelineSpec &spec,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     const double scale = benchScale(0.5);
+    ProfileJsonReport report(profileJsonPath(argc, argv));
     std::printf("==== Ablation: overlap threshold sweep (scale %.2f) "
                 "====\n",
                 scale);
@@ -83,14 +92,15 @@ main()
                            C = scaled(2048, scale);
         auto spec = deepChain(R, C, 12);
         rt::Buffer in = rt::synth::photo(R, C);
-        sweep("deep 5-tap chain (12 stages)", spec, {R, C}, {&in});
+        sweep("deep 5-tap chain (12 stages)", spec, {R, C}, {&in},
+              report);
     }
     {
         const std::int64_t R = scaled(4096, scale),
                            C = scaled(4096, scale);
         auto spec = apps::buildHarris(R, C);
         rt::Buffer in = rt::synth::photo(R + 2, C + 2);
-        sweep("Harris corner detection", spec, {R, C}, {&in});
+        sweep("Harris corner detection", spec, {R, C}, {&in}, report);
     }
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -15,9 +15,10 @@ using namespace polymage;
 using namespace polymage::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const double scale = benchScale(0.5);
+    ProfileJsonReport report(profileJsonPath(argc, argv));
     std::printf("==== Ablation: scratchpad storage reduction (scale "
                 "%.2f) ====\n\n",
                 scale);
@@ -29,19 +30,24 @@ main()
     for (auto &b : benches) {
         auto inputs = b.inputs();
 
-        auto measure = [&](const CompileOptions &opts) {
+        auto measure = [&](CompileOptions opts, const char *variant) {
+            opts.codegen.instrument = report.enabled();
             rt::Executable exe = rt::Executable::build(b.spec, opts);
             auto outputs = exe.run(b.params, inputs);
+            if (report.enabled()) {
+                report.add(b.name + "/" + variant, b.sizeLabel, exe,
+                           exe.profile(b.params, inputs));
+            }
             return timeBestOf(
                 [&] { exe.runInto(b.params, inputs, outputs); }, 2);
         };
 
         const double t_base =
-            measure(CompileOptions::baseline(true));
+            measure(CompileOptions::baseline(true), "base");
         CompileOptions no_store = b.tuned; // tiling, no scratchpads
         no_store.codegen.storageOpt = false;
-        const double t_tiled = measure(no_store);
-        const double t_opt = measure(b.tuned);
+        const double t_tiled = measure(no_store, "tiled-only");
+        const double t_opt = measure(b.tuned, "opt+vec");
 
         std::printf("%-18s | %10.2f %14.2f %12.2f | %.2fx\n",
                     b.name.c_str(), t_base * 1e3, t_tiled * 1e3,
@@ -51,5 +57,5 @@ main()
 
     std::printf("\n'storage gain' = tiled-without-scratchpads time over "
                 "full opt+vec time.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -19,9 +19,10 @@ using namespace polymage;
 using namespace polymage::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const double scale = benchScale(1.0);
+    ProfileJsonReport report(profileJsonPath(argc, argv));
     std::printf("==== Table 2: benchmark summary (scale %.2f) ====\n\n",
                 scale);
     std::printf("%-18s %6s %13s | %9s %9s %9s | %12s | %9s\n", "Benchmark",
@@ -43,6 +44,7 @@ main()
             [&] { exe.runInto(b.params, inputs, outputs); });
 
         rt::TaskProfile prof = exe.profile(b.params, inputs);
+        report.add(b.name, b.sizeLabel, exe, prof);
         const double model1 = rt::predictTime(prof, 1);
         const double calib = model1 > 0 ? t1 / model1 : 1.0;
         const double t4 = rt::predictTime(prof, 4) * calib;
@@ -81,5 +83,5 @@ main()
                 "LPT-modelled from per-tile profiles (single-core\n"
                 "container).  'vs H-tuned' compares modelled 16-core\n"
                 "times against the hand-written tuned comparator.\n");
-    return 0;
+    return report.write() ? 0 : 1;
 }

@@ -10,6 +10,8 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <fstream>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,8 +20,99 @@
 #include "comparators/comparators.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/synth.hpp"
+#include "support/trace.hpp"
 
 namespace polymage::bench {
+
+/**
+ * Path of `--profile-json <path>` (or `--profile-json=<path>`) in
+ * argv; empty when the flag is absent.
+ */
+inline std::string
+profileJsonPath(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string path;
+        if (std::strcmp(argv[i], "--profile-json") == 0) {
+            if (i + 1 < argc)
+                path = argv[i + 1];
+        } else if (std::strncmp(argv[i], "--profile-json=", 15) == 0) {
+            path = argv[i] + 15;
+        } else {
+            continue;
+        }
+        if (path.empty()) {
+            std::fprintf(stderr,
+                         "error: --profile-json requires a path\n");
+            std::exit(2);
+        }
+        return path;
+    }
+    return "";
+}
+
+/**
+ * Machine-readable observability output of a bench run: per app (or
+ * per app/variant), the compile-phase trace spans and the per-group
+ * runtime profile, in the polymage-profile-v1 schema documented in
+ * docs/OBSERVABILITY.md.  Disabled (all calls no-ops) when the path
+ * is empty.
+ */
+class ProfileJsonReport
+{
+  public:
+    explicit ProfileJsonReport(std::string path) : path_(std::move(path))
+    {}
+
+    bool enabled() const { return !path_.empty(); }
+
+    /** Record one compiled+profiled pipeline. */
+    void
+    add(const std::string &name, const std::string &size_label,
+        const rt::Executable &exe, const rt::TaskProfile &prof)
+    {
+        if (!enabled())
+            return;
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("name").value(name);
+        w.key("size").value(size_label);
+        w.key("compile").raw(obs::spansToJson(exe.trace()));
+        w.key("runtime").raw(prof.toJson());
+        w.endObject();
+        apps_.push_back(w.str());
+    }
+
+    /** Write the document; returns false (with a warning) on failure. */
+    bool
+    write() const
+    {
+        if (!enabled())
+            return true;
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema").value("polymage-profile-v1");
+        w.key("apps").beginArray();
+        for (const auto &a : apps_)
+            w.raw(a);
+        w.endArray();
+        w.endObject();
+        std::ofstream os(path_);
+        if (!os) {
+            std::fprintf(stderr, "cannot write profile JSON to %s\n",
+                         path_.c_str());
+            return false;
+        }
+        os << w.str() << "\n";
+        std::printf("profile JSON written to %s (%zu entries)\n",
+                    path_.c_str(), apps_.size());
+        return true;
+    }
+
+  private:
+    std::string path_;
+    std::vector<std::string> apps_;
+};
 
 /** Linear image-size scale from POLYMAGE_BENCH_SCALE (default 1.0). */
 inline double

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Documentation consistency checks, CI-friendly (exit nonzero on any
+# failure, no network, no build needed):
+#
+#   1. Every intra-repo markdown link ([text](path) and bare `path`
+#      references to docs/) resolves to an existing file.
+#   2. Every span name documented in docs/OBSERVABILITY.md is emitted
+#      by the implementation, and vice versa.
+#   3. Every JSON schema tag and field name documented is present in
+#      the serializers.
+#
+# Usage: scripts/check_docs.sh   (from anywhere inside the repo)
+
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+err() { echo "check_docs: $*" >&2; fail=1; }
+
+# ---------------------------------------------------------------- 1.
+# Intra-repo markdown links.  Skips http(s), mailto and #anchors;
+# strips a trailing #anchor from file links.  Links resolve relative
+# to the file containing them.
+for md in *.md docs/*.md; do
+    [ -f "$md" ] || continue
+    dir=$(dirname "$md")
+    # shellcheck disable=SC2013
+    while IFS= read -r target; do
+        case "$target" in
+            http://*|https://*|mailto:*|\#*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ] && [ ! -e "$path" ]; then
+            err "$md: broken link -> $target"
+        fi
+    done < <(awk '/^```/{fence=!fence; next} !fence' "$md" \
+             | grep -o '\[[^]]*\]([^)]*)' | sed 's/.*(\(.*\))/\1/')
+done
+
+# ---------------------------------------------------------------- 2.
+# Span names: the set documented in OBSERVABILITY.md's span table must
+# equal the set the implementation emits.
+doc=docs/OBSERVABILITY.md
+[ -f "$doc" ] || { err "$doc missing"; exit 1; }
+
+documented=$(grep -o '^| `[a-z_]*` |' "$doc" | tr -d '|` ' | sort -u)
+emitted=$(grep -rh 'obs::ScopedTrace' src/ \
+          | grep -o '"[a-z_]*"' | tr -d '"' | sort -u)
+
+for name in $documented; do
+    echo "$emitted" | grep -qx "$name" \
+        || err "span \`$name\` documented in $doc but not emitted in src/"
+done
+for name in $emitted; do
+    echo "$documented" | grep -qx "$name" \
+        || err "span \`$name\` emitted in src/ but missing from $doc span table"
+done
+
+# ---------------------------------------------------------------- 3.
+# Schema tags and field names documented must appear in the sources.
+for tag in polymage-trace-v1 polymage-runtime-v1 polymage-profile-v1; do
+    grep -q "$tag" "$doc" || err "schema tag $tag missing from $doc"
+    grep -rq "$tag" src/ bench/ || err "schema tag $tag not found in sources"
+done
+for field in start_ns duration_ns serial_seconds total_seconds stages; do
+    grep -q "\"$field\"" "$doc" || err "field \"$field\" missing from $doc"
+    grep -rq "\"$field\"" src/ || err "field \"$field\" not emitted by src/"
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "check_docs: FAILED" >&2
+    exit 1
+fi
+echo "check_docs: OK"

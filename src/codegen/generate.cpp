@@ -245,6 +245,8 @@ class Generator
     bool ompForOnly_ = false; // emit `omp for` (inside a parallel region)
     int phase_ = 0;      // parallel-phase counter (instrumented body)
     int tmp_ = 0;        // unique counter for bound locals
+    /** phase id -> owning group, filled on the first emission pass. */
+    std::vector<int> phaseGroup_;
 };
 
 std::string
@@ -1128,7 +1130,14 @@ Generator::emitBody()
     w_.blank();
 
     for (std::size_t gi = 0; gi < grouping_.groups.size(); ++gi) {
+        const int phase_start = phase_;
         emitGroup(int(gi));
+        // Both emission passes walk the groups identically; record the
+        // phase ownership once.
+        while (int(phaseGroup_.size()) < phase_ &&
+               int(phaseGroup_.size()) >= phase_start) {
+            phaseGroup_.push_back(int(gi));
+        }
         w_.blank();
     }
 
@@ -1196,6 +1205,7 @@ Generator::run()
     out.entry = "polymage_" + sanitize(g_.name());
     if (opts_.instrument)
         out.instrEntry = out.entry + "_pm_instr";
+    out.phaseGroup = phaseGroup_;
     return out;
 }
 

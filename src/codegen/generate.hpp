@@ -11,6 +11,7 @@
 #define POLYMAGE_CODEGEN_GENERATE_HPP
 
 #include <string>
+#include <vector>
 
 #include "core/grouping.hpp"
 #include "core/storage.hpp"
@@ -66,6 +67,15 @@ struct GeneratedCode
      *                     long long *count, double *serial_seconds);
      */
     std::string instrEntry;
+    /**
+     * Group index owning each parallel phase: phaseGroup[p] is the
+     * group whose loops record phase id p in the instrumented entry.
+     * A tiled group owns one phase (one task per outer tile); an
+     * untiled stage owns one phase per case.  This is what lets the
+     * executor fold the flat task stream back into the per-group
+     * profile (Executable::profile().groups).
+     */
+    std::vector<int> phaseGroup;
 };
 
 /** Generate code for a scheduled pipeline. */

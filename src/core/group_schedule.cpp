@@ -7,6 +7,7 @@
 #include "poly/access.hpp"
 #include "support/intmath.hpp"
 #include "support/rational.hpp"
+#include "support/trace.hpp"
 
 namespace polymage::core {
 
@@ -254,6 +255,10 @@ buildGroupSchedule(const pg::PipelineGraph &g,
 {
     if (stages.empty())
         return std::nullopt;
+    // One span per alignment/scaling attempt, nested under whichever
+    // phase is running (candidate evaluation inside `grouping`, final
+    // schedule construction inside `schedule`).
+    obs::ScopedTrace span("align_scale");
 
     Solver solver(g);
     solver.stages = stages;

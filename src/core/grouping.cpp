@@ -6,6 +6,7 @@
 
 #include "poly/range.hpp"
 #include "support/diagnostics.hpp"
+#include "support/trace.hpp"
 
 namespace polymage::core {
 
@@ -248,11 +249,14 @@ groupStages(const pg::PipelineGraph &g, const GroupingOptions &opts)
         }
         PM_ASSERT(progressed, "cycle in group DAG");
     }
-    for (auto &grp : ordered) {
-        auto sched = buildGroupSchedule(g, grp);
-        PM_ASSERT(sched.has_value(),
-                  "final group fails alignment/scaling");
-        result.groups.push_back(std::move(*sched));
+    {
+        obs::ScopedTrace span("schedule");
+        for (auto &grp : ordered) {
+            auto sched = buildGroupSchedule(g, grp);
+            PM_ASSERT(sched.has_value(),
+                      "final group fails alignment/scaling");
+            result.groups.push_back(std::move(*sched));
+        }
     }
     return result;
 }

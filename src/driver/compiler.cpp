@@ -59,32 +59,58 @@ CompiledPipeline::report() const
 CompiledPipeline
 compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
 {
-    // Validate the raw specification first: bounds errors should be
-    // reported against the user's own stages, before inlining rewrites
-    // them.
+    // Trace every phase.  When the caller (e.g. Executable::build)
+    // already installed a registry, report into it so the compile
+    // spans and the caller's own spans (JIT) share one timeline;
+    // otherwise use a local registry.
+    obs::TraceRegistry local;
+    obs::TraceRegistry *reg = obs::currentTrace();
+    if (reg == nullptr)
+        reg = &local;
+    obs::ScopedCurrent install(reg);
+    const std::size_t span_base = reg->spans().size();
+
+    CompiledPipeline out{dsl::PipelineSpec(spec.name()), {}, {}, {},
+                         {}, {}, {}, {}};
     {
+        obs::ScopedTrace phase(reg, "graph_build");
+        // Validate the raw specification first: bounds errors should
+        // be reported against the user's own stages, before inlining
+        // rewrites them.
         pg::PipelineGraph raw = pg::PipelineGraph::build(spec);
         pg::checkBounds(raw);
     }
-
-    auto inlined = pg::inlinePointwise(spec, opts.inlining);
-
-    CompiledPipeline out{std::move(inlined.spec),
-                         std::move(inlined.inlined),
-                         pg::PipelineGraph(),
-                         {},
-                         {},
-                         {},
-                         {}};
-    out.graph = pg::PipelineGraph::build(out.spec);
-    out.bounds = pg::checkBounds(out.graph);
-    out.grouping = core::groupStages(out.graph, opts.grouping);
-    out.storage = core::planStorage(out.graph, out.grouping,
-                                    opts.grouping,
-                                    opts.codegen.tile &&
-                                        opts.codegen.storageOpt);
-    out.code = cg::generate(out.graph, out.grouping, opts.grouping,
-                            out.storage, opts.codegen);
+    {
+        obs::ScopedTrace phase(reg, "inline");
+        auto inlined = pg::inlinePointwise(spec, opts.inlining);
+        out.spec = std::move(inlined.spec);
+        out.inlined = std::move(inlined.inlined);
+        out.graph = pg::PipelineGraph::build(out.spec);
+    }
+    {
+        obs::ScopedTrace phase(reg, "bounds_check");
+        out.bounds = pg::checkBounds(out.graph);
+    }
+    {
+        obs::ScopedTrace phase(reg, "grouping");
+        out.grouping = core::groupStages(out.graph, opts.grouping);
+    }
+    {
+        obs::ScopedTrace phase(reg, "storage");
+        out.storage = core::planStorage(out.graph, out.grouping,
+                                        opts.grouping,
+                                        opts.codegen.tile &&
+                                            opts.codegen.storageOpt);
+    }
+    {
+        obs::ScopedTrace phase(reg, "codegen");
+        out.code = cg::generate(out.graph, out.grouping, opts.grouping,
+                                out.storage, opts.codegen);
+    }
+    // Keep only this compilation's spans (an outer registry may hold
+    // earlier compilations).
+    auto all = reg->spans();
+    out.trace.assign(all.begin() + std::ptrdiff_t(span_base), all.end());
     return out;
 }
 

@@ -13,6 +13,7 @@
 #include "core/storage.hpp"
 #include "pipeline/bounds_check.hpp"
 #include "pipeline/inline.hpp"
+#include "support/trace.hpp"
 
 namespace polymage {
 
@@ -48,9 +49,20 @@ struct CompiledPipeline
     core::GroupingResult grouping;
     core::StoragePlan storage;
     cg::GeneratedCode code;
+    /**
+     * Compile-phase trace: one span per driver phase (span names are
+     * listed in docs/OBSERVABILITY.md), with alignment/scaling
+     * attempts nested under `grouping`.  When an outer registry is
+     * installed via obs::ScopedCurrent the spans also accumulate
+     * there (that is how Executable adds the `jit` span).
+     */
+    std::vector<obs::Span> trace;
 
     /** Human-readable phase report (groups, storage, sizes). */
     std::string report() const;
+
+    /** Compile trace serialized to the polymage-trace-v1 schema. */
+    std::string traceJson() const { return obs::spansToJson(trace); }
 };
 
 /**

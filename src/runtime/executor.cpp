@@ -10,18 +10,27 @@ Executable
 Executable::build(const dsl::PipelineSpec &spec,
                   const CompileOptions &opts, JitOptions jit)
 {
+    // One registry for the whole build so the driver's compile phases
+    // and the JIT share a single timeline.
+    obs::TraceRegistry reg;
+    obs::ScopedCurrent install(&reg);
+
     Executable exe;
     exe.compiled_ = std::make_shared<CompiledPipeline>(
         compilePipeline(spec, opts));
     jit.vectorize = jit.vectorize && opts.codegen.vectorize;
-    exe.module_ = std::make_shared<JitModule>(
-        JitModule::compile(exe.compiled_->code.source, jit));
+    {
+        obs::ScopedTrace span(&reg, "jit");
+        exe.module_ = std::make_shared<JitModule>(
+            JitModule::compile(exe.compiled_->code.source, jit));
+    }
     exe.fn_ = reinterpret_cast<PipelineFn>(
         exe.module_->symbol(exe.compiled_->code.entry));
     if (!exe.compiled_->code.instrEntry.empty()) {
         exe.instrFn_ = reinterpret_cast<InstrFn>(
             exe.module_->symbol(exe.compiled_->code.instrEntry));
     }
+    exe.trace_ = reg.spans();
     return exe;
 }
 
@@ -158,7 +167,54 @@ Executable::profile(const std::vector<std::int64_t> &params,
         }
         prof.serialSeconds = std::min(prof.serialSeconds, serial2);
     }
+
+    // Fold the flat task stream into the per-group rollup using the
+    // codegen's phase->group map.  Every group gets an entry, in
+    // emission order, even when it recorded no tasks (serial groups).
+    const auto &phase_group = compiled_->code.phaseGroup;
+    prof.groups.resize(compiled_->grouping.groups.size());
+    for (std::size_t gi = 0; gi < prof.groups.size(); ++gi) {
+        prof.groups[gi].group = int(gi);
+        std::string names;
+        for (int s : compiled_->grouping.groups[gi].stages) {
+            if (!names.empty())
+                names += ' ';
+            names += g.stage(s).name();
+        }
+        prof.groups[gi].stages = std::move(names);
+    }
+    for (std::size_t i = 0; i < prof.costs.size(); ++i) {
+        const long long ph = prof.phase[i];
+        if (ph < 0 || ph >= (long long)phase_group.size())
+            continue; // foreign phase id; leave unattributed
+        const int gi = phase_group[std::size_t(ph)];
+        prof.groups[std::size_t(gi)].seconds += prof.costs[i];
+        prof.groups[std::size_t(gi)].tasks += 1;
+    }
     return prof;
+}
+
+std::string
+TaskProfile::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("polymage-runtime-v1");
+    w.key("serial_seconds").value(serialSeconds);
+    w.key("total_seconds").value(totalSeconds());
+    w.key("tasks").value(std::int64_t(costs.size()));
+    w.key("groups").beginArray();
+    for (const auto &gp : groups) {
+        w.beginObject();
+        w.key("group").value(gp.group);
+        w.key("stages").value(gp.stages);
+        w.key("seconds").value(gp.seconds);
+        w.key("tasks").value(std::int64_t(gp.tasks));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    return w.str();
 }
 
 } // namespace polymage::rt

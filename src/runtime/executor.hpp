@@ -23,6 +23,24 @@ using InstrFn = void (*)(const long long *, void *const *, void **,
                          double *, long long *, long long, long long *,
                          double *);
 
+/** Aggregated runtime cost of one group from an instrumented run. */
+struct GroupProfile
+{
+    /** Group index (matches CompiledPipeline::grouping.groups). */
+    int group = 0;
+    /** Space-separated member stage names (post-inlining). */
+    std::string stages;
+    /** Seconds summed over the group's recorded tasks. */
+    double seconds = 0.0;
+    /**
+     * Number of recorded parallel tasks: outer tile count for a tiled
+     * group, outer loop iteration count otherwise; 0 for purely
+     * serial groups (recurrences), whose time lands in
+     * TaskProfile::serialSeconds.
+     */
+    long long tasks = 0;
+};
+
 /** Per-task timing profile from an instrumented run. */
 struct TaskProfile
 {
@@ -32,6 +50,8 @@ struct TaskProfile
     std::vector<long long> phase;
     /** Seconds spent in inherently serial stages. */
     double serialSeconds = 0.0;
+    /** Per-group rollup, one entry per group in emission order. */
+    std::vector<GroupProfile> groups;
 
     double
     totalSeconds() const
@@ -41,6 +61,10 @@ struct TaskProfile
             t += c;
         return t;
     }
+
+    /** Runtime profile serialized to the polymage-profile-v1 group
+     * schema (see docs/OBSERVABILITY.md). */
+    std::string toJson() const;
 };
 
 /** A compiled, loaded, runnable pipeline. */
@@ -58,6 +82,12 @@ class Executable
 
     /** Compiler artefacts (graph, grouping, storage, source). */
     const CompiledPipeline &info() const { return *compiled_; }
+
+    /**
+     * Compile-phase spans including the JIT: the driver phases from
+     * CompiledPipeline::trace plus a final `jit` span.
+     */
+    const std::vector<obs::Span> &trace() const { return trace_; }
 
     /** Allocate outputs and run. */
     std::vector<Buffer> run(const std::vector<std::int64_t> &params,
@@ -85,6 +115,7 @@ class Executable
 
     std::shared_ptr<const CompiledPipeline> compiled_;
     std::shared_ptr<JitModule> module_;
+    std::vector<obs::Span> trace_;
     PipelineFn fn_ = nullptr;
     InstrFn instrFn_ = nullptr;
 };

@@ -1,6 +1,5 @@
 #include "tune/autotuner.hpp"
 
-#include <chrono>
 #include <sstream>
 
 #include "runtime/scaling.hpp"
@@ -95,29 +94,14 @@ autotune(const dsl::PipelineSpec &spec,
         entry.config = cfg;
         entry.groups = int(exe.info().grouping.groups.size());
 
-        // Measure single-thread wall time (warm-up + best of repeats).
-        auto outputs = exe.run(params, inputs);
-        double best = 1e300;
-        for (int r = 0; r < std::max(1, opts.repeats); ++r) {
-            const auto t0 = std::chrono::steady_clock::now();
-            exe.runInto(params, inputs, outputs);
-            const double dt =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
-            best = std::min(best, dt);
-        }
-        entry.seconds1 = best;
-
-        // Model the parallel time from the instrumented profile.
+        // One instrumented run yields both times: profile() already
+        // repeats the deterministic serial run internally and keeps
+        // per-task minima, so re-timing whole runs here would only
+        // duplicate work (it used to double the sweep cost).
         rt::TaskProfile prof = exe.profile(params, inputs);
-        const double serial_model = rt::predictTime(prof, 1);
-        if (serial_model > 0) {
-            // Scale the model to the measured 1-thread time so the
-            // modelled p-thread value inherits measurement calibration.
-            entry.secondsP = rt::predictTime(prof, opts.modelWorkers) *
-                             (entry.seconds1 / serial_model);
-        }
+        entry.seconds1 = rt::predictTime(prof, 1);
+        entry.secondsP = rt::predictTime(prof, opts.modelWorkers);
+        entry.profile = std::move(prof);
 
         result.entries.push_back(std::move(entry));
     }

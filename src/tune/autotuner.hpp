@@ -45,12 +45,18 @@ struct TuneConfig
 struct TuneEntry
 {
     TuneConfig config;
-    /** Measured single-thread wall time (seconds). */
+    /** Single-thread wall time from the instrumented profile (s). */
     double seconds1 = 0.0;
     /** Modelled wall time on `modelWorkers` workers. */
     double secondsP = 0.0;
     /** Number of groups the heuristic produced. */
     int groups = 0;
+    /**
+     * Instrumented per-group profile of this configuration, so sweep
+     * consumers can see *which* group made a configuration slow
+     * without re-running it.
+     */
+    rt::TaskProfile profile;
 };
 
 /** Full sweep outcome. */
@@ -73,7 +79,11 @@ struct TuneOptions
     CompileOptions base;
     /** Worker count for the modelled parallel time (paper: 16). */
     int modelWorkers = 16;
-    /** Timed repetitions (after one warm-up); best is kept. */
+    /**
+     * Unused since the sweep reads the instrumented profile (which
+     * repeats internally) instead of re-timing whole runs; kept so
+     * existing callers continue to compile.
+     */
     int repeats = 2;
     /** Progress callback (config index, total). */
     std::function<void(int, int)> progress;

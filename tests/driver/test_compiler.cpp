@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <set>
+
 #include "apps/apps.hpp"
 #include "common/test_pipelines.hpp"
 #include "driver/compiler.hpp"
@@ -75,6 +78,28 @@ TEST(Driver, ReportListsAllPhases)
          {"pipeline harris", "inlined", "grouping", "scratchpad",
           "full"}) {
         EXPECT_NE(rep.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(Driver, CompileTraceCoversEveryPhase)
+{
+    auto c = compilePipeline(apps::buildHarris(512, 512));
+    std::set<std::string> names;
+    for (const auto &s : c.trace) {
+        names.insert(s.name);
+        EXPECT_GE(s.durationNs, 0) << s.name << " left open";
+    }
+    for (const char *phase :
+         {"graph_build", "inline", "bounds_check", "grouping",
+          "schedule", "align_scale", "storage", "codegen"}) {
+        EXPECT_TRUE(names.count(phase)) << "missing span " << phase;
+    }
+    // The trace round-trips through the v1 JSON schema.
+    const auto parsed = obs::spansFromJson(c.traceJson());
+    ASSERT_EQ(parsed.size(), c.trace.size());
+    for (std::size_t i = 0; i < parsed.size(); ++i) {
+        EXPECT_EQ(parsed[i].name, c.trace[i].name);
+        EXPECT_EQ(parsed[i].durationNs, c.trace[i].durationNs);
     }
 }
 

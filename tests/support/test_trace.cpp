@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "support/trace.hpp"
+
+namespace polymage::obs {
+namespace {
+
+TEST(Trace, SpansNestPerThread)
+{
+    TraceRegistry reg;
+    const int outer = reg.begin("compile");
+    const int inner = reg.begin("grouping");
+    const int leaf = reg.begin("align_scale");
+    reg.end(leaf);
+    reg.end(inner);
+    const int sibling = reg.begin("codegen");
+    reg.end(sibling);
+    reg.end(outer);
+
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 4u);
+    EXPECT_EQ(spans[std::size_t(outer)].parent, -1);
+    EXPECT_EQ(spans[std::size_t(outer)].depth, 0);
+    EXPECT_EQ(spans[std::size_t(inner)].parent, outer);
+    EXPECT_EQ(spans[std::size_t(inner)].depth, 1);
+    EXPECT_EQ(spans[std::size_t(leaf)].parent, inner);
+    EXPECT_EQ(spans[std::size_t(leaf)].depth, 2);
+    EXPECT_EQ(spans[std::size_t(sibling)].parent, outer);
+    EXPECT_EQ(spans[std::size_t(sibling)].depth, 1);
+    for (const auto &s : spans) {
+        EXPECT_GE(s.durationNs, 0);
+        EXPECT_GE(s.startNs, 0);
+    }
+    // A child is contained in its parent's interval.
+    const auto &p = spans[std::size_t(inner)];
+    const auto &c = spans[std::size_t(leaf)];
+    EXPECT_GE(c.startNs, p.startNs);
+    EXPECT_LE(c.startNs + c.durationNs, p.startNs + p.durationNs);
+}
+
+TEST(Trace, ScopedTraceUsesCurrentRegistry)
+{
+    // No registry installed: a no-op, not a crash.
+    { ScopedTrace orphan("nothing"); }
+
+    TraceRegistry reg;
+    {
+        ScopedCurrent install(&reg);
+        ScopedTrace a("outer");
+        { ScopedTrace b("inner"); }
+    }
+    EXPECT_EQ(currentTrace(), nullptr);
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 2u);
+    EXPECT_EQ(spans[0].name, "outer");
+    EXPECT_EQ(spans[1].name, "inner");
+    EXPECT_EQ(spans[1].parent, spans[0].id);
+}
+
+TEST(Trace, OpenSpansReportedAsOpen)
+{
+    TraceRegistry reg;
+    const int id = reg.begin("open");
+    auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].durationNs, -1);
+    EXPECT_EQ(spans[0].seconds(), 0.0);
+    reg.end(id);
+    EXPECT_GE(reg.spans()[0].durationNs, 0);
+}
+
+TEST(Trace, ConcurrentThreadsKeepIndependentNesting)
+{
+    TraceRegistry reg;
+    constexpr int kThreads = 8;
+    constexpr int kSpansPerThread = 200;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&reg, t] {
+            // The "current" registry is thread-local: each worker
+            // installs it for itself.
+            ScopedCurrent install(&reg);
+            for (int i = 0; i < kSpansPerThread / 2; ++i) {
+                ScopedTrace outer("t" + std::to_string(t));
+                ScopedTrace inner("child");
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+
+    const auto spans = reg.spans();
+    ASSERT_EQ(spans.size(), std::size_t(kThreads * kSpansPerThread));
+    int roots = 0, children = 0;
+    for (const auto &s : spans) {
+        EXPECT_GE(s.durationNs, 0) << "span left open";
+        if (s.parent < 0) {
+            ++roots;
+            EXPECT_NE(s.name, "child");
+        } else {
+            ++children;
+            // Each child's parent is its own thread's outer span.
+            EXPECT_EQ(s.name, "child");
+            EXPECT_EQ(spans[std::size_t(s.parent)].depth, 0);
+        }
+    }
+    EXPECT_EQ(roots, kThreads * kSpansPerThread / 2);
+    EXPECT_EQ(children, kThreads * kSpansPerThread / 2);
+}
+
+TEST(Trace, JsonRoundTripPreservesEveryField)
+{
+    TraceRegistry reg;
+    const int a = reg.begin("compile");
+    const int b = reg.begin("phase \"quoted\"\n");
+    reg.end(b);
+    reg.end(a);
+
+    const auto before = reg.spans();
+    const auto after = spansFromJson(reg.toJson());
+    ASSERT_EQ(after.size(), before.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+        EXPECT_EQ(after[i].name, before[i].name);
+        EXPECT_EQ(after[i].id, before[i].id);
+        EXPECT_EQ(after[i].parent, before[i].parent);
+        EXPECT_EQ(after[i].depth, before[i].depth);
+        EXPECT_EQ(after[i].startNs, before[i].startNs);
+        EXPECT_EQ(after[i].durationNs, before[i].durationNs);
+    }
+}
+
+TEST(Trace, ClearResetsTheRegistry)
+{
+    TraceRegistry reg;
+    reg.end(reg.begin("x"));
+    EXPECT_EQ(reg.spans().size(), 1u);
+    reg.clear();
+    EXPECT_EQ(reg.spans().size(), 0u);
+    EXPECT_EQ(reg.totalSeconds(), 0.0);
+}
+
+TEST(JsonWriter, EmitsValidNestedDocument)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.key("name").value("a \"b\"");
+    w.key("n").value(std::int64_t(-3));
+    w.key("x").value(0.5);
+    w.key("flag").value(true);
+    w.key("list").beginArray().value(1).value(2).endArray();
+    w.key("raw").raw("{\"k\":[]}");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"a \\\"b\\\"\",\"n\":-3,\"x\":0.5,"
+                       "\"flag\":true,\"list\":[1,2],\"raw\":{\"k\":[]}}");
+}
+
+} // namespace
+} // namespace polymage::obs
