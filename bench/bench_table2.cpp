@@ -72,10 +72,13 @@ main(int argc, char **argv)
             opencv = buf;
         }
 
-        std::printf("%-18s %6d %13s | %9.2f %9.2f %9.2f | %12s | %9s\n",
+        const std::string mem = memorySummary(exe);
+        std::printf("%-18s %6d %13s | %9.2f %9.2f %9.2f | %12s | %9s"
+                    "%s%s\n",
                     b.name.c_str(), stages, b.sizeLabel.c_str(),
                     t1 * 1e3, t4 * 1e3, t16 * 1e3, vs_htuned.c_str(),
-                    opencv.c_str());
+                    opencv.c_str(), mem.empty() ? "" : " | ",
+                    mem.c_str());
         std::fflush(stdout);
     }
 

@@ -79,6 +79,7 @@ class ProfileJsonReport
         w.key("size").value(size_label);
         w.key("compile").raw(obs::spansToJson(exe.trace()));
         w.key("runtime").raw(prof.toJson());
+        w.key("memory").raw(exe.memoryStats().toJson());
         w.endObject();
         apps_.push_back(w.str());
     }
@@ -113,6 +114,41 @@ class ProfileJsonReport
     std::string path_;
     std::vector<std::string> apps_;
 };
+
+/** Human-readable byte count ("800.0 KB", "12.3 MB"). */
+inline std::string
+formatBytes(std::int64_t bytes)
+{
+    char buf[32];
+    const double b = double(bytes);
+    if (bytes >= (1 << 20))
+        std::snprintf(buf, sizeof buf, "%.1f MB", b / (1 << 20));
+    else if (bytes >= (1 << 10))
+        std::snprintf(buf, sizeof buf, "%.1f KB", b / (1 << 10));
+    else
+        std::snprintf(buf, sizeof buf, "%lld B", (long long)bytes);
+    return buf;
+}
+
+/**
+ * One-line allocation summary of an executable, printed next to the
+ * timings: slot sharing, estimated bytes saved, and the pool's actual
+ * peak.  Empty when the pipeline has no full-buffer intermediates.
+ */
+inline std::string
+memorySummary(const rt::Executable &exe)
+{
+    const rt::MemoryStats m = exe.memoryStats();
+    if (m.intermediates == 0)
+        return "";
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "mem: %d bufs in %d slots, saved %s, peak %s",
+                  m.intermediates, m.slots,
+                  formatBytes(m.estBytesSaved()).c_str(),
+                  formatBytes(m.poolPeakBytesInUse).c_str());
+    return buf;
+}
 
 /** Linear image-size scale from POLYMAGE_BENCH_SCALE (default 1.0). */
 inline double

@@ -59,11 +59,14 @@ done
 
 # ---------------------------------------------------------------- 3.
 # Schema tags and field names documented must appear in the sources.
-for tag in polymage-trace-v1 polymage-runtime-v1 polymage-profile-v1; do
+for tag in polymage-trace-v1 polymage-runtime-v1 polymage-memory-v1 \
+           polymage-profile-v1; do
     grep -q "$tag" "$doc" || err "schema tag $tag missing from $doc"
     grep -rq "$tag" src/ bench/ || err "schema tag $tag not found in sources"
 done
-for field in start_ns duration_ns serial_seconds total_seconds stages; do
+for field in start_ns duration_ns serial_seconds total_seconds stages \
+             est_bytes_saved heap_arena_bytes pool_peak_bytes_in_use \
+             pool_block_allocs; do
     grep -q "\"$field\"" "$doc" || err "field \"$field\" missing from $doc"
     grep -rq "\"$field\"" src/ || err "field \"$field\" not emitted by src/"
 done

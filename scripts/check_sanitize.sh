@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Build and run the tier-1 test suite under a sanitizer, CI-friendly
+# (exit nonzero on any failure).  Each sanitizer gets its own build
+# tree so repeated runs are incremental.
+#
+# Usage: scripts/check_sanitize.sh [address|undefined] [ctest args...]
+#
+# Defaults to address.  Extra arguments are forwarded to ctest, e.g.
+#   scripts/check_sanitize.sh undefined -R Storage
+#
+# Notes:
+#   * JIT-compiled pipeline objects are built by the system compiler
+#     without instrumentation; the sanitizer still covers the entire
+#     host-side compiler and runtime, which is where the manual memory
+#     management lives (BufferPool, scratch arenas, slot leases).
+#   * ASAN_OPTIONS disables leak checking of intentionally process-
+#     lifetime allocations (dlopen handles of cached objects).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+san="${1:-address}"
+[ $# -gt 0 ] && shift
+case "$san" in
+    address|undefined) ;;
+    *) echo "usage: $0 [address|undefined] [ctest args...]" >&2
+       exit 2 ;;
+esac
+
+build_dir="build-sanitize-$san"
+
+cmake -B "$build_dir" -S . -DPOLYMAGE_SANITIZE="$san" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build_dir" -j "$(nproc)"
+
+export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
+export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+ctest --test-dir "$build_dir" --output-on-failure "$@"
+echo "check_sanitize: $san build passed"

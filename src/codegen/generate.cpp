@@ -247,6 +247,8 @@ class Generator
     int tmp_ = 0;        // unique counter for bound locals
     /** phase id -> owning group, filled on the first emission pass. */
     std::vector<int> phaseGroup_;
+    /** Largest padded per-thread heap scratch arena emitted. */
+    std::int64_t heapArenaBytes_ = 0;
 };
 
 std::string
@@ -293,6 +295,15 @@ Generator::emitPrelude()
             "{ return a < b ? a : b; }");
     w_.line("static inline double pm_max_d(double a, double b) "
             "{ return a > b ? a : b; }");
+    // All heap blocks the generated code allocates itself (per-thread
+    // scratch arenas, privatised reduction copies) are 64-byte aligned
+    // so vector loads/stores never split cache lines.
+    w_.line("static inline void *pm_alloc(long long bytes)");
+    w_.open("");
+    w_.line("if (bytes < 64) bytes = 64;");
+    w_.line("bytes = (bytes + 63) & ~63LL;");
+    w_.line("return std::aligned_alloc(64, (unsigned long)bytes);");
+    w_.close();
     w_.line("static inline double pm_now()");
     w_.open("");
     w_.line("struct timespec ts;");
@@ -636,32 +647,66 @@ Generator::emitTiledGroup(int gi)
         grouping_.groups.size() &&
         storage_.groupScratchBytes.count(gi) &&
         storage_.groupScratchBytes.at(gi) > opts_.maxStackScratchBytes;
+    const bool par_tiles = opts_.parallelize && !instr_;
+
+    // Heap scratch: one 64-byte-aligned thread-private arena per call,
+    // hoisted out of the tile loop (an explicit parallel region with
+    // the worksharing `omp for` inside), carved into per-stage
+    // scratchpads at padded offsets.  Per-tile work then touches only
+    // warm, thread-local pages -- no allocator traffic inside the loop.
+    bool parallel_region = false;
+    if (heap_scratch) {
+        const std::string arena =
+            "pm_arena_g" + std::to_string(gi);
+        std::int64_t arena_bytes = 0;
+        std::vector<std::pair<int, std::int64_t>> arena_off;
+        for (int s : grp.stages) {
+            if (!storage_.isScratch(s))
+                continue;
+            arena_off.emplace_back(s, arena_bytes);
+            const auto &st = storage_.stages.at(s);
+            arena_bytes += (st.scratchBytes + 63) & ~std::int64_t(63);
+        }
+        heapArenaBytes_ = std::max(heapArenaBytes_, arena_bytes);
+        if (par_tiles) {
+            w_.line("#pragma omp parallel");
+            w_.open("");
+            parallel_region = true;
+        }
+        w_.line("char *" + arena + " = (char *)pm_alloc(" +
+                std::to_string(arena_bytes) + ");");
+        for (const auto &[s, off] : arena_off) {
+            const std::string ty = dsl::dtypeCName(
+                g_.stage(s).callable->dtype());
+            w_.line(std::string(ty) + " *scr_" + stageName(s) + " = (" +
+                    ty + " *)(" + arena + " + " + std::to_string(off) +
+                    ");");
+        }
+        if (par_tiles)
+            w_.line("#pragma omp for schedule(static)");
+    } else if (par_tiles) {
+        w_.line("#pragma omp parallel for schedule(static)");
+    }
 
     // Tile loops.
-    if (opts_.parallelize && !instr_)
-        w_.line("#pragma omp parallel for schedule(static)");
     w_.open("for (long long T0 = " + tlo[0] + "; T0 <= " + thi[0] +
             "; ++T0)");
     if (instr_)
         w_.line("const double pm_t0 = pm_now();");
 
-    // Scratchpads: thread-private, reused across inner tiles.
-    for (int s : grp.stages) {
-        if (!storage_.isScratch(s))
-            continue;
-        const auto &st = storage_.stages.at(s);
-        std::int64_t total = 1;
-        for (auto e : st.scratchExtent)
-            total *= e;
-        const std::string ty = dsl::dtypeCName(
-            g_.stage(s).callable->dtype());
-        if (heap_scratch) {
-            w_.line(std::string(ty) + " *scr_" + stageName(s) + " = (" +
-                    ty + " *)std::malloc(sizeof(" + ty + ") * " +
-                    std::to_string(total) + ");");
-        } else {
-            w_.line(std::string(ty) + " scr_" + stageName(s) + "[" +
-                    std::to_string(total) + "];");
+    // Stack scratchpads: thread-private, reused across inner tiles.
+    if (!heap_scratch) {
+        for (int s : grp.stages) {
+            if (!storage_.isScratch(s))
+                continue;
+            const auto &st = storage_.stages.at(s);
+            std::int64_t total = 1;
+            for (auto e : st.scratchExtent)
+                total *= e;
+            const std::string ty = dsl::dtypeCName(
+                g_.stage(s).callable->dtype());
+            w_.line("alignas(64) " + std::string(ty) + " scr_" +
+                    stageName(s) + "[" + std::to_string(total) + "];");
         }
     }
 
@@ -761,17 +806,15 @@ Generator::emitTiledGroup(int gi)
 
     for (std::size_t ti = 1; ti < tiled.size(); ++ti)
         w_.close();
-    if (heap_scratch) {
-        for (int s : grp.stages) {
-            if (storage_.isScratch(s))
-                w_.line("std::free(scr_" + stageName(s) + ");");
-        }
-    }
     if (instr_) {
         w_.line("pm_record(pm_costs, pm_gids, pm_cap, &pm_task, " +
                 std::to_string(phase_) + ", pm_now() - pm_t0);");
     }
     w_.close(); // T0
+    if (heap_scratch)
+        w_.line("std::free(pm_arena_g" + std::to_string(gi) + ");");
+    if (parallel_region)
+        w_.close();
     ++phase_;
 }
 
@@ -902,8 +945,8 @@ Generator::emitAccumulator(int gi, int s)
             w_.line("#pragma omp parallel");
             w_.open("");
             w_.line(std::string(ty) + " *pm_priv = (" + ty +
-                    " *)std::malloc(sizeof(" + ty + ") * (" + cells +
-                    "));");
+                    " *)pm_alloc((long long)sizeof(" + ty + ") * (" +
+                    cells + "));");
             w_.open("for (long long pm_i = 0; pm_i < (" + cells +
                     "); ++pm_i)");
             w_.line("pm_priv[pm_i] = (" + std::string(ty) + ")(" +
@@ -1084,13 +1127,14 @@ Generator::emitBody()
     }
     w_.blank();
 
-    // Full buffers: outputs come from the caller; intermediates are
-    // heap allocations.
+    // Full buffers: outputs come from the caller; intermediates live
+    // in caller-provided allocation slots (the liveness-driven reuse
+    // plan -- stages with disjoint live ranges receive the same slot
+    // pointer, and the runtime recycles the slots across calls).
     std::map<int, int> output_slot;
     for (std::size_t i = 0; i < g_.outputs().size(); ++i)
         output_slot[g_.outputs()[i]] = int(i);
 
-    std::vector<int> to_free;
     EmitEnv param_env = makeEnv({}, -1);
     for (std::size_t s = 0; s < g_.stages().size(); ++s) {
         if (storage_.isScratch(int(s)))
@@ -1113,18 +1157,14 @@ Generator::emitBody()
             w_.line("const long long " + strideName(name, d) + " = " +
                     prod + ";");
         }
-        std::string total = lenName(name, 0);
-        if (dom.size() > 1)
-            total += " * " + strideName(name, 0);
         auto slot = output_slot.find(int(s));
         if (slot != output_slot.end()) {
             w_.line(std::string(ty) + " *buf_" + name + " = (" + ty +
                     " *)outputs[" + std::to_string(slot->second) + "];");
         } else {
             w_.line(std::string(ty) + " *buf_" + name + " = (" + ty +
-                    " *)std::malloc(sizeof(" + ty + ") * (" + total +
-                    "));");
-            to_free.push_back(int(s));
+                    " *)pm_slots[" +
+                    std::to_string(storage_.slot.at(int(s))) + "];");
         }
     }
     w_.blank();
@@ -1140,9 +1180,6 @@ Generator::emitBody()
         }
         w_.blank();
     }
-
-    for (int s : to_free)
-        w_.line("std::free(buf_" + stageName(s) + ");");
 }
 
 void
@@ -1154,14 +1191,14 @@ Generator::emitEntry(bool instrumented)
     if (!instrumented) {
         w_.line("extern \"C\" void " + base +
                 "(const long long *params, void *const *inputs, "
-                "void **outputs)");
+                "void **outputs, void *const *pm_slots)");
         w_.open("");
     } else {
         w_.line("extern \"C\" void " + base +
                 "_pm_instr(const long long *params, void *const "
-                "*inputs, void **outputs, double *pm_costs, long long "
-                "*pm_gids, long long pm_cap, long long *pm_count, "
-                "double *pm_serial)");
+                "*inputs, void **outputs, void *const *pm_slots, "
+                "double *pm_costs, long long *pm_gids, long long "
+                "pm_cap, long long *pm_count, double *pm_serial)");
         w_.open("");
         w_.line("long long pm_task = 0;");
         w_.line("double pm_serial_acc = 0.0;");
@@ -1181,8 +1218,8 @@ Generator::run()
     // Reserve helper and tile-loop names first so user-visible names
     // (e.g. a parameter called "T1") never shadow them.
     for (const char *n :
-         {"params", "inputs", "outputs", "pm_costs", "pm_gids",
-          "pm_cap", "pm_count", "pm_serial", "pm_task",
+         {"params", "inputs", "outputs", "pm_slots", "pm_costs",
+          "pm_gids", "pm_cap", "pm_count", "pm_serial", "pm_task",
           "pm_serial_acc", "pm_t0", "T0", "T1", "T2", "T3", "T4", "T5",
           "T6", "T7"}) {
         used_.insert(n);
@@ -1206,6 +1243,7 @@ Generator::run()
     if (opts_.instrument)
         out.instrEntry = out.entry + "_pm_instr";
     out.phaseGroup = phaseGroup_;
+    out.heapArenaBytes = heapArenaBytes_;
     return out;
 }
 

@@ -42,9 +42,17 @@ struct CodegenOptions
     bool instrument = false;
     /**
      * Scratchpads above this total per group move from the stack to a
-     * per-tile-row heap allocation.
+     * 64-byte-aligned thread-private heap arena allocated once per
+     * call (hoisted out of the tile loop).
      */
     std::int64_t maxStackScratchBytes = 4ll << 20;
+    /**
+     * Liveness-driven buffer reuse (storage.hpp slot plan): when on,
+     * full-buffer intermediates with disjoint group live ranges share
+     * allocation slots.  Off gives every intermediate a private slot
+     * (the ablation baseline; also forced by POLYMAGE_NO_REUSE=1).
+     */
+    bool bufferReuse = true;
 };
 
 /** The generated translation unit. */
@@ -54,17 +62,22 @@ struct GeneratedCode
     /**
      * Entry symbol:
      * void entry(const long long *params, void *const *inputs,
-     *            void **outputs);
+     *            void **outputs, void *const *slots);
      * Parameters/inputs/outputs follow graph order; output buffers are
-     * caller-allocated (shape via interp::stageShape).
+     * caller-allocated (shape via interp::stageShape).  `slots` holds
+     * one 64-byte-aligned caller-provided allocation per entry of
+     * StoragePlan::slots, sized to the largest member stage under the
+     * call's parameters (rt::Executable services it from a BufferPool,
+     * so steady-state calls perform no heap allocation).
      */
     std::string entry;
     /**
      * Instrumented symbol (empty unless requested):
      * void entry_pm_instr(const long long *params, void *const *inputs,
-     *                     void **outputs, double *costs,
-     *                     long long *phase_ids, long long cap,
-     *                     long long *count, double *serial_seconds);
+     *                     void **outputs, void *const *slots,
+     *                     double *costs, long long *phase_ids,
+     *                     long long cap, long long *count,
+     *                     double *serial_seconds);
      */
     std::string instrEntry;
     /**
@@ -76,6 +89,12 @@ struct GeneratedCode
      * profile (Executable::profile().groups).
      */
     std::vector<int> phaseGroup;
+    /**
+     * Largest per-thread heap scratch arena (64-byte-padded bytes) any
+     * group allocates per call; 0 when every group's scratch fits the
+     * stack budget.  Feeds Executable::memoryStats().
+     */
+    std::int64_t heapArenaBytes = 0;
 };
 
 /** Generate code for a scheduled pipeline. */

@@ -7,9 +7,97 @@
 
 namespace polymage::core {
 
+namespace {
+
+/**
+ * Estimated allocation bytes of a full buffer for a stage: product of
+ * (upper + 1) per domain dimension under the parameter estimates
+ * (allocations cover [0, upper]), times the element size; -1 when a
+ * bound is not constant under the estimates.
+ */
+std::int64_t
+estimatedBufferBytes(const pg::PipelineGraph &g, int s)
+{
+    const pg::Stage &stage = g.stage(s);
+    const auto &dom = stage.isFunction() ? stage.func().dom()
+                                         : stage.accum().varDom();
+    std::int64_t n = 1;
+    for (const auto &iv : dom) {
+        auto hi = poly::evalConstant(iv.upper(), g.estimateEnv());
+        if (!hi)
+            return -1;
+        n *= std::max<std::int64_t>(1, *hi + 1);
+    }
+    return n * std::int64_t(dsl::dtypeSize(stage.callable->dtype()));
+}
+
+/** Group-granularity live range of a full-buffer intermediate. */
+struct LiveRange
+{
+    int stage = -1;
+    int birth = 0; ///< producing group (emission order)
+    int death = 0; ///< last consuming group
+    std::int64_t estBytes = -1;
+};
+
+/**
+ * Greedy slot assignment: walk intermediates in birth order and place
+ * each into the best-fitting free slot (every member's live range
+ * fully precedes this one, byte sizes within a factor of 16), else
+ * open a new slot.  Slot sharing is always *correct* whenever live
+ * ranges are disjoint -- the size check only avoids pairing buffers so
+ * different that the pairing saves almost nothing.
+ */
+void
+assignSlots(StoragePlan &plan, std::vector<LiveRange> ranges,
+            bool reuse_enabled)
+{
+    std::stable_sort(ranges.begin(), ranges.end(),
+                     [](const LiveRange &a, const LiveRange &b) {
+                         return a.birth < b.birth;
+                     });
+    std::vector<int> slot_death; // per slot: last member's death
+    for (const LiveRange &r : ranges) {
+        plan.estBytesNoReuse += std::max<std::int64_t>(0, r.estBytes);
+        int best = -1;
+        if (reuse_enabled) {
+            for (std::size_t k = 0; k < plan.slots.size(); ++k) {
+                if (slot_death[k] >= r.birth)
+                    continue; // still (or again) live: overlap
+                const std::int64_t a = r.estBytes;
+                const std::int64_t b = plan.slots[k].estBytes;
+                if (a >= 0 && b >= 0 &&
+                    std::max(a, b) > 16 * std::min(a, b))
+                    continue; // incompatible sizes: poor fit
+                // Best fit: smallest adequate slot, to keep big slots
+                // free for big buffers.
+                if (best < 0 ||
+                    plan.slots[std::size_t(best)].estBytes > b)
+                    best = int(k);
+            }
+        }
+        if (best < 0) {
+            best = int(plan.slots.size());
+            plan.slots.push_back({});
+            slot_death.push_back(r.death);
+        }
+        AllocSlot &sl = plan.slots[std::size_t(best)];
+        sl.stages.push_back(r.stage);
+        sl.estBytes = std::max(sl.estBytes, r.estBytes);
+        slot_death[std::size_t(best)] =
+            std::max(slot_death[std::size_t(best)], r.death);
+        plan.slot[r.stage] = best;
+    }
+    for (const AllocSlot &sl : plan.slots)
+        plan.estBytesWithReuse += std::max<std::int64_t>(0, sl.estBytes);
+}
+
+} // namespace
+
 StoragePlan
 planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
-            const GroupingOptions &opts, bool tiling_enabled)
+            const GroupingOptions &opts, bool tiling_enabled,
+            bool reuse_enabled)
 {
     StoragePlan plan;
     for (std::size_t gi = 0; gi < grouping.groups.size(); ++gi) {
@@ -83,6 +171,27 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
         }
         plan.groupScratchBytes[int(gi)] = group_bytes;
     }
+
+    // Liveness-driven reuse over the full-buffer intermediates: a
+    // buffer is born in the group that writes it and dies after the
+    // last group that reads it.  Live-outs belong to the caller and a
+    // self-recurrent stage reads its own buffer within its group, so
+    // both constraints fall out of the same range computation.
+    std::vector<LiveRange> ranges;
+    for (std::size_t s = 0; s < g.stages().size(); ++s) {
+        const pg::Stage &stage = g.stage(int(s));
+        if (stage.liveOut || plan.isScratch(int(s)))
+            continue;
+        LiveRange r;
+        r.stage = int(s);
+        r.birth = grouping.groupOf(int(s));
+        r.death = r.birth;
+        for (int c : stage.consumers)
+            r.death = std::max(r.death, grouping.groupOf(c));
+        r.estBytes = estimatedBufferBytes(g, int(s));
+        ranges.push_back(r);
+    }
+    assignSlots(plan, std::move(ranges), reuse_enabled);
     return plan;
 }
 

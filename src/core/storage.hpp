@@ -35,6 +35,22 @@ struct StageStorage
     std::int64_t scratchBytes = 0;
 };
 
+/**
+ * One shared allocation slot of the buffer-reuse plan.  Every
+ * full-buffer intermediate (non-live-out stage that is not a
+ * scratchpad) is assigned to exactly one slot; stages whose
+ * group-granularity live ranges are disjoint may share a slot, so the
+ * runtime sizes the slot to the largest member and hands the same
+ * memory to each in turn.
+ */
+struct AllocSlot
+{
+    /** Member stage indices in live-range (birth) order. */
+    std::vector<int> stages;
+    /** Estimated slot bytes (max over members, under the estimates). */
+    std::int64_t estBytes = 0;
+};
+
 /** Storage plan for the whole pipeline. */
 struct StoragePlan
 {
@@ -44,6 +60,22 @@ struct StoragePlan
      * the stack when under the configured limit, else on the heap.
      */
     std::map<int, std::int64_t> groupScratchBytes;
+
+    /**
+     * Buffer-reuse plan (liveness-driven): full-buffer intermediate
+     * stage idx -> allocation slot index.  Live-outs (caller-provided)
+     * and scratchpads never appear here.
+     */
+    std::map<int, int> slot;
+    /** Slot table; slot ids index this vector. */
+    std::vector<AllocSlot> slots;
+    /**
+     * Estimated intermediate footprint without / with reuse, under the
+     * parameter estimates.  The difference is the bytes the reuse plan
+     * saves (reported by the trace layer and the benches).
+     */
+    std::int64_t estBytesNoReuse = 0;
+    std::int64_t estBytesWithReuse = 0;
 
     bool
     isScratch(int stage_idx) const
@@ -62,13 +94,22 @@ struct StoragePlan
  * of its dimensions is either tiled (extent tau + overlap, scaled) or
  * has a parameter-free constant extent.
  *
+ * Full-buffer intermediates are then assigned to allocation slots: a
+ * stage is live from its producing group until its last consuming
+ * group (in emission order), and stages with disjoint live ranges and
+ * compatible estimated byte sizes greedily share a slot (best fit by
+ * size).  With @p reuse_enabled false every intermediate gets a
+ * private slot -- the ablation baseline.
+ *
  * @param tiling_enabled matches the code generator's tiling switch;
  *        when false everything is a full buffer
+ * @param reuse_enabled liveness-driven slot sharing switch
  */
 StoragePlan planStorage(const pg::PipelineGraph &g,
                         const GroupingResult &grouping,
                         const GroupingOptions &opts,
-                        bool tiling_enabled = true);
+                        bool tiling_enabled = true,
+                        bool reuse_enabled = true);
 
 } // namespace polymage::core
 

@@ -1,5 +1,6 @@
 #include "driver/compiler.hpp"
 
+#include <cstdlib>
 #include <sstream>
 
 namespace polymage {
@@ -51,7 +52,24 @@ CompiledPipeline::report() const
                 os << (d ? " x " : "") << st.scratchExtent[d];
             os << "]";
         }
+        auto slot = storage.slot.find(s);
+        if (slot != storage.slot.end())
+            os << " (slot " << slot->second << ")";
         os << "\n";
+    }
+    if (!storage.slots.empty()) {
+        os << "buffer reuse: " << storage.slot.size()
+           << " intermediates in " << storage.slots.size()
+           << " slots, est " << storage.estBytesNoReuse << " -> "
+           << storage.estBytesWithReuse << " bytes\n";
+        for (std::size_t k = 0; k < storage.slots.size(); ++k) {
+            if (storage.slots[k].stages.size() < 2)
+                continue;
+            os << "  slot " << k << ":";
+            for (int s : storage.slots[k].stages)
+                os << " " << graph.stage(s).name();
+            os << "\n";
+        }
     }
     return os.str();
 }
@@ -97,10 +115,17 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
     }
     {
         obs::ScopedTrace phase(reg, "storage");
+        // POLYMAGE_NO_REUSE=1 forces the no-sharing ablation plan
+        // without a rebuild (benches compare peak footprints with it).
+        const char *no_reuse = std::getenv("POLYMAGE_NO_REUSE");
+        const bool reuse = opts.codegen.bufferReuse &&
+                           !(no_reuse != nullptr && no_reuse[0] != '\0' &&
+                             std::string(no_reuse) != "0");
         out.storage = core::planStorage(out.graph, out.grouping,
                                         opts.grouping,
                                         opts.codegen.tile &&
-                                            opts.codegen.storageOpt);
+                                            opts.codegen.storageOpt,
+                                        reuse);
     }
     {
         obs::ScopedTrace phase(reg, "codegen");

@@ -140,4 +140,79 @@ Buffer::maxAbsDiff(const Buffer &o) const
     return worst;
 }
 
+BufferPool::~BufferPool()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto &[p, b] : blocks_) {
+        PM_ASSERT(!b.inUse, "BufferPool destroyed with block in use");
+        std::free(p);
+    }
+}
+
+void *
+BufferPool::acquire(std::size_t bytes)
+{
+    bytes = std::max<std::size_t>(bytes, 64);
+    bytes = (bytes + 63) & ~std::size_t(63);
+
+    std::lock_guard<std::mutex> lock(mu_);
+    ++acquires_;
+    void *p = nullptr;
+    auto it = free_.lower_bound(bytes);
+    if (it != free_.end()) {
+        p = it->second;
+        bytes = it->first;
+        free_.erase(it);
+    } else {
+        p = std::aligned_alloc(64, bytes);
+        PM_ASSERT(p != nullptr, "buffer pool allocation failed");
+        blocks_[p] = Block{bytes, false};
+        ++blockAllocs_;
+        bytesOwned_ += std::int64_t(bytes);
+    }
+    blocks_[p].inUse = true;
+    bytesInUse_ += std::int64_t(bytes);
+    peakBytesInUse_ = std::max(peakBytesInUse_, bytesInUse_);
+    return p;
+}
+
+void
+BufferPool::release(void *p) noexcept
+{
+    if (p == nullptr)
+        return;
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = blocks_.find(p);
+    if (it == blocks_.end() || !it->second.inUse)
+        return; // foreign or double release: ignore
+    it->second.inUse = false;
+    bytesInUse_ -= std::int64_t(it->second.bytes);
+    free_.emplace(it->second.bytes, p);
+}
+
+void
+BufferPool::trim()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto &[bytes, p] : free_) {
+        bytesOwned_ -= std::int64_t(bytes);
+        blocks_.erase(p);
+        std::free(p);
+    }
+    free_.clear();
+}
+
+BufferPool::Stats
+BufferPool::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    Stats s;
+    s.bytesOwned = bytesOwned_;
+    s.bytesInUse = bytesInUse_;
+    s.peakBytesInUse = peakBytesInUse_;
+    s.blockAllocs = blockAllocs_;
+    s.acquires = acquires_;
+    return s;
+}
+
 } // namespace polymage::rt

@@ -8,7 +8,9 @@
 #define POLYMAGE_RUNTIME_BUFFER_HPP
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "dsl/types.hpp"
@@ -100,6 +102,73 @@ class Buffer
     std::vector<std::int64_t> strides_;
     std::int64_t numel_ = 0;
     std::unique_ptr<void, Free> data_;
+};
+
+/**
+ * A reusable pool of 64-byte-aligned heap blocks, backing the
+ * intermediate-buffer slots of generated pipelines (the storage
+ * planner's reuse plan).  acquire() hands out the smallest retained
+ * free block that fits, allocating only when none does, so a pipeline
+ * called repeatedly with the same parameters performs zero heap
+ * allocations after the first call and touches already-faulted pages.
+ *
+ * Thread-safe: concurrent acquire/release from parallel pipeline
+ * invocations interleave correctly (the pool simply grows to the
+ * concurrent working-set peak).
+ */
+class BufferPool
+{
+  public:
+    BufferPool() = default;
+    BufferPool(const BufferPool &) = delete;
+    BufferPool &operator=(const BufferPool &) = delete;
+    /** Frees every owned block (none may still be in use). */
+    ~BufferPool();
+
+    /**
+     * A 64-byte-aligned block of at least @p bytes (rounded up to the
+     * alignment granule), contents unspecified.  Must be returned via
+     * release().
+     */
+    void *acquire(std::size_t bytes);
+
+    /** Return a block obtained from acquire(); null is ignored. */
+    void release(void *p) noexcept;
+
+    /** Free all currently idle blocks (in-use blocks are unaffected). */
+    void trim();
+
+    /** Point-in-time allocation counters. */
+    struct Stats
+    {
+        /** Bytes of all owned blocks (the pool's peak footprint). */
+        std::int64_t bytesOwned = 0;
+        /** Bytes of blocks currently acquired. */
+        std::int64_t bytesInUse = 0;
+        /** High-water mark of bytesInUse. */
+        std::int64_t peakBytesInUse = 0;
+        /** Real heap allocations performed (misses). */
+        std::uint64_t blockAllocs = 0;
+        /** Total acquire() calls; hits = acquires - blockAllocs. */
+        std::uint64_t acquires = 0;
+    };
+    Stats stats() const;
+
+  private:
+    struct Block
+    {
+        std::size_t bytes = 0;
+        bool inUse = false;
+    };
+
+    mutable std::mutex mu_;
+    std::map<void *, Block> blocks_;
+    std::multimap<std::size_t, void *> free_; // idle blocks by size
+    std::int64_t bytesOwned_ = 0;
+    std::int64_t bytesInUse_ = 0;
+    std::int64_t peakBytesInUse_ = 0;
+    std::uint64_t blockAllocs_ = 0;
+    std::uint64_t acquires_ = 0;
 };
 
 } // namespace polymage::rt

@@ -18,6 +18,7 @@ Executable::build(const dsl::PipelineSpec &spec,
     Executable exe;
     exe.compiled_ = std::make_shared<CompiledPipeline>(
         compilePipeline(spec, opts));
+    exe.pool_ = std::make_shared<BufferPool>();
     jit.vectorize = jit.vectorize && opts.codegen.vectorize;
     {
         obs::ScopedTrace span(&reg, "jit");
@@ -74,6 +75,53 @@ validateRun(const CompiledPipeline &c,
     }
 }
 
+/**
+ * Per-call lease of the storage plan's allocation slots.  Each slot is
+ * sized to its largest member stage under the actual parameter values
+ * (compile-time estimates only guided the slot *assignment*; sizes are
+ * always resolved at call time), acquired from the pool, and released
+ * on scope exit even when the pipeline throws.
+ */
+class SlotLease
+{
+  public:
+    SlotLease(const CompiledPipeline &c, BufferPool &pool,
+              const std::vector<std::int64_t> &params)
+        : pool_(pool)
+    {
+        const auto &g = c.graph;
+        ptrs_.reserve(c.storage.slots.size());
+        for (const auto &slot : c.storage.slots) {
+            std::int64_t bytes = 0;
+            for (int s : slot.stages) {
+                const auto &stage = g.stage(s);
+                std::int64_t numel = 1;
+                for (std::int64_t d :
+                     interp::stageShape(stage, g, params))
+                    numel *= d;
+                bytes = std::max(
+                    bytes,
+                    numel * std::int64_t(
+                                dsl::dtypeSize(stage.callable->dtype())));
+            }
+            ptrs_.push_back(pool_.acquire(std::size_t(bytes)));
+        }
+    }
+    SlotLease(const SlotLease &) = delete;
+    SlotLease &operator=(const SlotLease &) = delete;
+    ~SlotLease()
+    {
+        for (void *p : ptrs_)
+            pool_.release(p);
+    }
+
+    void *const *data() const { return ptrs_.data(); }
+
+  private:
+    BufferPool &pool_;
+    std::vector<void *> ptrs_;
+};
+
 } // namespace
 
 void
@@ -90,7 +138,8 @@ Executable::runInto(const std::vector<std::int64_t> &params,
     for (Buffer &b : outputs)
         out_ptrs.push_back(b.data());
     std::vector<long long> p(params.begin(), params.end());
-    fn_(p.data(), in_ptrs.data(), out_ptrs.data());
+    SlotLease slots(*compiled_, *pool_, params);
+    fn_(p.data(), in_ptrs.data(), out_ptrs.data(), slots.data());
 }
 
 std::vector<Buffer>
@@ -132,12 +181,14 @@ Executable::profile(const std::vector<std::int64_t> &params,
         out_ptrs.push_back(b.data());
     std::vector<long long> p(params.begin(), params.end());
 
+    SlotLease slots(*compiled_, *pool_, params);
+
     const long long cap = 1 << 22;
     TaskProfile prof;
     prof.costs.resize(cap);
     prof.phase.resize(cap);
     long long count = 0;
-    instrFn_(p.data(), in_ptrs.data(), out_ptrs.data(),
+    instrFn_(p.data(), in_ptrs.data(), out_ptrs.data(), slots.data(),
              prof.costs.data(), prof.phase.data(), cap, &count,
              &prof.serialSeconds);
     if (count > cap) {
@@ -158,7 +209,8 @@ Executable::profile(const std::vector<std::int64_t> &params,
         long long n2 = 0;
         double serial2 = 0;
         instrFn_(p.data(), in_ptrs.data(), out_ptrs.data(),
-                 costs.data(), phase.data(), count, &n2, &serial2);
+                 slots.data(), costs.data(), phase.data(), count, &n2,
+                 &serial2);
         if (n2 != count)
             break; // unexpected; keep the first profile
         for (long long i = 0; i < count; ++i) {
@@ -192,6 +244,44 @@ Executable::profile(const std::vector<std::int64_t> &params,
         prof.groups[std::size_t(gi)].tasks += 1;
     }
     return prof;
+}
+
+MemoryStats
+Executable::memoryStats() const
+{
+    MemoryStats m;
+    const auto &st = compiled_->storage;
+    m.intermediates = int(st.slot.size());
+    m.slots = int(st.slots.size());
+    m.estBytesNoReuse = st.estBytesNoReuse;
+    m.estBytesWithReuse = st.estBytesWithReuse;
+    m.heapArenaBytes = compiled_->code.heapArenaBytes;
+    const BufferPool::Stats ps = pool_->stats();
+    m.poolBytesAllocated = ps.bytesOwned;
+    m.poolPeakBytesInUse = ps.peakBytesInUse;
+    m.poolBlockAllocs = ps.blockAllocs;
+    m.poolAcquires = ps.acquires;
+    return m;
+}
+
+std::string
+MemoryStats::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("polymage-memory-v1");
+    w.key("intermediates").value(intermediates);
+    w.key("slots").value(slots);
+    w.key("est_bytes_no_reuse").value(estBytesNoReuse);
+    w.key("est_bytes_with_reuse").value(estBytesWithReuse);
+    w.key("est_bytes_saved").value(estBytesSaved());
+    w.key("heap_arena_bytes").value(heapArenaBytes);
+    w.key("pool_bytes_allocated").value(poolBytesAllocated);
+    w.key("pool_peak_bytes_in_use").value(poolPeakBytesInUse);
+    w.key("pool_block_allocs").value(std::int64_t(poolBlockAllocs));
+    w.key("pool_acquires").value(std::int64_t(poolAcquires));
+    w.endObject();
+    return w.str();
 }
 
 std::string

@@ -16,12 +16,18 @@
 
 namespace polymage::rt {
 
-/** ABI of generated pipeline entry points. */
-using PipelineFn = void (*)(const long long *, void *const *, void **);
+/**
+ * ABI of generated pipeline entry points.  The trailing pointer array
+ * carries the intermediate-buffer slots of the storage reuse plan
+ * (StoragePlan::slots), 64-byte aligned, serviced by the Executable's
+ * BufferPool.
+ */
+using PipelineFn = void (*)(const long long *, void *const *, void **,
+                            void *const *);
 /** ABI of instrumented entry points. */
 using InstrFn = void (*)(const long long *, void *const *, void **,
-                         double *, long long *, long long, long long *,
-                         double *);
+                         void *const *, double *, long long *,
+                         long long, long long *, double *);
 
 /** Aggregated runtime cost of one group from an instrumented run. */
 struct GroupProfile
@@ -64,6 +70,39 @@ struct TaskProfile
 
     /** Runtime profile serialized to the polymage-profile-v1 group
      * schema (see docs/OBSERVABILITY.md). */
+    std::string toJson() const;
+};
+
+/**
+ * Memory-system statistics of one Executable: the storage planner's
+ * reuse-plan estimates plus the live counters of the backing
+ * BufferPool.  Serialized into the `memory` object of
+ * polymage-profile-v1 entries (docs/OBSERVABILITY.md).
+ */
+struct MemoryStats
+{
+    /** Full-buffer intermediates and the slots they share. */
+    int intermediates = 0;
+    int slots = 0;
+    /** Estimated intermediate bytes without / with slot sharing. */
+    std::int64_t estBytesNoReuse = 0;
+    std::int64_t estBytesWithReuse = 0;
+    std::int64_t estBytesSaved() const
+    {
+        return estBytesNoReuse - estBytesWithReuse;
+    }
+    /** Largest per-thread heap scratch arena (0: all scratch on stack). */
+    std::int64_t heapArenaBytes = 0;
+    /** Pool footprint: bytes of every block ever retained (peak). */
+    std::int64_t poolBytesAllocated = 0;
+    /** High-water mark of bytes simultaneously in use. */
+    std::int64_t poolPeakBytesInUse = 0;
+    /** Real heap allocations vs. total slot acquisitions; equal counts
+     * mean every call allocated, a plateau means steady-state reuse. */
+    std::uint64_t poolBlockAllocs = 0;
+    std::uint64_t poolAcquires = 0;
+
+    /** Serialized to the polymage-memory-v1 schema. */
     std::string toJson() const;
 };
 
@@ -110,11 +149,21 @@ class Executable
     std::vector<std::vector<std::int64_t>>
     outputShapes(const std::vector<std::int64_t> &params) const;
 
+    /**
+     * Memory-system statistics: the storage reuse plan plus live
+     * counters from the pool backing the intermediate slots.
+     */
+    MemoryStats memoryStats() const;
+
+    /** The pool servicing this pipeline's intermediate slots. */
+    BufferPool &pool() const { return *pool_; }
+
   private:
     Executable() = default;
 
     std::shared_ptr<const CompiledPipeline> compiled_;
     std::shared_ptr<JitModule> module_;
+    std::shared_ptr<BufferPool> pool_;
     std::vector<obs::Span> trace_;
     PipelineFn fn_ = nullptr;
     InstrFn instrFn_ = nullptr;

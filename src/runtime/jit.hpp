@@ -25,6 +25,14 @@ struct JitOptions
     /** Keep the temp directory (sources, errors) for inspection. */
     bool keepFiles = false;
     std::string extraFlags;
+    /**
+     * Use the persistent object cache: shared objects are keyed by a
+     * hash of (source, flags, compiler version) and stored under
+     * $XDG_CACHE_HOME/polymage/jit, so rebuilding an unchanged pipeline
+     * skips the compiler entirely.  Disable per-module here or
+     * process-wide with POLYMAGE_JIT_CACHE=0.
+     */
+    bool cache = true;
 };
 
 /** A compiled and loaded shared object. */
@@ -50,6 +58,10 @@ class JitModule
     /** Path of the generated source file. */
     const std::string &sourcePath() const { return sourcePath_; }
 
+    /** True when the shared object was loaded from the persistent
+     * cache without invoking the compiler. */
+    bool fromCache() const { return fromCache_; }
+
   private:
     JitModule() = default;
 
@@ -57,6 +69,7 @@ class JitModule
     std::string dir_;
     std::string sourcePath_;
     bool keep_ = false;
+    bool fromCache_ = false;
 };
 
 } // namespace polymage::rt

@@ -18,7 +18,13 @@ namespace {
 
 using rt::Buffer;
 
-/** Compile (optimised), run, and compare against the interpreter. */
+/**
+ * Compile (optimised), run, and compare against the interpreter.
+ * Every app is checked twice: with the default storage mapping, and
+ * with every scratchpad forced onto heap arenas
+ * (maxStackScratchBytes = 0) so the hoisted-arena code path gets the
+ * same bit-exactness guarantee as the stack path.
+ */
 void
 checkApp(const dsl::PipelineSpec &spec,
          const std::vector<std::int64_t> &params,
@@ -27,13 +33,22 @@ checkApp(const dsl::PipelineSpec &spec,
     auto g = pg::PipelineGraph::build(spec);
     auto ref = interp::evaluate(g, params, inputs);
 
-    rt::Executable exe = rt::Executable::build(spec);
-    auto outs = exe.run(params, inputs);
-    ASSERT_EQ(outs.size(), ref.outputs.size());
-    for (std::size_t i = 0; i < outs.size(); ++i) {
-        ASSERT_EQ(outs[i].dims(), ref.outputs[i].dims());
-        EXPECT_LE(outs[i].maxAbsDiff(ref.outputs[i]), tol)
-            << "output " << i;
+    CompileOptions heap;
+    heap.codegen.maxStackScratchBytes = 0;
+    const CompileOptions variants[] = {CompileOptions::optimized(),
+                                       heap};
+    for (const CompileOptions &opts : variants) {
+        rt::Executable exe = rt::Executable::build(spec, opts);
+        auto outs = exe.run(params, inputs);
+        ASSERT_EQ(outs.size(), ref.outputs.size());
+        for (std::size_t i = 0; i < outs.size(); ++i) {
+            ASSERT_EQ(outs[i].dims(), ref.outputs[i].dims());
+            EXPECT_LE(outs[i].maxAbsDiff(ref.outputs[i]), tol)
+                << "output " << i
+                << (opts.codegen.maxStackScratchBytes == 0
+                        ? " (forced heap scratch)"
+                        : "");
+        }
     }
 }
 

@@ -138,11 +138,40 @@ TEST(CodegenFeatures, StorageOptOffSpillsToFullBuffers)
     CompileOptions opts;
     opts.codegen.storageOpt = false;
     auto c = compilePipeline(apps::buildHarris(256, 256), opts);
-    // Tiling still happens, but no scratchpads: intermediates malloc'd.
+    // Tiling still happens, but no scratchpads: intermediates become
+    // full buffers serviced by the executor's slot array.
     EXPECT_NE(c.code.source.find("for (long long T0"),
               std::string::npos);
     EXPECT_EQ(c.code.source.find("scr_"), std::string::npos);
-    EXPECT_NE(c.code.source.find("std::malloc"), std::string::npos);
+    EXPECT_NE(c.code.source.find("pm_slots["), std::string::npos);
+    EXPECT_EQ(c.code.source.find("std::malloc"), std::string::npos);
+}
+
+TEST(CodegenFeatures, HeapScratchHoistedOutOfTileLoop)
+{
+    // Forcing every scratchpad to the heap must not reintroduce
+    // per-tile allocation: the arena is carved once per thread before
+    // the tile loop and every allocation goes through the 64-byte
+    // aligned pm_alloc helper.
+    CompileOptions opts;
+    opts.codegen.maxStackScratchBytes = 0;
+    auto c = compilePipeline(apps::buildHarris(2048, 2048), opts);
+    const std::string &src = c.code.source;
+    EXPECT_EQ(src.find("std::malloc"), std::string::npos);
+    const std::size_t arena = src.find("pm_arena_g");
+    const std::size_t tile = src.find("for (long long T0");
+    ASSERT_NE(arena, std::string::npos);
+    ASSERT_NE(tile, std::string::npos);
+    EXPECT_LT(arena, tile); // hoisted before the tile loop
+    EXPECT_NE(src.find("pm_alloc("), std::string::npos);
+    EXPECT_GT(c.code.heapArenaBytes, 0);
+}
+
+TEST(CodegenFeatures, StackScratchpadsAreCacheAligned)
+{
+    auto c = compilePipeline(apps::buildHarris(2048, 2048));
+    EXPECT_NE(c.code.source.find("alignas(64) float scr_"),
+              std::string::npos);
 }
 
 TEST(CodegenFeatures, ParityCasesBecomeStridedLoops)

@@ -97,5 +97,74 @@ TEST(Buffer, TypedAccessChecksSize)
     EXPECT_THROW(b.dataAs<double>(), InternalError);
 }
 
+TEST(BufferPool, ReusesReleasedBlocks)
+{
+    BufferPool pool;
+    void *a = pool.acquire(1000);
+    ASSERT_NE(a, nullptr);
+    pool.release(a);
+    // A same-size request must be served from the free list, not a
+    // fresh allocation.
+    void *b = pool.acquire(1000);
+    EXPECT_EQ(a, b);
+    pool.release(b);
+    auto s = pool.stats();
+    EXPECT_EQ(s.blockAllocs, 1u);
+    EXPECT_EQ(s.acquires, 2u);
+    EXPECT_EQ(s.bytesInUse, 0);
+}
+
+TEST(BufferPool, AllBlocksAre64ByteAligned)
+{
+    BufferPool pool;
+    for (std::size_t bytes : {1ul, 63ul, 64ul, 65ul, 4097ul}) {
+        void *p = pool.acquire(bytes);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % 64, 0u)
+            << bytes;
+        pool.release(p);
+    }
+}
+
+TEST(BufferPool, BestFitPrefersSmallestAdequateBlock)
+{
+    BufferPool pool;
+    void *small = pool.acquire(256);
+    void *big = pool.acquire(1 << 20);
+    pool.release(small);
+    pool.release(big);
+    // A 128-byte request fits both; the small block must be chosen.
+    void *p = pool.acquire(128);
+    EXPECT_EQ(p, small);
+    pool.release(p);
+}
+
+TEST(BufferPool, PeakTracksConcurrentUse)
+{
+    BufferPool pool;
+    void *a = pool.acquire(64);
+    void *b = pool.acquire(64);
+    pool.release(a);
+    pool.release(b);
+    void *c = pool.acquire(64);
+    pool.release(c);
+    auto s = pool.stats();
+    EXPECT_EQ(s.peakBytesInUse, 128);
+    EXPECT_EQ(s.bytesOwned, 128);
+    EXPECT_EQ(s.blockAllocs, 2u);
+}
+
+TEST(BufferPool, TrimFreesIdleBlocks)
+{
+    BufferPool pool;
+    void *a = pool.acquire(4096);
+    void *b = pool.acquire(4096);
+    pool.release(b);
+    pool.trim(); // frees b only; a is in use
+    auto s = pool.stats();
+    EXPECT_EQ(s.bytesOwned, 4096);
+    EXPECT_EQ(s.bytesInUse, 4096);
+    pool.release(a);
+}
+
 } // namespace
 } // namespace polymage::rt

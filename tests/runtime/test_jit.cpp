@@ -1,10 +1,76 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+
 #include "runtime/jit.hpp"
 #include "support/diagnostics.hpp"
 
 namespace polymage::rt {
 namespace {
+
+/** Scoped env var; restores the previous value on destruction. */
+class ScopedEnv
+{
+  public:
+    ScopedEnv(const char *name, const std::string &value) : name_(name)
+    {
+        if (const char *old = std::getenv(name))
+            old_ = old;
+        setenv(name, value.c_str(), 1);
+    }
+    ~ScopedEnv()
+    {
+        if (old_.has_value())
+            setenv(name_, old_->c_str(), 1);
+        else
+            unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    std::optional<std::string> old_;
+};
+
+/** A fresh private cache dir routed through POLYMAGE_JIT_CACHE_DIR. */
+class ScopedCacheDir
+{
+  public:
+    ScopedCacheDir()
+    {
+        char tmpl[] = "/tmp/polymage_jit_cache_test_XXXXXX";
+        dir_ = mkdtemp(tmpl);
+        env_ = std::make_unique<ScopedEnv>("POLYMAGE_JIT_CACHE_DIR",
+                                           dir_);
+    }
+    ~ScopedCacheDir()
+    {
+        env_.reset();
+        std::error_code ec;
+        std::filesystem::remove_all(dir_, ec);
+    }
+
+    const std::string &path() const { return dir_; }
+
+    std::size_t
+    sharedObjects() const
+    {
+        std::size_t n = 0;
+        for (const auto &e :
+             std::filesystem::directory_iterator(dir_)) {
+            if (e.path().extension() == ".so")
+                ++n;
+        }
+        return n;
+    }
+
+  private:
+    std::string dir_;
+    std::unique_ptr<ScopedEnv> env_;
+};
 
 TEST(Jit, CompileAndCall)
 {
@@ -42,6 +108,57 @@ TEST(Jit, MoveTransfersOwnership)
     JitModule b = std::move(a);
     auto fn = reinterpret_cast<int (*)()>(b.symbol("pm_seven"));
     EXPECT_EQ(fn(), 7);
+}
+
+TEST(Jit, ObjectCacheHitSkipsCompiler)
+{
+    ScopedCacheDir cache;
+    const std::string src =
+        "extern \"C\" int pm_cached() { return 11; }\n";
+
+    JitModule first = JitModule::compile(src);
+    EXPECT_FALSE(first.fromCache());
+    EXPECT_EQ(cache.sharedObjects(), 1u);
+
+    JitModule second = JitModule::compile(src);
+    EXPECT_TRUE(second.fromCache());
+    EXPECT_EQ(cache.sharedObjects(), 1u);
+    auto fn = reinterpret_cast<int (*)()>(second.symbol("pm_cached"));
+    EXPECT_EQ(fn(), 11);
+    // The cached module carries the generated source for inspection.
+    EXPECT_FALSE(second.sourcePath().empty());
+}
+
+TEST(Jit, ObjectCacheKeyCoversFlags)
+{
+    ScopedCacheDir cache;
+    const std::string src =
+        "extern \"C\" int pm_flagged() { return 5; }\n";
+    JitModule a = JitModule::compile(src);
+    // A different flag set must miss and add a second entry.
+    JitOptions opts;
+    opts.vectorize = false;
+    JitModule b = JitModule::compile(src, opts);
+    EXPECT_FALSE(b.fromCache());
+    EXPECT_EQ(cache.sharedObjects(), 2u);
+}
+
+TEST(Jit, ObjectCacheOptOut)
+{
+    ScopedCacheDir cache;
+    const std::string src =
+        "extern \"C\" int pm_uncached() { return 3; }\n";
+    JitOptions opts;
+    opts.cache = false;
+    JitModule a = JitModule::compile(src, opts);
+    EXPECT_FALSE(a.fromCache());
+    EXPECT_EQ(cache.sharedObjects(), 0u);
+
+    // Process-wide kill switch.
+    ScopedEnv off("POLYMAGE_JIT_CACHE", "0");
+    JitModule b = JitModule::compile(src);
+    EXPECT_FALSE(b.fromCache());
+    EXPECT_EQ(cache.sharedObjects(), 0u);
 }
 
 TEST(Jit, OpenMPAvailableInJitCode)
