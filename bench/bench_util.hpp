@@ -25,30 +25,38 @@
 namespace polymage::bench {
 
 /**
- * Path of `--profile-json <path>` (or `--profile-json=<path>`) in
- * argv; empty when the flag is absent.
+ * Path of `<flag> <path>` (or `<flag>=<path>`) in argv; empty when the
+ * flag is absent.
  */
 inline std::string
-profileJsonPath(int argc, char **argv)
+argPath(int argc, char **argv, const char *flag)
 {
+    const std::size_t n = std::strlen(flag);
     for (int i = 1; i < argc; ++i) {
         std::string path;
-        if (std::strcmp(argv[i], "--profile-json") == 0) {
+        if (std::strcmp(argv[i], flag) == 0) {
             if (i + 1 < argc)
                 path = argv[i + 1];
-        } else if (std::strncmp(argv[i], "--profile-json=", 15) == 0) {
-            path = argv[i] + 15;
+        } else if (std::strncmp(argv[i], flag, n) == 0 &&
+                   argv[i][n] == '=') {
+            path = argv[i] + n + 1;
         } else {
             continue;
         }
         if (path.empty()) {
-            std::fprintf(stderr,
-                         "error: --profile-json requires a path\n");
+            std::fprintf(stderr, "error: %s requires a path\n", flag);
             std::exit(2);
         }
         return path;
     }
     return "";
+}
+
+/** Path of `--profile-json <path>`; empty when the flag is absent. */
+inline std::string
+profileJsonPath(int argc, char **argv)
+{
+    return argPath(argc, argv, "--profile-json");
 }
 
 /**
@@ -80,6 +88,18 @@ class ProfileJsonReport
         w.key("compile").raw(obs::spansToJson(exe.trace()));
         w.key("runtime").raw(prof.toJson());
         w.key("memory").raw(exe.memoryStats().toJson());
+        // Codegen-strategy record: which schedule/partitioning the
+        // binary was built with, and the loop-nest census (so ablation
+        // sweeps can tell the variants apart from the JSON alone).
+        const cg::GeneratedCode &code = exe.info().code;
+        w.key("codegen").beginObject();
+        w.key("tile_schedule").value(code.tileSchedule);
+        w.key("partition").value(code.partition);
+        w.key("interior_nests").value(code.interiorNests);
+        w.key("guarded_nests").value(code.guardedNests);
+        w.key("partitioned_cases").value(code.partitionedCases);
+        w.key("interior_fraction").value(code.interiorFraction());
+        w.endObject();
         w.endObject();
         apps_.push_back(w.str());
     }

@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Regenerate the committed benchmark snapshot BENCH_table2.json: the
+# Table-2 profile run (per-app compile trace, runtime profile, memory
+# and codegen records) plus the partitioning/scheduling ablation
+# timings (no-partition vs partitioned under both OpenMP schedules,
+# with the guard-free interior fraction per app).
+#
+# Usage: scripts/bench_snapshot.sh [scale]
+#
+# `scale` (default 0.5) linearly scales the paper image sizes; it is
+# recorded in the snapshot so numbers are comparable across runs.
+# Honours POLYMAGE_BUILD_DIR (defaults to build).  Wall times are
+# machine-dependent; the snapshot's value is tracking relative ratios
+# (speedups, interior fractions) across commits, not absolute times.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+scale="${1:-0.5}"
+build_dir="${POLYMAGE_BUILD_DIR:-build}"
+out=BENCH_table2.json
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_table2 \
+    --target bench_ablation_partition >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+POLYMAGE_BENCH_SCALE="$scale" "$build_dir/bench/bench_table2" \
+    --profile-json "$tmp/table2.json"
+POLYMAGE_BENCH_SCALE="$scale" \
+    "$build_dir/bench/bench_ablation_partition" \
+    --timings-json "$tmp/ablation.json"
+
+# Compose the committed snapshot: both documents embedded verbatim.
+{
+    printf '{\n"schema": "polymage-bench-snapshot-v1",\n'
+    printf '"generated_by": "scripts/bench_snapshot.sh",\n'
+    printf '"scale": %s,\n' "$scale"
+    printf '"table2": '
+    cat "$tmp/table2.json"
+    printf ',\n"ablation_partition": '
+    cat "$tmp/ablation.json"
+    printf '}\n'
+} > "$out"
+
+echo "bench_snapshot: wrote $out"

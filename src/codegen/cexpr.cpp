@@ -1,5 +1,6 @@
 #include "codegen/cexpr.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <functional>
@@ -297,11 +298,40 @@ bindable(const dsl::ExprNode &n)
     }
 }
 
+/**
+ * True when every `pm_cse` temporary mentioned in @p code was hoisted
+ * into @p sink -- none is a body-resident, per-point temporary.
+ */
+bool
+mentionsOnlyInvariantCse(const std::string &code, const HoistSink &sink)
+{
+    const std::string prefix = "pm_cse";
+    for (std::size_t pos = code.find(prefix); pos != std::string::npos;
+         pos = code.find(prefix, pos + 1)) {
+        if (pos > 0 &&
+            (std::isalnum(static_cast<unsigned char>(code[pos - 1])) ||
+             code[pos - 1] == '_')) {
+            continue; // substring of a longer identifier
+        }
+        std::size_t end = pos + prefix.size();
+        while (end < code.size() &&
+               std::isdigit(static_cast<unsigned char>(code[end]))) {
+            ++end;
+        }
+        if (end == pos + prefix.size())
+            return false; // malformed; be conservative
+        if (!sink.invariantLocals.count(code.substr(pos, end - pos)))
+            return false;
+    }
+    return true;
+}
+
 } // namespace
 
 std::vector<std::string>
 emitAssignWithCSE(const dsl::Expr &value, const std::string &target,
-                  dsl::DType store_type, const EmitEnv &env)
+                  dsl::DType store_type, const EmitEnv &env,
+                  HoistSink *sink)
 {
     // In-degree count over the shared AST (descend once per node).
     std::map<const dsl::ExprNode *, int> refs;
@@ -316,7 +346,7 @@ emitAssignWithCSE(const dsl::Expr &value, const std::string &target,
     // Emit temporaries in dependency (post) order.
     std::vector<std::string> lines;
     EmitEnv local = env;
-    int next_tmp = 0;
+    int next_tmp = sink ? sink->cseCounter : 0;
     std::set<const dsl::ExprNode *> visited;
     std::function<void(const Expr &)> lower = [&](const Expr &e) {
         const dsl::ExprNode *n = &e.node();
@@ -326,19 +356,99 @@ emitAssignWithCSE(const dsl::Expr &value, const std::string &target,
         if (refs[n] > 1 && bindable(*n)) {
             const std::string name =
                 "pm_cse" + std::to_string(next_tmp++);
-            lines.push_back("const " +
-                            std::string(dsl::dtypeCName(n->dtype())) +
-                            " " + name + " = " + emitExpr(e, local) +
-                            ";");
+            const std::string rhs = emitExpr(e, local);
+            const std::string decl =
+                "const " + std::string(dsl::dtypeCName(n->dtype())) +
+                " " + name + " = " + rhs + ";";
+            // A temporary that neither reads the innermost loop
+            // variable nor a body-resident temporary is the same for
+            // every point of the row: declare it once before the
+            // innermost loop (e.g. the x/2 source row of an upsample).
+            if (sink != nullptr &&
+                !mentionsIdentifier(rhs, sink->innerVar) &&
+                mentionsOnlyInvariantCse(rhs, *sink)) {
+                sink->lines.push_back(decl);
+                sink->invariantLocals.insert(name);
+            } else {
+                lines.push_back(decl);
+            }
             local.bound[n] = name;
         }
     };
     lower(value);
+    if (sink)
+        sink->cseCounter = next_tmp;
 
     lines.push_back(target + " = (" +
                     std::string(dsl::dtypeCName(store_type)) + ")(" +
                     emitExpr(value, local) + ");");
     return lines;
+}
+
+bool
+mentionsIdentifier(const std::string &code, const std::string &name)
+{
+    auto is_ident = [](char c) {
+        return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+    };
+    for (std::size_t pos = code.find(name); pos != std::string::npos;
+         pos = code.find(name, pos + 1)) {
+        const bool left_ok = pos == 0 || !is_ident(code[pos - 1]);
+        const std::size_t end = pos + name.size();
+        const bool right_ok = end >= code.size() || !is_ident(code[end]);
+        if (left_ok && right_ok)
+            return true;
+    }
+    return false;
+}
+
+std::string
+joinHoistedIndex(const std::vector<std::string> &terms, HoistSink *sink)
+{
+    auto join = [](const std::vector<std::string> &ts) {
+        std::string s;
+        for (std::size_t i = 0; i < ts.size(); ++i)
+            s += (i ? " + " : "") + ts[i];
+        return s;
+    };
+    if (sink == nullptr)
+        return join(terms);
+
+    std::vector<std::string> invariant, variant;
+    for (const auto &t : terms) {
+        // Body-resident CSE temporaries are declared per point inside
+        // the loop, so any term referencing one must stay inline;
+        // temporaries the sink itself hoisted are fair game.
+        if (mentionsIdentifier(t, sink->innerVar) ||
+            !mentionsOnlyInvariantCse(t, *sink)) {
+            variant.push_back(t);
+        } else {
+            invariant.push_back(t);
+        }
+    }
+    // Only worth a local when it saves a stride multiplication or
+    // folds several terms; a bare `(x)` prefix is left alone.
+    const bool worthwhile =
+        invariant.size() > 1 ||
+        (invariant.size() == 1 &&
+         invariant[0].find('*') != std::string::npos);
+    if (!worthwhile)
+        return join(terms);
+
+    const std::string expr = join(invariant);
+    auto it = sink->memo.find(expr);
+    std::string local;
+    if (it != sink->memo.end()) {
+        local = it->second;
+    } else {
+        local = "pm_base" + std::to_string(sink->counter++);
+        sink->lines.push_back("const long long " + local + " = " + expr +
+                              ";");
+        sink->memo.emplace(expr, local);
+    }
+    if (variant.empty())
+        return local;
+    return local + " + " + join(variant);
 }
 
 std::string

@@ -9,11 +9,46 @@
 
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "dsl/expr.hpp"
 
 namespace polymage::cg {
+
+/**
+ * Collector for loop-invariant address arithmetic.  While a loop body
+ * is rendered, every flat-index prefix that does not involve the
+ * innermost loop variable is bound to a `pm_base*` local recorded in
+ * `lines`; the loop-nest emitter then declares those locals once per
+ * row, right before opening the innermost loop, so the steady-state
+ * loop adds a single offset instead of re-multiplying full row-major
+ * strides at every point.  Identical prefixes share one local via
+ * `memo` (e.g. the five taps of a stencil row).
+ */
+struct HoistSink
+{
+    /** C name of the innermost loop variable (terms mentioning it
+     * cannot be hoisted). */
+    std::string innerVar;
+    /** Hoisted declarations, in emission order. */
+    std::vector<std::string> lines;
+    /** Hoisted expression -> local name (dedup across accesses). */
+    std::map<std::string, std::string> memo;
+    /** Unique-name source for `pm_base<n>`. */
+    int counter = 0;
+    /**
+     * CSE temporaries whose defining expression was itself invariant
+     * and therefore hoisted into `lines` (e.g. the `x/2` source row of
+     * an upsample).  Index terms referencing only these stay hoistable;
+     * terms referencing a body-resident temporary must stay inline.
+     */
+    std::set<std::string> invariantLocals;
+    /** Unique-name source for `pm_cse<n>` (shared so hoisted
+     * temporaries from sibling nests never collide in one scope). */
+    int cseCounter = 0;
+};
 
 /** Environment for expression emission. */
 struct EmitEnv
@@ -33,6 +68,24 @@ struct EmitEnv
         access;
 };
 
+/**
+ * True when @p code contains @p name as a whole identifier token
+ * (not as a substring of a longer identifier).
+ */
+bool mentionsIdentifier(const std::string &code, const std::string &name);
+
+/**
+ * Join rendered flat-index @p terms with `+`, hoisting the
+ * loop-invariant prefix into @p sink.  Terms that mention the sink's
+ * innermost variable -- or a per-point CSE temporary -- stay inline;
+ * the rest are summed once into a `pm_base*` local when doing so
+ * saves work (a stride multiplication or the addition of several
+ * terms).  With a null @p sink every term stays inline (the
+ * unhoisted baseline).
+ */
+std::string joinHoistedIndex(const std::vector<std::string> &terms,
+                             HoistSink *sink);
+
 /** Render an expression.  The result is a parenthesised C expression. */
 std::string emitExpr(const dsl::Expr &e, const EmitEnv &env);
 
@@ -41,12 +94,16 @@ std::string emitExpr(const dsl::Expr &e, const EmitEnv &env);
  * bindings: AST nodes referenced more than once (expression DAGs are
  * shared, e.g. the corner samples of a trilinear interpolation) are
  * emitted once into typed temporaries.  Returns the statement lines
- * for the innermost loop body.
+ * for the innermost loop body.  With a non-null @p sink, temporaries
+ * whose definition is loop-invariant (no innermost-variable mention,
+ * no dependence on a body-resident temporary) move into the sink and
+ * are declared once before the innermost loop instead of per point.
  */
 std::vector<std::string> emitAssignWithCSE(const dsl::Expr &value,
                                            const std::string &target,
                                            dsl::DType store_type,
-                                           const EmitEnv &env);
+                                           const EmitEnv &env,
+                                           HoistSink *sink = nullptr);
 
 /** Render a condition as a C boolean expression. */
 std::string emitCond(const dsl::Condition &c, const EmitEnv &env);

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <optional>
 #include <set>
 
 #include "codegen/cexpr.hpp"
 #include "codegen/writer.hpp"
 #include "poly/cond_box.hpp"
+#include "poly/range.hpp"
 #include "support/intmath.hpp"
 
 namespace polymage::cg {
@@ -64,6 +66,25 @@ emitAffineInt(const AffineExpr &e,
     return "(" + s + ")";
 }
 
+/**
+ * Evaluate an affine bound under the parameter estimates; nullopt when
+ * a symbol has no estimate (per-clause extents then stay unknown).
+ */
+std::optional<std::int64_t>
+evalAffineParams(const AffineExpr &e, const poly::RangeEnv &env)
+{
+    Rational sum = e.constant();
+    for (const auto &[id, c] : e.terms()) {
+        auto it = env.params.find(id);
+        if (it == env.params.end())
+            return std::nullopt;
+        sum += c * Rational(it->second);
+    }
+    if (!sum.isInteger())
+        return std::nullopt;
+    return sum.asInteger();
+}
+
 /** One generated loop dimension of a stage instance. */
 struct LoopDim
 {
@@ -80,6 +101,20 @@ struct LoopDim
     std::int64_t phase = 0;
     /** Estimated extent (-1 unknown); picks the parallel dimension. */
     std::int64_t estExtent = -1;
+    /** Estimated inclusive range backing estExtent (valid when >= 0). */
+    std::int64_t estLo = 0;
+    std::int64_t estHi = -1;
+};
+
+/**
+ * One loop nest implementing (part of) a case: its refined dimensions
+ * plus the residual guards that must stay per-point `if`s.  Boundary
+ * partitioning turns one guarded nest into several guard-free ones.
+ */
+struct CaseNest
+{
+    std::vector<LoopDim> dims;
+    std::vector<std::string> guards;
 };
 
 /** Match `v % step == phase` (either operand order) on a loop var. */
@@ -162,16 +197,54 @@ class Generator
     void emitAccumulator(int gi, int s);
     void emitSelfRecurrent(int gi, int s);
 
-    /** Loop nest emission with bound locals, pragmas, and the body. */
+    /**
+     * Loop nest emission with bound locals, pragmas, and the body.
+     * @p hoisted lines (loop-invariant `pm_base*` declarations) are
+     * placed right before the innermost loop opens.
+     */
     void emitLoopNest(const std::vector<LoopDim> &dims,
                       const std::vector<std::string> &guards,
                       const std::vector<std::string> &body_lines,
-                      bool parallel_outer, bool task_outer, int phase);
+                      bool parallel_outer, bool task_outer, int phase,
+                      const std::vector<std::string> &hoisted = {});
 
-    /** Case condition -> per-dim refinements plus residual guards. */
-    void applyCase(const pg::Stage &stage, const dsl::Case &cs,
-                   const EmitEnv &env, std::vector<LoopDim> &dims,
-                   std::vector<std::string> &guards);
+    /** Apply one analysed box's bounds and residues to a nest. */
+    void applyBox(const poly::CondBox &box, const pg::Stage &stage,
+                  const EmitEnv &env, std::vector<LoopDim> &dims,
+                  std::vector<std::string> &guards);
+
+    /**
+     * Case condition -> the loop nests implementing it.  Normally one
+     * nest (bounds folded in, residues strided, leftovers guarded);
+     * when residual guards survive and partitioning is on, the
+     * condition is split into a union of boxes and each clause becomes
+     * its own guard-free nest (dense interior + narrow boundary
+     * strips).
+     */
+    std::vector<CaseNest> caseNests(const pg::Stage &stage,
+                                    const dsl::Case &cs,
+                                    const EmitEnv &env,
+                                    const std::vector<LoopDim> &base_dims);
+
+    /**
+     * Emit the loop nests of one function case: hoist sink setup, the
+     * per-nest body rendering, and nest-census bookkeeping.  Shared by
+     * the untiled and tiled stage emitters.
+     */
+    void emitCaseNests(int gi, int s, const dsl::Case &cs,
+                       const EmitEnv &env,
+                       const std::vector<std::string> &idx,
+                       const std::vector<LoopDim> &base_dims,
+                       bool parallel_outer, bool task_outer);
+
+    /** The worksharing clause of every parallel loop. */
+    std::string
+    scheduleClause() const
+    {
+        return opts_.tileSchedule == OmpSchedule::Dynamic
+                   ? "schedule(dynamic)"
+                   : "schedule(static)";
+    }
 
     EmitEnv makeEnv(const std::map<int, std::string> &var_names, int gi);
 
@@ -245,10 +318,22 @@ class Generator
     bool ompForOnly_ = false; // emit `omp for` (inside a parallel region)
     int phase_ = 0;      // parallel-phase counter (instrumented body)
     int tmp_ = 0;        // unique counter for bound locals
+    /**
+     * Active invariant-hoist collector; flatIndexStr/scratchIndex
+     * route their terms through it while a loop body renders.  Null
+     * outside function-stage bodies (reductions, bound expressions).
+     */
+    HoistSink *hoist_ = nullptr;
+    int hoistTmp_ = 0; // unique counter for pm_base locals, per entry
+    int cseTmp_ = 0;   // unique counter for hoistable pm_cse locals
     /** phase id -> owning group, filled on the first emission pass. */
     std::vector<int> phaseGroup_;
     /** Largest padded per-thread heap scratch arena emitted. */
     std::int64_t heapArenaBytes_ = 0;
+    /** Nest census of the primary entry (GeneratedCode observability). */
+    int interiorNests_ = 0;
+    int guardedNests_ = 0;
+    int partitionedCases_ = 0;
 };
 
 std::string
@@ -344,17 +429,15 @@ std::string
 Generator::flatIndexStr(const std::string &strides_base,
                         const std::vector<std::string> &idx)
 {
-    std::string flat;
+    std::vector<std::string> terms;
     for (std::size_t d = 0; d < idx.size(); ++d) {
-        if (d)
-            flat += " + ";
         if (d + 1 == idx.size())
-            flat += "(" + idx[d] + ")";
+            terms.push_back("(" + idx[d] + ")");
         else
-            flat += "(long long)(" + idx[d] + ") * " +
-                    strideName(strides_base, int(d));
+            terms.push_back("(long long)(" + idx[d] + ") * " +
+                            strideName(strides_base, int(d)));
     }
-    return flat;
+    return joinHoistedIndex(terms, hoist_);
 }
 
 std::string
@@ -381,7 +464,7 @@ Generator::scratchIndex(int gi, int s, const std::vector<std::string> &idx)
     for (int d = int(ext.size()) - 2; d >= 0; --d)
         strides[d] = strides[d + 1] * ext[d + 1];
 
-    std::string flat;
+    std::vector<std::string> terms;
     for (std::size_t d = 0; d < idx.size(); ++d) {
         auto pos = std::find(tiled.begin(), tiled.end(), m.groupDim[d]);
         std::string term;
@@ -394,11 +477,10 @@ Generator::scratchIndex(int gi, int s, const std::vector<std::string> &idx)
         }
         if (strides[d] != 1)
             term += " * " + std::to_string(strides[d]);
-        if (d)
-            flat += " + ";
-        flat += term;
+        terms.push_back(std::move(term));
     }
-    return "scr_" + stageName(s) + "[" + flat + "]";
+    return "scr_" + stageName(s) + "[" + joinHoistedIndex(terms, hoist_) +
+           "]";
 }
 
 std::string
@@ -410,33 +492,43 @@ Generator::storeTarget(int gi, int s, const std::vector<std::string> &idx)
 }
 
 void
-Generator::applyCase(const pg::Stage &stage, const dsl::Case &cs,
-                     const EmitEnv &env, std::vector<LoopDim> &dims,
-                     std::vector<std::string> &guards)
+Generator::applyBox(const poly::CondBox &box, const pg::Stage &stage,
+                    const EmitEnv &env, std::vector<LoopDim> &dims,
+                    std::vector<std::string> &guards)
 {
-    if (!cs.hasCondition())
-        return;
-    std::set<int> var_ids;
-    for (const auto &v : stage.loopVars())
-        var_ids.insert(v.id());
-    poly::CondBox box = poly::analyzeCondition(cs.condition(), var_ids);
     const auto &vars = stage.loopVars();
     for (std::size_t d = 0; d < vars.size(); ++d) {
         auto it = box.bounds.find(vars[d].id());
         if (it == box.bounds.end())
             continue;
-        for (const auto &lo : it->second.lowers)
+        for (const auto &lo : it->second.lowers) {
             dims[d].lb.push_back(emitAffineInt(lo, paramName_));
-        for (const auto &hi : it->second.uppers)
+            // Refine the extent estimate so a 2-wide boundary strip
+            // never hosts the parallel pragma.
+            if (dims[d].estExtent >= 0) {
+                if (auto v = evalAffineParams(lo, g_.estimateEnv()))
+                    dims[d].estLo = std::max(dims[d].estLo, *v);
+            }
+        }
+        for (const auto &hi : it->second.uppers) {
             dims[d].ub.push_back(emitAffineInt(hi, paramName_));
+            if (dims[d].estExtent >= 0) {
+                if (auto v = evalAffineParams(hi, g_.estimateEnv()))
+                    dims[d].estHi = std::min(dims[d].estHi, *v);
+            }
+        }
+        if (dims[d].estExtent >= 0) {
+            dims[d].estExtent =
+                std::max<std::int64_t>(0,
+                                       dims[d].estHi - dims[d].estLo + 1);
+        }
     }
-    const auto &vars2 = stage.loopVars();
     for (const auto &res : box.residual) {
         int var_id = -1;
         std::int64_t step = 1, phase = 0;
         if (matchResidue(res, env.varName, var_id, step, phase)) {
-            for (std::size_t d = 0; d < vars2.size(); ++d) {
-                if (vars2[d].id() == var_id && dims[d].step == 1) {
+            for (std::size_t d = 0; d < vars.size(); ++d) {
+                if (vars[d].id() == var_id && dims[d].step == 1) {
                     dims[d].step = step;
                     dims[d].phase = phase;
                     var_id = -1; // consumed
@@ -447,6 +539,105 @@ Generator::applyCase(const pg::Stage &stage, const dsl::Case &cs,
                 continue;
         }
         guards.push_back(emitCond(res, env));
+    }
+}
+
+std::vector<CaseNest>
+Generator::caseNests(const pg::Stage &stage, const dsl::Case &cs,
+                     const EmitEnv &env,
+                     const std::vector<LoopDim> &base_dims)
+{
+    std::vector<CaseNest> nests;
+    if (!cs.hasCondition()) {
+        nests.push_back({base_dims, {}});
+        return nests;
+    }
+    std::set<int> var_ids;
+    for (const auto &v : stage.loopVars())
+        var_ids.insert(v.id());
+
+    CaseNest single;
+    single.dims = base_dims;
+    applyBox(poly::analyzeCondition(cs.condition(), var_ids), stage, env,
+             single.dims, single.guards);
+    if (single.guards.empty() || !opts_.partition) {
+        nests.push_back(std::move(single));
+        return nests;
+    }
+
+    // Residual guards survived: split the condition into a union of
+    // boxes and give each clause its own nest with the clause bounds
+    // folded in -- the interior clause becomes the dense guard-free
+    // steady-state loop, boundary clauses narrow strips.  Overlapping
+    // clauses are safe here because function cases are idempotent pure
+    // assignments (accumulators and self-recurrent stages never reach
+    // this path).
+    auto clauses = poly::analyzeUnion(cs.condition(), var_ids);
+    if (clauses && clauses->size() > 1) {
+        std::vector<CaseNest> split;
+        bool any_clean = false;
+        for (const auto &box : *clauses) {
+            CaseNest n;
+            n.dims = base_dims;
+            applyBox(box, stage, env, n.dims, n.guards);
+            any_clean |= n.guards.empty();
+            split.push_back(std::move(n));
+        }
+        // Only worth emitting when at least one clause dropped its
+        // guard; otherwise the split just duplicates guarded sweeps.
+        if (any_clean) {
+            if (!instr_)
+                ++partitionedCases_;
+            return split;
+        }
+    }
+    nests.push_back(std::move(single));
+    return nests;
+}
+
+void
+Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
+                         const EmitEnv &env,
+                         const std::vector<std::string> &idx,
+                         const std::vector<LoopDim> &base_dims,
+                         bool parallel_outer, bool task_outer)
+{
+    const pg::Stage &stage = g_.stage(s);
+    const auto &f = stage.func();
+    for (CaseNest &nest : caseNests(stage, cs, env, base_dims)) {
+        // Render the body with the invariant-hoist sink active: every
+        // flat-index prefix not involving the innermost loop variable
+        // lands in sink.lines as a pm_base local, declared by
+        // emitLoopNest right before the innermost loop opens.
+        HoistSink sink;
+        HoistSink *saved = hoist_;
+        if (opts_.hoistBases && !nest.dims.empty()) {
+            sink.innerVar = nest.dims.back().var;
+            sink.counter = hoistTmp_;
+            sink.cseCounter = cseTmp_;
+            hoist_ = &sink;
+        } else {
+            hoist_ = nullptr;
+        }
+        const std::string target = storeTarget(gi, s, idx);
+        const std::vector<std::string> body =
+            emitAssignWithCSE(cs.value(), target, f.dtype(), env,
+                              hoist_);
+        hoistTmp_ = std::max(hoistTmp_, sink.counter);
+        cseTmp_ = std::max(cseTmp_, sink.cseCounter);
+        hoist_ = saved;
+        if (!instr_) {
+            if (nest.guards.empty())
+                ++interiorNests_;
+            else
+                ++guardedNests_;
+        }
+        emitLoopNest(nest.dims, nest.guards, body, parallel_outer,
+                     task_outer, phase_, sink.lines);
+        // Untiled nests each own a parallel phase; inside a tiled
+        // group the surrounding tile loop owns the (single) phase.
+        if (task_outer)
+            ++phase_;
     }
 }
 
@@ -468,7 +659,8 @@ void
 Generator::emitLoopNest(const std::vector<LoopDim> &dims,
                         const std::vector<std::string> &guards,
                         const std::vector<std::string> &body_lines,
-                        bool parallel_outer, bool task_outer, int phase)
+                        bool parallel_outer, bool task_outer, int phase,
+                        const std::vector<std::string> &hoisted)
 {
     // The parallel loop: the first dimension long enough to feed the
     // worker pool (a 3-wide channel axis outermost must not cap the
@@ -476,13 +668,21 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
     std::size_t par_d = 0;
     for (std::size_t d = 0; d < dims.size(); ++d) {
         par_d = d;
-        if (dims[d].estExtent < 0 || dims[d].estExtent >= 16)
+        if (dims[d].estExtent < 0 ||
+            dims[d].estExtent >= opts_.minParallelExtent)
             break;
     }
 
     // Bound locals, then nested loops.
     int opened = 0;
+    const std::string sched = scheduleClause();
     for (std::size_t d = 0; d < dims.size(); ++d) {
+        // Loop-invariant address bases: declared once per iteration of
+        // the enclosing loop, right before the innermost loop opens.
+        if (d + 1 == dims.size()) {
+            for (const auto &l : hoisted)
+                w_.line(l);
+        }
         const std::string lb = "lb" + std::to_string(tmp_);
         const std::string ub = "ub" + std::to_string(tmp_);
         ++tmp_;
@@ -503,16 +703,20 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
             inc = dims[d].var + " += " + std::to_string(dims[d].step);
         }
         const bool outer_par = d == par_d && parallel_outer && !instr_;
-        const bool inner_vec = d + 1 == dims.size() && vec_;
+        // A nest that kept a residual guard has per-point control flow
+        // in its body; keep `omp simd` off it and let the compiler
+        // decide (the partitioned interior nests are the ones that
+        // must vectorise).
+        const bool inner_vec =
+            d + 1 == dims.size() && vec_ && guards.empty();
         if (outer_par && inner_vec) {
             w_.line(ompForOnly_
-                        ? "#pragma omp for simd schedule(static) nowait"
-                        : "#pragma omp parallel for simd "
-                          "schedule(static)");
+                        ? "#pragma omp for simd " + sched + " nowait"
+                        : "#pragma omp parallel for simd " + sched);
         } else if (outer_par) {
             w_.line(ompForOnly_
-                        ? "#pragma omp for schedule(static) nowait"
-                        : "#pragma omp parallel for schedule(static)");
+                        ? "#pragma omp for " + sched + " nowait"
+                        : "#pragma omp parallel for " + sched);
         } else if (inner_vec) {
             // omp simd carries the no-loop-carried-dependence promise
             // the paper expresses with icc's ivdep.
@@ -568,27 +772,23 @@ Generator::emitUntiledStage(int gi, int s)
                                          g_.estimateEnv());
             auto hi = poly::evalConstant(f.dom()[d].upper(),
                                          g_.estimateEnv());
-            if (lo && hi)
+            if (lo && hi) {
+                dims[d].estLo = *lo;
+                dims[d].estHi = *hi;
                 dims[d].estExtent = *hi - *lo + 1;
+            }
         }
-        std::vector<std::string> guards;
-        applyCase(stage, cs, env, dims, guards);
-
         std::vector<std::string> idx;
         for (const auto &v : vars)
             idx.push_back(var_names[v.id()]);
-        const std::string target = storeTarget(gi, s, idx);
-        emitLoopNest(dims, guards,
-                     emitAssignWithCSE(cs.value(), target, f.dtype(),
-                                       env),
-                     /*parallel_outer=*/opts_.parallelize,
-                     /*task_outer=*/true, phase_);
+        emitCaseNests(gi, s, cs, env, idx, dims,
+                      /*parallel_outer=*/opts_.parallelize,
+                      /*task_outer=*/true);
         // Free the claimed loop-variable names for reuse elsewhere.
         for (const auto &[id, nm] : var_names) {
             (void)id;
             used_.erase(nm);
         }
-        ++phase_;
     }
     vec_ = saved_vec;
 }
@@ -683,9 +883,9 @@ Generator::emitTiledGroup(int gi)
                     ");");
         }
         if (par_tiles)
-            w_.line("#pragma omp for schedule(static)");
+            w_.line("#pragma omp for " + scheduleClause());
     } else if (par_tiles) {
-        w_.line("#pragma omp parallel for schedule(static)");
+        w_.line("#pragma omp parallel for " + scheduleClause());
     }
 
     // Tile loops.
@@ -784,18 +984,12 @@ Generator::emitTiledGroup(int gi)
                 dims[d].lb.push_back(ceilDivStr(lo_raw, m.scale[d]));
                 dims[d].ub.push_back(floorDivStr(hi_raw, m.scale[d]));
             }
-            std::vector<std::string> guards;
-            applyCase(stage, cs, env, dims, guards);
-
             std::vector<std::string> idx;
             for (const auto &v : vars)
                 idx.push_back(var_names[v.id()]);
-            const std::string target = storeTarget(gi, s, idx);
-            emitLoopNest(dims, guards,
-                         emitAssignWithCSE(cs.value(), target,
-                                           f.dtype(), env),
-                         /*parallel_outer=*/false, /*task_outer=*/false,
-                         phase_);
+            emitCaseNests(gi, s, cs, env, idx, dims,
+                          /*parallel_outer=*/false,
+                          /*task_outer=*/false);
             for (const auto &[id, nm] : var_names) {
                 (void)id;
                 used_.erase(nm);
@@ -1096,6 +1290,8 @@ Generator::emitBody()
 {
     phase_ = 0;
     tmp_ = 0;
+    hoistTmp_ = 0;
+    cseTmp_ = 0;
 
     // Parameters.
     for (std::size_t i = 0; i < g_.params().size(); ++i) {
@@ -1244,6 +1440,12 @@ Generator::run()
         out.instrEntry = out.entry + "_pm_instr";
     out.phaseGroup = phaseGroup_;
     out.heapArenaBytes = heapArenaBytes_;
+    out.tileSchedule =
+        opts_.tileSchedule == OmpSchedule::Dynamic ? "dynamic" : "static";
+    out.partition = opts_.partition;
+    out.interiorNests = interiorNests_;
+    out.guardedNests = guardedNests_;
+    out.partitionedCases = partitionedCases_;
     return out;
 }
 

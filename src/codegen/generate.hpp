@@ -18,6 +18,13 @@
 
 namespace polymage::cg {
 
+/** OpenMP worksharing schedule of the parallel loops. */
+enum class OmpSchedule
+{
+    Static,
+    Dynamic,
+};
+
 /** Code generation switches (the paper's opt/vec axes, §4). */
 struct CodegenOptions
 {
@@ -53,6 +60,44 @@ struct CodegenOptions
      * (the ablation baseline; also forced by POLYMAGE_NO_REUSE=1).
      */
     bool bufferReuse = true;
+    /**
+     * Boundary/interior loop partitioning: a `Case` condition whose
+     * residual guard is a union of boxes (e.g. `x < 2 || x > N-3`) is
+     * split into one loop nest per box clause with the clause bounds
+     * folded into the loop bounds, instead of a full-domain sweep with
+     * a per-point `if`.  The interior stays one dense, guard-free,
+     * vectorizable nest; boundaries become narrow strips.  Off keeps
+     * the per-point guards (the ablation baseline; also forced by
+     * POLYMAGE_NO_PARTITION=1, which disables hoistBases too).
+     */
+    bool partition = true;
+    /**
+     * Hoist loop-invariant address arithmetic out of the innermost
+     * loop: the row-major stride terms of every access that do not
+     * involve the innermost loop variable are bound once per row to a
+     * `pm_base*` local, so the steady-state loop indexes
+     * `buf[pm_baseK + y]` instead of re-multiplying full strides at
+     * every point.  Disabled together with partition by
+     * POLYMAGE_NO_PARTITION=1.
+     */
+    bool hoistBases = true;
+    /**
+     * Worksharing schedule of the parallel loops (tile loops and
+     * untiled per-stage loops).  Dynamic is the default: clamped
+     * boundary tiles and rows do measurably less work than interior
+     * ones, so static chunking leaves threads idle at the edges.
+     * Env-overridable via POLYMAGE_TILE_SCHEDULE={static,dynamic}.
+     */
+    OmpSchedule tileSchedule = OmpSchedule::Dynamic;
+    /**
+     * Minimum estimated extent for a loop dimension to host the
+     * parallel pragma.  A short outermost dimension -- typically the
+     * 3-wide channel axis of an RGB pipeline -- must not cap the
+     * worker pool at 3 threads, so the generator skips past any
+     * dimension estimated shorter than this and parallelises the
+     * first long one (the paper's baselines parallelise rows).
+     */
+    std::int64_t minParallelExtent = 16;
 };
 
 /** The generated translation unit. */
@@ -95,6 +140,25 @@ struct GeneratedCode
      * stack budget.  Feeds Executable::memoryStats().
      */
     std::int64_t heapArenaBytes = 0;
+    /**
+     * Codegen-strategy observability (the `codegen` object of
+     * polymage-profile-v1 entries): the schedule clause emitted on
+     * parallel loops, whether partitioning/hoisting ran, and the
+     * loop-nest census of the primary entry -- `interiorNests` counts
+     * guard-free function-stage nests, `guardedNests` those that kept
+     * a residual per-point `if`, and `partitionedCases` the cases
+     * split into union-of-box strips.
+     */
+    std::string tileSchedule;
+    bool partition = true;
+    int interiorNests = 0;
+    int guardedNests = 0;
+    int partitionedCases = 0;
+    double interiorFraction() const
+    {
+        const int total = interiorNests + guardedNests;
+        return total == 0 ? 1.0 : double(interiorNests) / total;
+    }
 };
 
 /** Generate code for a scheduled pipeline. */

@@ -129,8 +129,25 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
     }
     {
         obs::ScopedTrace phase(reg, "codegen");
+        // POLYMAGE_NO_PARTITION=1 forces the guarded-sweep ablation
+        // (no boundary/interior split, no invariant hoisting);
+        // POLYMAGE_TILE_SCHEDULE={static,dynamic} overrides the
+        // worksharing clause.  Both without a rebuild, for benches.
+        cg::CodegenOptions copts = opts.codegen;
+        const char *no_part = std::getenv("POLYMAGE_NO_PARTITION");
+        if (no_part != nullptr && no_part[0] != '\0' &&
+            std::string(no_part) != "0") {
+            copts.partition = false;
+            copts.hoistBases = false;
+        }
+        if (const char *sched = std::getenv("POLYMAGE_TILE_SCHEDULE")) {
+            if (std::string(sched) == "static")
+                copts.tileSchedule = cg::OmpSchedule::Static;
+            else if (std::string(sched) == "dynamic")
+                copts.tileSchedule = cg::OmpSchedule::Dynamic;
+        }
         out.code = cg::generate(out.graph, out.grouping, opts.grouping,
-                                out.storage, opts.codegen);
+                                out.storage, copts);
     }
     // Keep only this compilation's spans (an outer registry may hold
     // earlier compilations).

@@ -103,6 +103,44 @@ walk(const CondNode &n, const std::set<int> &var_ids, CondBox &out)
     }
 }
 
+/**
+ * Expand @p n into DNF clauses, each a conjunction of leaf
+ * comparisons.  Returns false when the expansion exceeds @p cap
+ * (And distributes over Or, so deeply nested disjunctions can blow
+ * up combinatorially; the cap keeps codegen output bounded).
+ */
+bool
+toDnf(const CondNode &n, std::vector<std::vector<const CondNode *>> &out,
+      std::size_t cap)
+{
+    switch (n.kind) {
+      case CondNode::Kind::Cmp:
+        out.push_back({&n});
+        return true;
+      case CondNode::Kind::Or: {
+        if (!toDnf(*n.a, out, cap) || !toDnf(*n.b, out, cap))
+            return false;
+        return out.size() <= cap;
+      }
+      case CondNode::Kind::And: {
+        std::vector<std::vector<const CondNode *>> a, b;
+        if (!toDnf(*n.a, a, cap) || !toDnf(*n.b, b, cap))
+            return false;
+        if (a.size() * b.size() > cap)
+            return false;
+        for (const auto &ca : a) {
+            for (const auto &cb : b) {
+                std::vector<const CondNode *> c = ca;
+                c.insert(c.end(), cb.begin(), cb.end());
+                out.push_back(std::move(c));
+            }
+        }
+        return true;
+    }
+    }
+    return false;
+}
+
 } // namespace
 
 CondBox
@@ -110,6 +148,28 @@ analyzeCondition(const Condition &cond, const std::set<int> &var_ids)
 {
     CondBox out;
     walk(cond.node(), var_ids, out);
+    return out;
+}
+
+std::optional<std::vector<CondBox>>
+analyzeUnion(const Condition &cond, const std::set<int> &var_ids,
+             std::size_t max_clauses)
+{
+    std::vector<std::vector<const CondNode *>> clauses;
+    if (!toDnf(cond.node(), clauses, max_clauses))
+        return std::nullopt;
+    std::vector<CondBox> out;
+    out.reserve(clauses.size());
+    for (const auto &clause : clauses) {
+        CondBox box;
+        for (const CondNode *cmp : clause) {
+            if (!foldCmp(*cmp, var_ids, box)) {
+                box.residual.push_back(
+                    Condition(std::make_shared<CondNode>(*cmp)));
+            }
+        }
+        out.push_back(std::move(box));
+    }
     return out;
 }
 

@@ -48,6 +48,25 @@ struct CondBox
 CondBox analyzeCondition(const dsl::Condition &cond,
                          const std::set<int> &var_ids);
 
+/**
+ * Decompose @p cond into a union of conjunctive clauses (disjunctive
+ * normal form) and analyse each clause as its own CondBox.  This is
+ * what turns a boundary condition like `x < 2 || x > N-3` -- which
+ * analyzeCondition must keep whole as a runtime guard -- into
+ * per-dimension split points: each clause's box bounds become the loop
+ * bounds of one narrow strip nest, so the emitted loops carry no
+ * per-point `if`.  Clauses may overlap (DNF does not disjoin them);
+ * callers must only use this where re-evaluating a point is idempotent
+ * (pure function assignments).  Comparisons a clause cannot fold stay
+ * in that clause's residual.
+ *
+ * Returns std::nullopt when the expansion would exceed @p max_clauses
+ * (the generator then falls back to a single guarded nest).
+ */
+std::optional<std::vector<CondBox>>
+analyzeUnion(const dsl::Condition &cond, const std::set<int> &var_ids,
+             std::size_t max_clauses = 16);
+
 } // namespace polymage::poly
 
 #endif // POLYMAGE_POLY_COND_BOX_HPP

@@ -8,6 +8,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "apps/apps.hpp"
 #include "interp/interpreter.hpp"
 #include "runtime/executor.hpp"
@@ -174,6 +176,74 @@ TEST(Apps, HarrisBaselineVariantsAgree)
                       CompileOptions::optimized()}) {
         auto outs = rt::Executable::build(spec, opts).run({n, n}, {&in});
         EXPECT_LE(outs[0].maxAbsDiff(ref[0]), 1e-3);
+    }
+}
+
+TEST(Apps, CodegenVariantsMatchInterpreter)
+{
+    // The partitioning/hoisting ablation and both tile schedules must
+    // be bit-tolerant against the interpreter for real apps, not just
+    // the synthetic boundary pipelines (the env vars exercise the
+    // driver plumbing end to end).
+    struct Variant
+    {
+        const char *name;
+        const char *var;
+        const char *val;
+    };
+    const Variant variants[] = {
+        {"no-partition", "POLYMAGE_NO_PARTITION", "1"},
+        {"static-schedule", "POLYMAGE_TILE_SCHEDULE", "static"},
+        {"dynamic-schedule", "POLYMAGE_TILE_SCHEDULE", "dynamic"},
+    };
+
+    const std::int64_t n = 40;
+    struct App
+    {
+        const char *name;
+        dsl::PipelineSpec spec;
+        std::vector<std::int64_t> params;
+        std::vector<Buffer> ins;
+        double tol;
+    };
+    App apps[] = {
+        {"harris", buildHarris(n, n), {n, n},
+         {rt::synth::photo(n + 2, n + 2)}, 1e-3},
+        {"unsharp", buildUnsharpMask(n, n), {n, n},
+         {rt::synth::photoRgb(n + 4, n + 4)}, 1e-4},
+        {"bilateral", buildBilateralGrid(64, 64), {64, 64},
+         {rt::synth::photo(64, 64)}, 1e-4},
+        {"camera", buildCameraPipeline(48, 64), {48, 64},
+         {rt::synth::bayerRaw(52, 68)}, 1.0},
+        {"pyramid", buildPyramidBlend(64, 64, 3),
+         pyramidParams(64, 64, 3),
+         {rt::synth::photo(64, 64, 1), rt::synth::photo(64, 64, 2),
+          rt::synth::blendMask(64, 64)}, 1e-3},
+        {"multiscale", buildMultiscaleInterp(64, 64, 3),
+         pyramidParams(64, 64, 3),
+         {rt::synth::sparseAlpha(64, 64, 0.1)}, 1e-3},
+        {"laplacian", buildLocalLaplacian(64, 64, 3, 4),
+         pyramidParams(64, 64, 3),
+         {rt::synth::photo(64, 64)}, 1e-3},
+    };
+    for (App &a : apps) {
+        SCOPED_TRACE(a.name);
+        std::vector<const Buffer *> ins;
+        for (const Buffer &b : a.ins)
+            ins.push_back(&b);
+        auto g = pg::PipelineGraph::build(a.spec);
+        auto ref = interp::evaluate(g, a.params, ins);
+        for (const Variant &v : variants) {
+            SCOPED_TRACE(v.name);
+            ::setenv(v.var, v.val, 1);
+            auto outs = rt::Executable::build(a.spec,
+                                              CompileOptions::optimized())
+                            .run(a.params, ins);
+            ::unsetenv(v.var);
+            ASSERT_EQ(outs.size(), ref.outputs.size());
+            for (std::size_t i = 0; i < outs.size(); ++i)
+                EXPECT_LE(outs[i].maxAbsDiff(ref.outputs[i]), a.tol);
+        }
     }
 }
 

@@ -174,6 +174,69 @@ TEST(CodegenFeatures, StackScratchpadsAreCacheAligned)
               std::string::npos);
 }
 
+/** Entry-function body (the prelude helpers legitimately carry ifs). */
+std::string
+entryBodyOf(const CompiledPipeline &c)
+{
+    const std::size_t pos = c.code.source.find("extern \"C\"");
+    EXPECT_NE(pos, std::string::npos);
+    return c.code.source.substr(pos);
+}
+
+TEST(GoldenInterior, AppsEmitGuardFreeInnermostLoops)
+{
+    // Every case condition of these apps folds into loop bounds or
+    // strided residue loops: the generated entries must contain not a
+    // single `if` -- the interior innermost loops are dense and
+    // branch-free (ISSUE: guard-free interior codegen).
+    struct App
+    {
+        const char *name;
+        dsl::PipelineSpec spec;
+    };
+    for (const App &a : {App{"harris", apps::buildHarris(1024, 1024)},
+                   App{"unsharp", apps::buildUnsharpMask(512, 512)},
+                   App{"pyramid", apps::buildPyramidBlend(512, 512, 3)}}) {
+        SCOPED_TRACE(a.name);
+        auto c = compilePipeline(a.spec);
+        EXPECT_EQ(countOccurrences(entryBodyOf(c), "if ("), 0);
+        EXPECT_EQ(c.code.guardedNests, 0);
+        EXPECT_DOUBLE_EQ(c.code.interiorFraction(), 1.0);
+    }
+}
+
+TEST(GoldenInterior, StoresIndexOffHoistedBases)
+{
+    // With invariant hoisting on (the default), no store statement
+    // re-multiplies a full row-major stride per point: the prefix
+    // lives in a pm_base local declared before the innermost loop.
+    struct App
+    {
+        const char *name;
+        dsl::PipelineSpec spec;
+    };
+    for (const App &a : {App{"harris", apps::buildHarris(1024, 1024)},
+                   App{"unsharp", apps::buildUnsharpMask(512, 512)},
+                   App{"pyramid", apps::buildPyramidBlend(512, 512, 3)}}) {
+        SCOPED_TRACE(a.name);
+        auto c = compilePipeline(a.spec);
+        const std::string body = entryBodyOf(c);
+        EXPECT_NE(body.find("const long long pm_base"),
+                  std::string::npos);
+        std::size_t pos = 0;
+        int stores = 0;
+        while ((pos = body.find("] = (", pos)) != std::string::npos) {
+            const std::size_t bol = body.rfind('\n', pos) + 1;
+            const std::size_t eol = body.find('\n', pos);
+            const std::string line = body.substr(bol, eol - bol);
+            EXPECT_EQ(line.find("* st_"), std::string::npos) << line;
+            ++stores;
+            pos = eol;
+        }
+        EXPECT_GT(stores, 0);
+    }
+}
+
 TEST(CodegenFeatures, ParityCasesBecomeStridedLoops)
 {
     auto c = compilePipeline(apps::buildPyramidBlend(512, 512, 3));

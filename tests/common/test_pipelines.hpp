@@ -180,6 +180,84 @@ makeTimeIterated(std::int64_t est = 64, std::int64_t steps = 4)
     return t;
 }
 
+/**
+ * Boundary-copy stencil (paper-style explicit boundary handling): the
+ * border ring copies the input, the interior averages a 3x3
+ * neighbourhood.  The border condition is a union of four half-planes
+ * (`x <= 0 || x >= R-1 || ...`) -- the disjunctive pattern that
+ * exercises boundary/interior loop partitioning; without it the border
+ * case is a full-domain sweep with a per-point `if`.
+ */
+inline TinyPipeline
+makeBoundaryStencil(std::int64_t est = 64)
+{
+    TinyPipeline t;
+    using namespace dsl;
+    Image I("I", DType::Float, {Expr(t.R), Expr(t.C)});
+    Variable x("x"), y("y");
+    Interval rows(Expr(0), Expr(t.R) - 1), cols(Expr(0), Expr(t.C) - 1);
+    Condition border = (Expr(x) <= 0) | (Expr(x) >= Expr(t.R) - 1) |
+                       (Expr(y) <= 0) | (Expr(y) >= Expr(t.C) - 1);
+    Condition interior = (Expr(x) >= 1) & (Expr(x) <= Expr(t.R) - 2) &
+                         (Expr(y) >= 1) & (Expr(y) <= Expr(t.C) - 2);
+    Function out("edge", {x, y}, {rows, cols}, DType::Float);
+    out.define({Case(border, I(x, y)),
+                Case(interior,
+                     stencil([&](Expr i, Expr j) { return I(i, j); }, x,
+                             y, {{1, 1, 1}, {1, 1, 1}, {1, 1, 1}},
+                             1.0 / 9))});
+    t.spec = PipelineSpec("boundary_stencil");
+    t.spec.addParam(t.R);
+    t.spec.addParam(t.C);
+    t.spec.addInput(I);
+    t.spec.addOutput(out);
+    t.spec.estimate(t.R, est);
+    t.spec.estimate(t.C, est);
+    return t;
+}
+
+/**
+ * Two-stage version of makeBoundaryStencil whose stages fuse into an
+ * overlapped-tile group: a point-wise producer followed by a consumer
+ * with the disjunctive border case.  Exercises partitioning inside the
+ * tiled per-stage nests (scratchpad indexing included).
+ */
+inline TinyPipeline
+makeBoundaryChain(std::int64_t est = 64)
+{
+    TinyPipeline t;
+    using namespace dsl;
+    Image I("I", DType::Float, {Expr(t.R), Expr(t.C)});
+    Variable x("x"), y("y");
+    Interval rows(Expr(0), Expr(t.R) - 1), cols(Expr(0), Expr(t.C) - 1);
+
+    // Two taps keep `pre` out of the pointwise inliner's reach so the
+    // chain really fuses into an overlapped-tile group.
+    Function pre("pre", {x, y}, {rows, cols}, DType::Float);
+    pre.define((I(x, y) + I(min(Expr(x) + 1, Expr(t.R) - 1), y)) *
+               Expr(0.5));
+
+    Condition border = (Expr(x) <= 0) | (Expr(x) >= Expr(t.R) - 1) |
+                       (Expr(y) <= 0) | (Expr(y) >= Expr(t.C) - 1);
+    Condition interior = (Expr(x) >= 1) & (Expr(x) <= Expr(t.R) - 2) &
+                         (Expr(y) >= 1) & (Expr(y) <= Expr(t.C) - 2);
+    Function out("edge2", {x, y}, {rows, cols}, DType::Float);
+    out.define({Case(border, pre(x, y)),
+                Case(interior,
+                     stencil([&](Expr i, Expr j) { return pre(i, j); },
+                             x, y, {{1, 1, 1}, {1, 1, 1}, {1, 1, 1}},
+                             1.0 / 9))});
+
+    t.spec = PipelineSpec("boundary_chain");
+    t.spec.addParam(t.R);
+    t.spec.addParam(t.C);
+    t.spec.addInput(I);
+    t.spec.addOutput(out);
+    t.spec.estimate(t.R, est);
+    t.spec.estimate(t.C, est);
+    return t;
+}
+
 } // namespace polymage::testing
 
 #endif // POLYMAGE_TESTS_COMMON_TEST_PIPELINES_HPP

@@ -101,5 +101,66 @@ TEST_F(CondBoxTest, NegatedCoefficientFlips)
     EXPECT_EQ(evalBound(box.bounds[x.id()].uppers.at(0)), Rational(100));
 }
 
+TEST_F(CondBoxTest, UnionSplitsBoundaryDisjunction)
+{
+    // x < 2 || x > R-3: two clauses, each a pure box.
+    Condition c = (Expr(x) < 2) | (Expr(x) > Expr(r) - 3);
+    auto clauses = analyzeUnion(c, vars());
+    ASSERT_TRUE(clauses.has_value());
+    ASSERT_EQ(clauses->size(), 2u);
+    EXPECT_TRUE((*clauses)[0].residual.empty());
+    EXPECT_TRUE((*clauses)[1].residual.empty());
+    EXPECT_EQ(evalBound((*clauses)[0].bounds[x.id()].uppers.at(0)),
+              Rational(1));
+    EXPECT_EQ(evalBound((*clauses)[1].bounds[x.id()].lowers.at(0)),
+              Rational(98));
+}
+
+TEST_F(CondBoxTest, UnionDistributesConjunctionOverDisjunction)
+{
+    // (x < 1 || x > 5) && y >= 2: the y bound lands in both clauses.
+    Condition c = ((Expr(x) < 1) | (Expr(x) > 5)) & (Expr(y) >= 2);
+    auto clauses = analyzeUnion(c, vars());
+    ASSERT_TRUE(clauses.has_value());
+    ASSERT_EQ(clauses->size(), 2u);
+    for (const CondBox &box : *clauses) {
+        EXPECT_TRUE(box.residual.empty());
+        ASSERT_EQ(box.bounds.count(y.id()), 1u);
+        EXPECT_EQ(evalBound(box.bounds.at(y.id()).lowers.at(0)),
+                  Rational(2));
+    }
+}
+
+TEST_F(CondBoxTest, UnionConjunctionIsSingleClause)
+{
+    Condition c = (Expr(x) >= 1) & (Expr(x) <= 5);
+    auto clauses = analyzeUnion(c, vars());
+    ASSERT_TRUE(clauses.has_value());
+    EXPECT_EQ(clauses->size(), 1u);
+}
+
+TEST_F(CondBoxTest, UnionKeepsUnfoldableLeafAsClauseResidual)
+{
+    // The multi-variable leaf cannot fold; its clause keeps it.
+    Condition c = (Expr(x) < 1) | (Expr(x) + Expr(y) <= 7);
+    auto clauses = analyzeUnion(c, vars());
+    ASSERT_TRUE(clauses.has_value());
+    ASSERT_EQ(clauses->size(), 2u);
+    EXPECT_TRUE((*clauses)[0].residual.empty());
+    EXPECT_EQ((*clauses)[1].residual.size(), 1u);
+}
+
+TEST_F(CondBoxTest, UnionRespectsClauseCap)
+{
+    // 2^5 = 32 clauses from the And-over-Or distribution: above the
+    // cap of 16, the caller must fall back to a guarded nest.
+    Condition c = (Expr(x) < 1) | (Expr(x) > 2);
+    Condition acc = c;
+    for (int i = 0; i < 4; ++i)
+        acc = acc & ((Expr(y) < i) | (Expr(y) > i + 1));
+    EXPECT_FALSE(analyzeUnion(acc, vars(), 16).has_value());
+    EXPECT_TRUE(analyzeUnion(acc, vars(), 64).has_value());
+}
+
 } // namespace
 } // namespace polymage::poly

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Dump the generated C++ of a paper app to stdout.  Used by
+ * scripts/check_vectorize.sh to feed the emitted kernel through the
+ * host compiler's vectorisation report, and handy for eyeballing what
+ * the codegen produces:
+ *
+ *   ./polymage_dump_source harris [rows cols] > harris.gen.cpp
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "apps/apps.hpp"
+#include "driver/compiler.hpp"
+
+using namespace polymage;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "harris";
+    const std::int64_t r = argc > 2 ? std::atoll(argv[2]) : 2048;
+    const std::int64_t c = argc > 3 ? std::atoll(argv[3]) : 2048;
+
+    dsl::PipelineSpec spec("unset");
+    if (app == "harris")
+        spec = apps::buildHarris(r, c);
+    else if (app == "unsharp")
+        spec = apps::buildUnsharpMask(r, c);
+    else if (app == "bilateral")
+        spec = apps::buildBilateralGrid(r, c);
+    else if (app == "camera")
+        spec = apps::buildCameraPipeline(r, c);
+    else if (app == "pyramid")
+        spec = apps::buildPyramidBlend(r, c, 4);
+    else {
+        std::fprintf(stderr,
+                     "usage: %s {harris|unsharp|bilateral|camera|"
+                     "pyramid} [rows cols]\n",
+                     argv[0]);
+        return 2;
+    }
+
+    auto compiled = compilePipeline(spec);
+    std::fputs(compiled.code.source.c_str(), stdout);
+    return 0;
+}
