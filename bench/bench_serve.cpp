@@ -1,0 +1,266 @@
+/**
+ * @file
+ * Serving benchmark: throughput (requests/sec) and tail latency of
+ * the seven paper applications through the `polymage::serve` engine,
+ * across worker counts and overload policies.
+ *
+ * Flags:
+ *   --timings-json <path>  write a polymage-serve-bench-v1 snapshot
+ *   --requests N           requests per configuration (default 24)
+ *   --workers a,b,c        worker counts to sweep (default 1,2,4)
+ *   --clients N            client threads (default 2 x workers)
+ *   --policy P             block | reject | shed | all (default block)
+ *
+ * Environment:
+ *   POLYMAGE_SERVE_THREADS total thread budget; each configuration
+ *                          splits it as workers x OpenMP threads per
+ *                          worker (default: hardware concurrency).
+ *                          The split is recorded in the JSON so
+ *                          snapshots are comparable across machines.
+ *   POLYMAGE_BENCH_SCALE   image-size scale (default 0.25 here; the
+ *                          serving matrix multiplies runs, so the
+ *                          default favours breadth over image size).
+ */
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "serve/engine.hpp"
+
+using namespace polymage;
+using namespace polymage::bench;
+
+namespace {
+
+int
+argInt(int argc, char **argv, const char *flag, int fallback)
+{
+    const std::string s = argPath(argc, argv, flag);
+    return s.empty() ? fallback : std::atoi(s.c_str());
+}
+
+std::vector<int>
+argIntList(int argc, char **argv, const char *flag,
+           std::vector<int> fallback)
+{
+    const std::string s = argPath(argc, argv, flag);
+    if (s.empty())
+        return fallback;
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t next = s.find(',', pos);
+        if (next == std::string::npos)
+            next = s.size();
+        const int v = std::atoi(s.substr(pos, next - pos).c_str());
+        if (v > 0)
+            out.push_back(v);
+        pos = next + 1;
+    }
+    return out.empty() ? fallback : out;
+}
+
+/** Non-owning shared_ptr view of a long-lived buffer. */
+std::shared_ptr<const rt::Buffer>
+borrow(const rt::Buffer &b)
+{
+    return {std::shared_ptr<const rt::Buffer>(), &b};
+}
+
+struct ConfigResult
+{
+    int workers = 0;
+    int ompPerWorker = 0;
+    int clients = 0;
+    std::string policy;
+    int requests = 0;
+    double wallSeconds = 0.0;
+    double rps = 0.0;
+    serve::ServeSnapshot metrics;
+};
+
+/**
+ * Drive one engine configuration: @p clients threads submit
+ * @p requests requests total and wait for every future.
+ */
+ConfigResult
+runConfig(const std::shared_ptr<serve::PipelineRegistry> &registry,
+          const AppBench &app, int workers, int omp_per_worker,
+          int clients, serve::OverloadPolicy policy, int requests)
+{
+    serve::EngineOptions eopts;
+    eopts.workers = workers;
+    eopts.ompThreadsPerWorker = omp_per_worker;
+    eopts.policy = policy;
+    // Overload policies only bite when the queue is small relative to
+    // the offered load; Block gets headroom so nothing is dropped.
+    eopts.queueCapacity =
+        policy == serve::OverloadPolicy::Block ? 4 * requests : 2;
+    serve::Engine engine(registry, eopts);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    std::atomic<int> next{0};
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+            std::vector<std::future<serve::Response>> futures;
+            while (next.fetch_add(1) < requests) {
+                serve::Request req;
+                req.pipeline = app.name;
+                req.params = app.params;
+                for (const rt::Buffer &b : app.inputStorage)
+                    req.inputs.push_back(borrow(b));
+                futures.push_back(engine.submit(std::move(req)));
+            }
+            for (auto &f : futures)
+                f.get();
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    engine.drain();
+
+    ConfigResult r;
+    r.workers = workers;
+    r.ompPerWorker = engine.ompThreadsPerWorker();
+    r.clients = clients;
+    r.policy = serve::policyName(policy);
+    r.requests = requests;
+    r.wallSeconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    r.metrics = engine.metrics();
+    r.rps = r.wallSeconds > 0
+                ? double(r.metrics.completed) / r.wallSeconds
+                : 0.0;
+    return r;
+}
+
+void
+writeConfigJson(obs::JsonWriter &w, const ConfigResult &r)
+{
+    w.beginObject();
+    w.key("workers").value(r.workers);
+    w.key("omp_threads_per_worker").value(r.ompPerWorker);
+    w.key("clients").value(r.clients);
+    w.key("policy").value(r.policy);
+    w.key("requests").value(r.requests);
+    w.key("wall_seconds").value(r.wallSeconds);
+    w.key("rps").value(r.rps);
+    w.key("metrics").raw(r.metrics.toJson());
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = benchScale(0.25);
+    const int budget = serveThreadBudget();
+    const bool budget_from_env =
+        std::getenv("POLYMAGE_SERVE_THREADS") != nullptr;
+    const int requests = argInt(argc, argv, "--requests", 24);
+    std::vector<int> worker_counts =
+        argIntList(argc, argv, "--workers", {1, 2, 4});
+    const int clients_flag = argInt(argc, argv, "--clients", 0);
+    const std::string policy_flag = [&] {
+        const std::string p = argPath(argc, argv, "--policy");
+        return p.empty() ? std::string("block") : p;
+    }();
+    const std::string json_path = argPath(argc, argv, "--timings-json");
+
+    std::vector<serve::OverloadPolicy> policies;
+    if (policy_flag == "all") {
+        policies = {serve::OverloadPolicy::Block,
+                    serve::OverloadPolicy::RejectWithError,
+                    serve::OverloadPolicy::ShedOldest};
+    } else {
+        policies = {serve::policyFromName(policy_flag)};
+    }
+
+    std::printf("==== Serving benchmark: scale %.2f, thread budget %d"
+                "%s, %d requests/config ====\n",
+                scale, budget,
+                budget_from_env ? " (POLYMAGE_SERVE_THREADS)" : "",
+                requests);
+
+    auto benches = paperBenchmarks(scale);
+    auto registry = std::make_shared<serve::PipelineRegistry>(
+        serve::RegistryOptions{16, {}});
+    for (const AppBench &b : benches)
+        registry->add(b.name, b.spec, b.tuned);
+
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("schema").value("polymage-serve-bench-v1");
+    w.key("scale").value(scale);
+    w.key("thread_budget").value(budget);
+    w.key("thread_budget_from_env").value(budget_from_env);
+    w.key("apps").beginArray();
+
+    for (const AppBench &app : benches) {
+        std::printf("\n-- %s (%s) --\n", app.name.c_str(),
+                    app.sizeLabel.c_str());
+        // Warm the variant once so the JIT compile never lands inside
+        // a timed window.
+        registry->get(app.name);
+
+        w.beginObject();
+        w.key("name").value(app.name);
+        w.key("size").value(app.sizeLabel);
+        w.key("configs").beginArray();
+
+        std::vector<double> rps_by_workers;
+        for (int workers : worker_counts) {
+            const int omp_per_worker = std::max(1, budget / workers);
+            const int clients =
+                clients_flag > 0 ? clients_flag : 2 * workers;
+            for (serve::OverloadPolicy policy : policies) {
+                ConfigResult r =
+                    runConfig(registry, app, workers, omp_per_worker,
+                              clients, policy, requests);
+                if (policy == policies.front())
+                    rps_by_workers.push_back(r.rps);
+                std::printf(
+                    "  workers=%d omp=%d clients=%d %-6s  "
+                    "%7.2f req/s  p50 %6.1f ms  p95 %6.1f ms  "
+                    "p99 %6.1f ms  (%llu ok, %llu rej, %llu shed)\n",
+                    r.workers, r.ompPerWorker, r.clients,
+                    r.policy.c_str(), r.rps,
+                    r.metrics.latency.p50Seconds * 1e3,
+                    r.metrics.latency.p95Seconds * 1e3,
+                    r.metrics.latency.p99Seconds * 1e3,
+                    (unsigned long long)r.metrics.completed,
+                    (unsigned long long)r.metrics.rejected,
+                    (unsigned long long)r.metrics.shed);
+                writeConfigJson(w, r);
+            }
+        }
+        if (rps_by_workers.size() > 1 && rps_by_workers.front() > 0) {
+            std::printf("  scaling %d -> %d workers: %.2fx\n",
+                        worker_counts.front(), worker_counts.back(),
+                        rps_by_workers.back() / rps_by_workers.front());
+        }
+        w.endArray();
+        w.endObject();
+    }
+
+    w.endArray();
+    w.endObject();
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path);
+        if (!os) {
+            std::fprintf(stderr, "cannot write timings JSON to %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        os << w.str() << "\n";
+        std::printf("\nserve timings JSON written to %s\n",
+                    json_path.c_str());
+    }
+    return 0;
+}

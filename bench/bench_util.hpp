@@ -14,6 +14,7 @@
 #include <fstream>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "apps/apps.hpp"
@@ -168,6 +169,26 @@ memorySummary(const rt::Executable &exe)
                   formatBytes(m.estBytesSaved()).c_str(),
                   formatBytes(m.poolPeakBytesInUse).c_str());
     return buf;
+}
+
+/**
+ * Total serving-thread budget: POLYMAGE_SERVE_THREADS when set (so
+ * snapshots from shared or differently sized machines are comparable
+ * — the benches otherwise assume exclusive machine use), else the
+ * hardware concurrency.  Each serving configuration splits the budget
+ * as workers x OpenMP-threads-per-worker; both halves are recorded in
+ * the emitted JSON.
+ */
+inline int
+serveThreadBudget()
+{
+    if (const char *env = std::getenv("POLYMAGE_SERVE_THREADS")) {
+        const int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    const int hw = int(std::thread::hardware_concurrency());
+    return hw > 0 ? hw : 1;
 }
 
 /** Linear image-size scale from POLYMAGE_BENCH_SCALE (default 1.0). */

@@ -71,6 +71,27 @@ for field in start_ns duration_ns serial_seconds total_seconds stages \
     grep -rq "\"$field\"" src/ || err "field \"$field\" not emitted by src/"
 done
 
+# ---------------------------------------------------------------- 4.
+# Serving docs: the serve schema tags and their headline fields must be
+# documented in docs/SERVING.md and present in the serializers.
+sdoc=docs/SERVING.md
+[ -f "$sdoc" ] || err "$sdoc missing"
+if [ -f "$sdoc" ]; then
+    for tag in polymage-serve-v1 polymage-serve-bench-v1; do
+        grep -q "$tag" "$sdoc" || err "schema tag $tag missing from $sdoc"
+        grep -rq "$tag" src/ bench/ \
+            || err "schema tag $tag not found in sources"
+    done
+    for field in omp_threads_per_worker queue_capacity peak_queue_depth \
+                 p50_seconds p95_seconds p99_seconds queue_wait \
+                 block_allocs thread_budget; do
+        grep -q "\"$field\"" "$sdoc" \
+            || err "field \"$field\" missing from $sdoc"
+        grep -rq "\"$field\"" src/ bench/ \
+            || err "field \"$field\" not emitted by src/ or bench/"
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED" >&2
     exit 1

@@ -3,10 +3,11 @@
 # (exit nonzero on any failure).  Each sanitizer gets its own build
 # tree so repeated runs are incremental.
 #
-# Usage: scripts/check_sanitize.sh [address|undefined] [ctest args...]
+# Usage: scripts/check_sanitize.sh [address|undefined|thread] [ctest args...]
 #
 # Defaults to address.  Extra arguments are forwarded to ctest, e.g.
 #   scripts/check_sanitize.sh undefined -R Storage
+#   scripts/check_sanitize.sh thread
 #
 # Notes:
 #   * JIT-compiled pipeline objects are built by the system compiler
@@ -15,15 +16,25 @@
 #     management lives (BufferPool, scratch arenas, slot leases).
 #   * ASAN_OPTIONS disables leak checking of intentionally process-
 #     lifetime allocations (dlopen handles of cached objects).
+#   * thread mode targets the concurrency surface (serving engine,
+#     registry, concurrent Executable::run, JIT cache writers).  libgomp
+#     is not TSan-instrumented, so OpenMP parallel regions would be
+#     reported as false races: the run pins OMP_NUM_THREADS=1 and loads
+#     scripts/tsan.supp to silence what remains of the runtime itself.
+#     Host-side threading (workers, queue, pools, futures) is fully
+#     checked.  Without extra ctest args, thread mode runs the
+#     concurrency-focused tests rather than the whole suite.
 
 set -eu
 cd "$(dirname "$0")/.."
 
-san="${1:-address}"
+# Mode comes from the first argument, or the POLYMAGE_SANITIZE
+# environment variable (matching the CMake cache option), or address.
+san="${1:-${POLYMAGE_SANITIZE:-address}}"
 [ $# -gt 0 ] && shift
 case "$san" in
-    address|undefined) ;;
-    *) echo "usage: $0 [address|undefined] [ctest args...]" >&2
+    address|undefined|thread) ;;
+    *) echo "usage: $0 [address|undefined|thread] [ctest args...]" >&2
        exit 2 ;;
 esac
 
@@ -35,6 +46,14 @@ cmake --build "$build_dir" -j "$(nproc)"
 
 export ASAN_OPTIONS="detect_leaks=0:abort_on_error=1"
 export UBSAN_OPTIONS="print_stacktrace=1:halt_on_error=1"
+
+if [ "$san" = thread ]; then
+    export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
+    export OMP_NUM_THREADS=1
+    if [ $# -eq 0 ]; then
+        set -- -R '(Concurrent|Engine|Registry|Jit|Buffer)'
+    fi
+fi
 
 ctest --test-dir "$build_dir" --output-on-failure "$@"
 echo "check_sanitize: $san build passed"

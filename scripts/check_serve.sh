@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Smoke-check the serving subsystem, CI-friendly (exit nonzero on
+# failure): build the serving demo and benchmark, run a short
+# Block-policy benchmark, and validate the emitted
+# polymage-serve-bench-v1 JSON — the snapshot must parse, carry the
+# schema tags, record the thread-budget split, and show zero rejected
+# or shed requests (Block mode must complete everything).
+#
+# Usage: scripts/check_serve.sh
+#
+# Honours POLYMAGE_BUILD_DIR (defaults to build).  Keeps the run small:
+# two worker counts, a handful of requests, 1/8-scale images, and a
+# thread budget of 2 via POLYMAGE_SERVE_THREADS (which the JSON must
+# echo back).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir="${POLYMAGE_BUILD_DIR:-build}"
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_serve \
+    polymage_serve_demo >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+json="$tmp/serve.json"
+
+# End-to-end demo: future + callback paths, exits nonzero on any
+# failed request.
+"$build_dir/tools/polymage_serve_demo" 48 48 4 >/dev/null
+
+POLYMAGE_BENCH_SCALE=0.125 POLYMAGE_SERVE_THREADS=2 \
+    "$build_dir/bench/bench_serve" --requests 6 --workers 1,2 \
+    --policy block --timings-json "$json" >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "polymage-serve-bench-v1", doc["schema"]
+assert doc["thread_budget"] == 2, doc["thread_budget"]
+assert doc["thread_budget_from_env"] is True
+assert doc["apps"], "no apps in snapshot"
+for app in doc["apps"]:
+    assert app["configs"], f"no configs for {app['name']}"
+    for cfg in app["configs"]:
+        m = cfg["metrics"]
+        assert m["schema"] == "polymage-serve-v1", m["schema"]
+        assert cfg["policy"] == "block", cfg["policy"]
+        # Block never drops work.
+        assert m["rejected"] == 0, (app["name"], m["rejected"])
+        assert m["shed"] == 0, (app["name"], m["shed"])
+        assert m["completed"] == cfg["requests"], (app["name"], m)
+        # The worker x OpenMP split is recorded and within budget.
+        assert cfg["workers"] * cfg["omp_threads_per_worker"] <= 2, cfg
+        assert m["latency"]["count"] == m["completed"] + m["failed"]
+
+print("serve JSON OK:", len(doc["apps"]), "apps")
+EOF
+else
+    # Fallback: structural grep when python3 is unavailable.
+    grep -q '"schema":"polymage-serve-bench-v1"' "$json"
+    grep -q '"schema":"polymage-serve-v1"' "$json"
+    if grep -E '"rejected":[1-9]|"shed":[1-9]' "$json"; then
+        echo "check_serve: Block mode dropped requests" >&2
+        exit 1
+    fi
+fi
+
+echo "check_serve: serving smoke test passed"

@@ -129,6 +129,14 @@ Executable::runInto(const std::vector<std::int64_t> &params,
                     const std::vector<const Buffer *> &inputs,
                     std::vector<Buffer> &outputs) const
 {
+    runInto(params, inputs, outputs, *pool_);
+}
+
+void
+Executable::runInto(const std::vector<std::int64_t> &params,
+                    const std::vector<const Buffer *> &inputs,
+                    std::vector<Buffer> &outputs, BufferPool &pool) const
+{
     validateRun(*compiled_, params, inputs);
     // Inputs are read-only in generated code; the ABI uses void* const*.
     std::vector<void *> in_ptrs;
@@ -138,13 +146,21 @@ Executable::runInto(const std::vector<std::int64_t> &params,
     for (Buffer &b : outputs)
         out_ptrs.push_back(b.data());
     std::vector<long long> p(params.begin(), params.end());
-    SlotLease slots(*compiled_, *pool_, params);
+    SlotLease slots(*compiled_, pool, params);
     fn_(p.data(), in_ptrs.data(), out_ptrs.data(), slots.data());
 }
 
 std::vector<Buffer>
 Executable::run(const std::vector<std::int64_t> &params,
                 const std::vector<const Buffer *> &inputs) const
+{
+    return run(params, inputs, *pool_);
+}
+
+std::vector<Buffer>
+Executable::run(const std::vector<std::int64_t> &params,
+                const std::vector<const Buffer *> &inputs,
+                BufferPool &pool) const
 {
     validateRun(*compiled_, params, inputs);
     std::vector<Buffer> outputs;
@@ -154,7 +170,7 @@ Executable::run(const std::vector<std::int64_t> &params,
                              interp::stageShape(g.stage(out), g,
                                                 params));
     }
-    runInto(params, inputs, outputs);
+    runInto(params, inputs, outputs, pool);
     return outputs;
 }
 

@@ -128,7 +128,14 @@ class Executable
      */
     const std::vector<obs::Span> &trace() const { return trace_; }
 
-    /** Allocate outputs and run. */
+    /**
+     * Allocate outputs and run.
+     *
+     * Thread-safe: concurrent run()/runInto() calls on one Executable
+     * are supported — the compiled artefacts are immutable, slot
+     * leases are per call, and the backing BufferPool is internally
+     * locked (it grows to the concurrent working-set peak).
+     */
     std::vector<Buffer> run(const std::vector<std::int64_t> &params,
                             const std::vector<const Buffer *> &inputs)
         const;
@@ -137,6 +144,22 @@ class Executable
     void runInto(const std::vector<std::int64_t> &params,
                  const std::vector<const Buffer *> &inputs,
                  std::vector<Buffer> &outputs) const;
+
+    /**
+     * Allocate outputs and run, servicing intermediate slots from
+     * @p pool instead of the Executable's own.  Lets callers with many
+     * concurrent invocations (the serving engine's workers) keep one
+     * warm pool per thread so steady state stays allocation- and
+     * contention-free.
+     */
+    std::vector<Buffer> run(const std::vector<std::int64_t> &params,
+                            const std::vector<const Buffer *> &inputs,
+                            BufferPool &pool) const;
+
+    /** Run into caller-provided outputs using an external pool. */
+    void runInto(const std::vector<std::int64_t> &params,
+                 const std::vector<const Buffer *> &inputs,
+                 std::vector<Buffer> &outputs, BufferPool &pool) const;
 
     /**
      * Run the instrumented entry (serial) and collect per-task costs.

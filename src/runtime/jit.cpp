@@ -1,5 +1,6 @@
 #include "runtime/jit.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <dlfcn.h>
@@ -110,14 +111,20 @@ cacheDir()
 
 /**
  * Atomically publish @p src as @p dst within the cache: copy to a
- * unique temp name in the same directory, then rename.  Best effort —
- * a failure only loses the cache entry, never the build.
+ * unique temp name in the same directory, then rename.  Safe under
+ * concurrent writers — the temp name is unique per process *and*
+ * per call (pid alone would collide for two threads of one process),
+ * and rename() replaces any concurrent winner atomically, so readers
+ * only ever see a complete file.  Best effort — a failure only loses
+ * the cache entry, never the build.
  */
 void
 publishToCache(const std::string &src, const std::string &dst)
 {
-    const std::string tmp =
-        dst + ".tmp." + std::to_string(::getpid());
+    static std::atomic<std::uint64_t> seq{0};
+    const std::string tmp = dst + ".tmp." +
+                            std::to_string(::getpid()) + "." +
+                            std::to_string(seq.fetch_add(1));
     std::error_code ec;
     fs::copy_file(src, tmp, fs::copy_options::overwrite_existing, ec);
     if (ec)

@@ -1,0 +1,302 @@
+#include "serve/engine.hpp"
+
+#include <algorithm>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::serve {
+
+namespace {
+
+double
+secondsBetween(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b)
+{
+    return std::chrono::duration<double>(b - a).count();
+}
+
+} // namespace
+
+const char *
+policyName(OverloadPolicy p)
+{
+    switch (p) {
+    case OverloadPolicy::Block:
+        return "block";
+    case OverloadPolicy::RejectWithError:
+        return "reject";
+    case OverloadPolicy::ShedOldest:
+        return "shed";
+    }
+    return "unknown";
+}
+
+OverloadPolicy
+policyFromName(const std::string &name)
+{
+    if (name == "block")
+        return OverloadPolicy::Block;
+    if (name == "reject")
+        return OverloadPolicy::RejectWithError;
+    if (name == "shed")
+        return OverloadPolicy::ShedOldest;
+    specError("unknown overload policy '", name,
+              "' (expected block, reject, or shed)");
+}
+
+Engine::Engine(std::shared_ptr<PipelineRegistry> registry,
+               EngineOptions opts)
+    : registry_(std::move(registry)), opts_(opts)
+{
+    PM_ASSERT(registry_ != nullptr, "Engine requires a registry");
+    opts_.workers = std::max(1, opts_.workers);
+    opts_.queueCapacity = std::max(1, opts_.queueCapacity);
+
+    int hw = int(std::thread::hardware_concurrency());
+    if (hw <= 0)
+        hw = 1;
+    ompPerWorker_ = opts_.ompThreadsPerWorker > 0
+                        ? opts_.ompThreadsPerWorker
+                        : std::max(1, hw / opts_.workers);
+
+    pools_.reserve(std::size_t(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i)
+        pools_.push_back(std::make_unique<rt::BufferPool>());
+    workers_.reserve(std::size_t(opts_.workers));
+    for (int i = 0; i < opts_.workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+}
+
+Engine::~Engine() { shutdown(); }
+
+std::future<Response>
+Engine::submit(Request req)
+{
+    return enqueue(std::move(req), nullptr);
+}
+
+void
+Engine::submit(Request req, std::function<void(Response)> done)
+{
+    enqueue(std::move(req), std::move(done));
+}
+
+void
+Engine::finish(Job &job, Response &&r)
+{
+    if (job.callback)
+        job.callback(r);
+    job.promise.set_value(std::move(r));
+}
+
+std::future<Response>
+Engine::enqueue(Request req, std::function<void(Response)> done)
+{
+    Job job;
+    job.req = std::move(req);
+    job.callback = std::move(done);
+    job.enqueued = Clock::now();
+    std::future<Response> fut = job.promise.get_future();
+
+    std::optional<Job> shed;
+    const char *reject_reason = nullptr;
+    {
+        std::unique_lock<std::mutex> lock(mu_);
+        metrics_.onSubmit();
+        if (draining_ || stopping_) {
+            reject_reason = "engine is stopped";
+        } else if (std::int64_t(queue_.size()) >=
+                   opts_.queueCapacity) {
+            switch (opts_.policy) {
+            case OverloadPolicy::Block:
+                queueNotFull_.wait(lock, [&] {
+                    return std::int64_t(queue_.size()) <
+                               opts_.queueCapacity ||
+                           draining_ || stopping_;
+                });
+                if (draining_ || stopping_)
+                    reject_reason =
+                        "engine stopped while waiting for queue space";
+                break;
+            case OverloadPolicy::RejectWithError:
+                reject_reason = "rejected: queue full";
+                break;
+            case OverloadPolicy::ShedOldest:
+                shed = std::move(queue_.front());
+                queue_.pop_front();
+                break;
+            }
+        }
+        if (reject_reason == nullptr) {
+            queue_.push_back(std::move(job));
+            metrics_.onEnqueue();
+            queueNotEmpty_.notify_one();
+        }
+    }
+
+    if (shed.has_value()) {
+        metrics_.onShed();
+        Response r;
+        r.error = "shed under load (ShedOldest)";
+        r.totalSeconds = secondsBetween(shed->enqueued, Clock::now());
+        r.queueSeconds = r.totalSeconds;
+        finish(*shed, std::move(r));
+    }
+    if (reject_reason != nullptr) {
+        metrics_.onReject();
+        Response r;
+        r.error = reject_reason;
+        r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+        finish(job, std::move(r));
+    }
+    return fut;
+}
+
+void
+Engine::workerLoop(int index)
+{
+#ifdef _OPENMP
+    // Per-thread ICV: parallel regions launched from this worker use
+    // this budget, so workers x ompPerWorker_ bounds total threads.
+    omp_set_num_threads(ompPerWorker_);
+#endif
+    rt::BufferPool &pool = *pools_[std::size_t(index)];
+    for (;;) {
+        Job job;
+        double wait_s = 0.0;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            queueNotEmpty_.wait(lock, [&] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty()) {
+                if (stopping_)
+                    return;
+                continue;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            inFlight_ += 1;
+            wait_s = secondsBetween(job.enqueued, Clock::now());
+            metrics_.onDequeue(wait_s);
+            queueNotFull_.notify_one();
+        }
+
+        Response r = execute(job, pool);
+        r.queueSeconds = wait_s;
+        r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+        if (r.ok())
+            metrics_.onComplete(r.totalSeconds);
+        else
+            metrics_.onFail(r.totalSeconds);
+        finish(job, std::move(r));
+
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            inFlight_ -= 1;
+            if (queue_.empty() && inFlight_ == 0)
+                idle_.notify_all();
+        }
+    }
+}
+
+Response
+Engine::execute(Job &job, rt::BufferPool &pool)
+{
+    Response r;
+    const auto t0 = Clock::now();
+    try {
+        PipelineRegistry::ExecutablePtr exe =
+            job.req.variant.has_value()
+                ? registry_->get(job.req.pipeline, *job.req.variant)
+                : registry_->get(job.req.pipeline);
+        std::vector<const rt::Buffer *> ins;
+        ins.reserve(job.req.inputs.size());
+        for (const auto &b : job.req.inputs)
+            ins.push_back(b.get());
+        r.outputs = exe->run(job.req.params, ins, pool);
+    } catch (const std::exception &e) {
+        r.outputs.clear();
+        r.error = e.what();
+    } catch (...) {
+        r.outputs.clear();
+        r.error = "unknown execution error";
+    }
+    r.runSeconds = secondsBetween(t0, Clock::now());
+    return r;
+}
+
+void
+Engine::drain()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    draining_ = true;
+    // Wake clients blocked on a full queue; they fail fast.
+    queueNotFull_.notify_all();
+    idle_.wait(lock,
+               [&] { return queue_.empty() && inFlight_ == 0; });
+}
+
+void
+Engine::shutdown()
+{
+    std::deque<Job> orphans;
+    bool join = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_) {
+            stopping_ = true;
+            orphans.swap(queue_);
+        }
+        if (!joined_) {
+            joined_ = true;
+            join = true;
+        }
+        queueNotEmpty_.notify_all();
+        queueNotFull_.notify_all();
+        idle_.notify_all();
+    }
+    for (Job &j : orphans) {
+        metrics_.onShutdownOrphan();
+        Response r;
+        r.error = "engine shutdown before execution";
+        r.totalSeconds = secondsBetween(j.enqueued, Clock::now());
+        r.queueSeconds = r.totalSeconds;
+        finish(j, std::move(r));
+    }
+    if (join) {
+        for (std::thread &t : workers_)
+            if (t.joinable())
+                t.join();
+    }
+}
+
+ServeSnapshot
+Engine::metrics() const
+{
+    ServeSnapshot s = metrics_.snapshot();
+    s.workers = opts_.workers;
+    s.ompThreadsPerWorker = ompPerWorker_;
+    s.queueCapacity = opts_.queueCapacity;
+    s.policy = policyName(opts_.policy);
+    for (const auto &p : pools_) {
+        const rt::BufferPool::Stats ps = p->stats();
+        s.poolBlockAllocs += ps.blockAllocs;
+        s.poolAcquires += ps.acquires;
+        s.poolBytesOwned += ps.bytesOwned;
+        s.poolPeakBytesInUse += ps.peakBytesInUse;
+    }
+    return s;
+}
+
+std::string
+Engine::metricsJson() const
+{
+    return metrics().toJson();
+}
+
+} // namespace polymage::serve

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * The concurrent pipeline-serving engine (`polymage::serve::Engine`):
+ * a bounded MPMC request queue in front of a worker thread pool, with
+ * explicit overload policies, per-worker buffer pools (steady-state
+ * serving performs zero heap allocations for intermediates), and
+ * serving metrics in the `polymage-serve-v1` schema.
+ *
+ * Thread-budget model: intra-request parallelism (the generated
+ * code's OpenMP loops) and inter-request concurrency (the worker
+ * pool) compose instead of oversubscribing — each worker pins its
+ * OpenMP thread budget to `ompThreadsPerWorker` (default: hardware
+ * threads / workers, at least 1) via the per-thread ICV, so the total
+ * thread demand stays at the hardware width regardless of worker
+ * count.  See docs/SERVING.md.
+ */
+#ifndef POLYMAGE_SERVE_ENGINE_HPP
+#define POLYMAGE_SERVE_ENGINE_HPP
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/metrics.hpp"
+#include "serve/registry.hpp"
+
+namespace polymage::serve {
+
+/** What submit() does when the request queue is full. */
+enum class OverloadPolicy
+{
+    /** Block the submitting client until queue space frees up. */
+    Block,
+    /** Complete the new request immediately with an error. */
+    RejectWithError,
+    /**
+     * Complete the *oldest queued* request with an error and admit
+     * the new one — freshest-work-first under overload.
+     */
+    ShedOldest,
+};
+
+/** Stable lowercase name used in JSON and CLI flags. */
+const char *policyName(OverloadPolicy p);
+/** Inverse of policyName(); throws SpecError on unknown names. */
+OverloadPolicy policyFromName(const std::string &name);
+
+/** Engine configuration. */
+struct EngineOptions
+{
+    /** Worker threads executing requests. */
+    int workers = 2;
+    /** Maximum queued (not yet executing) requests. */
+    int queueCapacity = 64;
+    OverloadPolicy policy = OverloadPolicy::Block;
+    /**
+     * OpenMP threads each worker grants the generated code; 0 means
+     * hardware threads / workers (at least 1).
+     */
+    int ompThreadsPerWorker = 0;
+};
+
+/** One serving request. */
+struct Request
+{
+    /** Registered pipeline name. */
+    std::string pipeline;
+    /** Parameter values in graph order. */
+    std::vector<std::int64_t> params;
+    /**
+     * Input buffers in graph order.  Shared ownership keeps them
+     * alive until the request completes; wrap long-lived caller
+     * buffers with a non-owning shared_ptr to avoid copies.
+     */
+    std::vector<std::shared_ptr<const rt::Buffer>> inputs;
+    /**
+     * Explicit compile variant; the pipeline's registered defaults
+     * when unset.
+     */
+    std::optional<CompileOptions> variant;
+};
+
+/** Completion of one request. */
+struct Response
+{
+    /** Output buffers in graph order (empty on error). */
+    std::vector<rt::Buffer> outputs;
+    /** Empty on success; the failure reason otherwise. */
+    std::string error;
+    /** Time spent queued before a worker picked the request up. */
+    double queueSeconds = 0.0;
+    /** Time spent executing the pipeline. */
+    double runSeconds = 0.0;
+    /** End-to-end latency (submit to completion). */
+    double totalSeconds = 0.0;
+
+    bool ok() const { return error.empty(); }
+};
+
+/**
+ * A multi-client serving engine over a PipelineRegistry.  All public
+ * methods are thread-safe; submit() may be called from any number of
+ * client threads.
+ */
+class Engine
+{
+  public:
+    explicit Engine(std::shared_ptr<PipelineRegistry> registry,
+                    EngineOptions opts = {});
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+    /** Implies shutdown(). */
+    ~Engine();
+
+    /**
+     * Enqueue a request.  The future always yields a Response —
+     * failures (rejection, shedding, shutdown, execution errors) are
+     * reported through Response::error, never as exceptions.
+     */
+    std::future<Response> submit(Request req);
+
+    /**
+     * Callback flavour: @p done runs on the worker thread that
+     * completed (or failed) the request.
+     */
+    void submit(Request req, std::function<void(Response)> done);
+
+    /**
+     * Stop admitting new requests and wait until every queued and
+     * in-flight request has completed.  Clients blocked in a full
+     * Block-policy queue are completed with an error.  The engine
+     * stays stopped afterwards (submits fail fast).
+     */
+    void drain();
+
+    /**
+     * Stop the engine: requests still in the queue are completed with
+     * a shutdown error, in-flight requests finish, workers exit and
+     * are joined.  Idempotent.
+     */
+    void shutdown();
+
+    /** Snapshot of counters, gauges, histograms, and pool stats. */
+    ServeSnapshot metrics() const;
+    /** metrics() serialized to polymage-serve-v1. */
+    std::string metricsJson() const;
+
+    const EngineOptions &options() const { return opts_; }
+    /** Resolved per-worker OpenMP thread budget. */
+    int ompThreadsPerWorker() const { return ompPerWorker_; }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+
+    struct Job
+    {
+        Request req;
+        std::promise<Response> promise;
+        std::function<void(Response)> callback;
+        Clock::time_point enqueued;
+    };
+
+    std::future<Response> enqueue(Request req,
+                                  std::function<void(Response)> done);
+    void workerLoop(int index);
+    Response execute(Job &job, rt::BufferPool &pool);
+    static void finish(Job &job, Response &&r);
+
+    std::shared_ptr<PipelineRegistry> registry_;
+    EngineOptions opts_;
+    int ompPerWorker_ = 1;
+
+    mutable std::mutex mu_;
+    std::condition_variable queueNotEmpty_;
+    std::condition_variable queueNotFull_;
+    std::condition_variable idle_;
+    std::deque<Job> queue_;
+    int inFlight_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+    bool joined_ = false;
+
+    std::vector<std::thread> workers_;
+    /** One pool per worker: steady-state requests hit warm blocks
+     * without cross-worker contention. */
+    std::vector<std::unique_ptr<rt::BufferPool>> pools_;
+    mutable ServeMetrics metrics_;
+};
+
+} // namespace polymage::serve
+
+#endif // POLYMAGE_SERVE_ENGINE_HPP

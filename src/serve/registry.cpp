@@ -1,0 +1,268 @@
+#include "serve/registry.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::serve {
+
+namespace {
+
+/** 64-bit FNV-1a over a string (same scheme as the JIT cache key). */
+std::uint64_t
+fnv1a(const std::string &data, std::uint64_t h = 14695981039346656037ULL)
+{
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+/**
+ * Serialize every knob of CompileOptions that shapes the generated
+ * code.  New fields must be appended here, otherwise distinct variants
+ * would alias one cache entry.
+ */
+std::string
+optionsFingerprint(const CompileOptions &o)
+{
+    std::ostringstream os;
+    os << o.inlining.enable << ',' << o.inlining.maxBodyNodes << ';';
+    os << o.grouping.enable << ',';
+    for (std::int64_t t : o.grouping.tileSizes)
+        os << t << '/';
+    os << ',' << o.grouping.overlapThreshold << ','
+       << o.grouping.minSize << ',' << o.grouping.minTiledExtent << ';';
+    const auto &c = o.codegen;
+    os << c.tile << ',' << c.storageOpt << ',' << c.vectorize << ','
+       << c.parallelize << ',' << c.instrument << ','
+       << c.maxStackScratchBytes << ',' << c.bufferReuse << ','
+       << c.partition << ',' << c.hoistBases << ','
+       << int(c.tileSchedule) << ',' << c.minParallelExtent;
+    return os.str();
+}
+
+/**
+ * Process-local fingerprint of a specification: the name, the
+ * identities of its parameters/inputs/outputs, and the parameter
+ * estimate values.  Entity identities are object addresses — stable
+ * for the lifetime of the spec, which the registry guarantees by
+ * owning a copy.
+ */
+std::uint64_t
+specFingerprint(const dsl::PipelineSpec &spec)
+{
+    std::ostringstream os;
+    os << spec.name() << ';';
+    for (const auto &p : spec.params())
+        os << p.get() << ',';
+    os << ';';
+    for (const auto &i : spec.inputs())
+        os << i.get() << ',';
+    os << ';';
+    for (const auto &o : spec.outputs())
+        os << o.get() << ',';
+    os << ';';
+    for (const auto &[id, v] : spec.estimates())
+        os << id << '=' << v << ',';
+    return fnv1a(os.str());
+}
+
+constexpr char kKeySep = '\x1f';
+
+} // namespace
+
+PipelineRegistry::PipelineRegistry(RegistryOptions opts)
+    : opts_(std::move(opts))
+{
+    if (opts_.variantCapacity == 0)
+        opts_.variantCapacity = 1;
+}
+
+void
+PipelineRegistry::add(const std::string &name, dsl::PipelineSpec spec,
+                      CompileOptions defaults)
+{
+    PM_ASSERT(name.find(kKeySep) == std::string::npos,
+              "pipeline name contains a reserved character");
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pipelines_.find(name);
+    std::uint64_t gen = 0;
+    if (it != pipelines_.end()) {
+        gen = it->second.generation + 1;
+        // Invalidate the replaced pipeline's cached variants: every
+        // key of this name (any generation) becomes unreachable, so
+        // drop them now instead of waiting for LRU pressure.
+        const std::string prefix = name + kKeySep;
+        auto lo = variants_.lower_bound(prefix);
+        while (lo != variants_.end() &&
+               lo->first.compare(0, prefix.size(), prefix) == 0)
+            lo = variants_.erase(lo);
+    }
+    pipelines_.insert_or_assign(
+        name, Pipeline{std::move(spec), std::move(defaults), gen});
+}
+
+bool
+PipelineRegistry::has(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return pipelines_.count(name) != 0;
+}
+
+std::vector<std::string>
+PipelineRegistry::names() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> out;
+    for (const auto &[name, p] : pipelines_)
+        out.push_back(name);
+    return out;
+}
+
+PipelineRegistry::ExecutablePtr
+PipelineRegistry::get(const std::string &name)
+{
+    return variantFuture(name, nullptr, /*async=*/false).get();
+}
+
+PipelineRegistry::ExecutablePtr
+PipelineRegistry::get(const std::string &name,
+                      const CompileOptions &opts)
+{
+    return variantFuture(name, &opts, /*async=*/false).get();
+}
+
+std::shared_future<PipelineRegistry::ExecutablePtr>
+PipelineRegistry::prepare(const std::string &name,
+                          const CompileOptions &opts)
+{
+    return variantFuture(name, &opts, /*async=*/true);
+}
+
+std::shared_future<PipelineRegistry::ExecutablePtr>
+PipelineRegistry::variantFuture(const std::string &name,
+                                const CompileOptions *opts, bool async)
+{
+    auto prom = std::make_shared<std::promise<ExecutablePtr>>();
+    std::shared_future<ExecutablePtr> fut;
+    std::string key;
+    dsl::PipelineSpec spec{"unset"};
+    CompileOptions use;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto pit = pipelines_.find(name);
+        if (pit == pipelines_.end())
+            specError("pipeline '", name, "' is not registered");
+        use = opts != nullptr ? *opts : pit->second.defaults;
+
+        char hex[48];
+        std::snprintf(hex, sizeof hex, "%llu%c%016llx%c%016llx",
+                      (unsigned long long)pit->second.generation,
+                      kKeySep,
+                      (unsigned long long)specFingerprint(
+                          pit->second.spec),
+                      kKeySep,
+                      (unsigned long long)fnv1a(optionsFingerprint(use)));
+        key = name + kKeySep + hex;
+
+        auto vit = variants_.find(key);
+        if (vit != variants_.end()) {
+            stats_.hits += 1;
+            vit->second.lastUse = ++tick_;
+            return vit->second.future;
+        }
+        stats_.misses += 1;
+        Variant v;
+        v.future = prom->get_future().share();
+        v.lastUse = ++tick_;
+        fut = v.future;
+        variants_[key] = std::move(v);
+        spec = pit->second.spec;
+    }
+
+    auto compile = [this, prom, key, spec = std::move(spec), use]() {
+        try {
+            auto exe = std::make_shared<rt::Executable>(
+                rt::Executable::build(spec, use, opts_.jit));
+            prom->set_value(std::move(exe));
+            std::lock_guard<std::mutex> lock(mu_);
+            auto it = variants_.find(key);
+            if (it != variants_.end())
+                it->second.ready = true;
+            evictLocked();
+        } catch (...) {
+            prom->set_exception(std::current_exception());
+            std::lock_guard<std::mutex> lock(mu_);
+            stats_.failures += 1;
+            // Drop the failed entry so a later request retries the
+            // compile instead of replaying a stale error forever.
+            variants_.erase(key);
+        }
+    };
+
+    if (async) {
+        // Detached is unsafe (the thread touches the registry); the
+        // destructor joins whatever is still compiling.
+        std::lock_guard<std::mutex> lock(mu_);
+        compileThreads_.emplace_back(compile);
+    } else {
+        compile();
+    }
+    return fut;
+}
+
+void
+PipelineRegistry::evictLocked()
+{
+    while (true) {
+        std::size_t ready = 0;
+        auto victim = variants_.end();
+        for (auto it = variants_.begin(); it != variants_.end(); ++it) {
+            if (!it->second.ready)
+                continue;
+            ready += 1;
+            if (victim == variants_.end() ||
+                it->second.lastUse < victim->second.lastUse)
+                victim = it;
+        }
+        if (ready <= opts_.variantCapacity ||
+            victim == variants_.end())
+            return;
+        variants_.erase(victim);
+        stats_.evictions += 1;
+    }
+}
+
+std::size_t
+PipelineRegistry::variantCount() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return variants_.size();
+}
+
+RegistryStats
+PipelineRegistry::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+PipelineRegistry::~PipelineRegistry()
+{
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        threads.swap(compileThreads_);
+    }
+    for (std::thread &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+}
+
+} // namespace polymage::serve

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Pipeline registry for the serving engine: owns named pipeline
+ * specifications and a bounded LRU cache of compiled variants.  A
+ * variant is one `rt::Executable` keyed by (spec fingerprint,
+ * CompileOptions fingerprint) — the spec fingerprint covers the
+ * pipeline name, its parameter/input/output identities, and the
+ * parameter estimate values, so re-registering a pipeline with
+ * different estimates compiles a distinct variant.
+ *
+ * Compilation happens *outside* the registry lock: a miss installs a
+ * placeholder future, releases the lock, and compiles, so a request
+ * for an already-hot variant never blocks behind a cold one's JIT.
+ * prepare() performs the same miss path on a background thread for
+ * ahead-of-time warming.
+ */
+#ifndef POLYMAGE_SERVE_REGISTRY_HPP
+#define POLYMAGE_SERVE_REGISTRY_HPP
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "driver/compiler.hpp"
+#include "dsl/pipeline_spec.hpp"
+#include "runtime/executor.hpp"
+
+namespace polymage::serve {
+
+/** Registry knobs. */
+struct RegistryOptions
+{
+    /**
+     * Maximum number of *ready* compiled variants retained across all
+     * registered pipelines.  Beyond it the least-recently-used ready
+     * variant is evicted (in-flight compilations are never evicted;
+     * executables still referenced by callers stay alive through their
+     * shared_ptr).
+     */
+    std::size_t variantCapacity = 8;
+    /** Flags for the downstream JIT of every compiled variant. */
+    rt::JitOptions jit;
+};
+
+/** Counters exposed for tests and the serving dashboard. */
+struct RegistryStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    /** Compilations that failed (their cache entries are dropped). */
+    std::uint64_t failures = 0;
+};
+
+/**
+ * Thread-safe store of named pipelines and their compiled variants.
+ * All public methods may be called concurrently.
+ */
+class PipelineRegistry
+{
+  public:
+    using ExecutablePtr = std::shared_ptr<const rt::Executable>;
+
+    explicit PipelineRegistry(RegistryOptions opts = {});
+    PipelineRegistry(const PipelineRegistry &) = delete;
+    PipelineRegistry &operator=(const PipelineRegistry &) = delete;
+    /** Joins any still-running background compilations. */
+    ~PipelineRegistry();
+
+    /**
+     * Register a pipeline under @p name with the options used when a
+     * request does not name an explicit variant.  Re-registering a
+     * name replaces the spec and invalidates its cached variants.
+     */
+    void add(const std::string &name, dsl::PipelineSpec spec,
+             CompileOptions defaults = CompileOptions::optimized());
+
+    bool has(const std::string &name) const;
+    /** Registered names, sorted. */
+    std::vector<std::string> names() const;
+
+    /**
+     * Compiled executable for the registered default options.
+     * Compiles on miss (blocking this caller only); concurrent callers
+     * of the same variant share one compilation.
+     * @throws SpecError for unknown names or invalid specs.
+     */
+    ExecutablePtr get(const std::string &name);
+
+    /** Compiled executable for an explicit variant. */
+    ExecutablePtr get(const std::string &name,
+                      const CompileOptions &opts);
+
+    /**
+     * Start compiling a variant on a background thread (no-op when it
+     * is already cached or compiling).  The returned future yields the
+     * executable or rethrows the compile error.
+     */
+    std::shared_future<ExecutablePtr>
+    prepare(const std::string &name, const CompileOptions &opts);
+
+    /** Ready + in-flight variants currently cached. */
+    std::size_t variantCount() const;
+
+    RegistryStats stats() const;
+
+  private:
+    struct Pipeline
+    {
+        dsl::PipelineSpec spec;
+        CompileOptions defaults;
+        /** Bumped on re-registration to invalidate old variants. */
+        std::uint64_t generation = 0;
+    };
+
+    struct Variant
+    {
+        std::shared_future<ExecutablePtr> future;
+        /** LRU clock value of the last access. */
+        std::uint64_t lastUse = 0;
+        /** Set once the future holds a value (eviction candidate). */
+        bool ready = false;
+    };
+
+    /** Core lookup: find-or-install, compile outside the lock. */
+    std::shared_future<ExecutablePtr>
+    variantFuture(const std::string &name, const CompileOptions *opts,
+                  bool async);
+
+    void evictLocked();
+
+    mutable std::mutex mu_;
+    RegistryOptions opts_;
+    std::map<std::string, Pipeline> pipelines_;
+    std::map<std::string, Variant> variants_;
+    /** Background compilation threads started by prepare(). */
+    std::vector<std::thread> compileThreads_;
+    std::uint64_t tick_ = 0;
+    RegistryStats stats_;
+};
+
+} // namespace polymage::serve
+
+#endif // POLYMAGE_SERVE_REGISTRY_HPP

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "runtime/jit.hpp"
 #include "support/diagnostics.hpp"
@@ -159,6 +160,40 @@ TEST(Jit, ObjectCacheOptOut)
     JitModule b = JitModule::compile(src);
     EXPECT_FALSE(b.fromCache());
     EXPECT_EQ(cache.sharedObjects(), 0u);
+}
+
+TEST(Jit, ConcurrentWritersPublishOneCleanEntry)
+{
+    ScopedCacheDir cache;
+    const std::string src =
+        "extern \"C\" int pm_race() { return 9; }\n";
+
+    // Both threads miss (the file does not exist yet), both compile,
+    // and both publish to the same cache path.  The atomic-rename
+    // publish must leave exactly one complete entry and no temp
+    // droppings, whichever writer wins.
+    std::optional<JitModule> a, b;
+    std::thread ta([&] { a = JitModule::compile(src); });
+    std::thread tb([&] { b = JitModule::compile(src); });
+    ta.join();
+    tb.join();
+
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    EXPECT_EQ(reinterpret_cast<int (*)()>(a->symbol("pm_race"))(), 9);
+    EXPECT_EQ(reinterpret_cast<int (*)()>(b->symbol("pm_race"))(), 9);
+
+    EXPECT_EQ(cache.sharedObjects(), 1u);
+    for (const auto &e :
+         std::filesystem::directory_iterator(cache.path()))
+        EXPECT_EQ(e.path().filename().string().find(".tmp."),
+                  std::string::npos)
+            << "leftover temp file " << e.path();
+
+    // The published entry is loadable by a third compilation.
+    JitModule c = JitModule::compile(src);
+    EXPECT_TRUE(c.fromCache());
+    EXPECT_EQ(reinterpret_cast<int (*)()>(c.symbol("pm_race"))(), 9);
 }
 
 TEST(Jit, OpenMPAvailableInJitCode)

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Multi-threaded stress tests: concurrent Executable::run on one
+ * shared executable, concurrent registry lookups sharing a single
+ * compilation, and many client threads hammering one engine.  These
+ * are the tests scripts/check_sanitize.sh runs under ThreadSanitizer
+ * (POLYMAGE_SANITIZE=thread).
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/test_pipelines.hpp"
+#include "interp/interpreter.hpp"
+#include "pipeline/graph.hpp"
+#include "runtime/synth.hpp"
+#include "serve/engine.hpp"
+
+namespace polymage::serve {
+namespace {
+
+std::shared_ptr<const rt::Buffer>
+own(const rt::Buffer &b)
+{
+    return std::make_shared<rt::Buffer>(b);
+}
+
+TEST(Concurrent, ExecutableRunIsThreadSafe)
+{
+    const std::int64_t n = 48;
+    auto t = testing::makeBlurChain(n);
+    rt::Buffer in = rt::synth::photo(n, n);
+    auto g = pg::PipelineGraph::build(t.spec);
+    auto ref = interp::evaluate(g, {n, n}, {&in});
+
+    const rt::Executable exe =
+        rt::Executable::build(t.spec, CompileOptions::optimized());
+
+    constexpr int kThreads = 4, kRuns = 8;
+    std::atomic<int> mismatches{0};
+    std::vector<std::thread> threads;
+    for (int ti = 0; ti < kThreads; ++ti) {
+        threads.emplace_back([&, ti] {
+            // Half the threads share the executable's default pool;
+            // the other half bring their own (the serving pattern).
+            rt::BufferPool private_pool;
+            for (int r = 0; r < kRuns; ++r) {
+                auto outs =
+                    ti % 2 == 0
+                        ? exe.run({n, n}, {&in})
+                        : exe.run({n, n}, {&in}, private_pool);
+                if (outs.size() != 1 ||
+                    outs[0].maxAbsDiff(ref.outputs[0]) > 1e-6)
+                    mismatches.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Concurrent, RegistrySharesOneCompilationAcrossThreads)
+{
+    auto t = testing::makePointwise(20);
+    PipelineRegistry reg;
+    reg.add("pw", t.spec);
+
+    constexpr int kThreads = 4;
+    std::vector<PipelineRegistry::ExecutablePtr> got(kThreads);
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kThreads; ++i)
+        threads.emplace_back([&, i] { got[i] = reg.get("pw"); });
+    for (auto &th : threads)
+        th.join();
+
+    for (int i = 0; i < kThreads; ++i) {
+        ASSERT_NE(got[i], nullptr);
+        EXPECT_EQ(got[i].get(), got[0].get());
+    }
+    // One miss compiled; everyone else either hit the cache or joined
+    // the in-flight compilation (also counted as a hit).
+    const RegistryStats s = reg.stats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, std::uint64_t(kThreads - 1));
+}
+
+TEST(Concurrent, PrepareAndGetConvergeOnOneVariant)
+{
+    auto t = testing::makePointwise(20);
+    PipelineRegistry reg;
+    reg.add("pw", t.spec);
+
+    const CompileOptions opts = CompileOptions::optimized();
+    auto fut = reg.prepare("pw", opts);
+    auto direct = reg.get("pw", opts);
+    EXPECT_EQ(fut.get().get(), direct.get());
+    EXPECT_EQ(reg.variantCount(), 1u);
+}
+
+TEST(Concurrent, ManyClientsOneEngine)
+{
+    const std::int64_t n = 32;
+    auto pw = testing::makePointwise(n);
+    auto blur = testing::makeBlurChain(n);
+    rt::Buffer in = rt::synth::photo(n, n);
+
+    auto gp = pg::PipelineGraph::build(pw.spec);
+    auto refPw = interp::evaluate(gp, {n, n}, {&in});
+    auto gb = pg::PipelineGraph::build(blur.spec);
+    auto refBlur = interp::evaluate(gb, {n, n}, {&in});
+
+    auto registry = std::make_shared<PipelineRegistry>();
+    registry->add("pw", pw.spec);
+    registry->add("blur", blur.spec);
+
+    EngineOptions eopts;
+    eopts.workers = 2;
+    eopts.queueCapacity = 4;
+    eopts.policy = OverloadPolicy::Block;
+    Engine engine(registry, eopts);
+
+    constexpr int kClients = 4, kPerClient = 8;
+    std::atomic<int> bad{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int i = 0; i < kPerClient; ++i) {
+                const bool usePw = (c + i) % 2 == 0;
+                Request req;
+                req.pipeline = usePw ? "pw" : "blur";
+                req.params = {n, n};
+                req.inputs = {own(in)};
+                Response r = engine.submit(std::move(req)).get();
+                const rt::Buffer &ref = usePw ? refPw.outputs[0]
+                                              : refBlur.outputs[0];
+                if (!r.ok() || r.outputs.size() != 1 ||
+                    r.outputs[0].maxAbsDiff(ref) > 1e-6)
+                    bad.fetch_add(1);
+            }
+        });
+    }
+    for (auto &th : clients)
+        th.join();
+    EXPECT_EQ(bad.load(), 0);
+
+    const ServeSnapshot m = engine.metrics();
+    EXPECT_EQ(m.completed, std::uint64_t(kClients * kPerClient));
+    EXPECT_EQ(m.failed, 0u);
+    EXPECT_EQ(m.rejected, 0u);
+}
+
+} // namespace
+} // namespace polymage::serve
