@@ -100,6 +100,15 @@ main(int argc, char **argv)
     for (auto &b : benches) {
         auto inputs = b.inputs();
 
+        // Pin the fixed {32, 256} @ 0.4 baseline: this study isolates
+        // the partition/hoist/schedule axes, so the tile cost model
+        // must not move the tile-shape axis underneath it (and its
+        // thin 8-row strips interact with partitioning -- a strip
+        // whose halo spans most of its 8 rows leaves almost no
+        // guard-free interior, a separate effect from the per-point
+        // guards measured here).
+        b.tuned.grouping.autoTile = false;
+
         double interior = 1.0;
         auto measure = [&](CompileOptions opts, const char *variant,
                            double *frac = nullptr) {

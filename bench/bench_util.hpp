@@ -100,6 +100,17 @@ class ProfileJsonReport
         w.key("guarded_nests").value(code.guardedNests);
         w.key("partitioned_cases").value(code.partitionedCases);
         w.key("interior_fraction").value(code.interiorFraction());
+        // Tile configuration the binary was actually built with, and
+        // the tile cost model's decision behind it (tile_sizes differ
+        // from tile_model.tile_sizes when an env override won).
+        const CompiledPipeline &info = exe.info();
+        w.key("tile_sizes").beginArray();
+        for (std::int64_t t : info.effectiveGrouping.tileSizes)
+            w.value(t);
+        w.endArray();
+        w.key("overlap_threshold")
+            .value(info.effectiveGrouping.overlapThreshold);
+        w.key("tile_model").raw(info.tileModel.toJson());
         w.endObject();
         w.endObject();
         apps_.push_back(w.str());

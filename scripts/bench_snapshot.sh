@@ -1,28 +1,43 @@
 #!/usr/bin/env bash
-# Regenerate the committed benchmark snapshot BENCH_table2.json: the
-# Table-2 profile run (per-app compile trace, runtime profile, memory
-# and codegen records) plus the partitioning/scheduling ablation
-# timings (no-partition vs partitioned under both OpenMP schedules,
-# with the guard-free interior fraction per app).
+# Regenerate the committed benchmark snapshots:
 #
-# Usage: scripts/bench_snapshot.sh [scale]
+#   BENCH_table2.json    the Table-2 profile run (per-app compile
+#                        trace, runtime profile, memory and codegen
+#                        records) plus the partitioning/scheduling
+#                        ablation timings.
+#   BENCH_autotune.json  the Figure-9 autotuning study
+#                        (polymage-tune-bench-v1): per app the fixed
+#                        default, the tile cost model's pick, the
+#                        exhaustive grid sweep and the model-guided
+#                        hill climb, with ratios and build counts.
+#                        Runs the paper's full 7x7x3 space so the
+#                        guided sweep's build savings are measured
+#                        against the space the paper searches.
+#
+# Usage: scripts/bench_snapshot.sh [scale] [tune_scale]
 #
 # `scale` (default 0.5) linearly scales the paper image sizes; it is
 # recorded in the snapshot so numbers are comparable across runs.
-# Honours POLYMAGE_BUILD_DIR (defaults to build).  Wall times are
-# machine-dependent; the snapshot's value is tracking relative ratios
-# (speedups, interior fractions) across commits, not absolute times.
+# `tune_scale` (default 0.35) does the same for the autotune study,
+# whose exhaustive sweep JIT-builds every grid point per app and is by
+# far the most expensive part.  Honours POLYMAGE_BUILD_DIR (defaults
+# to build).  Wall times are machine-dependent; the snapshots' value
+# is tracking relative ratios (speedups, interior fractions, model
+# vs sweep) across commits, not absolute times.
 
 set -eu
 cd "$(dirname "$0")/.."
 
 scale="${1:-0.5}"
+tune_scale="${2:-0.35}"
 build_dir="${POLYMAGE_BUILD_DIR:-build}"
 out=BENCH_table2.json
+tune_out=BENCH_autotune.json
 
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_table2 \
-    --target bench_ablation_partition >/dev/null
+    --target bench_ablation_partition \
+    --target bench_fig9_autotune >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -46,3 +61,8 @@ POLYMAGE_BENCH_SCALE="$scale" \
 } > "$out"
 
 echo "bench_snapshot: wrote $out"
+
+POLYMAGE_BENCH_SCALE="$tune_scale" POLYMAGE_TUNE_FULL=1 \
+    "$build_dir/bench/bench_fig9_autotune" --tune-json "$tune_out"
+
+echo "bench_snapshot: wrote $tune_out"

@@ -60,13 +60,15 @@ done
 # ---------------------------------------------------------------- 3.
 # Schema tags and field names documented must appear in the sources.
 for tag in polymage-trace-v1 polymage-runtime-v1 polymage-memory-v1 \
-           polymage-profile-v1; do
+           polymage-profile-v1 polymage-tune-v1 polymage-tune-bench-v1; do
     grep -q "$tag" "$doc" || err "schema tag $tag missing from $doc"
     grep -rq "$tag" src/ bench/ || err "schema tag $tag not found in sources"
 done
 for field in start_ns duration_ns serial_seconds total_seconds stages \
              est_bytes_saved heap_arena_bytes pool_peak_bytes_in_use \
-             pool_block_allocs; do
+             pool_block_allocs tile_sizes overlap_threshold tile_model \
+             working_set_bytes predicted_overlap t1_seconds tp_seconds \
+             l1d_bytes; do
     grep -q "\"$field\"" "$doc" || err "field \"$field\" missing from $doc"
     grep -rq "\"$field\"" src/ || err "field \"$field\" not emitted by src/"
 done

@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Validate the autotuner's polymage-tune-v1 JSON end to end,
+# CI-friendly (exit nonzero on failure).  Runs the guided tuner on a
+# small app via the polymage_tune CLI and checks the document's shape:
+# schema tag, guided mode, a best index pointing into a non-empty
+# entries array, and per-entry fields (tiles, overlap_threshold,
+# positive times, groups).  Also checks the guided sweep's build count
+# stays well under the exhaustive space (the point of guiding).
+#
+# Usage: scripts/check_tune.sh [app] [rows] [cols]
+#
+# Defaults to `harris 320 320`.  Honours POLYMAGE_BUILD_DIR (defaults
+# to build).
+
+set -eu
+cd "$(dirname "$0")/.."
+
+app="${1:-harris}"
+rows="${2:-320}"
+cols="${3:-320}"
+build_dir="${POLYMAGE_BUILD_DIR:-build}"
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target polymage_tune \
+    >/dev/null
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+json="$tmp/tune.json"
+"$build_dir/tools/polymage_tune" "$app" "$rows" "$cols" guided \
+    > "$json" 2> "$tmp/progress.log"
+
+python3 - "$json" <<'EOF'
+import json
+import sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+def need(cond, msg):
+    if not cond:
+        sys.exit(f"check_tune: {msg}")
+
+need(doc.get("schema") == "polymage-tune-v1",
+     f"bad schema tag: {doc.get('schema')!r}")
+need(doc.get("mode") == "guided", f"bad mode: {doc.get('mode')!r}")
+
+entries = doc.get("entries")
+need(isinstance(entries, list) and entries, "entries missing or empty")
+best = doc.get("best_index")
+need(isinstance(best, int) and 0 <= best < len(entries),
+     f"best_index {best!r} out of range for {len(entries)} entries")
+
+builds = doc.get("builds")
+need(builds == len(entries),
+     f"builds {builds!r} != len(entries) {len(entries)}")
+# The default exhaustive space is 7x7x3 = 147 configs; a guided sweep
+# that needs more than a third of that is not guiding anything.
+need(builds <= 49, f"guided sweep used {builds} builds (> 49)")
+
+for i, e in enumerate(entries):
+    tiles = e.get("tiles")
+    need(isinstance(tiles, list) and tiles and
+         all(isinstance(t, int) and t > 0 for t in tiles),
+         f"entry {i}: bad tiles {tiles!r}")
+    th = e.get("overlap_threshold")
+    need(isinstance(th, (int, float)) and 0 < th <= 1,
+         f"entry {i}: bad overlap_threshold {th!r}")
+    need(e.get("t1_seconds", 0) > 0, f"entry {i}: t1_seconds not > 0")
+    need(e.get("tp_seconds", 0) > 0, f"entry {i}: tp_seconds not > 0")
+    need(isinstance(e.get("groups"), int) and e["groups"] > 0,
+         f"entry {i}: bad groups {e.get('groups')!r}")
+
+print(f"check_tune: OK ({len(entries)} entries, best index {best}, "
+      f"{builds} builds)")
+EOF

@@ -19,39 +19,42 @@ tileSizeFor(const GroupingOptions &opts, int i)
     return opts.tileSizes[idx];
 }
 
+std::int64_t
+estimatedGroupExtent(const GroupSchedule &sched,
+                     const pg::PipelineGraph &g, int gd)
+{
+    // Widest member-stage extent scaled into group space.
+    std::int64_t extent = 0;
+    for (int s : sched.stages) {
+        const StageMapping &m = sched.mapping.at(s);
+        const auto &dom = g.stage(s).loopDom();
+        for (std::size_t d = 0; d < m.groupDim.size(); ++d) {
+            if (m.groupDim[d] != gd)
+                continue;
+            auto lo = poly::evalConstant(dom[d].lower(),
+                                         g.estimateEnv());
+            auto hi = poly::evalConstant(dom[d].upper(),
+                                         g.estimateEnv());
+            if (!lo || !hi)
+                return -1;
+            extent = std::max(extent, (*hi - *lo + 1) * m.scale[d]);
+        }
+    }
+    return extent;
+}
+
 std::vector<int>
 tiledDimsFor(const GroupSchedule &sched, const pg::PipelineGraph &g,
              const GroupingOptions &opts)
 {
     std::vector<int> out;
     for (int gd : sched.tileableDims()) {
-        // Estimated extent of the dimension in group coordinates: the
-        // widest stage extent scaled into group space.
-        std::int64_t extent = 0;
-        bool known = true;
-        for (int s : sched.stages) {
-            const StageMapping &m = sched.mapping.at(s);
-            const auto &dom = g.stage(s).loopDom();
-            for (std::size_t d = 0; d < m.groupDim.size(); ++d) {
-                if (m.groupDim[d] != int(gd))
-                    continue;
-                auto lo = poly::evalConstant(dom[d].lower(),
-                                             g.estimateEnv());
-                auto hi = poly::evalConstant(dom[d].upper(),
-                                             g.estimateEnv());
-                if (!lo || !hi) {
-                    known = false;
-                } else {
-                    extent = std::max(extent,
-                                      (*hi - *lo + 1) * m.scale[d]);
-                }
-            }
-        }
+        const std::int64_t extent = estimatedGroupExtent(sched, g, gd);
         // Tile only when the dimension is long enough to matter and
         // spans at least two tiles of the size it would receive (a
         // one-tile loop serialises the parallel dimension).
         const std::int64_t tau = tileSizeFor(opts, int(out.size()));
-        if (!known ||
+        if (extent < 0 ||
             (extent >= opts.minTiledExtent && extent >= 2 * tau)) {
             out.push_back(gd);
         }

@@ -29,6 +29,15 @@ struct GroupingOptions
      */
     std::vector<std::int64_t> tileSizes{32, 256};
 
+    /**
+     * Let the tile cost model replace tileSizes/overlapThreshold with
+     * per-pipeline, per-machine choices (core/tile_model).  Off by
+     * default so explicitly configured sizes are always honoured;
+     * CompileOptions::optimized() turns it on.  The driver ignores the
+     * model when POLYMAGE_NO_TILE_MODEL is set.
+     */
+    bool autoTile = false;
+
     /** Overlap threshold o_thresh (fraction of the tile size). */
     double overlapThreshold = 0.4;
 
@@ -87,6 +96,16 @@ std::int64_t tileSizeFor(const GroupingOptions &opts, int i);
 std::vector<int> tiledDimsFor(const GroupSchedule &sched,
                               const pg::PipelineGraph &g,
                               const GroupingOptions &opts);
+
+/**
+ * Estimated extent of group dimension @p gd in group coordinates: the
+ * widest member-stage extent scaled into group space under the
+ * parameter estimates; -1 when any bound is not constant under them.
+ * This is the extent tiledDimsFor compares against minTiledExtent and
+ * the tile cost model compares candidate tile sizes against.
+ */
+std::int64_t estimatedGroupExtent(const GroupSchedule &sched,
+                                  const pg::PipelineGraph &g, int gd);
 
 /**
  * Estimated relative overlap of a schedule under the given tile sizes:

@@ -94,6 +94,46 @@ assignSlots(StoragePlan &plan, std::vector<LiveRange> ranges,
 
 } // namespace
 
+std::int64_t
+FootprintTerm::bytesAt(const std::vector<std::int64_t> &tau) const
+{
+    std::int64_t bytes = fixedElems * dtypeBytes;
+    for (std::size_t i = 0; i < halo.size(); ++i) {
+        if (scale[i] == 0)
+            continue; // no extent along this tiled dimension
+        const std::size_t ti = std::min(i, tau.size() - 1);
+        // Mirrors the planner's scratch extent: region width at this
+        // stage's level plus slack for origin rounding.
+        const std::int64_t span = tau[ti] - 1 + halo[i];
+        bytes *= floorDiv(span, scale[i]) + 2;
+    }
+    return bytes;
+}
+
+std::int64_t
+GroupFootprint::bytesAt(const std::vector<std::int64_t> &tau) const
+{
+    std::int64_t total = 0;
+    for (const FootprintTerm &t : terms)
+        total += t.bytesAt(tau);
+    return total;
+}
+
+double
+GroupFootprint::bytesPerTilePoint(
+    const std::vector<std::int64_t> &tau) const
+{
+    if (terms.empty() || tau.empty())
+        return 0.0;
+    double area = 1.0;
+    std::size_t dims = 0;
+    for (const FootprintTerm &t : terms)
+        dims = std::max(dims, t.halo.size());
+    for (std::size_t i = 0; i < dims; ++i)
+        area *= double(tau[std::min(i, tau.size() - 1)]);
+    return area > 0 ? double(bytesAt(tau)) / area : 0.0;
+}
+
 StoragePlan
 planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
             const GroupingOptions &opts, bool tiling_enabled,
@@ -122,10 +162,18 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
             }
 
             if (eligible) {
-                // Extent per stage dimension.
+                // Extent per stage dimension; the footprint term keeps
+                // the same geometry parameterised by tile size for the
+                // tile cost model.
                 const StageMapping &m = grp.mapping.at(s);
                 const int level = grp.localLevel.at(s);
                 std::vector<std::int64_t> extents;
+                FootprintTerm term;
+                term.stage = s;
+                term.halo.assign(tiled_dims.size(), 0);
+                term.scale.assign(tiled_dims.size(), 0);
+                term.dtypeBytes = std::int64_t(
+                    dsl::dtypeSize(stage.callable->dtype()));
                 for (std::size_t d = 0;
                      d < stage.loopVars().size() && eligible; ++d) {
                     const int gd = m.groupDim[d];
@@ -142,6 +190,9 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
                             info.extRight[level];
                         extents.push_back(
                             floorDiv(span, m.scale[d]) + 2);
+                        term.halo[std::size_t(ti)] =
+                            info.extLeft[level] + info.extRight[level];
+                        term.scale[std::size_t(ti)] = m.scale[d];
                     } else {
                         // Untiled dimension: needs a parameter-free
                         // constant extent to stay on a scratchpad.
@@ -154,6 +205,7 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
                             eligible = false;
                         } else {
                             extents.push_back(*hi + 1);
+                            term.fixedElems *= *hi + 1;
                         }
                     }
                 }
@@ -165,6 +217,8 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
                     for (auto e : st.scratchExtent)
                         st.scratchBytes *= e;
                     group_bytes += st.scratchBytes;
+                    plan.groupFootprint[int(gi)].terms.push_back(
+                        std::move(term));
                 }
             }
             plan.stages[s] = std::move(st);

@@ -51,6 +51,54 @@ struct AllocSlot
     std::int64_t estBytes = 0;
 };
 
+/**
+ * One scratchpad stage's contribution to its group's per-tile working
+ * set, kept parameterised by the tile sizes so the tile cost model can
+ * evaluate candidate sizes without re-planning storage.  Evaluating
+ * the term at the plan's own tile sizes reproduces exactly the
+ * StageStorage::scratchBytes the planner computed.
+ */
+struct FootprintTerm
+{
+    int stage = -1;
+    /**
+     * Per tiled group dimension (tiledDimsFor order): the cumulative
+     * dependence halo at this stage's local level (extLeft + extRight,
+     * group coordinates) and the stage's scale along the dimension.
+     * scale 0 means the stage has no dimension mapped there (its
+     * extent along that dimension is 1).
+     */
+    std::vector<std::int64_t> halo;
+    std::vector<std::int64_t> scale;
+    /** Product of the untiled constant extents. */
+    std::int64_t fixedElems = 1;
+    std::int64_t dtypeBytes = 1;
+
+    /** Scratch bytes of this stage for tile sizes @p tau (one entry
+     * per tiled dimension; the last entry repeats, matching
+     * tileSizeFor). */
+    std::int64_t bytesAt(const std::vector<std::int64_t> &tau) const;
+};
+
+/**
+ * A tiled group's scratch working set as a function of tile size: the
+ * sum of its stages' footprint terms.  This is what the tile cost
+ * model sizes against the cache hierarchy.
+ */
+struct GroupFootprint
+{
+    std::vector<FootprintTerm> terms;
+
+    /** Total scratch bytes of one tile under tile sizes @p tau. */
+    std::int64_t bytesAt(const std::vector<std::int64_t> &tau) const;
+    /**
+     * Scratch bytes per tile point under @p tau: bytesAt / tile area.
+     * Converges to the asymptotic per-point density for large tiles;
+     * small tiles pay the halo.
+     */
+    double bytesPerTilePoint(const std::vector<std::int64_t> &tau) const;
+};
+
 /** Storage plan for the whole pipeline. */
 struct StoragePlan
 {
@@ -60,6 +108,14 @@ struct StoragePlan
      * the stack when under the configured limit, else on the heap.
      */
     std::map<int, std::int64_t> groupScratchBytes;
+
+    /**
+     * Per tiled multi-stage group index: the scratch working set as a
+     * function of tile size (exposed before codegen so the tile cost
+     * model and the guided autotuner can predict footprints of
+     * candidate tile sizes).  Groups without scratchpads are absent.
+     */
+    std::map<int, GroupFootprint> groupFootprint;
 
     /**
      * Buffer-reuse plan (liveness-driven): full-buffer intermediate

@@ -1,20 +1,68 @@
 #include "driver/compiler.hpp"
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
+#include <string>
+#include <vector>
 
 namespace polymage {
+
+namespace {
+
+/** True when an env var is set to anything but "" or "0". */
+bool
+envFlag(const char *name)
+{
+    const char *v = std::getenv(name);
+    return v != nullptr && v[0] != '\0' && std::string(v) != "0";
+}
+
+/** Parse "32,256"-style POLYMAGE_TILE_SIZES; nullopt when malformed. */
+std::optional<std::vector<std::int64_t>>
+parseTileSizes(const std::string &spec)
+{
+    std::vector<std::int64_t> out;
+    std::string cur;
+    auto flush = [&]() {
+        if (cur.empty())
+            return false;
+        char *end = nullptr;
+        const long long v = std::strtoll(cur.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || v <= 0)
+            return false;
+        out.push_back(v);
+        cur.clear();
+        return true;
+    };
+    for (char c : spec) {
+        if (c == ',') {
+            if (!flush())
+                return std::nullopt;
+        } else {
+            cur += c;
+        }
+    }
+    if (!flush())
+        return std::nullopt;
+    return out;
+}
+
+} // namespace
 
 CompileOptions
 CompileOptions::optimized()
 {
-    return CompileOptions{};
+    CompileOptions o;
+    o.grouping.autoTile = true;
+    return o;
 }
 
 CompileOptions
 CompileOptions::optNoVec()
 {
     CompileOptions o;
+    o.grouping.autoTile = true;
     o.codegen.vectorize = false;
     return o;
 }
@@ -89,7 +137,7 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
     const std::size_t span_base = reg->spans().size();
 
     CompiledPipeline out{dsl::PipelineSpec(spec.name()), {}, {}, {},
-                         {}, {}, {}, {}};
+                         {}, {}, {}, {}, {}, {}};
     {
         obs::ScopedTrace phase(reg, "graph_build");
         // Validate the raw specification first: bounds errors should
@@ -110,8 +158,43 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
         out.bounds = pg::checkBounds(out.graph);
     }
     {
+        obs::ScopedTrace phase(reg, "tile_model");
+        core::GroupingOptions gopts = opts.grouping;
+        core::TileModelResult tm;
+        tm.tileSizes = gopts.tileSizes;
+        tm.overlapThreshold = gopts.overlapThreshold;
+        if (!gopts.autoTile) {
+            tm.reason = "auto tiling not requested";
+        } else if (envFlag("POLYMAGE_NO_TILE_MODEL")) {
+            // Ablation switch: exactly the historical fixed-size
+            // behaviour, without a rebuild.
+            tm.reason = "disabled (POLYMAGE_NO_TILE_MODEL)";
+        } else {
+            tm = core::chooseTileConfig(out.graph, opts.grouping);
+            if (tm.applied) {
+                gopts.tileSizes = tm.tileSizes;
+                gopts.overlapThreshold = tm.overlapThreshold;
+            }
+        }
+        // Explicit environment overrides win over the model (mirror of
+        // the POLYMAGE_TILE_SCHEDULE pattern below).
+        if (const char *ts = std::getenv("POLYMAGE_TILE_SIZES")) {
+            if (auto sizes = parseTileSizes(ts))
+                gopts.tileSizes = std::move(*sizes);
+        }
+        if (const char *th = std::getenv("POLYMAGE_OVERLAP_THRESH")) {
+            char *end = nullptr;
+            const double f = std::strtod(th, &end);
+            if (end != nullptr && *end == '\0' && f > 0.0 && f <= 1.0)
+                gopts.overlapThreshold = f;
+        }
+        out.effectiveGrouping = std::move(gopts);
+        out.tileModel = std::move(tm);
+    }
+    {
         obs::ScopedTrace phase(reg, "grouping");
-        out.grouping = core::groupStages(out.graph, opts.grouping);
+        out.grouping =
+            core::groupStages(out.graph, out.effectiveGrouping);
     }
     {
         obs::ScopedTrace phase(reg, "storage");
@@ -122,7 +205,7 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
                            !(no_reuse != nullptr && no_reuse[0] != '\0' &&
                              std::string(no_reuse) != "0");
         out.storage = core::planStorage(out.graph, out.grouping,
-                                        opts.grouping,
+                                        out.effectiveGrouping,
                                         opts.codegen.tile &&
                                             opts.codegen.storageOpt,
                                         reuse);
@@ -146,8 +229,9 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
             else if (std::string(sched) == "dynamic")
                 copts.tileSchedule = cg::OmpSchedule::Dynamic;
         }
-        out.code = cg::generate(out.graph, out.grouping, opts.grouping,
-                                out.storage, copts);
+        out.code = cg::generate(out.graph, out.grouping,
+                                out.effectiveGrouping, out.storage,
+                                copts);
     }
     // Keep only this compilation's spans (an outer registry may hold
     // earlier compilations).

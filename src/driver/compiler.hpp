@@ -11,6 +11,7 @@
 #include "codegen/generate.hpp"
 #include "core/grouping.hpp"
 #include "core/storage.hpp"
+#include "core/tile_model.hpp"
 #include "pipeline/bounds_check.hpp"
 #include "pipeline/inline.hpp"
 #include "support/trace.hpp"
@@ -49,6 +50,19 @@ struct CompiledPipeline
     core::GroupingResult grouping;
     core::StoragePlan storage;
     cg::GeneratedCode code;
+    /**
+     * The grouping options actually used: the caller's options after
+     * the tile cost model (when grouping.autoTile is on and
+     * POLYMAGE_NO_TILE_MODEL is unset) and after the
+     * POLYMAGE_TILE_SIZES / POLYMAGE_OVERLAP_THRESH environment
+     * overrides, which win over the model.
+     */
+    core::GroupingOptions effectiveGrouping;
+    /**
+     * The tile cost model's decision (applied == false when the model
+     * was skipped or had nothing to size); reported in profile JSON.
+     */
+    core::TileModelResult tileModel;
     /**
      * Compile-phase trace: one span per driver phase (span names are
      * listed in docs/OBSERVABILITY.md), with alignment/scaling

@@ -1,0 +1,234 @@
+#include "machine/machine.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "support/trace.hpp"
+
+namespace polymage::machine {
+
+namespace {
+
+/**
+ * Parse a size with an optional K/M/G suffix ("48K", "2M", "262144").
+ * Returns nullopt on anything else.
+ */
+std::optional<std::int64_t>
+parseSize(const std::string &field)
+{
+    if (field.empty())
+        return std::nullopt;
+    std::size_t pos = 0;
+    long long v = 0;
+    try {
+        v = std::stoll(field, &pos);
+    } catch (...) {
+        return std::nullopt;
+    }
+    if (v < 0)
+        return std::nullopt;
+    std::int64_t mult = 1;
+    if (pos < field.size()) {
+        switch (std::toupper(field[pos])) {
+        case 'K': mult = 1ll << 10; break;
+        case 'M': mult = 1ll << 20; break;
+        case 'G': mult = 1ll << 30; break;
+        default: return std::nullopt;
+        }
+        if (pos + 1 != field.size())
+            return std::nullopt;
+    }
+    return v * mult;
+}
+
+/** Contents of a small sysfs file, whitespace-trimmed; nullopt if
+ * unreadable. */
+std::optional<std::string>
+readSysfs(const std::string &path)
+{
+    std::ifstream is(path);
+    if (!is)
+        return std::nullopt;
+    std::string s;
+    std::getline(is, s);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(
+                             s.back())))
+        s.pop_back();
+    if (s.empty())
+        return std::nullopt;
+    return s;
+}
+
+/**
+ * Probe cpu0's cache hierarchy from sysfs.  Returns true when at least
+ * one level was found (partial answers still count; missing levels
+ * keep the caller's defaults).
+ */
+bool
+probeSysfs(MachineInfo &m)
+{
+    const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+    bool any = false;
+    for (int i = 0; i < 8; ++i) {
+        const std::string dir = base + std::to_string(i) + "/";
+        auto level = readSysfs(dir + "level");
+        auto type = readSysfs(dir + "type");
+        auto size = readSysfs(dir + "size");
+        if (!level || !type || !size)
+            continue;
+        auto bytes = parseSize(*size);
+        if (!bytes || *bytes <= 0)
+            continue;
+        const int lv = std::atoi(level->c_str());
+        // Instruction caches are irrelevant to the data working set.
+        if (*type == "Instruction")
+            continue;
+        if (lv == 1)
+            m.l1dBytes = *bytes;
+        else if (lv == 2)
+            m.l2Bytes = *bytes;
+        else if (lv == 3)
+            m.l3Bytes = *bytes;
+        else
+            continue;
+        any = true;
+        if (auto line = readSysfs(dir + "coherency_line_size")) {
+            if (auto lb = parseSize(*line); lb && *lb > 0)
+                m.lineBytes = *lb;
+        }
+    }
+    return any;
+}
+
+/** Probe via sysconf; true when any cache level answered. */
+bool
+probeSysconf(MachineInfo &m)
+{
+    bool any = false;
+#ifdef _SC_LEVEL1_DCACHE_SIZE
+    if (long v = ::sysconf(_SC_LEVEL1_DCACHE_SIZE); v > 0) {
+        m.l1dBytes = v;
+        any = true;
+    }
+#endif
+#ifdef _SC_LEVEL2_CACHE_SIZE
+    if (long v = ::sysconf(_SC_LEVEL2_CACHE_SIZE); v > 0) {
+        m.l2Bytes = v;
+        any = true;
+    }
+#endif
+#ifdef _SC_LEVEL3_CACHE_SIZE
+    if (long v = ::sysconf(_SC_LEVEL3_CACHE_SIZE); v > 0) {
+        m.l3Bytes = v;
+        any = true;
+    }
+#endif
+#ifdef _SC_LEVEL1_DCACHE_LINESIZE
+    if (long v = ::sysconf(_SC_LEVEL1_DCACHE_LINESIZE); v > 0)
+        m.lineBytes = v;
+#endif
+    return any;
+}
+
+} // namespace
+
+std::optional<MachineInfo>
+parseMachineSpec(const std::string &spec, MachineInfo base)
+{
+    std::vector<std::string> fields;
+    std::string cur;
+    for (char c : spec) {
+        if (c == ',') {
+            fields.push_back(cur);
+            cur.clear();
+        } else {
+            cur += c;
+        }
+    }
+    fields.push_back(cur);
+    if (fields.size() > 4)
+        return std::nullopt;
+    std::int64_t *sizes[3] = {&base.l1dBytes, &base.l2Bytes,
+                              &base.l3Bytes};
+    for (std::size_t i = 0; i < fields.size() && i < 3; ++i) {
+        if (fields[i].empty())
+            continue; // keep the default for this level
+        auto v = parseSize(fields[i]);
+        if (!v || *v <= 0)
+            return std::nullopt;
+        *sizes[i] = *v;
+    }
+    if (fields.size() == 4 && !fields[3].empty()) {
+        auto v = parseSize(fields[3]);
+        if (!v || *v <= 0 || *v > 1 << 20)
+            return std::nullopt;
+        base.cores = int(*v);
+    }
+    base.source = "env";
+    return base;
+}
+
+MachineInfo
+probeMachine()
+{
+    MachineInfo m;
+    if (const char *env = std::getenv("POLYMAGE_MACHINE")) {
+        if (auto parsed = parseMachineSpec(env))
+            return *parsed;
+        // Malformed override: fall through to the real probe rather
+        // than silently running a nonsense machine model.
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw > 0)
+        m.cores = int(hw);
+    if (probeSysfs(m))
+        m.source = "sysfs";
+    else if (probeSysconf(m))
+        m.source = "sysconf";
+    else
+        m.source = "fallback";
+    return m;
+}
+
+const MachineInfo &
+machineInfo()
+{
+    // Probed once; the environment override is read at first use, so
+    // tests that need a different machine must set POLYMAGE_MACHINE
+    // before any compilation (or call probeMachine() directly).
+    static const MachineInfo cached = probeMachine();
+    return cached;
+}
+
+std::string
+MachineInfo::toString() const
+{
+    std::ostringstream os;
+    os << "L1d " << (l1dBytes >> 10) << "K, L2 " << (l2Bytes >> 10)
+       << "K, L3 " << (l3Bytes >> 20) << "M, line " << lineBytes
+       << "B, " << cores << " cores (" << source << ")";
+    return os.str();
+}
+
+std::string
+MachineInfo::toJson() const
+{
+    obs::JsonWriter w;
+    w.beginObject();
+    w.key("l1d_bytes").value(l1dBytes);
+    w.key("l2_bytes").value(l2Bytes);
+    w.key("l3_bytes").value(l3Bytes);
+    w.key("line_bytes").value(lineBytes);
+    w.key("cores").value(cores);
+    w.key("source").value(source);
+    w.endObject();
+    return w.str();
+}
+
+} // namespace polymage::machine

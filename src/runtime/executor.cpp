@@ -218,8 +218,17 @@ Executable::profile(const std::vector<std::int64_t> &params,
     // The serial instrumented run is deterministic, so repeat it and
     // keep the per-task minimum: OS preemption spikes on a shared core
     // would otherwise masquerade as giant tasks and wreck the LPT
-    // makespan.
-    for (int rep = 1; rep < 3; ++rep) {
+    // makespan.  Short pipelines get more repeats -- a sub-millisecond
+    // run needs several samples before the minima stop moving -- until
+    // ~30ms of measurement accumulates (capped at 9 total runs).
+    double first_total = prof.serialSeconds;
+    for (long long i = 0; i < count; ++i)
+        first_total += prof.costs[std::size_t(i)];
+    const int reps =
+        first_total >= 0.015
+            ? 3
+            : std::min(9, 3 + int(0.03 / std::max(first_total, 1e-5)));
+    for (int rep = 1; rep < reps; ++rep) {
         std::vector<double> costs(static_cast<std::size_t>(count), 0.0);
         std::vector<long long> phase(static_cast<std::size_t>(count), 0);
         long long n2 = 0;
@@ -306,7 +315,11 @@ TaskProfile::toJson() const
     obs::JsonWriter w;
     w.beginObject();
     w.key("schema").value("polymage-runtime-v1");
-    w.key("serial_seconds").value(serialSeconds);
+    // serial_seconds only accumulates for pipelines with serial
+    // stages; omit the field entirely instead of reporting a
+    // misleading 0 for fully parallel pipelines.
+    if (serialSeconds > 0.0)
+        w.key("serial_seconds").value(serialSeconds);
     w.key("total_seconds").value(totalSeconds());
     w.key("tasks").value(std::int64_t(costs.size()));
     w.key("groups").beginArray();

@@ -36,7 +36,8 @@ optionsFingerprint(const CompileOptions &o)
     for (std::int64_t t : o.grouping.tileSizes)
         os << t << '/';
     os << ',' << o.grouping.overlapThreshold << ','
-       << o.grouping.minSize << ',' << o.grouping.minTiledExtent << ';';
+       << o.grouping.minSize << ',' << o.grouping.minTiledExtent << ','
+       << o.grouping.autoTile << ';';
     const auto &c = o.codegen;
     os << c.tile << ',' << c.storageOpt << ',' << c.vectorize << ','
        << c.parallelize << ',' << c.instrument << ','
@@ -142,6 +143,74 @@ PipelineRegistry::prepare(const std::string &name,
                           const CompileOptions &opts)
 {
     return variantFuture(name, &opts, /*async=*/true);
+}
+
+std::shared_future<CompileOptions>
+PipelineRegistry::prepareTuned(const std::string &name,
+                               std::vector<std::int64_t> params,
+                               std::vector<rt::Buffer> inputs,
+                               tune::TuneSpace space)
+{
+    dsl::PipelineSpec spec{"unset"};
+    CompileOptions base;
+    std::uint64_t gen = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto pit = pipelines_.find(name);
+        if (pit == pipelines_.end())
+            specError("pipeline '", name, "' is not registered");
+        spec = pit->second.spec;
+        base = pit->second.defaults;
+        gen = pit->second.generation;
+    }
+
+    auto prom = std::make_shared<std::promise<CompileOptions>>();
+    std::shared_future<CompileOptions> fut =
+        prom->get_future().share();
+    auto work = [this, prom, name, spec = std::move(spec), base, gen,
+                 params = std::move(params), inputs = std::move(inputs),
+                 space = std::move(space)]() {
+        try {
+            std::vector<const rt::Buffer *> ptrs;
+            for (const rt::Buffer &b : inputs)
+                ptrs.push_back(&b);
+            tune::TuneOptions topts;
+            topts.base = base;
+            const tune::TuneResult res =
+                tune::autotuneGuided(spec, params, ptrs, space, topts);
+            if (res.best < 0) {
+                prom->set_value(base);
+                return;
+            }
+            CompileOptions winner = base;
+            winner.grouping.tileSizes = res.bestEntry().config.tiles;
+            winner.grouping.overlapThreshold =
+                res.bestEntry().config.threshold;
+            winner.grouping.autoTile = false;
+            // Warm the winner through the normal miss path so the
+            // promoted defaults hit a ready variant immediately.
+            variantFuture(name, &winner, /*async=*/false).get();
+            {
+                std::lock_guard<std::mutex> lock(mu_);
+                auto pit = pipelines_.find(name);
+                // Promote atomically, and only when nobody replaced
+                // the pipeline while the sweep ran.
+                if (pit != pipelines_.end() &&
+                    pit->second.generation == gen) {
+                    pit->second.defaults = winner;
+                    stats_.tunePromotions += 1;
+                }
+            }
+            prom->set_value(std::move(winner));
+        } catch (...) {
+            prom->set_exception(std::current_exception());
+        }
+    };
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        compileThreads_.emplace_back(std::move(work));
+    }
+    return fut;
 }
 
 std::shared_future<PipelineRegistry::ExecutablePtr>

@@ -29,6 +29,7 @@
 #include "driver/compiler.hpp"
 #include "dsl/pipeline_spec.hpp"
 #include "runtime/executor.hpp"
+#include "tune/autotuner.hpp"
 
 namespace polymage::serve {
 
@@ -55,6 +56,8 @@ struct RegistryStats
     std::uint64_t evictions = 0;
     /** Compilations that failed (their cache entries are dropped). */
     std::uint64_t failures = 0;
+    /** Background tunes whose winner was promoted to the defaults. */
+    std::uint64_t tunePromotions = 0;
 };
 
 /**
@@ -103,6 +106,26 @@ class PipelineRegistry
      */
     std::shared_future<ExecutablePtr>
     prepare(const std::string &name, const CompileOptions &opts);
+
+    /**
+     * Background-tune a registered pipeline on representative inputs
+     * and atomically promote the winner: a guided autotune sweep
+     * (tune::autotuneGuided, seeded and pruned by the tile cost model)
+     * runs on a background thread against the pipeline's current
+     * default options; the winning configuration is compiled into the
+     * variant cache and then installed as the pipeline's defaults, so
+     * subsequent get(name) calls serve the tuned variant.  Promotion
+     * is skipped when the pipeline was re-registered (generation
+     * changed) while the tune ran; requests keep being served from the
+     * existing defaults throughout.  The future yields the winning
+     * options (or the untouched defaults when nothing was measured)
+     * and rethrows tuning errors.
+     */
+    std::shared_future<CompileOptions>
+    prepareTuned(const std::string &name,
+                 std::vector<std::int64_t> params,
+                 std::vector<rt::Buffer> inputs,
+                 tune::TuneSpace space = {});
 
     /** Ready + in-flight variants currently cached. */
     std::size_t variantCount() const;

@@ -65,11 +65,19 @@ struct TuneResult
     std::vector<TuneEntry> entries;
     /** Index of the best entry by secondsP (ties by seconds1). */
     int best = -1;
+    /** JIT builds performed (== entries.size(); pruned candidates and
+     * revisited neighbours cost nothing). */
+    int builds = 0;
+    /** "exhaustive" or "guided". */
+    std::string mode = "exhaustive";
 
     const TuneEntry &bestEntry() const { return entries.at(best); }
 
     /** Dump as CSV (tiles..., threshold, t1, tp, groups). */
     std::string csv() const;
+
+    /** Serialize to the polymage-tune-v1 JSON schema. */
+    std::string toJson() const;
 };
 
 /** Options of a sweep. */
@@ -93,6 +101,19 @@ struct TuneOptions
 std::vector<TuneConfig> enumerateSpace(const TuneSpace &space);
 
 /**
+ * Build and measure one configuration (a single JIT build): compile
+ * with the config's tile sizes/threshold forced (the tile cost model
+ * is bypassed), run the instrumented profile once, and model the
+ * 1-core and modelWorkers-core times.  Both sweep modes and the
+ * model-vs-sweep benches share this.
+ */
+TuneEntry measureConfig(const dsl::PipelineSpec &spec,
+                        const std::vector<std::int64_t> &params,
+                        const std::vector<const rt::Buffer *> &inputs,
+                        const TuneConfig &cfg,
+                        const TuneOptions &opts = {});
+
+/**
  * Sweep the space for a pipeline on the given inputs: build, run,
  * measure, and model each configuration.
  */
@@ -100,6 +121,22 @@ TuneResult autotune(const dsl::PipelineSpec &spec,
                     const std::vector<std::int64_t> &params,
                     const std::vector<const rt::Buffer *> &inputs,
                     const TuneSpace &space, const TuneOptions &opts = {});
+
+/**
+ * Model-guided sweep over the same space: seeds from the tile cost
+ * model's pick (snapped to the space's grid), prunes candidates whose
+ * predicted scratch working set overflows the last-level cache, and
+ * hill-climbs coordinate neighbours (tile-size and threshold steps of
+ * one grid index) until no neighbour improves the modelled parallel
+ * time.  Typically needs a small fraction of the exhaustive sweep's
+ * JIT builds while landing on (or next to) the exhaustive best;
+ * result.builds counts the configurations actually built.
+ */
+TuneResult autotuneGuided(const dsl::PipelineSpec &spec,
+                          const std::vector<std::int64_t> &params,
+                          const std::vector<const rt::Buffer *> &inputs,
+                          const TuneSpace &space,
+                          const TuneOptions &opts = {});
 
 } // namespace polymage::tune
 

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The machine probe feeding the tile cost model: spec parsing, the
+ * POLYMAGE_MACHINE override, and the probe's fallback guarantees.  The
+ * probe must always produce positive, usable cache sizes -- the tile
+ * model divides by them -- whatever the host exposes.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "machine/machine.hpp"
+
+namespace polymage::machine {
+namespace {
+
+TEST(Machine, ParseFullSpec)
+{
+    auto m = parseMachineSpec("64K,1M,16M,8");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->l1dBytes, 64 << 10);
+    EXPECT_EQ(m->l2Bytes, 1 << 20);
+    EXPECT_EQ(m->l3Bytes, 16 << 20);
+    EXPECT_EQ(m->cores, 8);
+    EXPECT_EQ(m->source, "env");
+}
+
+TEST(Machine, ParsePlainBytesAndSuffixCase)
+{
+    auto m = parseMachineSpec("32768,512k,1g,2");
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->l1dBytes, 32768);
+    EXPECT_EQ(m->l2Bytes, 512 << 10);
+    EXPECT_EQ(m->l3Bytes, 1 << 30);
+    EXPECT_EQ(m->cores, 2);
+}
+
+TEST(Machine, ParseEmptyFieldsKeepDefaults)
+{
+    MachineInfo base;
+    base.l1dBytes = 111;
+    base.l2Bytes = 222;
+    base.l3Bytes = 333;
+    base.cores = 7;
+
+    auto m = parseMachineSpec(",2M", base);
+    ASSERT_TRUE(m.has_value());
+    EXPECT_EQ(m->l1dBytes, 111); // empty field keeps the default
+    EXPECT_EQ(m->l2Bytes, 2 << 20);
+    EXPECT_EQ(m->l3Bytes, 333);
+    EXPECT_EQ(m->cores, 7);
+    EXPECT_EQ(m->source, "env");
+}
+
+TEST(Machine, ParseRejectsMalformedSpecs)
+{
+    for (const char *bad :
+         {"garbage", "64Q", "64K,1M,16M,8,9", "-1", "0", "64K,0",
+          "1KB", "64K,1M,16M,fast"}) {
+        EXPECT_FALSE(parseMachineSpec(bad).has_value()) << bad;
+    }
+}
+
+TEST(Machine, ProbeHonoursEnvOverride)
+{
+    ::setenv("POLYMAGE_MACHINE", "48K,2M,30M,4", 1);
+    const MachineInfo m = probeMachine();
+    ::unsetenv("POLYMAGE_MACHINE");
+    EXPECT_EQ(m.l1dBytes, 48 << 10);
+    EXPECT_EQ(m.l2Bytes, 2 << 20);
+    EXPECT_EQ(m.l3Bytes, 30 << 20);
+    EXPECT_EQ(m.cores, 4);
+    EXPECT_EQ(m.source, "env");
+}
+
+TEST(Machine, MalformedEnvFallsThroughToRealProbe)
+{
+    ::setenv("POLYMAGE_MACHINE", "not-a-machine", 1);
+    const MachineInfo m = probeMachine();
+    ::unsetenv("POLYMAGE_MACHINE");
+    EXPECT_NE(m.source, "env");
+}
+
+TEST(Machine, ProbeWithoutEnvIsAlwaysUsable)
+{
+    ::unsetenv("POLYMAGE_MACHINE");
+    const MachineInfo m = probeMachine();
+    EXPECT_GT(m.l1dBytes, 0);
+    EXPECT_GT(m.l2Bytes, 0);
+    EXPECT_GT(m.l3Bytes, 0);
+    EXPECT_GT(m.lineBytes, 0);
+    EXPECT_GE(m.cores, 1);
+    // Caches only grow going up the hierarchy.
+    EXPECT_LE(m.l1dBytes, m.l2Bytes);
+    EXPECT_LE(m.l2Bytes, m.l3Bytes);
+    EXPECT_TRUE(m.source == "sysfs" || m.source == "sysconf" ||
+                m.source == "fallback")
+        << m.source;
+}
+
+TEST(Machine, CachedInfoIsStable)
+{
+    const MachineInfo &a = machineInfo();
+    const MachineInfo &b = machineInfo();
+    EXPECT_EQ(&a, &b);
+}
+
+TEST(Machine, JsonAndStringCarryTheModel)
+{
+    MachineInfo m;
+    m.source = "fallback";
+    const std::string j = m.toJson();
+    for (const char *key : {"\"l1d_bytes\"", "\"l2_bytes\"",
+                            "\"l3_bytes\"", "\"line_bytes\"",
+                            "\"cores\"", "\"source\""}) {
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+    }
+    EXPECT_NE(m.toString().find("fallback"), std::string::npos);
+}
+
+} // namespace
+} // namespace polymage::machine

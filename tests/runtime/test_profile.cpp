@@ -73,7 +73,11 @@ TEST(Profile, RuntimeJsonFollowsSchema)
     const std::string json = prof.toJson();
     EXPECT_NE(json.find("\"schema\":\"polymage-runtime-v1\""),
               std::string::npos);
-    EXPECT_NE(json.find("\"serial_seconds\""), std::string::npos);
+    // serial_seconds is optional: unsharp has no serial stages, so the
+    // zero-valued field is omitted rather than reporting a misleading
+    // measured 0.
+    EXPECT_EQ(prof.serialSeconds, 0.0);
+    EXPECT_EQ(json.find("\"serial_seconds\""), std::string::npos);
     EXPECT_NE(json.find("\"groups\":["), std::string::npos);
     EXPECT_NE(json.find("\"stages\""), std::string::npos);
 }

@@ -64,5 +64,99 @@ TEST(Autotuner, FindsAWorkingConfigOnHarris)
     EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
 }
 
+TEST(Autotuner, GuidedAgreesWithExhaustiveOnHarris)
+{
+    const std::int64_t n = 160;
+    auto spec = apps::buildHarris(n, n);
+    rt::Buffer in = rt::synth::photo(n + 2, n + 2);
+
+    TuneSpace space;
+    space.tileSizes = {8, 16, 32, 64};
+    space.thresholds = {0.2, 0.4, 0.5};
+    space.tiledDims = 2;
+
+    auto exh = autotune(spec, {n, n}, {&in}, space, {});
+    auto gui = autotuneGuided(spec, {n, n}, {&in}, space, {});
+
+    EXPECT_EQ(exh.mode, "exhaustive");
+    EXPECT_EQ(gui.mode, "guided");
+    EXPECT_EQ(exh.builds, int(space.size()));
+    // Guiding must actually guide: strictly fewer builds than the
+    // grid, and every build accounted for in the entries.
+    EXPECT_LT(gui.builds, exh.builds);
+    EXPECT_EQ(gui.builds, int(gui.entries.size()));
+    ASSERT_GE(gui.best, 0);
+
+    // The guided best must land close to the exhaustive best.  Both
+    // use the same deterministic min-of-repeats profile measurement,
+    // so a generous 2x bound is stable even on noisy CI machines.
+    EXPECT_LE(gui.bestEntry().secondsP,
+              exh.bestEntry().secondsP * 2.0);
+}
+
+TEST(Autotuner, GuidedAgreesWithExhaustiveOnUnsharp)
+{
+    const std::int64_t n = 160;
+    auto spec = apps::buildUnsharpMask(n, n);
+    rt::Buffer in = rt::synth::photoRgb(n + 4, n + 4);
+
+    TuneSpace space;
+    space.tileSizes = {16, 32, 64};
+    space.thresholds = {0.2, 0.5};
+    space.tiledDims = 2;
+
+    auto exh = autotune(spec, {n, n}, {&in}, space, {});
+    auto gui = autotuneGuided(spec, {n, n}, {&in}, space, {});
+
+    EXPECT_LT(gui.builds, exh.builds);
+    ASSERT_GE(gui.best, 0);
+    EXPECT_LE(gui.bestEntry().secondsP,
+              exh.bestEntry().secondsP * 2.0);
+}
+
+TEST(Autotuner, GuidedHandlesDegenerateSpaces)
+{
+    // A single-threshold space leaves the climb only tile moves; the
+    // sweep must stay within the space and produce valid entries.
+    const std::int64_t n = 96;
+    auto spec = apps::buildHarris(n, n);
+    rt::Buffer in = rt::synth::photo(n + 2, n + 2);
+
+    TuneSpace space;
+    space.tileSizes = {8, 16, 32};
+    space.thresholds = {0.4};
+    space.tiledDims = 2;
+
+    auto gui = autotuneGuided(spec, {n, n}, {&in}, space, {});
+    ASSERT_GE(gui.best, 0);
+    EXPECT_LE(gui.builds, int(space.size()));
+    for (const auto &e : gui.entries) {
+        EXPECT_GT(e.seconds1, 0.0);
+        EXPECT_GT(e.secondsP, 0.0);
+    }
+}
+
+TEST(Autotuner, TuneResultJsonShape)
+{
+    const std::int64_t n = 96;
+    auto spec = apps::buildHarris(n, n);
+    rt::Buffer in = rt::synth::photo(n + 2, n + 2);
+
+    TuneSpace space;
+    space.tileSizes = {16, 64};
+    space.thresholds = {0.4};
+    space.tiledDims = 2;
+    auto result = autotune(spec, {n, n}, {&in}, space, {});
+
+    const std::string j = result.toJson();
+    for (const char *key :
+         {"\"schema\":\"polymage-tune-v1\"", "\"mode\":\"exhaustive\"",
+          "\"builds\"", "\"best_index\"", "\"entries\"", "\"tiles\"",
+          "\"overlap_threshold\"", "\"t1_seconds\"", "\"tp_seconds\"",
+          "\"groups\""}) {
+        EXPECT_NE(j.find(key), std::string::npos) << key;
+    }
+}
+
 } // namespace
 } // namespace polymage::tune

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Run the autotuner on a paper app and print the polymage-tune-v1
+ * sweep JSON to stdout.  Used by scripts/check_tune.sh to validate the
+ * schema end to end, and handy for quick tuning experiments:
+ *
+ *   ./polymage_tune harris 512 512             # guided (default)
+ *   ./polymage_tune unsharp 512 512 exhaustive # full grid sweep
+ *
+ * Guided mode seeds from the tile cost model and hill-climbs, so it
+ * performs a small fraction of the exhaustive sweep's JIT builds.
+ * Progress goes to stderr; stdout carries only the JSON document.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "apps/apps.hpp"
+#include "runtime/synth.hpp"
+#include "tune/autotuner.hpp"
+
+using namespace polymage;
+
+int
+main(int argc, char **argv)
+{
+    const std::string app = argc > 1 ? argv[1] : "harris";
+    const std::int64_t r = argc > 2 ? std::atoll(argv[2]) : 512;
+    const std::int64_t c = argc > 3 ? std::atoll(argv[3]) : 512;
+    const std::string mode = argc > 4 ? argv[4] : "guided";
+
+    dsl::PipelineSpec spec("unset");
+    std::vector<std::int64_t> params{r, c};
+    std::vector<rt::Buffer> storage;
+    if (app == "harris") {
+        spec = apps::buildHarris(r, c);
+        storage.push_back(rt::synth::photo(r + 2, c + 2));
+    } else if (app == "unsharp") {
+        spec = apps::buildUnsharpMask(r, c);
+        storage.push_back(rt::synth::photoRgb(r + 4, c + 4));
+    } else if (app == "bilateral") {
+        spec = apps::buildBilateralGrid(r, c);
+        storage.push_back(rt::synth::photo(r, c));
+    } else if (app == "camera") {
+        spec = apps::buildCameraPipeline(r, c);
+        storage.push_back(rt::synth::bayerRaw(r + 4, c + 4));
+    } else if (app == "pyramid") {
+        const int levels = 4;
+        spec = apps::buildPyramidBlend(r, c, levels);
+        params = apps::pyramidParams(r, c, levels);
+        storage.push_back(rt::synth::photo(r, c, 1));
+        storage.push_back(rt::synth::photo(r, c, 2));
+        storage.push_back(rt::synth::blendMask(r, c));
+    } else {
+        std::fprintf(stderr,
+                     "usage: %s {harris|unsharp|bilateral|camera|"
+                     "pyramid} [rows cols] [guided|exhaustive]\n",
+                     argv[0]);
+        return 2;
+    }
+    if (mode != "guided" && mode != "exhaustive") {
+        std::fprintf(stderr, "unknown mode '%s'\n", mode.c_str());
+        return 2;
+    }
+
+    std::vector<const rt::Buffer *> inputs;
+    for (const auto &b : storage)
+        inputs.push_back(&b);
+
+    tune::TuneSpace space;
+    tune::TuneOptions opts;
+    opts.progress = [&](int done, int total) {
+        std::fprintf(stderr, "config %d/%d\n", done + 1, total);
+    };
+
+    const tune::TuneResult result =
+        mode == "guided"
+            ? tune::autotuneGuided(spec, params, inputs, space, opts)
+            : tune::autotune(spec, params, inputs, space, opts);
+    std::printf("%s\n", result.toJson().c_str());
+    return 0;
+}
