@@ -10,6 +10,9 @@
  *   --workers a,b,c        worker counts to sweep (default 1,2,4)
  *   --clients N            client threads (default 2 x workers)
  *   --policy P             block | reject | shed | all (default block)
+ *   --cold-shapes N        cold-start scenario: first-request latency
+ *                          at N distinct shapes through the tiered
+ *                          engine (default 3; 0 disables)
  *
  * Environment:
  *   POLYMAGE_SERVE_THREADS total thread budget; each configuration
@@ -153,6 +156,112 @@ writeConfigJson(obs::JsonWriter &w, const ConfigResult &r)
     w.endObject();
 }
 
+/** One shape's first request in the cold-start scenario. */
+struct ColdShapeResult
+{
+    std::int64_t rows = 0;
+    std::int64_t cols = 0;
+    double firstRequestSeconds = 0.0;
+    /** 1 = interpreter (compile in flight), 2 = compiled. */
+    int tier = 0;
+};
+
+/**
+ * Cold-start scenario (docs/SHAPES.md): a fresh registry with the JIT
+ * disk cache off (the compile really runs), one shape-generic Harris
+ * variant, a tiered single-worker engine.  The first request at each
+ * of @p nShapes distinct shapes is timed — the tiered engine answers
+ * from the interpreter while the one background compile is in flight,
+ * so no first request pays the compile.  Afterwards requests are
+ * resubmitted until one is served from the compiled tier, which
+ * records the promotion latency in the metrics.
+ */
+void
+runColdStart(obs::JsonWriter &w, double scale, int nShapes)
+{
+    const auto rows_est =
+        std::max<std::int64_t>(32, std::int64_t(512 * scale));
+    const auto cols_est = rows_est;
+
+    serve::RegistryOptions ropts;
+    ropts.jit.cache = false;
+    auto registry = std::make_shared<serve::PipelineRegistry>(ropts);
+    registry->add("harris", apps::buildHarris(rows_est, cols_est),
+                  CompileOptions::serving());
+
+    serve::EngineOptions eopts;
+    eopts.workers = 1;
+    serve::Engine engine(registry, eopts);
+
+    // Shapes at est/2 .. est (distinct, none below 16).
+    std::vector<ColdShapeResult> shapes;
+    std::vector<rt::Buffer> inputs;
+    for (int i = 0; i < nShapes; ++i) {
+        ColdShapeResult s;
+        const std::int64_t step =
+            nShapes > 1 ? (rows_est / 2) * i / (nShapes - 1) : 0;
+        s.rows = std::max<std::int64_t>(16, rows_est / 2 + step);
+        s.cols = std::max<std::int64_t>(16, cols_est / 2 + step);
+        inputs.push_back(rt::synth::photo(s.rows + 2, s.cols + 2));
+        shapes.push_back(s);
+    }
+
+    std::printf("\n-- cold start: harris, %d shapes, est %lld --\n",
+                nShapes, (long long)rows_est);
+    for (std::size_t i = 0; i < shapes.size(); ++i) {
+        serve::Request req;
+        req.pipeline = "harris";
+        req.params = {shapes[i].rows, shapes[i].cols};
+        req.inputs.push_back(borrow(inputs[i]));
+        serve::Response r = engine.submit(std::move(req)).get();
+        shapes[i].firstRequestSeconds = r.totalSeconds;
+        shapes[i].tier = r.tier;
+        std::printf("  %4lld x %-4lld  first request %7.2f ms  tier %d"
+                    "%s\n",
+                    (long long)shapes[i].rows,
+                    (long long)shapes[i].cols, r.totalSeconds * 1e3,
+                    r.tier, r.ok() ? "" : "  FAILED");
+    }
+
+    // Resubmit the first shape until the compiled tier answers: the
+    // tier-1 -> tier-2 flip lands the promotion latency in metrics.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(120);
+    int tier = shapes.front().tier;
+    while (tier != 2 && std::chrono::steady_clock::now() < deadline) {
+        serve::Request req;
+        req.pipeline = "harris";
+        req.params = {shapes.front().rows, shapes.front().cols};
+        req.inputs.push_back(borrow(inputs.front()));
+        serve::Response r = engine.submit(std::move(req)).get();
+        if (!r.ok())
+            break;
+        tier = r.tier;
+    }
+    engine.drain();
+    const serve::ServeSnapshot m = engine.metrics();
+    std::printf("  interp %llu / compiled %llu, promotion %7.2f ms\n",
+                (unsigned long long)m.interpServed,
+                (unsigned long long)m.compiledServed,
+                m.promotion.maxSeconds * 1e3);
+
+    w.key("cold_start").beginObject();
+    w.key("app").value("harris");
+    w.key("rows_est").value(rows_est);
+    w.key("shapes").beginArray();
+    for (const ColdShapeResult &s : shapes) {
+        w.beginObject();
+        w.key("rows").value(s.rows);
+        w.key("cols").value(s.cols);
+        w.key("first_request_seconds").value(s.firstRequestSeconds);
+        w.key("tier").value(s.tier);
+        w.endObject();
+    }
+    w.endArray();
+    w.key("metrics").raw(m.toJson());
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -170,6 +279,7 @@ main(int argc, char **argv)
         const std::string p = argPath(argc, argv, "--policy");
         return p.empty() ? std::string("block") : p;
     }();
+    const int cold_shapes = argInt(argc, argv, "--cold-shapes", 3);
     const std::string json_path = argPath(argc, argv, "--timings-json");
 
     std::vector<serve::OverloadPolicy> policies;
@@ -249,6 +359,10 @@ main(int argc, char **argv)
     }
 
     w.endArray();
+
+    if (cold_shapes > 0)
+        runColdStart(w, scale, cold_shapes);
+
     w.endObject();
 
     if (!json_path.empty()) {

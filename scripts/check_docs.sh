@@ -86,9 +86,30 @@ if [ -f "$sdoc" ]; then
     done
     for field in omp_threads_per_worker queue_capacity peak_queue_depth \
                  p50_seconds p95_seconds p99_seconds queue_wait \
-                 block_allocs thread_budget; do
+                 block_allocs thread_budget tiered interp_served \
+                 compiled_served promotions promotion; do
         grep -q "\"$field\"" "$sdoc" \
             || err "field \"$field\" missing from $sdoc"
+        grep -rq "\"$field\"" src/ bench/ \
+            || err "field \"$field\" not emitted by src/ or bench/"
+    done
+fi
+
+# ---------------------------------------------------------------- 5.
+# Shape/variant docs: docs/SHAPES.md must exist, be cross-linked from
+# the docs that touch shape-generic serving, and its cold-start fields
+# must be emitted by the benchmark.
+shdoc=docs/SHAPES.md
+[ -f "$shdoc" ] || err "$shdoc missing"
+if [ -f "$shdoc" ]; then
+    for from in docs/INTERNALS.md docs/SERVING.md docs/DSL_GUIDE.md \
+                docs/OBSERVABILITY.md; do
+        grep -q "SHAPES.md" "$from" \
+            || err "$from does not cross-link $shdoc"
+    done
+    for field in cold_start first_request_seconds tier; do
+        grep -q "\"$field\"" "$sdoc" "$shdoc" 2>/dev/null \
+            || err "field \"$field\" missing from $sdoc and $shdoc"
         grep -rq "\"$field\"" src/ bench/ \
             || err "field \"$field\" not emitted by src/ or bench/"
     done

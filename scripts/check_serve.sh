@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
 # Smoke-check the serving subsystem, CI-friendly (exit nonzero on
 # failure): build the serving demo and benchmark, run a short
-# Block-policy benchmark, and validate the emitted
-# polymage-serve-bench-v1 JSON — the snapshot must parse, carry the
-# schema tags, record the thread-budget split, and show zero rejected
-# or shed requests (Block mode must complete everything).
+# Block-policy benchmark plus the tiered cold-start scenario, and
+# validate the emitted polymage-serve-bench-v1 JSON — the snapshot
+# must parse, carry the schema tags, record the thread-budget split,
+# show zero rejected or shed requests (Block mode must complete
+# everything), and the cold-start section must show the first request
+# answered by the interpreter tier with a recorded promotion.
 #
 # Usage: scripts/check_serve.sh
 #
@@ -32,7 +34,7 @@ json="$tmp/serve.json"
 
 POLYMAGE_BENCH_SCALE=0.125 POLYMAGE_SERVE_THREADS=2 \
     "$build_dir/bench/bench_serve" --requests 6 --workers 1,2 \
-    --policy block --timings-json "$json" >/dev/null
+    --policy block --cold-shapes 3 --timings-json "$json" >/dev/null
 
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$json" <<'EOF'
@@ -59,7 +61,25 @@ for app in doc["apps"]:
         assert cfg["workers"] * cfg["omp_threads_per_worker"] <= 2, cfg
         assert m["latency"]["count"] == m["completed"] + m["failed"]
 
-print("serve JSON OK:", len(doc["apps"]), "apps")
+# Cold-start scenario (docs/SHAPES.md): the first request at every
+# shape completes, the very first is interpreter-served (the JIT
+# compile cannot have finished before it), and the tier-1 -> tier-2
+# flip records exactly one promotion.
+cold = doc["cold_start"]
+assert cold["shapes"], "no cold-start shapes"
+for s in cold["shapes"]:
+    assert s["tier"] in (1, 2), s
+    assert s["first_request_seconds"] > 0, s
+assert cold["shapes"][0]["tier"] == 1, cold["shapes"][0]
+cm = cold["metrics"]
+assert cm["schema"] == "polymage-serve-v1", cm["schema"]
+assert cm["tiered"] is True
+assert cm["interp_served"] >= 1, cm
+assert cm["compiled_served"] >= 1, cm
+assert cm["promotions"] == 1, cm
+assert cm["promotion"]["count"] == 1, cm
+
+print("serve JSON OK:", len(doc["apps"]), "apps + cold start")
 EOF
 else
     # Fallback: structural grep when python3 is unavailable.

@@ -334,6 +334,32 @@ class Generator
     int interiorNests_ = 0;
     int guardedNests_ = 0;
     int partitionedCases_ = 0;
+    /**
+     * Shape-generic mode: compile-time tile sizes, one per runtime
+     * tile parameter (max tiled-dim count over the tiled groups).
+     * Empty when tile sizes are folded as literal constants.
+     */
+    std::vector<std::int64_t> tauDefault_;
+
+    /** Tile-size term for tiled dim @p ti of a group: the `pm_tau<k>`
+     * local in shape-generic mode, the literal otherwise. */
+    std::string
+    tauTerm(std::size_t ti, std::int64_t literal) const
+    {
+        if (tauDefault_.empty())
+            return std::to_string(literal);
+        const std::size_t k = std::min(ti, tauDefault_.size() - 1);
+        return "pm_tau" + std::to_string(k);
+    }
+
+    /** Same, as a long long multiplicand (`32LL` vs `pm_tau0`). */
+    std::string
+    tauTermLL(std::size_t ti, std::int64_t literal) const
+    {
+        if (tauDefault_.empty())
+            return std::to_string(literal) + "LL";
+        return tauTerm(ti, literal);
+    }
 };
 
 std::string
@@ -834,10 +860,10 @@ Generator::emitTiledGroup(int gi)
         const std::string ghi = foldMinMax(ghi_terms, "pm_max_i");
         const std::string t = std::to_string(ti);
         w_.line("const long long tlo" + t + "_g" + std::to_string(gi) +
-                " = pm_floordiv(" + glo + ", " + std::to_string(tau[ti]) +
+                " = pm_floordiv(" + glo + ", " + tauTerm(ti, tau[ti]) +
                 ");");
         w_.line("const long long thi" + t + "_g" + std::to_string(gi) +
-                " = pm_floordiv(" + ghi + ", " + std::to_string(tau[ti]) +
+                " = pm_floordiv(" + ghi + ", " + tauTerm(ti, tau[ti]) +
                 ");");
         tlo[ti] = "tlo" + t + "_g" + std::to_string(gi);
         thi[ti] = "thi" + t + "_g" + std::to_string(gi);
@@ -928,7 +954,7 @@ Generator::emitTiledGroup(int gi)
                 if (m.groupDim[d] != gd)
                     continue;
                 const std::string raw =
-                    "(" + std::to_string(tau[ti]) + "LL * T" +
+                    "(" + tauTermLL(ti, tau[ti]) + " * T" +
                     std::to_string(ti) + " - " +
                     std::to_string(grp.dims[gd].extLeft[lvl]) + ")";
                 w_.line("const int ob_" + stageName(s) + "_" +
@@ -974,13 +1000,17 @@ Generator::emitTiledGroup(int gi)
                 const auto &info = grp.dims[gd];
                 const std::string t = "T" + std::to_string(ti);
                 const std::string lo_raw =
-                    "(" + std::to_string(tau[ti]) + "LL * " + t + " - " +
+                    "(" + tauTermLL(ti, tau[ti]) + " * " + t + " - " +
                     std::to_string(info.extLeft[lvl]) + ")";
+                const std::string hi_add =
+                    tauDefault_.empty()
+                        ? std::to_string(tau[ti] - 1 +
+                                         info.extRight[lvl])
+                        : tauTermLL(ti, tau[ti]) + " - 1 + " +
+                              std::to_string(info.extRight[lvl]);
                 const std::string hi_raw =
-                    "(" + std::to_string(tau[ti]) + "LL * " + t + " + " +
-                    std::to_string(tau[ti] - 1 +
-                                   info.extRight[lvl]) +
-                    ")";
+                    "(" + tauTermLL(ti, tau[ti]) + " * " + t + " + " +
+                    hi_add + ")";
                 dims[d].lb.push_back(ceilDivStr(lo_raw, m.scale[d]));
                 dims[d].ub.push_back(floorDivStr(hi_raw, m.scale[d]));
             }
@@ -1298,6 +1328,18 @@ Generator::emitBody()
         w_.line("const int " + paramName_.at(g_.params()[i]->id) +
                 " = (int)params[" + std::to_string(i) + "];");
     }
+    // Shape-generic tile sizes: trailing params entries, clamped to
+    // [1, compile-time size] so the compile-time-sized scratchpads and
+    // arenas stay a safe max footprint; out-of-range values fall back
+    // to the estimate-tuned defaults.
+    for (std::size_t i = 0; i < tauDefault_.size(); ++i) {
+        const std::string arg =
+            "params[" + std::to_string(g_.params().size() + i) + "]";
+        const std::string d = std::to_string(tauDefault_[i]);
+        w_.line("const long long pm_tau" + std::to_string(i) + " = (" +
+                arg + " >= 1 && " + arg + " <= " + d + ") ? " + arg +
+                " : " + d + ";");
+    }
     w_.blank();
 
     // Inputs with extent/stride locals.
@@ -1417,8 +1459,23 @@ Generator::run()
          {"params", "inputs", "outputs", "pm_slots", "pm_costs",
           "pm_gids", "pm_cap", "pm_count", "pm_serial", "pm_task",
           "pm_serial_acc", "pm_t0", "T0", "T1", "T2", "T3", "T4", "T5",
-          "T6", "T7"}) {
+          "T6", "T7", "pm_tau0", "pm_tau1", "pm_tau2", "pm_tau3",
+          "pm_tau4", "pm_tau5", "pm_tau6", "pm_tau7"}) {
         used_.insert(n);
+    }
+    // Shape-generic mode: one runtime tile-size parameter per tiled
+    // dimension (max over the overlapped-tile groups), defaulting to
+    // the compile-time sizes with tileSizeFor's repeat-last semantics.
+    if (opts_.shapeGeneric && opts_.tile) {
+        std::size_t dims = 0;
+        for (const auto &grp : grouping_.groups) {
+            if (grp.stages.size() <= 1)
+                continue;
+            dims = std::max(dims,
+                            core::tiledDimsFor(grp, g_, gopts_).size());
+        }
+        for (std::size_t i = 0; i < dims; ++i)
+            tauDefault_.push_back(core::tileSizeFor(gopts_, int(i)));
     }
     // Claim global names.
     for (const auto &p : g_.params())
@@ -1446,6 +1503,8 @@ Generator::run()
     out.interiorNests = interiorNests_;
     out.guardedNests = guardedNests_;
     out.partitionedCases = partitionedCases_;
+    out.tileParamCount = int(tauDefault_.size());
+    out.tileParamDefaults = tauDefault_;
     return out;
 }
 

@@ -10,6 +10,7 @@
 #ifndef POLYMAGE_CODEGEN_GENERATE_HPP
 #define POLYMAGE_CODEGEN_GENERATE_HPP
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -98,6 +99,18 @@ struct CodegenOptions
      * first long one (the paper's baselines parallelise rows).
      */
     std::int64_t minParallelExtent = 16;
+    /**
+     * Shape-generic variant (docs/SHAPES.md): tile sizes become
+     * runtime arguments instead of folded constants.  The entry reads
+     * GeneratedCode::tileParamCount extra trailing entries of `params`
+     * (after the graph parameters) as per-dimension tile sizes.  Each
+     * is clamped to [1, compile-time size]; zero or out-of-range
+     * values fall back to the compile-time (estimate-tuned) size, so
+     * the compile-time-sized scratchpads and heap arenas remain a
+     * conservative max footprint for every call.  Off (the default)
+     * folds tile sizes as literals -- byte-identical to prior output.
+     */
+    bool shapeGeneric = false;
 };
 
 /** The generated translation unit. */
@@ -108,7 +121,10 @@ struct GeneratedCode
      * Entry symbol:
      * void entry(const long long *params, void *const *inputs,
      *            void **outputs, void *const *slots);
-     * Parameters/inputs/outputs follow graph order; output buffers are
+     * Parameters/inputs/outputs follow graph order; under
+     * CodegenOptions::shapeGeneric, `params` carries tileParamCount
+     * additional trailing tile-size entries after the graph
+     * parameters.  Output buffers are
      * caller-allocated (shape via interp::stageShape).  `slots` holds
      * one 64-byte-aligned caller-provided allocation per entry of
      * StoragePlan::slots, sized to the largest member stage under the
@@ -154,6 +170,15 @@ struct GeneratedCode
     int interiorNests = 0;
     int guardedNests = 0;
     int partitionedCases = 0;
+    /**
+     * Shape-generic ABI: number of trailing runtime tile-size entries
+     * the entry reads from `params` after the graph parameters (0 when
+     * tile sizes are folded constants).  The i-th entry defaults to
+     * tileParamDefaults[i] -- the compile-time, estimate-tuned size --
+     * whenever the bound value lies outside [1, tileParamDefaults[i]].
+     */
+    int tileParamCount = 0;
+    std::vector<std::int64_t> tileParamDefaults;
     double interiorFraction() const
     {
         const int total = interiorNests + guardedNests;

@@ -77,6 +77,14 @@ CompileOptions::baseline(bool vectorize)
     return o;
 }
 
+CompileOptions
+CompileOptions::serving()
+{
+    CompileOptions o = optimized();
+    o.codegen.shapeGeneric = true;
+    return o;
+}
+
 std::string
 CompiledPipeline::report() const
 {

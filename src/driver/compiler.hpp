@@ -34,6 +34,13 @@ struct CompileOptions
      * no grouping, tiling, or storage optimisation (paper §4).
      */
     static CompileOptions baseline(bool vectorize);
+    /**
+     * optimized() plus shape-generic codegen (docs/SHAPES.md): tile
+     * sizes become runtime parameters so one compiled variant serves
+     * every input shape, with Executable binding model-chosen sizes
+     * per call.  The serving registry's preferred configuration.
+     */
+    static CompileOptions serving();
 };
 
 /** Result of a full compilation. */

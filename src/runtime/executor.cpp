@@ -45,6 +45,32 @@ Executable::outputShapes(const std::vector<std::int64_t> &params) const
     return shapes;
 }
 
+std::vector<std::int64_t>
+Executable::dispatchTileSizes(
+    const std::vector<std::int64_t> &params) const
+{
+    const auto &code = compiled_->code;
+    if (code.tileParamCount == 0)
+        return {};
+    // The largest output is the shape proxy the tile model refines
+    // against; the generated code falls back to the compile-time sizes
+    // for anything out of range, so this can only tune, not break.
+    const auto &g = compiled_->graph;
+    std::vector<std::int64_t> shape;
+    std::int64_t best = -1;
+    for (int out : g.outputs()) {
+        auto s = interp::stageShape(g.stage(out), g, params);
+        std::int64_t numel = 1;
+        for (std::int64_t d : s)
+            numel *= d;
+        if (numel > best) {
+            best = numel;
+            shape = std::move(s);
+        }
+    }
+    return core::tileSizesForShape(code.tileParamDefaults, shape);
+}
+
 namespace {
 
 void
@@ -146,6 +172,8 @@ Executable::runInto(const std::vector<std::int64_t> &params,
     for (Buffer &b : outputs)
         out_ptrs.push_back(b.data());
     std::vector<long long> p(params.begin(), params.end());
+    for (std::int64_t t : dispatchTileSizes(params))
+        p.push_back((long long)t);
     SlotLease slots(*compiled_, pool, params);
     fn_(p.data(), in_ptrs.data(), out_ptrs.data(), slots.data());
 }
@@ -196,6 +224,8 @@ Executable::profile(const std::vector<std::int64_t> &params,
     for (Buffer &b : outputs)
         out_ptrs.push_back(b.data());
     std::vector<long long> p(params.begin(), params.end());
+    for (std::int64_t t : dispatchTileSizes(params))
+        p.push_back((long long)t);
 
     SlotLease slots(*compiled_, *pool_, params);
 

@@ -173,6 +173,16 @@ class Executable
     outputShapes(const std::vector<std::int64_t> &params) const;
 
     /**
+     * Tile sizes this executable binds for a call at @p params: empty
+     * for shape-specialized builds (sizes are folded constants);
+     * otherwise the compile-time sizes refined per shape by
+     * core::tileSizesForShape and passed as the trailing entries of
+     * the generated entry's params array (docs/SHAPES.md).
+     */
+    std::vector<std::int64_t>
+    dispatchTileSizes(const std::vector<std::int64_t> &params) const;
+
+    /**
      * Memory-system statistics: the storage reuse plan plus live
      * counters from the pool backing the intermediate slots.
      */

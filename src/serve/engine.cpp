@@ -6,6 +6,7 @@
 #include <omp.h>
 #endif
 
+#include "interp/interpreter.hpp"
 #include "support/diagnostics.hpp"
 
 namespace polymage::serve {
@@ -189,10 +190,15 @@ Engine::workerLoop(int index)
         Response r = execute(job, pool);
         r.queueSeconds = wait_s;
         r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
-        if (r.ok())
+        if (r.ok()) {
             metrics_.onComplete(r.totalSeconds);
-        else
+            if (r.tier == 1)
+                metrics_.onInterpServed();
+            else if (r.tier == 2)
+                metrics_.onCompiledServed();
+        } else {
             metrics_.onFail(r.totalSeconds);
+        }
         finish(job, std::move(r));
 
         {
@@ -210,15 +216,35 @@ Engine::execute(Job &job, rt::BufferPool &pool)
     Response r;
     const auto t0 = Clock::now();
     try {
-        PipelineRegistry::ExecutablePtr exe =
-            job.req.variant.has_value()
-                ? registry_->get(job.req.pipeline, *job.req.variant)
-                : registry_->get(job.req.pipeline);
         std::vector<const rt::Buffer *> ins;
         ins.reserve(job.req.inputs.size());
         for (const auto &b : job.req.inputs)
             ins.push_back(b.get());
-        r.outputs = exe->run(job.req.params, ins, pool);
+        if (opts_.tiered) {
+            const CompileOptions *variant =
+                job.req.variant.has_value() ? &*job.req.variant
+                                            : nullptr;
+            PipelineRegistry::TieredResult tr =
+                registry_->getTiered(job.req.pipeline, variant);
+            if (tr.exe != nullptr) {
+                r.outputs = tr.exe->run(job.req.params, ins, pool);
+                r.tier = 2;
+            } else {
+                interp::EvalResult ev = interp::evaluate(
+                    *tr.graph, job.req.params, ins);
+                r.outputs = std::move(ev.outputs);
+                r.tier = 1;
+            }
+            notePromotion(job.req.pipeline, r.tier, t0);
+        } else {
+            PipelineRegistry::ExecutablePtr exe =
+                job.req.variant.has_value()
+                    ? registry_->get(job.req.pipeline,
+                                     *job.req.variant)
+                    : registry_->get(job.req.pipeline);
+            r.outputs = exe->run(job.req.params, ins, pool);
+            r.tier = 2;
+        }
     } catch (const std::exception &e) {
         r.outputs.clear();
         r.error = e.what();
@@ -228,6 +254,23 @@ Engine::execute(Job &job, rt::BufferPool &pool)
     }
     r.runSeconds = secondsBetween(t0, Clock::now());
     return r;
+}
+
+void
+Engine::notePromotion(const std::string &pipeline, int tier,
+                      Clock::time_point now)
+{
+    std::lock_guard<std::mutex> lock(promoMu_);
+    auto it = firstInterp_.find(pipeline);
+    if (tier == 1) {
+        if (it == firstInterp_.end())
+            firstInterp_.emplace(pipeline, now);
+        return;
+    }
+    if (it != firstInterp_.end()) {
+        metrics_.onPromotion(secondsBetween(it->second, now));
+        firstInterp_.erase(it);
+    }
 }
 
 void
@@ -283,6 +326,7 @@ Engine::metrics() const
     s.ompThreadsPerWorker = ompPerWorker_;
     s.queueCapacity = opts_.queueCapacity;
     s.policy = policyName(opts_.policy);
+    s.tiered = opts_.tiered;
     for (const auto &p : pools_) {
         const rt::BufferPool::Stats ps = p->stats();
         s.poolBlockAllocs += ps.blockAllocs;

@@ -23,7 +23,9 @@
 #include <deque>
 #include <functional>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -66,6 +68,16 @@ struct EngineOptions
      * hardware threads / workers (at least 1).
      */
     int ompThreadsPerWorker = 0;
+    /**
+     * Tiered execution (docs/SHAPES.md): the first requests for a
+     * not-yet-compiled pipeline are answered by the reference
+     * interpreter (tier 1) while the variant JIT-compiles in the
+     * background; once ready, requests atomically promote to the
+     * compiled tier (tier 2).  Off makes every request block on (and
+     * share) the variant compile -- the pre-tiering behaviour, which
+     * saturation tests and steady-state pool accounting rely on.
+     */
+    bool tiered = true;
 };
 
 /** One serving request. */
@@ -101,6 +113,11 @@ struct Response
     double runSeconds = 0.0;
     /** End-to-end latency (submit to completion). */
     double totalSeconds = 0.0;
+    /**
+     * Which tier answered: 1 = reference interpreter (compile in
+     * flight), 2 = compiled variant, 0 = failed before execution.
+     */
+    int tier = 0;
 
     bool ok() const { return error.empty(); }
 };
@@ -172,6 +189,9 @@ class Engine
                                   std::function<void(Response)> done);
     void workerLoop(int index);
     Response execute(Job &job, rt::BufferPool &pool);
+    /** Track the tier-1 -> tier-2 flip of @p pipeline (tiered mode). */
+    void notePromotion(const std::string &pipeline, int tier,
+                       Clock::time_point now);
     static void finish(Job &job, Response &&r);
 
     std::shared_ptr<PipelineRegistry> registry_;
@@ -193,6 +213,12 @@ class Engine
      * without cross-worker contention. */
     std::vector<std::unique_ptr<rt::BufferPool>> pools_;
     mutable ServeMetrics metrics_;
+
+    /** Promotion tracking (tiered mode): pipeline name -> time of its
+     * first interpreter-served response; erased (and the latency
+     * recorded) when the first compiled-tier response lands. */
+    std::mutex promoMu_;
+    std::map<std::string, Clock::time_point> firstInterp_;
 };
 
 } // namespace polymage::serve

@@ -139,6 +139,28 @@ ServeMetrics::onFail(double total_seconds)
     latency_.record(total_seconds);
 }
 
+void
+ServeMetrics::onInterpServed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    interpServed_ += 1;
+}
+
+void
+ServeMetrics::onCompiledServed()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    compiledServed_ += 1;
+}
+
+void
+ServeMetrics::onPromotion(double seconds)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    promotions_ += 1;
+    promotion_.record(seconds);
+}
+
 namespace {
 
 HistogramSummary
@@ -181,11 +203,15 @@ ServeMetrics::snapshot() const
     s.failed = failed_;
     s.rejected = rejected_;
     s.shed = shed_;
+    s.interpServed = interpServed_;
+    s.compiledServed = compiledServed_;
+    s.promotions = promotions_;
     s.queueDepth = queueDepth_;
     s.inFlight = inFlight_;
     s.peakQueueDepth = peakQueueDepth_;
     s.latency = summarize(latency_);
     s.queueWait = summarize(queueWait_);
+    s.promotion = summarize(promotion_);
     return s;
 }
 
@@ -199,11 +225,15 @@ ServeSnapshot::toJson() const
     w.key("omp_threads_per_worker").value(ompThreadsPerWorker);
     w.key("queue_capacity").value(queueCapacity);
     w.key("policy").value(policy);
+    w.key("tiered").value(tiered);
     w.key("submitted").value(std::int64_t(submitted));
     w.key("completed").value(std::int64_t(completed));
     w.key("failed").value(std::int64_t(failed));
     w.key("rejected").value(std::int64_t(rejected));
     w.key("shed").value(std::int64_t(shed));
+    w.key("interp_served").value(std::int64_t(interpServed));
+    w.key("compiled_served").value(std::int64_t(compiledServed));
+    w.key("promotions").value(std::int64_t(promotions));
     w.key("queue_depth").value(queueDepth);
     w.key("in_flight").value(inFlight);
     w.key("peak_queue_depth").value(peakQueueDepth);
@@ -217,6 +247,8 @@ ServeSnapshot::toJson() const
     writeSummary(w, latency);
     w.key("queue_wait");
     writeSummary(w, queueWait);
+    w.key("promotion");
+    writeSummary(w, promotion);
     w.endObject();
     return w.str();
 }

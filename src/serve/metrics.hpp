@@ -81,6 +81,9 @@ struct ServeSnapshot
     int ompThreadsPerWorker = 0;
     int queueCapacity = 0;
     std::string policy;
+    /** Tiered execution on: first requests are interpreter-served
+     * while the compiled variant builds (docs/SHAPES.md). */
+    bool tiered = false;
     /// @}
 
     /// @name Request counters
@@ -90,6 +93,16 @@ struct ServeSnapshot
     std::uint64_t failed = 0;
     std::uint64_t rejected = 0;
     std::uint64_t shed = 0;
+    /// @}
+
+    /// @name Tiered-execution counters (docs/SHAPES.md)
+    /// @{
+    /** Completions answered by the reference interpreter (tier 1). */
+    std::uint64_t interpServed = 0;
+    /** Completions answered by a compiled variant (tier 2). */
+    std::uint64_t compiledServed = 0;
+    /** Pipelines whose serving flipped from tier 1 to tier 2. */
+    std::uint64_t promotions = 0;
     /// @}
 
     /// @name Gauges
@@ -111,6 +124,9 @@ struct ServeSnapshot
     HistogramSummary latency;
     /** Time spent waiting in the queue before a worker picked up. */
     HistogramSummary queueWait;
+    /** Per-pipeline promotion latency: first interpreter-served
+     * response to first compiled-tier response. */
+    HistogramSummary promotion;
 
     /** Serialized to the polymage-serve-v1 schema. */
     std::string toJson() const;
@@ -139,6 +155,13 @@ class ServeMetrics
     void onDequeue(double queue_wait_seconds);
     void onComplete(double total_seconds);
     void onFail(double total_seconds);
+    /** A completion was answered by the interpreter (tier 1). */
+    void onInterpServed();
+    /** A completion was answered by a compiled variant (tier 2). */
+    void onCompiledServed();
+    /** A pipeline's serving flipped from tier 1 to tier 2 after
+     * @p seconds (first interpreted to first compiled response). */
+    void onPromotion(double seconds);
 
     /**
      * Counters, gauges, and histograms (config/pool fields left
@@ -157,11 +180,15 @@ class ServeMetrics
     std::uint64_t failed_ = 0;
     std::uint64_t rejected_ = 0;
     std::uint64_t shed_ = 0;
+    std::uint64_t interpServed_ = 0;
+    std::uint64_t compiledServed_ = 0;
+    std::uint64_t promotions_ = 0;
     std::int64_t queueDepth_ = 0;
     std::int64_t inFlight_ = 0;
     std::int64_t peakQueueDepth_ = 0;
     LatencyHistogram latency_;
     LatencyHistogram queueWait_;
+    LatencyHistogram promotion_;
 };
 
 } // namespace polymage::serve

@@ -43,16 +43,20 @@ optionsFingerprint(const CompileOptions &o)
        << c.parallelize << ',' << c.instrument << ','
        << c.maxStackScratchBytes << ',' << c.bufferReuse << ','
        << c.partition << ',' << c.hoistBases << ','
-       << int(c.tileSchedule) << ',' << c.minParallelExtent;
+       << int(c.tileSchedule) << ',' << c.minParallelExtent << ','
+       << c.shapeGeneric;
     return os.str();
 }
 
 /**
- * Process-local fingerprint of a specification: the name, the
- * identities of its parameters/inputs/outputs, and the parameter
- * estimate values.  Entity identities are object addresses — stable
- * for the lifetime of the spec, which the registry guarantees by
- * owning a copy.
+ * Process-portable fingerprint of a specification's *interface*: the
+ * pipeline name plus the names, dtypes, and ranks of its parameters,
+ * inputs, and outputs.  Deliberately excludes parameter estimate
+ * values -- estimates only steer the grouping/storage heuristics of a
+ * variant, and every input shape is served by the same variant
+ * (docs/SHAPES.md), so folding them in would shatter the cache into
+ * one entry per size.  Spec *revisions* (changed estimates or bodies)
+ * are invalidated by the registration generation, not the fingerprint.
  */
 std::uint64_t
 specFingerprint(const dsl::PipelineSpec &spec)
@@ -60,22 +64,40 @@ specFingerprint(const dsl::PipelineSpec &spec)
     std::ostringstream os;
     os << spec.name() << ';';
     for (const auto &p : spec.params())
-        os << p.get() << ',';
+        os << p->name << ':' << int(p->dtype) << ',';
     os << ';';
     for (const auto &i : spec.inputs())
-        os << i.get() << ',';
+        os << i->name() << ':' << int(i->dtype()) << ':' << i->numDims()
+           << ',';
     os << ';';
     for (const auto &o : spec.outputs())
-        os << o.get() << ',';
-    os << ';';
-    for (const auto &[id, v] : spec.estimates())
-        os << id << '=' << v << ',';
+        os << o->name() << ':' << int(o->dtype()) << ':' << o->numDims()
+           << ',';
     return fnv1a(os.str());
 }
 
 constexpr char kKeySep = '\x1f';
 
+/** Cache key of one variant: name, generation, and fingerprints. */
+std::string
+variantKey(const std::string &name, std::uint64_t gen,
+           const dsl::PipelineSpec &spec, const CompileOptions &use)
+{
+    char hex[48];
+    std::snprintf(hex, sizeof hex, "%llu%c%016llx%c%016llx",
+                  (unsigned long long)gen, kKeySep,
+                  (unsigned long long)specFingerprint(spec), kKeySep,
+                  (unsigned long long)fnv1a(optionsFingerprint(use)));
+    return name + kKeySep + hex;
+}
+
 } // namespace
+
+std::uint64_t
+specInterfaceFingerprint(const dsl::PipelineSpec &spec)
+{
+    return specFingerprint(spec);
+}
 
 PipelineRegistry::PipelineRegistry(RegistryOptions opts)
     : opts_(std::move(opts))
@@ -105,7 +127,8 @@ PipelineRegistry::add(const std::string &name, dsl::PipelineSpec spec,
             lo = variants_.erase(lo);
     }
     pipelines_.insert_or_assign(
-        name, Pipeline{std::move(spec), std::move(defaults), gen});
+        name,
+        Pipeline{std::move(spec), std::move(defaults), gen, nullptr});
 }
 
 bool
@@ -143,6 +166,64 @@ PipelineRegistry::prepare(const std::string &name,
                           const CompileOptions &opts)
 {
     return variantFuture(name, &opts, /*async=*/true);
+}
+
+PipelineRegistry::TieredResult
+PipelineRegistry::getTiered(const std::string &name,
+                            const CompileOptions *opts)
+{
+    TieredResult res;
+    dsl::PipelineSpec spec{"unset"};
+    std::uint64_t gen = 0;
+    bool in_flight = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto pit = pipelines_.find(name);
+        if (pit == pipelines_.end())
+            specError("pipeline '", name, "' is not registered");
+        const CompileOptions &use =
+            opts != nullptr ? *opts : pit->second.defaults;
+        const std::string key = variantKey(
+            name, pit->second.generation, pit->second.spec, use);
+        auto vit = variants_.find(key);
+        if (vit != variants_.end()) {
+            stats_.hits += 1;
+            vit->second.lastUse = ++tick_;
+            if (vit->second.ready) {
+                res.exe = vit->second.future.get();
+                return res;
+            }
+            in_flight = true;
+        }
+        res.graph = pit->second.graph;
+        spec = pit->second.spec;
+        gen = pit->second.generation;
+    }
+
+    // Tier 1 from here on: launch the background compile on first
+    // need (the prepare() miss path), then hand back the graph the
+    // interpreter evaluates.  The graph is built outside the lock and
+    // cached on the pipeline entry; a concurrent re-registration wins
+    // (its generation differs, so the stale graph is simply dropped).
+    if (!in_flight) {
+        variantFuture(name, opts, /*async=*/true);
+        res.compileStarted = true;
+    }
+    if (!res.graph) {
+        auto g = std::make_shared<const pg::PipelineGraph>(
+            pg::PipelineGraph::build(spec));
+        std::lock_guard<std::mutex> lock(mu_);
+        auto pit = pipelines_.find(name);
+        if (pit != pipelines_.end() &&
+            pit->second.generation == gen) {
+            if (!pit->second.graph)
+                pit->second.graph = g;
+            res.graph = pit->second.graph;
+        } else {
+            res.graph = g;
+        }
+    }
+    return res;
 }
 
 std::shared_future<CompileOptions>
@@ -228,16 +309,8 @@ PipelineRegistry::variantFuture(const std::string &name,
         if (pit == pipelines_.end())
             specError("pipeline '", name, "' is not registered");
         use = opts != nullptr ? *opts : pit->second.defaults;
-
-        char hex[48];
-        std::snprintf(hex, sizeof hex, "%llu%c%016llx%c%016llx",
-                      (unsigned long long)pit->second.generation,
-                      kKeySep,
-                      (unsigned long long)specFingerprint(
-                          pit->second.spec),
-                      kKeySep,
-                      (unsigned long long)fnv1a(optionsFingerprint(use)));
-        key = name + kKeySep + hex;
+        key = variantKey(name, pit->second.generation,
+                         pit->second.spec, use);
 
         auto vit = variants_.find(key);
         if (vit != variants_.end()) {

@@ -2,11 +2,13 @@
  * @file
  * Pipeline registry for the serving engine: owns named pipeline
  * specifications and a bounded LRU cache of compiled variants.  A
- * variant is one `rt::Executable` keyed by (spec fingerprint,
- * CompileOptions fingerprint) — the spec fingerprint covers the
- * pipeline name, its parameter/input/output identities, and the
- * parameter estimate values, so re-registering a pipeline with
- * different estimates compiles a distinct variant.
+ * variant is one `rt::Executable` keyed by (registration generation,
+ * spec fingerprint, CompileOptions fingerprint) — the spec
+ * fingerprint is a process-portable hash of the pipeline *interface*
+ * (name plus parameter/input/output names, dtypes, and ranks) and
+ * deliberately excludes estimate values, so one variant entry serves
+ * every input shape (docs/SHAPES.md).  Re-registering a name bumps
+ * the generation, which invalidates its cached variants.
  *
  * Compilation happens *outside* the registry lock: a miss installs a
  * placeholder future, releases the lock, and compiles, so a request
@@ -28,10 +30,21 @@
 
 #include "driver/compiler.hpp"
 #include "dsl/pipeline_spec.hpp"
+#include "pipeline/graph.hpp"
 #include "runtime/executor.hpp"
 #include "tune/autotuner.hpp"
 
 namespace polymage::serve {
+
+/**
+ * Process-portable hash of a specification's *interface*: the
+ * pipeline name plus the names, dtypes, and ranks of its parameters,
+ * inputs, and outputs.  Two specs built independently from the same
+ * source code are equal, and estimate values do not participate (one
+ * variant serves every shape -- docs/SHAPES.md).  This is the spec
+ * component of the registry's variant keys.
+ */
+std::uint64_t specInterfaceFingerprint(const dsl::PipelineSpec &spec);
 
 /** Registry knobs. */
 struct RegistryOptions
@@ -100,6 +113,33 @@ class PipelineRegistry
                       const CompileOptions &opts);
 
     /**
+     * Outcome of a tiered lookup (docs/SHAPES.md): exactly one of
+     * `exe` (tier 2, the ready compiled variant) or `graph` (tier 1,
+     * the pipeline graph for interp::evaluate while the compile is in
+     * flight) is set.
+     */
+    struct TieredResult
+    {
+        ExecutablePtr exe;
+        std::shared_ptr<const pg::PipelineGraph> graph;
+        /** True when this lookup launched the background compile. */
+        bool compileStarted = false;
+    };
+
+    /**
+     * Non-blocking tiered lookup: a ready variant returns tier 2
+     * immediately; otherwise the caller gets the (cached) pipeline
+     * graph to answer from the reference interpreter, and the variant
+     * compile is started in the background on first need.  Once the
+     * background build finishes, subsequent calls promote to tier 2
+     * atomically (the future flips ready under the registry lock).
+     * A ready variant counts a hit; starting a compile counts a miss;
+     * tier-1 lookups while in flight count hits (the entry exists).
+     */
+    TieredResult getTiered(const std::string &name,
+                           const CompileOptions *opts = nullptr);
+
+    /**
      * Start compiling a variant on a background thread (no-op when it
      * is already cached or compiling).  The returned future yields the
      * executable or rethrows the compile error.
@@ -139,6 +179,8 @@ class PipelineRegistry
         CompileOptions defaults;
         /** Bumped on re-registration to invalidate old variants. */
         std::uint64_t generation = 0;
+        /** Lazily-built graph serving tier-1 (interpreter) requests. */
+        std::shared_ptr<const pg::PipelineGraph> graph;
     };
 
     struct Variant

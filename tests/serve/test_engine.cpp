@@ -157,6 +157,9 @@ TEST(Engine, RejectPolicyFailsFastWhenQueueIsFull)
     eopts.workers = 1;
     eopts.queueCapacity = 1;
     eopts.policy = OverloadPolicy::RejectWithError;
+    // Saturation needs the cold compile to occupy the worker; tiered
+    // mode would answer from the interpreter instead of blocking.
+    eopts.tiered = false;
     Engine engine(registry, eopts);
 
     // Occupy the worker (cold compile), then saturate.
@@ -197,6 +200,7 @@ TEST(Engine, ShedOldestKeepsTheFreshestRequest)
     eopts.workers = 1;
     eopts.queueCapacity = 1;
     eopts.policy = OverloadPolicy::ShedOldest;
+    eopts.tiered = false; // the cold compile must occupy the worker
     Engine engine(registry, eopts);
 
     std::vector<std::future<Response>> futures;
@@ -262,8 +266,10 @@ TEST(Engine, ShutdownFailsQueuedRequestsButFinishesInFlight)
     registry->add("pw", testing::makePointwise(n).spec);
     rt::Buffer in = rt::synth::photo(n, n);
 
+    // tiered=false: the cold compile must occupy the worker.
     Engine engine(registry, EngineOptions{1, 16,
-                                          OverloadPolicy::Block, 0});
+                                          OverloadPolicy::Block, 0,
+                                          false});
     std::vector<std::future<Response>> futures;
     futures.push_back(engine.submit(pointwiseRequest(n, in)));
     awaitInFlight(engine); // worker is busy compiling request 0
@@ -287,8 +293,11 @@ TEST(Engine, SteadyStateReusesPooledBuffers)
     registry->add("blur", testing::makeBlurChain(n).spec);
     rt::Buffer in = rt::synth::photo(n, n);
 
+    // tiered=false: pool accounting assumes every response ran the
+    // compiled variant (interpreter-served responses skip the pool).
     Engine engine(registry, EngineOptions{1, 8,
-                                          OverloadPolicy::Block, 0});
+                                          OverloadPolicy::Block, 0,
+                                          false});
     auto request = [&] {
         Request req;
         req.pipeline = "blur";
@@ -379,7 +388,9 @@ TEST(Engine, MetricsJsonCarriesTheServeSchema)
     for (const char *needle :
          {"\"schema\":\"polymage-serve-v1\"", "\"policy\":\"block\"",
           "\"latency\":", "\"queue_wait\":", "\"p99_seconds\":",
-          "\"pool\":", "\"peak_queue_depth\":"})
+          "\"pool\":", "\"peak_queue_depth\":", "\"tiered\":",
+          "\"interp_served\":", "\"compiled_served\":",
+          "\"promotions\":", "\"promotion\":"})
         EXPECT_NE(json.find(needle), std::string::npos) << needle;
 
     const ServeSnapshot m = engine.metrics();
