@@ -88,7 +88,7 @@ main()
         series.push_back(polymageSeries(
             "PolyMage(base+vec)", b, CompileOptions::baseline(true)));
         CompileOptions opt_novec = b.tuned;
-        opt_novec.codegen.vectorize = false;
+        opt_novec.codegen.vectorize = cg::VectorizeMode::Off;
         series.push_back(polymageSeries("PolyMage(opt)", b, opt_novec));
         series.push_back(polymageSeries("PolyMage(opt+vec)", b,
                                         b.tuned));

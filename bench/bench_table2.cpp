@@ -25,9 +25,10 @@ main(int argc, char **argv)
     ProfileJsonReport report(profileJsonPath(argc, argv));
     std::printf("==== Table 2: benchmark summary (scale %.2f) ====\n\n",
                 scale);
-    std::printf("%-18s %6s %13s | %9s %9s %9s | %12s | %9s\n", "Benchmark",
-                "Stages", "Image size", "PM 1c(ms)", "PM 4c(ms)",
-                "PM 16c(ms)", "vs H-tuned", "OpenCV(ms)");
+    std::printf("%-18s %6s %13s | %9s %9s %9s | %12s | %9s | %s\n",
+                "Benchmark", "Stages", "Image size", "PM 1c(ms)",
+                "PM 4c(ms)", "PM 16c(ms)", "vs H-tuned", "OpenCV(ms)",
+                "vec off/pragma/explicit(ms)");
 
     auto benches = paperBenchmarks(scale);
     for (auto &b : benches) {
@@ -43,8 +44,40 @@ main(int argc, char **argv)
         const double t1 = timeBestOf(
             [&] { exe.runInto(b.params, inputs, outputs); });
 
+        // Vectorisation ablation: the same tuned schedule built with
+        // the explicit emitter off / pragma-only / on.  The tuned
+        // default is Explicit, so its measured t1 is reused.
+        double vec_ms[3] = {0, 0, 0};
+        {
+            const cg::VectorizeMode modes[2] = {
+                cg::VectorizeMode::Off, cg::VectorizeMode::Pragma};
+            for (int i = 0; i < 2; ++i) {
+                CompileOptions vopts = b.tuned;
+                vopts.codegen.vectorize = modes[i];
+                rt::Executable vexe =
+                    rt::Executable::build(b.spec, vopts);
+                auto vout = vexe.run(b.params, inputs);
+                vec_ms[i] =
+                    timeBestOf(
+                        [&] { vexe.runInto(b.params, inputs, vout); },
+                        2) *
+                    1e3;
+            }
+            vec_ms[2] = t1 * 1e3;
+        }
+        char vec_col[64];
+        std::snprintf(vec_col, sizeof vec_col, "%.2f/%.2f/%.2f",
+                      vec_ms[0], vec_ms[1], vec_ms[2]);
+        obs::JsonWriter vw;
+        vw.beginObject();
+        vw.key("off_ms").value(vec_ms[0]);
+        vw.key("pragma_ms").value(vec_ms[1]);
+        vw.key("explicit_ms").value(vec_ms[2]);
+        vw.endObject();
+
         rt::TaskProfile prof = exe.profile(b.params, inputs);
-        report.add(b.name, b.sizeLabel, exe, prof);
+        report.add(b.name, b.sizeLabel, exe, prof, "vec_ablation",
+                   vw.str());
         const double model1 = rt::predictTime(prof, 1);
         const double calib = model1 > 0 ? t1 / model1 : 1.0;
         const double t4 = rt::predictTime(prof, 4) * calib;
@@ -74,11 +107,11 @@ main(int argc, char **argv)
 
         const std::string mem = memorySummary(exe);
         std::printf("%-18s %6d %13s | %9.2f %9.2f %9.2f | %12s | %9s"
-                    "%s%s\n",
+                    " | %s%s%s\n",
                     b.name.c_str(), stages, b.sizeLabel.c_str(),
                     t1 * 1e3, t4 * 1e3, t16 * 1e3, vs_htuned.c_str(),
-                    opencv.c_str(), mem.empty() ? "" : " | ",
-                    mem.c_str());
+                    opencv.c_str(), vec_col,
+                    mem.empty() ? "" : " | ", mem.c_str());
         std::fflush(stdout);
     }
 

@@ -75,10 +75,15 @@ class ProfileJsonReport
 
     bool enabled() const { return !path_.empty(); }
 
-    /** Record one compiled+profiled pipeline. */
+    /** Record one compiled+profiled pipeline.  @p extra_key /
+     * @p extra_raw, when non-empty, attach one pre-rendered JSON value
+     * to the entry (bench_table2 uses it for the vectorize-mode
+     * ablation timings). */
     void
     add(const std::string &name, const std::string &size_label,
-        const rt::Executable &exe, const rt::TaskProfile &prof)
+        const rt::Executable &exe, const rt::TaskProfile &prof,
+        const std::string &extra_key = "",
+        const std::string &extra_raw = "")
     {
         if (!enabled())
             return;
@@ -112,6 +117,33 @@ class ProfileJsonReport
             .value(info.effectiveGrouping.overlapThreshold);
         w.key("tile_model").raw(info.tileModel.toJson());
         w.endObject();
+        // Explicit-vectorisation record (docs/VECTORIZATION.md): the
+        // mode/ISA the binary was built with, range-narrowed stages,
+        // and per group the lane shape of its explicit nests.
+        w.key("vector").beginObject();
+        w.key("mode").value(code.vectorizeMode);
+        w.key("isa").value(code.vectorIsa);
+        w.key("bits").value(code.vectorBits);
+        w.key("explicit_nests").value(code.explicitNests);
+        w.key("explicit_fraction").value(code.explicitFraction());
+        w.key("narrowed_stages").beginArray();
+        for (const auto &s : code.narrowedStages)
+            w.value(s);
+        w.endArray();
+        w.key("groups").beginArray();
+        for (const auto &gv : code.groupVector) {
+            w.beginObject();
+            w.key("group").value(gv.group);
+            w.key("elem").value(gv.elem);
+            w.key("lanes").value(gv.lanes);
+            w.key("vector_nests").value(gv.vectorNests);
+            w.key("interior_nests").value(gv.interiorNests);
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+        if (!extra_key.empty() && !extra_raw.empty())
+            w.key(extra_key).raw(extra_raw);
         w.endObject();
         apps_.push_back(w.str());
     }
@@ -171,9 +203,18 @@ inline std::string
 memorySummary(const rt::Executable &exe)
 {
     const rt::MemoryStats m = exe.memoryStats();
-    if (m.intermediates == 0)
-        return "";
     char buf[160];
+    if (m.intermediates == 0) {
+        // Fully-fused pipelines keep every intermediate in per-tile
+        // scratchpads; report those honestly instead of "no memory".
+        if (m.scratchStages == 0)
+            return "";
+        std::snprintf(buf, sizeof buf,
+                      "mem: %d scratch stages, %s/tile",
+                      m.scratchStages,
+                      formatBytes(m.scratchBytesPerTile).c_str());
+        return buf;
+    }
     std::snprintf(buf, sizeof buf,
                   "mem: %d bufs in %d slots, saved %s, peak %s",
                   m.intermediates, m.slots,

@@ -115,6 +115,30 @@ if [ -f "$shdoc" ]; then
     done
 fi
 
+# ---------------------------------------------------------------- 6.
+# Vectorisation docs: docs/VECTORIZATION.md must exist, be
+# cross-linked from the docs that touch codegen and observability, and
+# the `vector` profile-object fields it documents must be emitted.
+vdoc=docs/VECTORIZATION.md
+[ -f "$vdoc" ] || err "$vdoc missing"
+if [ -f "$vdoc" ]; then
+    for from in README.md docs/INTERNALS.md docs/OBSERVABILITY.md; do
+        grep -q "VECTORIZATION.md" "$from" \
+            || err "$from does not cross-link $vdoc"
+    done
+    for field in isa narrowed_stages explicit_fraction vec_ablation \
+                 off_ms pragma_ms explicit_ms; do
+        grep -q "\"$field\"" "$vdoc" \
+            || err "field \"$field\" missing from $vdoc"
+        grep -rq "\"$field\"" src/ bench/ \
+            || err "field \"$field\" not emitted by src/ or bench/"
+    done
+    for knob in POLYMAGE_VECTORIZE POLYMAGE_NARROW; do
+        grep -q "$knob" "$vdoc" || err "knob $knob missing from $vdoc"
+        grep -rq "$knob" src/ || err "knob $knob not read by src/"
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED" >&2
     exit 1

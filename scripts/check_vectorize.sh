@@ -1,13 +1,18 @@
 #!/usr/bin/env bash
-# Verify that the guard-free interior loops the codegen emits actually
-# vectorise, CI-friendly (exit nonzero on failure).  Dumps the
-# generated C++ of a representative app, recompiles it with the host
-# compiler's vectorisation report enabled, and checks that the interior
-# loop of a representative stencil stage (the first Sobel pass of
-# Harris, `scr_Ix`) is reported vectorised.  A residual per-point guard
-# or clamp in that loop would suppress vectorisation, so this catches
-# regressions of the boundary/interior partitioning and hoisting paths
-# at the object-code level, where the golden source tests cannot see.
+# Verify the vectorisation contract of the generated code, CI-friendly
+# (exit nonzero on failure), in all three modes of
+# CodegenOptions::vectorize (driven via the POLYMAGE_VECTORIZE env
+# override that compilePipeline honours):
+#
+#   explicit (default) -- the dumped source must carry pm_v_ typedefs
+#       and typed vector loop bodies, and the compiled object code must
+#       contain wide SIMD register traffic (zmm/ymm, or xmm on narrow
+#       hosts).  A silent fallback to scalar code fails the check.
+#   pragma -- `#pragma omp simd` on interior loops, no pm_v_ types, and
+#       the host compiler's vectorisation report must confirm that the
+#       interior loop of a representative stencil store (the first
+#       Sobel pass of Harris, `scr_Ix`) auto-vectorised.
+#   off -- neither pragmas nor vector types; still builds.
 #
 # Usage: scripts/check_vectorize.sh [app] [store-pattern]
 #
@@ -28,8 +33,57 @@ cmake --build "$build_dir" -j "$(nproc)" --target polymage_dump_source \
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
-gen="$tmp/$app.gen.cpp"
-"$build_dir/tools/polymage_dump_source" "$app" > "$gen"
+
+dump="$build_dir/tools/polymage_dump_source"
+# Same flags the JIT uses (runtime/jit.cpp).
+flags="-shared -fPIC -std=c++17 -w -O3 -fno-math-errno -march=native \
+       -fopenmp"
+
+# ---- explicit mode (the default) --------------------------------------
+gen="$tmp/$app.explicit.cpp"
+POLYMAGE_VECTORIZE=explicit "$dump" "$app" > "$gen"
+
+if ! grep -q "typedef.*vector_size" "$gen"; then
+    echo "check_vectorize: explicit mode emitted no vector typedefs" >&2
+    exit 1
+fi
+nvec=$(grep -c "pm_v_" "$gen" || true)
+if [ "$nvec" -lt 4 ]; then
+    echo "check_vectorize: explicit mode barely uses vector types" \
+         "($nvec mentions) -- silent scalar fallback?" >&2
+    exit 1
+fi
+
+# shellcheck disable=SC2086
+"$cxx" $flags -o "$tmp/$app.explicit.so" "$gen"
+asm="$tmp/$app.explicit.asm"
+objdump -d "$tmp/$app.explicit.so" > "$asm"
+wide=$(grep -cE '%(zmm|ymm)' "$asm" || true)
+narrow=$(grep -cE '%xmm' "$asm" || true)
+if [ "$wide" -eq 0 ] && [ "$narrow" -eq 0 ]; then
+    echo "check_vectorize: no SIMD register traffic in explicit-mode" \
+         "object code -- scalar fallback" >&2
+    exit 1
+fi
+# If the generated source declares >=32-byte vectors, insist the object
+# code actually uses wide (ymm/zmm) registers.
+if grep -qE 'vector_size\((32|64)' "$gen" && [ "$wide" -eq 0 ]; then
+    echo "check_vectorize: source declares wide vectors but object" \
+         "code has no ymm/zmm instructions" >&2
+    exit 1
+fi
+
+# ---- pragma mode ------------------------------------------------------
+gen="$tmp/$app.pragma.cpp"
+POLYMAGE_VECTORIZE=pragma "$dump" "$app" > "$gen"
+if ! grep -q "#pragma omp simd" "$gen"; then
+    echo "check_vectorize: pragma mode emitted no omp simd pragmas" >&2
+    exit 1
+fi
+if grep -q "pm_v_" "$gen"; then
+    echo "check_vectorize: pragma mode leaked explicit vector types" >&2
+    exit 1
+fi
 
 # Line of the representative interior store (skip the declaration).
 line=$(grep -nF "$pattern" "$gen" | grep "] = " | head -1 | cut -d: -f1)
@@ -39,23 +93,21 @@ if [ -z "$line" ]; then
     exit 1
 fi
 
-# Same flags the JIT uses (runtime/jit.cpp), plus the vec report.
-flags="-shared -fPIC -std=c++17 -w -O3 -fno-math-errno -march=native \
-       -fopenmp"
 log="$tmp/vec.log"
 if "$cxx" --version | head -1 | grep -qi clang; then
     # shellcheck disable=SC2086
-    "$cxx" $flags -Rpass=loop-vectorize -o "$tmp/$app.so" "$gen" \
-        2> "$log" || { cat "$log" >&2; exit 1; }
+    "$cxx" $flags -Rpass=loop-vectorize -o "$tmp/$app.pragma.so" \
+        "$gen" 2> "$log" || { cat "$log" >&2; exit 1; }
     ok=$(grep -c "vectorized loop" "$log" || true)
 else
     # shellcheck disable=SC2086
-    "$cxx" $flags "-fopt-info-vec-optimized=$log" -o "$tmp/$app.so" \
-        "$gen"
+    "$cxx" $flags "-fopt-info-vec-optimized=$log" \
+        -o "$tmp/$app.pragma.so" "$gen"
     ok=$(grep -c "loop vectorized" "$log" || true)
 fi
 if [ "$ok" -eq 0 ]; then
-    echo "check_vectorize: compiler vectorised no loops at all" >&2
+    echo "check_vectorize: compiler vectorised no loops in pragma" \
+         "mode" >&2
     exit 1
 fi
 
@@ -70,10 +122,23 @@ for l in $((line - 1)) "$line" $((line + 1)); do
 done
 if [ "$found" -eq 0 ]; then
     echo "check_vectorize: interior loop of '$pattern' stage (line" \
-         "$line) did not vectorise; report follows" >&2
+         "$line) did not auto-vectorise in pragma mode; report" \
+         "follows" >&2
     cat "$log" >&2
     exit 1
 fi
 
-echo "check_vectorize: OK ($app '$pattern' interior loop vectorised," \
-     "$ok vectorised loops total)"
+# ---- off mode ---------------------------------------------------------
+gen="$tmp/$app.off.cpp"
+POLYMAGE_VECTORIZE=off "$dump" "$app" > "$gen"
+if grep -qE "#pragma omp simd|pm_v_" "$gen"; then
+    echo "check_vectorize: off mode still emits vector pragmas or" \
+         "types" >&2
+    exit 1
+fi
+# shellcheck disable=SC2086
+"$cxx" $flags -o "$tmp/$app.off.so" "$gen"
+
+echo "check_vectorize: OK (explicit: $nvec pm_v_ mentions," \
+     "$wide wide-register instrs; pragma: '$pattern' interior loop" \
+     "auto-vectorised, $ok loops total; off: scalar build clean)"

@@ -6,7 +6,9 @@
 #include <set>
 
 #include "codegen/cexpr.hpp"
+#include "codegen/vexpr.hpp"
 #include "codegen/writer.hpp"
+#include "machine/machine.hpp"
 #include "poly/cond_box.hpp"
 #include "poly/range.hpp"
 #include "support/intmath.hpp"
@@ -162,9 +164,10 @@ class Generator
               const core::GroupingResult &grouping,
               const core::GroupingOptions &gopts,
               const core::StoragePlan &storage,
-              const CodegenOptions &opts)
+              const CodegenOptions &opts,
+              const core::RangeAnalysis *ranges)
         : g_(g), grouping_(grouping), gopts_(gopts), storage_(storage),
-          opts_(opts)
+          opts_(opts), ranges_(ranges)
     {}
 
     GeneratedCode run();
@@ -202,11 +205,21 @@ class Generator
      * @p hoisted lines (loop-invariant `pm_base*` declarations) are
      * placed right before the innermost loop opens.
      */
+    /**
+     * @p vec_lines, when non-null, is an explicit vector body for the
+     * innermost loop: it is split into a main loop advancing by
+     * @p vec_lanes running the vector body and a scalar tail running
+     * @p body_lines (the caller guarantees step 1, no guards, and that
+     * the innermost dimension hosts neither the parallel pragma nor
+     * the instrumented task timer).
+     */
     void emitLoopNest(const std::vector<LoopDim> &dims,
                       const std::vector<std::string> &guards,
                       const std::vector<std::string> &body_lines,
                       bool parallel_outer, bool task_outer, int phase,
-                      const std::vector<std::string> &hoisted = {});
+                      const std::vector<std::string> &hoisted = {},
+                      const std::vector<std::string> *vec_lines = nullptr,
+                      int vec_lanes = 0);
 
     /** Apply one analysed box's bounds and residues to a nest. */
     void applyBox(const poly::CondBox &box, const pg::Stage &stage,
@@ -236,6 +249,19 @@ class Generator
                        const std::vector<std::string> &idx,
                        const std::vector<LoopDim> &base_dims,
                        bool parallel_outer, bool task_outer);
+
+    /**
+     * Attempt explicit vector emission for one guard-free nest
+     * (docs/VECTORIZATION.md).  Must run while the hoist sink is still
+     * active so vector loads share the scalar tail's pm_base locals.
+     * Returns nullopt whenever the nest or the expression disqualifies
+     * itself; the caller then keeps the pragma path.
+     */
+    std::optional<VecResult>
+    tryVectorizeNest(int gi, int s, const dsl::Case &cs,
+                     const EmitEnv &env, const CaseNest &nest,
+                     const std::string &target, bool parallel_outer,
+                     bool task_outer);
 
     /** The worksharing clause of every parallel loop. */
     std::string
@@ -306,6 +332,7 @@ class Generator
     const core::GroupingOptions &gopts_;
     const core::StoragePlan &storage_;
     const CodegenOptions &opts_;
+    const core::RangeAnalysis *ranges_;
 
     CodeWriter w_;
     std::set<std::string> used_;
@@ -334,6 +361,12 @@ class Generator
     int interiorNests_ = 0;
     int guardedNests_ = 0;
     int partitionedCases_ = 0;
+    /** Vector typedefs requested while bodies rendered (prepended to
+     * the prelude afterwards). */
+    VecTypes vtypes_;
+    /** Per-group explicit-vectorisation census of the primary entry. */
+    std::map<int, GeneratedCode::GroupVectorInfo> groupVec_;
+    int explicitNests_ = 0;
     /**
      * Shape-generic mode: compile-time tile sizes, one per runtime
      * tile parameter (max tiled-dim count over the tiled groups).
@@ -568,6 +601,65 @@ Generator::applyBox(const poly::CondBox &box, const pg::Stage &stage,
     }
 }
 
+std::optional<VecResult>
+Generator::tryVectorizeNest(int gi, int s, const dsl::Case &cs,
+                            const EmitEnv &env, const CaseNest &nest,
+                            const std::string &target,
+                            bool parallel_outer, bool task_outer)
+{
+    if (opts_.vectorize != VectorizeMode::Explicit || !vec_ ||
+        !nest.guards.empty() || nest.dims.empty() ||
+        nest.dims.back().step != 1)
+        return std::nullopt;
+    // The innermost loop cannot both host the parallel pragma (or the
+    // instrumented task timer) and be split into main + tail.
+    if (parallel_outer || task_outer) {
+        std::size_t pd = 0;
+        for (std::size_t d = 0; d < nest.dims.size(); ++d) {
+            pd = d;
+            if (nest.dims[d].estExtent < 0 ||
+                nest.dims[d].estExtent >= opts_.minParallelExtent)
+                break;
+        }
+        if (pd + 1 == nest.dims.size())
+            return std::nullopt;
+    }
+
+    const pg::Stage &stage = g_.stage(s);
+    const auto &vars = stage.loopVars();
+    const auto &dom = stage.loopDom();
+    if (vars.empty() || vars.size() != nest.dims.size())
+        return std::nullopt;
+
+    // Interval evaluator with every loop variable bound to its domain
+    // (parameter bounds feed in through ParamRef; anything unbounded
+    // only widens, failing proofs conservatively).
+    core::ExprRangeEval ev(ranges_, g_);
+    for (std::size_t d = 0; d < vars.size() && d < dom.size(); ++d) {
+        const core::ValueInterval lo = ev.eval(dom[d].lower());
+        const core::ValueInterval hi = ev.eval(dom[d].upper());
+        ev.bindVar(vars[d].id(), {lo.lo, hi.hi, true});
+    }
+
+    VecRequest req;
+    req.value = cs.value();
+    req.declared = stage.func().dtype();
+    req.storeType = storage_.elemType(s, g_);
+    req.target = target;
+    req.env = &env;
+    req.innerVarId = vars.back().id();
+    req.innerVarName = nest.dims.back().var;
+    req.vectorBits = machine::machineInfo().vectorBits;
+    req.loadType = [this](const dsl::CallNode &call) {
+        if (call.callee->kind() == dsl::CallableData::Kind::Image)
+            return call.callee->dtype();
+        const int p = g_.stageIndexOf(call.callee->id());
+        return storage_.elemType(p, g_);
+    };
+    req.rangeEval = &ev;
+    return tryVectorize(req, vtypes_);
+}
+
 std::vector<CaseNest>
 Generator::caseNests(const pg::Stage &stage, const dsl::Case &cs,
                      const EmitEnv &env,
@@ -649,6 +741,11 @@ Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
         const std::vector<std::string> body =
             emitAssignWithCSE(cs.value(), target, f.dtype(), env,
                               hoist_);
+        // Attempt the explicit vector body while the hoist sink is
+        // still active: vector loads route through the same pm_base
+        // locals the scalar tail uses.
+        const std::optional<VecResult> vres = tryVectorizeNest(
+            gi, s, cs, env, nest, target, parallel_outer, task_outer);
         hoistTmp_ = std::max(hoistTmp_, sink.counter);
         cseTmp_ = std::max(cseTmp_, sink.cseCounter);
         hoist_ = saved;
@@ -657,9 +754,25 @@ Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
                 ++interiorNests_;
             else
                 ++guardedNests_;
+            if (opts_.vectorize == VectorizeMode::Explicit &&
+                nest.guards.empty()) {
+                GeneratedCode::GroupVectorInfo &gv = groupVec_[gi];
+                gv.group = gi;
+                ++gv.interiorNests;
+                if (vres) {
+                    ++gv.vectorNests;
+                    ++explicitNests_;
+                    if (vres->lanes > gv.lanes) {
+                        gv.lanes = vres->lanes;
+                        gv.elem = vres->elemTag;
+                    }
+                }
+            }
         }
         emitLoopNest(nest.dims, nest.guards, body, parallel_outer,
-                     task_outer, phase_, sink.lines);
+                     task_outer, phase_, sink.lines,
+                     vres ? &vres->lines : nullptr,
+                     vres ? vres->lanes : 0);
         // Untiled nests each own a parallel phase; inside a tiled
         // group the surrounding tile loop owns the (single) phase.
         if (task_outer)
@@ -686,7 +799,9 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
                         const std::vector<std::string> &guards,
                         const std::vector<std::string> &body_lines,
                         bool parallel_outer, bool task_outer, int phase,
-                        const std::vector<std::string> &hoisted)
+                        const std::vector<std::string> &hoisted,
+                        const std::vector<std::string> *vec_lines,
+                        int vec_lanes)
 {
     // The parallel loop: the first dimension long enough to feed the
     // worker pool (a 3-wide channel axis outermost must not cap the
@@ -727,6 +842,25 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
                     std::to_string(dims[d].step) + ");");
             start = aligned;
             inc = dims[d].var + " += " + std::to_string(dims[d].step);
+        }
+        if (d + 1 == dims.size() && vec_lines != nullptr) {
+            // Explicit vector split: a main loop advancing by the lane
+            // count running the vector body, then a scalar tail.  The
+            // extra block scopes the shared induction variable so
+            // sibling nests can reuse the claimed name.
+            const std::string lanes1 = std::to_string(vec_lanes - 1);
+            w_.open("");
+            w_.line("int " + dims[d].var + " = " + start + ";");
+            w_.open("for (; " + dims[d].var + " + " + lanes1 + " <= " +
+                    ub + "; " + dims[d].var + " += " +
+                    std::to_string(vec_lanes) + ")");
+            for (const auto &l : *vec_lines)
+                w_.line(l);
+            w_.close();
+            w_.open("for (; " + dims[d].var + " <= " + ub + "; ++" +
+                    dims[d].var + ")");
+            opened += 2; // wrapper block + tail loop
+            continue;
         }
         const bool outer_par = d == par_d && parallel_outer && !instr_;
         // A nest that kept a residual guard has per-point control flow
@@ -902,8 +1036,8 @@ Generator::emitTiledGroup(int gi)
         w_.line("char *" + arena + " = (char *)pm_alloc(" +
                 std::to_string(arena_bytes) + ");");
         for (const auto &[s, off] : arena_off) {
-            const std::string ty = dsl::dtypeCName(
-                g_.stage(s).callable->dtype());
+            const std::string ty =
+                dsl::dtypeCName(storage_.stages.at(s).dtype);
             w_.line(std::string(ty) + " *scr_" + stageName(s) + " = (" +
                     ty + " *)(" + arena + " + " + std::to_string(off) +
                     ");");
@@ -929,8 +1063,8 @@ Generator::emitTiledGroup(int gi)
             std::int64_t total = 1;
             for (auto e : st.scratchExtent)
                 total *= e;
-            const std::string ty = dsl::dtypeCName(
-                g_.stage(s).callable->dtype());
+            const std::string ty =
+                dsl::dtypeCName(storage_.stages.at(s).dtype);
             w_.line("alignas(64) " + std::string(ty) + " scr_" +
                     stageName(s) + "[" + std::to_string(total) + "];");
         }
@@ -1379,8 +1513,11 @@ Generator::emitBody()
             continue;
         const pg::Stage &stage = g_.stage(int(s));
         const std::string name = stageName(int(s));
+        // The plan's allocation type: range-narrowed for slot
+        // intermediates, always the declared type for live-outs
+        // (caller-allocated).
         const std::string ty =
-            dsl::dtypeCName(stage.callable->dtype());
+            dsl::dtypeCName(storage_.elemType(int(s), g_));
         const auto &dom = stage.isFunction() ? stage.func().dom()
                                              : stage.accum().varDom();
         for (std::size_t d = 0; d < dom.size(); ++d) {
@@ -1424,7 +1561,7 @@ void
 Generator::emitEntry(bool instrumented)
 {
     instr_ = instrumented;
-    vec_ = opts_.vectorize;
+    vec_ = opts_.vectorize != VectorizeMode::Off;
     const std::string base = "polymage_" + sanitize(g_.name());
     if (!instrumented) {
         w_.line("extern \"C\" void " + base +
@@ -1485,13 +1622,23 @@ Generator::run()
     for (std::size_t s = 0; s < g_.stages().size(); ++s)
         stageName_[int(s)] = claim(sanitize(g_.stage(int(s)).name()));
 
-    emitPrelude();
+    // Bodies first: rendering them registers the vector typedefs the
+    // prelude must declare, so the prelude is written afterwards and
+    // prepended.
     emitEntry(false);
     if (opts_.instrument)
         emitEntry(true);
+    const std::string bodies = w_.str();
+    w_ = CodeWriter();
+    emitPrelude();
+    if (!vtypes_.empty()) {
+        for (const auto &l : vtypes_.typedefLines())
+            w_.line(l);
+        w_.blank();
+    }
 
     GeneratedCode out;
-    out.source = w_.str();
+    out.source = w_.str() + bodies;
     out.entry = "polymage_" + sanitize(g_.name());
     if (opts_.instrument)
         out.instrEntry = out.entry + "_pm_instr";
@@ -1505,17 +1652,39 @@ Generator::run()
     out.partitionedCases = partitionedCases_;
     out.tileParamCount = int(tauDefault_.size());
     out.tileParamDefaults = tauDefault_;
+    out.vectorizeMode = vectorizeModeName(opts_.vectorize);
+    if (opts_.vectorize == VectorizeMode::Explicit) {
+        out.vectorIsa = machine::machineInfo().isa;
+        out.vectorBits = machine::machineInfo().vectorBits;
+    }
+    out.explicitNests = explicitNests_;
+    for (const auto &[gi, gv] : groupVec_)
+        out.groupVector.push_back(gv);
+    if (ranges_ != nullptr)
+        out.narrowedStages = ranges_->narrowedStages(g_);
     return out;
 }
 
 } // namespace
 
+const char *
+vectorizeModeName(VectorizeMode m)
+{
+    switch (m) {
+    case VectorizeMode::Off: return "off";
+    case VectorizeMode::Pragma: return "pragma";
+    case VectorizeMode::Explicit: return "explicit";
+    }
+    return "off";
+}
+
 GeneratedCode
 generate(const pg::PipelineGraph &g, const core::GroupingResult &grouping,
          const core::GroupingOptions &gopts,
-         const core::StoragePlan &storage, const CodegenOptions &opts)
+         const core::StoragePlan &storage, const CodegenOptions &opts,
+         const core::RangeAnalysis *ranges)
 {
-    Generator gen(g, grouping, gopts, storage, opts);
+    Generator gen(g, grouping, gopts, storage, opts, ranges);
     return gen.run();
 }
 

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/grouping.hpp"
+#include "core/range_analysis.hpp"
 #include "core/storage.hpp"
 
 namespace polymage::cg {
@@ -25,6 +26,28 @@ enum class OmpSchedule
     Static,
     Dynamic,
 };
+
+/**
+ * How innermost loops are vectorised (docs/VECTORIZATION.md).
+ * Env-overridable via POLYMAGE_VECTORIZE={off,pragma,explicit}.
+ */
+enum class VectorizeMode
+{
+    /** Scalar code, autovectorisation suppressed in the JIT flags. */
+    Off,
+    /** Scalar code with `omp simd` pragmas (the pre-explicit path). */
+    Pragma,
+    /**
+     * Emit typed fixed-width vector operations (pm_vec prelude over
+     * compiler vector extensions) on guard-free interior nests, with a
+     * scalar tail loop; nests the emitter cannot prove safe fall back
+     * to the Pragma path.  The default.
+     */
+    Explicit,
+};
+
+/** Short name of a mode as reported in profile JSON. */
+const char *vectorizeModeName(VectorizeMode m);
 
 /** Code generation switches (the paper's opt/vec axes, §4). */
 struct CodegenOptions
@@ -38,8 +61,8 @@ struct CodegenOptions
      * reduction, the tiling transformations are not very effective").
      */
     bool storageOpt = true;
-    /** Emit `omp simd`/ivdep pragmas on innermost loops. */
-    bool vectorize = true;
+    /** Innermost-loop vectorisation strategy (see VectorizeMode). */
+    VectorizeMode vectorize = VectorizeMode::Explicit;
     /** Emit `omp parallel for` on the outermost loops. */
     bool parallelize = true;
     /**
@@ -184,14 +207,59 @@ struct GeneratedCode
         const int total = interiorNests + guardedNests;
         return total == 0 ? 1.0 : double(interiorNests) / total;
     }
+
+    /**
+     * Explicit-vectorisation observability (the `vector` object of
+     * polymage-profile-v1 entries, docs/VECTORIZATION.md): per group,
+     * how many of its guard-free interior nests went through the
+     * explicit emitter, at what lane width and element type.
+     */
+    struct GroupVectorInfo
+    {
+        int group = 0;
+        /** Compute element type of the widest vector nest ("f32",
+         * "u16", ...); empty when nothing vectorised explicitly. */
+        std::string elem;
+        /** Lanes of the widest explicit nest (0: none). */
+        int lanes = 0;
+        /** Nests emitted through the explicit vector path. */
+        int vectorNests = 0;
+        /** Guard-free interior nests in the group (the denominator of
+         * the explicit fraction). */
+        int interiorNests = 0;
+    };
+    /** One entry per group, emission order (Explicit mode only). */
+    std::vector<GroupVectorInfo> groupVector;
+    /** ISA the lane count was derived from ("avx2", ...). */
+    std::string vectorIsa;
+    /** SIMD register bits backing the lane choice. */
+    int vectorBits = 0;
+    /** Mode actually used ("off", "pragma", "explicit"). */
+    std::string vectorizeMode;
+    /** Total nests emitted through the explicit vector path. */
+    int explicitNests = 0;
+    /** Stages stored in a range-narrowed type, as "name:u16". */
+    std::vector<std::string> narrowedStages;
+    double explicitFraction() const
+    {
+        return interiorNests == 0
+                   ? 0.0
+                   : double(explicitNests) / interiorNests;
+    }
 };
 
-/** Generate code for a scheduled pipeline. */
+/**
+ * Generate code for a scheduled pipeline.  @p ranges (optional) feeds
+ * the explicit vector emitter's compute-type narrowing and the
+ * narrowed-stage report; without it vectors compute in the declared
+ * types and storage narrowing is whatever the plan already encodes.
+ */
 GeneratedCode generate(const pg::PipelineGraph &g,
                        const core::GroupingResult &grouping,
                        const core::GroupingOptions &gopts,
                        const core::StoragePlan &storage,
-                       const CodegenOptions &opts);
+                       const CodegenOptions &opts,
+                       const core::RangeAnalysis *ranges = nullptr);
 
 } // namespace polymage::cg
 

@@ -1,0 +1,506 @@
+#include "core/range_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace polymage::core {
+
+namespace {
+
+constexpr double kInf = ValueInterval::kInf;
+
+double
+clampInf(double v)
+{
+    if (std::isnan(v))
+        return kInf; // only reachable via inf*0 corners: give up
+    return std::min(kInf, std::max(-kInf, v));
+}
+
+/** Product with the convention 0 * inf == 0 (an absent extent, not an
+ * indeterminate form). */
+double
+mulCorner(double x, double y)
+{
+    if (x == 0.0 || y == 0.0)
+        return 0.0;
+    return clampInf(x * y);
+}
+
+/** True division corner with saturation. */
+double
+divCorner(double x, double y)
+{
+    if (std::abs(y) >= kInf)
+        return 0.0;
+    if (y == 0.0)
+        return x >= 0 ? kInf : -kInf;
+    return clampInf(x / y);
+}
+
+} // namespace
+
+std::string
+ValueInterval::toString() const
+{
+    std::ostringstream os;
+    os << (integral ? "i" : "f") << "[";
+    if (boundedLo())
+        os << lo;
+    else
+        os << "-inf";
+    os << ", ";
+    if (boundedHi())
+        os << hi;
+    else
+        os << "inf";
+    os << "]";
+    return os.str();
+}
+
+ValueInterval
+dtypeInterval(dsl::DType t)
+{
+    switch (t) {
+    case dsl::DType::UChar: return {0.0, 255.0, true};
+    case dsl::DType::Short: return {-32768.0, 32767.0, true};
+    case dsl::DType::UShort: return {0.0, 65535.0, true};
+    case dsl::DType::Int: return {-2147483648.0, 2147483647.0, true};
+    case dsl::DType::Long:
+        return {-9223372036854775808.0, 9223372036854775807.0, true};
+    case dsl::DType::Float:
+    case dsl::DType::Double: return ValueInterval::unknown(false);
+    }
+    return ValueInterval::unknown(false);
+}
+
+const char *
+dtypeShortName(dsl::DType t)
+{
+    switch (t) {
+    case dsl::DType::UChar: return "u8";
+    case dsl::DType::Short: return "i16";
+    case dsl::DType::UShort: return "u16";
+    case dsl::DType::Int: return "i32";
+    case dsl::DType::Long: return "i64";
+    case dsl::DType::Float: return "f32";
+    case dsl::DType::Double: return "f64";
+    }
+    return "?";
+}
+
+ValueInterval
+ivAdd(const ValueInterval &a, const ValueInterval &b)
+{
+    return {clampInf(a.lo + b.lo), clampInf(a.hi + b.hi),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivSub(const ValueInterval &a, const ValueInterval &b)
+{
+    return {clampInf(a.lo - b.hi), clampInf(a.hi - b.lo),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivMul(const ValueInterval &a, const ValueInterval &b)
+{
+    const double c[4] = {mulCorner(a.lo, b.lo), mulCorner(a.lo, b.hi),
+                         mulCorner(a.hi, b.lo), mulCorner(a.hi, b.hi)};
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivFloorDiv(const ValueInterval &a, const ValueInterval &b)
+{
+    if (b.lo <= 0.0 && b.hi >= 0.0)
+        return ValueInterval::unknown(a.integral && b.integral);
+    double c[4] = {divCorner(a.lo, b.lo), divCorner(a.lo, b.hi),
+                   divCorner(a.hi, b.lo), divCorner(a.hi, b.hi)};
+    for (double &v : c)
+        if (std::abs(v) < kInf)
+            v = std::floor(v);
+    return {*std::min_element(c, c + 4), *std::max_element(c, c + 4),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivFloorMod(const ValueInterval &a, const ValueInterval &b)
+{
+    const bool integral = a.integral && b.integral;
+    // Floor modulo takes the divisor's sign; the magnitude stays below
+    // |divisor|.  A divisor interval straddling zero gives nothing.
+    if (b.lo > 0.0 && b.boundedHi())
+        return {0.0, b.hi - (integral ? 1.0 : 0.0), integral};
+    if (b.hi < 0.0 && b.boundedLo())
+        return {b.lo + (integral ? 1.0 : 0.0), 0.0, integral};
+    return ValueInterval::unknown(integral);
+}
+
+ValueInterval
+ivMin(const ValueInterval &a, const ValueInterval &b)
+{
+    return {std::min(a.lo, b.lo), std::min(a.hi, b.hi),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivMax(const ValueInterval &a, const ValueInterval &b)
+{
+    return {std::max(a.lo, b.lo), std::max(a.hi, b.hi),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivNeg(const ValueInterval &a)
+{
+    return {-a.hi, -a.lo, a.integral};
+}
+
+ValueInterval
+ivUnion(const ValueInterval &a, const ValueInterval &b)
+{
+    return {std::min(a.lo, b.lo), std::max(a.hi, b.hi),
+            a.integral && b.integral};
+}
+
+ValueInterval
+ivClamp(const ValueInterval &v, const ValueInterval &lo,
+        const ValueInterval &hi)
+{
+    return ivMax(ivMin(v, hi), lo);
+}
+
+ValueInterval
+ivShiftLeft(const ValueInterval &a, int k)
+{
+    return ivMul(a, ValueInterval::point(std::ldexp(1.0, k), true));
+}
+
+ValueInterval
+ivShiftRight(const ValueInterval &a, int k)
+{
+    return ivFloorDiv(a, ValueInterval::point(std::ldexp(1.0, k), true));
+}
+
+dsl::DType
+minimalIntType(const ValueInterval &v, dsl::DType fallback)
+{
+    if (!v.bounded() || !v.integral)
+        return fallback;
+    // Unsigned preferred at equal size, so UShort precedes Short.
+    static const dsl::DType ladder[] = {
+        dsl::DType::UChar, dsl::DType::UShort, dsl::DType::Short,
+        dsl::DType::Int, dsl::DType::Long};
+    for (dsl::DType t : ladder)
+        if (dtypeInterval(t).contains(v))
+            return t;
+    return fallback;
+}
+
+//--------------------------------------------------------------------------
+// Expression evaluation
+//--------------------------------------------------------------------------
+
+ValueInterval
+ExprRangeEval::eval(const dsl::Expr &e)
+{
+    if (!e.defined())
+        return ValueInterval::unknown();
+    // Keep the root (and through it the whole tree) alive: memo_ keys
+    // on node addresses, and a caller passing a temporary Expr would
+    // otherwise free nodes whose recycled addresses alias stale
+    // entries.
+    roots_.push_back(e);
+    return eval(e.node());
+}
+
+void
+ExprRangeEval::bindVar(int id, const ValueInterval &v)
+{
+    vars_[id] = v;
+    // VarRef results depend on the bindings; drop anything cached.
+    memo_.clear();
+    roots_.clear();
+}
+
+ValueInterval
+ExprRangeEval::eval(const dsl::ExprNode &n)
+{
+    auto it = memo_.find(&n);
+    if (it != memo_.end())
+        return it->second;
+
+    ValueInterval v = ValueInterval::unknown();
+    switch (n.kind()) {
+    case dsl::ExprKind::ConstInt:
+        v = ValueInterval::point(
+            double(static_cast<const dsl::ConstIntNode &>(n).value), true);
+        break;
+    case dsl::ExprKind::ConstFloat: {
+        const auto &c = static_cast<const dsl::ConstFloatNode &>(n);
+        v = ValueInterval::point(c.value,
+                                 c.value == std::floor(c.value) &&
+                                     std::abs(c.value) < kInf);
+        break;
+    }
+    case dsl::ExprKind::VarRef: {
+        const auto &r = static_cast<const dsl::VarRefNode &>(n);
+        auto vit = vars_.find(r.var->id);
+        v = vit != vars_.end() ? vit->second
+                               : ValueInterval::unknown(true);
+        break;
+    }
+    case dsl::ExprKind::ParamRef: {
+        const auto &r = static_cast<const dsl::ParamRefNode &>(n);
+        if (r.param->boundLo && r.param->boundHi)
+            v = {double(*r.param->boundLo), double(*r.param->boundHi),
+                 true};
+        else
+            v = dtypeInterval(r.param->dtype);
+        break;
+    }
+    case dsl::ExprKind::Call: {
+        const auto &c = static_cast<const dsl::CallNode &>(n);
+        if (c.callee->kind() == dsl::CallableData::Kind::Image) {
+            v = dtypeInterval(c.callee->dtype());
+        } else {
+            const int idx = g_.stageIndexOf(c.callee->id());
+            const StageRange *sr =
+                ra_ != nullptr && idx >= 0 ? ra_->find(idx) : nullptr;
+            v = sr != nullptr ? sr->value
+                              : dtypeInterval(c.callee->dtype());
+        }
+        break;
+    }
+    case dsl::ExprKind::BinOp: {
+        const auto &b = static_cast<const dsl::BinOpNode &>(n);
+        const ValueInterval x = eval(b.a.node());
+        const ValueInterval y = eval(b.b.node());
+        const bool flt = dsl::dtypeIsFloat(n.dtype());
+        switch (b.op) {
+        case dsl::BinOpKind::Add: v = ivAdd(x, y); break;
+        case dsl::BinOpKind::Sub: v = ivSub(x, y); break;
+        case dsl::BinOpKind::Mul: v = ivMul(x, y); break;
+        case dsl::BinOpKind::Div:
+            if (flt) {
+                if (y.lo <= 0.0 && y.hi >= 0.0) {
+                    v = ValueInterval::unknown(false);
+                } else {
+                    const double c[4] = {
+                        divCorner(x.lo, y.lo), divCorner(x.lo, y.hi),
+                        divCorner(x.hi, y.lo), divCorner(x.hi, y.hi)};
+                    v = {*std::min_element(c, c + 4),
+                         *std::max_element(c, c + 4), false};
+                }
+            } else {
+                v = ivFloorDiv(x, y);
+            }
+            break;
+        case dsl::BinOpKind::Mod: v = ivFloorMod(x, y); break;
+        case dsl::BinOpKind::Min: v = ivMin(x, y); break;
+        case dsl::BinOpKind::Max: v = ivMax(x, y); break;
+        }
+        break;
+    }
+    case dsl::ExprKind::UnOp:
+        v = ivNeg(eval(static_cast<const dsl::UnOpNode &>(n).a.node()));
+        break;
+    case dsl::ExprKind::Cast: {
+        const auto &c = static_cast<const dsl::CastNode &>(n);
+        v = eval(c.a.node());
+        if (!dsl::dtypeIsFloat(n.dtype()) &&
+            dsl::dtypeIsFloat(c.a.type())) {
+            // float -> int truncates toward zero: the result lies
+            // between floor and ceil of the bounds.
+            if (v.boundedLo())
+                v.lo = std::floor(v.lo);
+            if (v.boundedHi())
+                v.hi = std::ceil(v.hi);
+            v.integral = true;
+        }
+        break;
+    }
+    case dsl::ExprKind::Select: {
+        const auto &s = static_cast<const dsl::SelectNode &>(n);
+        v = ivUnion(eval(s.t.node()), eval(s.f.node()));
+        break;
+    }
+    case dsl::ExprKind::MathFn: {
+        const auto &m = static_cast<const dsl::MathFnNode &>(n);
+        const ValueInterval a =
+            m.args.empty() ? ValueInterval::unknown()
+                           : eval(m.args[0].node());
+        switch (m.fn) {
+        case dsl::MathFnKind::Abs: {
+            const double alo = std::abs(a.lo), ahi = std::abs(a.hi);
+            const double lo =
+                a.lo <= 0.0 && a.hi >= 0.0 ? 0.0 : std::min(alo, ahi);
+            v = {lo, std::max(alo, ahi), a.integral};
+            break;
+        }
+        case dsl::MathFnKind::Floor:
+            v = {a.boundedLo() ? std::floor(a.lo) : -kInf,
+                 a.boundedHi() ? std::floor(a.hi) : kInf, false};
+            break;
+        case dsl::MathFnKind::Ceil:
+            v = {a.boundedLo() ? std::ceil(a.lo) : -kInf,
+                 a.boundedHi() ? std::ceil(a.hi) : kInf, false};
+            break;
+        case dsl::MathFnKind::Sqrt:
+            v = {a.boundedLo() ? std::sqrt(std::max(0.0, a.lo)) : 0.0,
+                 a.boundedHi() ? std::sqrt(std::max(0.0, a.hi)) : kInf,
+                 false};
+            break;
+        case dsl::MathFnKind::Exp:
+            v = {a.boundedLo() ? clampInf(std::exp(a.lo)) : 0.0,
+                 a.boundedHi() ? clampInf(std::exp(a.hi)) : kInf, false};
+            break;
+        case dsl::MathFnKind::Sin:
+        case dsl::MathFnKind::Cos: v = {-1.0, 1.0, false}; break;
+        case dsl::MathFnKind::Log:
+            if (a.lo > 0.0)
+                v = {clampInf(std::log(a.lo)),
+                     a.boundedHi() ? clampInf(std::log(a.hi)) : kInf,
+                     false};
+            else
+                v = ValueInterval::unknown(false);
+            break;
+        case dsl::MathFnKind::Pow:
+            v = a.lo >= 0.0 ? ValueInterval{0.0, kInf, false}
+                            : ValueInterval::unknown(false);
+            break;
+        }
+        break;
+    }
+    }
+
+    // A store into (or arithmetic producing) a fixed-width integer
+    // wraps: once the exact interval escapes the node type, every
+    // representable value is possible -- never less, never more.
+    if (!dsl::dtypeIsFloat(n.dtype())) {
+        const ValueInterval dt = dtypeInterval(n.dtype());
+        if (!dt.contains(v))
+            v = dt;
+        else
+            v.integral = true;
+    }
+
+    memo_.emplace(&n, v);
+    return v;
+}
+
+//--------------------------------------------------------------------------
+// Whole-pipeline analysis
+//--------------------------------------------------------------------------
+
+dsl::DType
+RangeAnalysis::storageType(int stage_idx,
+                           const pg::PipelineGraph &g) const
+{
+    const StageRange *sr = find(stage_idx);
+    return sr != nullptr ? sr->storage
+                         : g.stage(stage_idx).callable->dtype();
+}
+
+std::vector<std::string>
+RangeAnalysis::narrowedStages(const pg::PipelineGraph &g) const
+{
+    std::vector<std::string> names;
+    for (const auto &[idx, sr] : stages)
+        if (sr.narrowed())
+            names.push_back(g.stage(idx).name() + ":" +
+                            dtypeShortName(sr.storage));
+    return names;
+}
+
+RangeAnalysis
+analyzeRanges(const pg::PipelineGraph &g)
+{
+    RangeAnalysis ra;
+    for (std::size_t idx = 0; idx < g.stages().size(); ++idx) {
+        const pg::Stage &st = g.stage(int(idx));
+        const dsl::DType declared = st.callable->dtype();
+
+        ExprRangeEval ev(&ra, g);
+        // Loop variables range over their (constant-foldable) domain;
+        // parameter-sized domains stay unbounded, which only widens.
+        const auto &vars = st.loopVars();
+        const auto &dom = st.loopDom();
+        for (std::size_t d = 0; d < vars.size() && d < dom.size(); ++d) {
+            const ValueInterval lo = ev.eval(dom[d].lower());
+            const ValueInterval hi = ev.eval(dom[d].upper());
+            ev.bindVar(vars[d].id(), {lo.lo, hi.hi, true});
+        }
+
+        ValueInterval v;
+        if (st.selfRecurrent) {
+            // A cell feeds its own successors an unbounded number of
+            // times; the only safe bound is the declared type itself.
+            v = dtypeInterval(declared);
+        } else if (st.isFunction()) {
+            const auto &cases = st.func().cases();
+            bool first = true;
+            for (const auto &c : cases) {
+                const ValueInterval cv = ev.eval(c.value());
+                v = first ? cv : ivUnion(v, cv);
+                first = false;
+            }
+            if (first)
+                v = dtypeInterval(declared);
+        } else {
+            const dsl::AccumData &a = st.accum();
+            // Reduction domains are parameter-sized, so a Sum/Product
+            // cell can grow without bound; Min/Max cells stay inside
+            // the hull of the initial value and any update.
+            if (a.op() == dsl::ReduceOp::Min ||
+                a.op() == dsl::ReduceOp::Max) {
+                for (std::size_t d = 0;
+                     d < a.redVars().size() && d < a.redDom().size();
+                     ++d) {
+                    const ValueInterval lo =
+                        ev.eval(a.redDom()[d].lower());
+                    const ValueInterval hi =
+                        ev.eval(a.redDom()[d].upper());
+                    ev.bindVar(a.redVars()[d].id(), {lo.lo, hi.hi, true});
+                }
+                ValueInterval init = a.init().defined()
+                                         ? ev.eval(a.init())
+                                         : dtypeInterval(declared);
+                v = ivUnion(init, ev.eval(a.update()));
+            } else {
+                v = dtypeInterval(declared);
+            }
+        }
+
+        // Widen-on-overflow: storing past the declared type wraps, so
+        // the stage's observable values cover the whole declared range.
+        if (!dsl::dtypeIsFloat(declared)) {
+            const ValueInterval dt = dtypeInterval(declared);
+            if (!dt.contains(v))
+                v = dt;
+            else
+                v.integral = true;
+        }
+
+        StageRange sr;
+        sr.value = v;
+        sr.declared = declared;
+        sr.storage = declared;
+        // Narrow only intermediates: live-out buffers are the caller's
+        // ABI.  The store round-trips exactly because the interval
+        // proves every value fits the narrow type.
+        if (!st.liveOut && !dsl::dtypeIsFloat(declared)) {
+            const dsl::DType t = minimalIntType(v, declared);
+            if (dsl::dtypeSize(t) < dsl::dtypeSize(declared))
+                sr.storage = t;
+        }
+        ra.stages[int(idx)] = sr;
+    }
+    return ra;
+}
+
+} // namespace polymage::core

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Forward value-range analysis over the pipeline DAG
+ * (docs/VECTORIZATION.md): starting from input image dtypes and
+ * declared `Parameter` bounds, propagate a conservative interval per
+ * stage through the defining expressions and derive the minimal
+ * storage/compute type (u8/i16/u16/i32/float) each stage needs.  The
+ * storage planner shrinks narrowed intermediates' slots and the
+ * explicit vector emitter widens its lane count accordingly; both fall
+ * back to the declared type whenever the analysis cannot bound a value
+ * (widen-on-overflow, never narrow-on-hope).
+ */
+#ifndef POLYMAGE_CORE_RANGE_ANALYSIS_HPP
+#define POLYMAGE_CORE_RANGE_ANALYSIS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "pipeline/graph.hpp"
+
+namespace polymage::core {
+
+/**
+ * Closed interval over the reals, with a flag recording whether every
+ * value in it is known to be integral.  Unbounded ends are modelled as
+ * +/-infinity; arithmetic saturates there.  Doubles represent every
+ * integer the paper apps can produce exactly (|v| <= 2^53); anything
+ * larger is already far outside narrowing range, so the loss of
+ * integer precision at the extremes only ever widens the answer.
+ */
+struct ValueInterval
+{
+    double lo = -kInf;
+    double hi = kInf;
+    /** True when every value is an integer (intervals from float
+     * expressions clear this). */
+    bool integral = false;
+
+    static constexpr double kInf = 1e300;
+
+    /** The unbounded interval (nothing known). */
+    static ValueInterval unknown(bool integral = false)
+    {
+        return {-kInf, kInf, integral};
+    }
+    /** A single point. */
+    static ValueInterval point(double v, bool integral)
+    {
+        return {v, v, integral};
+    }
+
+    bool boundedLo() const { return lo > -kInf; }
+    bool boundedHi() const { return hi < kInf; }
+    bool bounded() const { return boundedLo() && boundedHi(); }
+    bool contains(const ValueInterval &o) const
+    {
+        return lo <= o.lo && o.hi <= hi;
+    }
+
+    std::string toString() const;
+};
+
+/** Interval of every value representable in @p t (unbounded for
+ * floating types, whose narrowing is out of scope). */
+ValueInterval dtypeInterval(dsl::DType t);
+
+/** Compact dtype spelling for reports: u8/i16/u16/i32/i64/f32/f64. */
+const char *dtypeShortName(dsl::DType t);
+
+//--------------------------------------------------------------------------
+// Interval arithmetic (exposed for unit tests)
+//--------------------------------------------------------------------------
+
+ValueInterval ivAdd(const ValueInterval &a, const ValueInterval &b);
+ValueInterval ivSub(const ValueInterval &a, const ValueInterval &b);
+ValueInterval ivMul(const ValueInterval &a, const ValueInterval &b);
+/** Floor division (the DSL's integer `/`); unknown when 0 is inside
+ * the divisor interval. */
+ValueInterval ivFloorDiv(const ValueInterval &a, const ValueInterval &b);
+/** Floor modulo (the DSL's `%`): result sign follows the divisor. */
+ValueInterval ivFloorMod(const ValueInterval &a, const ValueInterval &b);
+ValueInterval ivMin(const ValueInterval &a, const ValueInterval &b);
+ValueInterval ivMax(const ValueInterval &a, const ValueInterval &b);
+ValueInterval ivNeg(const ValueInterval &a);
+/** Smallest interval containing both (the Select/piecewise join). */
+ValueInterval ivUnion(const ValueInterval &a, const ValueInterval &b);
+/** clamp(v, lo, hi) == max(min(v, hi), lo). */
+ValueInterval ivClamp(const ValueInterval &v, const ValueInterval &lo,
+                      const ValueInterval &hi);
+/** Multiplication / floor division by 2^k (shift-style scaling). */
+ValueInterval ivShiftLeft(const ValueInterval &a, int k);
+ValueInterval ivShiftRight(const ValueInterval &a, int k);
+
+/**
+ * Smallest integer dtype (by storage size, unsigned preferred at equal
+ * size) whose representable range contains @p v, chosen from
+ * {UChar, Short, UShort, Int, Long}; @p fallback when @p v is
+ * unbounded or fits nothing smaller than the fallback itself.
+ */
+dsl::DType minimalIntType(const ValueInterval &v, dsl::DType fallback);
+
+//--------------------------------------------------------------------------
+// Per-stage results
+//--------------------------------------------------------------------------
+
+/** Range-analysis verdict for one stage. */
+struct StageRange
+{
+    /** Interval enclosing every value the stage can store. */
+    ValueInterval value;
+    /** The dtype the user declared (ABI type of live-outs). */
+    dsl::DType declared = dsl::DType::Float;
+    /**
+     * Minimal storage type: narrower than `declared` only when the
+     * interval provably fits and the stage is an intermediate (the
+     * planner and codegen size buffers with this).
+     */
+    dsl::DType storage = dsl::DType::Float;
+
+    bool narrowed() const { return storage != declared; }
+};
+
+/** Whole-pipeline analysis result, keyed by stage index. */
+struct RangeAnalysis
+{
+    std::map<int, StageRange> stages;
+
+    const StageRange *find(int stage_idx) const
+    {
+        auto it = stages.find(stage_idx);
+        return it == stages.end() ? nullptr : &it->second;
+    }
+    /** Storage dtype for a stage (declared dtype when unanalyzed). */
+    dsl::DType storageType(int stage_idx, const pg::PipelineGraph &g) const;
+
+    /** Stage names with storage narrower than declared. */
+    std::vector<std::string> narrowedStages(const pg::PipelineGraph &g) const;
+};
+
+/**
+ * Run the forward analysis: stages are visited in topological order,
+ * each stage's interval is the union over its defining cases evaluated
+ * with producer intervals bound, then clipped by the declared dtype
+ * (a store that can overflow its declared type wraps, so the result is
+ * only known to lie in the full declared range -- the conservative
+ * widen-on-overflow rule).  Self-recurrent stages and accumulators
+ * with data-dependent growth degrade to their declared dtype range.
+ */
+RangeAnalysis analyzeRanges(const pg::PipelineGraph &g);
+
+/**
+ * Interval of an arbitrary expression under the analysis: producer
+ * calls take their stage interval, image reads their dtype interval,
+ * loop variables their domain bounds where constant (else Parameter
+ * bounds, else unbounded).  @p ra may be null (everything
+ * data-dependent becomes its dtype interval / unbounded).  Results are
+ * memoized per shared node within one evaluator lifetime, so DAG-shaped
+ * expressions stay linear.
+ */
+class ExprRangeEval
+{
+  public:
+    ExprRangeEval(const RangeAnalysis *ra, const pg::PipelineGraph &g)
+        : ra_(ra), g_(g)
+    {}
+
+    ValueInterval eval(const dsl::Expr &e);
+    ValueInterval eval(const dsl::ExprNode &n);
+
+    /** Bind a loop variable's interval (clears the memo). */
+    void bindVar(int id, const ValueInterval &v);
+
+  private:
+    const RangeAnalysis *ra_;
+    const pg::PipelineGraph &g_;
+    std::map<int, ValueInterval> vars_;
+    std::map<const dsl::ExprNode *, ValueInterval> memo_;
+    /** Roots passed to eval(), retained so memoized node addresses
+     * cannot be freed and recycled while their entries are live. */
+    std::vector<dsl::Expr> roots_;
+};
+
+} // namespace polymage::core
+
+#endif // POLYMAGE_CORE_RANGE_ANALYSIS_HPP

@@ -16,7 +16,7 @@ namespace {
  * bound is not constant under the estimates.
  */
 std::int64_t
-estimatedBufferBytes(const pg::PipelineGraph &g, int s)
+estimatedBufferBytes(const pg::PipelineGraph &g, int s, dsl::DType elem)
 {
     const pg::Stage &stage = g.stage(s);
     const auto &dom = stage.isFunction() ? stage.func().dom()
@@ -28,7 +28,7 @@ estimatedBufferBytes(const pg::PipelineGraph &g, int s)
             return -1;
         n *= std::max<std::int64_t>(1, *hi + 1);
     }
-    return n * std::int64_t(dsl::dtypeSize(stage.callable->dtype()));
+    return n * std::int64_t(dsl::dtypeSize(elem));
 }
 
 /** Group-granularity live range of a full-buffer intermediate. */
@@ -137,9 +137,16 @@ GroupFootprint::bytesPerTilePoint(
 StoragePlan
 planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
             const GroupingOptions &opts, bool tiling_enabled,
-            bool reuse_enabled)
+            bool reuse_enabled, const RangeAnalysis *ranges)
 {
     StoragePlan plan;
+    // Element type per stage: the range analysis' narrowed storage
+    // type when available, else the declared dtype.
+    auto elemType = [&](int s) {
+        return ranges != nullptr
+                   ? ranges->storageType(s, g)
+                   : g.stage(s).callable->dtype();
+    };
     for (std::size_t gi = 0; gi < grouping.groups.size(); ++gi) {
         const GroupSchedule &grp = grouping.groups[gi];
         const auto tiled_dims = tiledDimsFor(grp, g, opts);
@@ -152,6 +159,7 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
             const pg::Stage &stage = g.stage(s);
             StageStorage st;
             st.kind = StorageKind::FullBuffer;
+            st.dtype = elemType(s);
 
             bool eligible = group_tiled && stage.isFunction() &&
                             !stage.liveOut && !stage.selfRecurrent;
@@ -172,8 +180,8 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
                 term.stage = s;
                 term.halo.assign(tiled_dims.size(), 0);
                 term.scale.assign(tiled_dims.size(), 0);
-                term.dtypeBytes = std::int64_t(
-                    dsl::dtypeSize(stage.callable->dtype()));
+                term.dtypeBytes =
+                    std::int64_t(dsl::dtypeSize(st.dtype));
                 for (std::size_t d = 0;
                      d < stage.loopVars().size() && eligible; ++d) {
                     const int gd = m.groupDim[d];
@@ -212,8 +220,8 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
                 if (eligible) {
                     st.kind = StorageKind::Scratchpad;
                     st.scratchExtent = std::move(extents);
-                    st.scratchBytes = std::int64_t(
-                        dsl::dtypeSize(stage.callable->dtype()));
+                    st.scratchBytes =
+                        std::int64_t(dsl::dtypeSize(st.dtype));
                     for (auto e : st.scratchExtent)
                         st.scratchBytes *= e;
                     group_bytes += st.scratchBytes;
@@ -231,7 +239,7 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
     // last group that reads it.  Live-outs belong to the caller and a
     // self-recurrent stage reads its own buffer within its group, so
     // both constraints fall out of the same range computation.
-    std::vector<LiveRange> ranges;
+    std::vector<LiveRange> live;
     for (std::size_t s = 0; s < g.stages().size(); ++s) {
         const pg::Stage &stage = g.stage(int(s));
         if (stage.liveOut || plan.isScratch(int(s)))
@@ -242,10 +250,10 @@ planStorage(const pg::PipelineGraph &g, const GroupingResult &grouping,
         r.death = r.birth;
         for (int c : stage.consumers)
             r.death = std::max(r.death, grouping.groupOf(c));
-        r.estBytes = estimatedBufferBytes(g, int(s));
-        ranges.push_back(r);
+        r.estBytes = estimatedBufferBytes(g, int(s), elemType(int(s)));
+        live.push_back(r);
     }
-    assignSlots(plan, std::move(ranges), reuse_enabled);
+    assignSlots(plan, std::move(live), reuse_enabled);
     return plan;
 }
 

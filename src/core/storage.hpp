@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/grouping.hpp"
+#include "core/range_analysis.hpp"
 
 namespace polymage::core {
 
@@ -33,6 +34,13 @@ struct StageStorage
     std::vector<std::int64_t> scratchExtent;
     /** Total scratchpad bytes (0 for full buffers). */
     std::int64_t scratchBytes = 0;
+    /**
+     * Element type the buffer is allocated with: the declared dtype,
+     * or the range analysis' narrower storage type for intermediates
+     * whose values provably fit it (docs/VECTORIZATION.md).  Codegen,
+     * the slot allocator, and the executor all size with this.
+     */
+    dsl::DType dtype = dsl::DType::Float;
 };
 
 /**
@@ -140,6 +148,17 @@ struct StoragePlan
         return it != stages.end() &&
                it->second.kind == StorageKind::Scratchpad;
     }
+
+    /** Allocation element type of a stage's buffer (the narrowed
+     * storage type when the range analysis proved one). */
+    dsl::DType
+    elemType(int stage_idx, const pg::PipelineGraph &g) const
+    {
+        auto it = stages.find(stage_idx);
+        return it != stages.end()
+                   ? it->second.dtype
+                   : g.stage(stage_idx).callable->dtype();
+    }
 };
 
 /**
@@ -160,12 +179,16 @@ struct StoragePlan
  * @param tiling_enabled matches the code generator's tiling switch;
  *        when false everything is a full buffer
  * @param reuse_enabled liveness-driven slot sharing switch
+ * @param ranges optional range-analysis result; when present,
+ *        intermediates with a proven narrower storage type are
+ *        allocated (and their slots sized) with it
  */
 StoragePlan planStorage(const pg::PipelineGraph &g,
                         const GroupingResult &grouping,
                         const GroupingOptions &opts,
                         bool tiling_enabled = true,
-                        bool reuse_enabled = true);
+                        bool reuse_enabled = true,
+                        const RangeAnalysis *ranges = nullptr);
 
 } // namespace polymage::core
 

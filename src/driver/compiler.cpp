@@ -63,7 +63,7 @@ CompileOptions::optNoVec()
 {
     CompileOptions o;
     o.grouping.autoTile = true;
-    o.codegen.vectorize = false;
+    o.codegen.vectorize = cg::VectorizeMode::Off;
     return o;
 }
 
@@ -73,7 +73,8 @@ CompileOptions::baseline(bool vectorize)
     CompileOptions o;
     o.grouping.enable = false;
     o.codegen.tile = false;
-    o.codegen.vectorize = vectorize;
+    o.codegen.vectorize = vectorize ? cg::VectorizeMode::Explicit
+                                    : cg::VectorizeMode::Off;
     return o;
 }
 
@@ -145,7 +146,7 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
     const std::size_t span_base = reg->spans().size();
 
     CompiledPipeline out{dsl::PipelineSpec(spec.name()), {}, {}, {},
-                         {}, {}, {}, {}, {}, {}};
+                         {}, {}, {}, {}, {}, {}, {}};
     {
         obs::ScopedTrace phase(reg, "graph_build");
         // Validate the raw specification first: bounds errors should
@@ -204,6 +205,16 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
         out.grouping =
             core::groupStages(out.graph, out.effectiveGrouping);
     }
+    // Range-driven bitwidth narrowing is on by default; POLYMAGE_NARROW=0
+    // is the ablation switch (declared-type storage and compute lanes).
+    const char *narrow_env = std::getenv("POLYMAGE_NARROW");
+    const bool narrow =
+        !(narrow_env != nullptr && narrow_env[0] != '\0' &&
+          std::string(narrow_env) == "0");
+    {
+        obs::ScopedTrace phase(reg, "range_analysis");
+        out.ranges = core::analyzeRanges(out.graph);
+    }
     {
         obs::ScopedTrace phase(reg, "storage");
         // POLYMAGE_NO_REUSE=1 forces the no-sharing ablation plan
@@ -216,7 +227,8 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
                                         out.effectiveGrouping,
                                         opts.codegen.tile &&
                                             opts.codegen.storageOpt,
-                                        reuse);
+                                        reuse,
+                                        narrow ? &out.ranges : nullptr);
     }
     {
         obs::ScopedTrace phase(reg, "codegen");
@@ -237,9 +249,21 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
             else if (std::string(sched) == "dynamic")
                 copts.tileSchedule = cg::OmpSchedule::Dynamic;
         }
+        // POLYMAGE_VECTORIZE={off,pragma,explicit} overrides the
+        // innermost-loop strategy without a rebuild (the scalar vs
+        // pragma vs explicit ablation axis of bench_table2).
+        if (const char *vm = std::getenv("POLYMAGE_VECTORIZE")) {
+            const std::string v(vm);
+            if (v == "off")
+                copts.vectorize = cg::VectorizeMode::Off;
+            else if (v == "pragma")
+                copts.vectorize = cg::VectorizeMode::Pragma;
+            else if (v == "explicit")
+                copts.vectorize = cg::VectorizeMode::Explicit;
+        }
         out.code = cg::generate(out.graph, out.grouping,
                                 out.effectiveGrouping, out.storage,
-                                copts);
+                                copts, narrow ? &out.ranges : nullptr);
     }
     // Keep only this compilation's spans (an outer registry may hold
     // earlier compilations).

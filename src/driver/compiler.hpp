@@ -55,6 +55,13 @@ struct CompiledPipeline
     /** Bounds-check warnings (violations throw). */
     pg::BoundsReport bounds;
     core::GroupingResult grouping;
+    /**
+     * Forward value-range analysis (docs/VECTORIZATION.md): per-stage
+     * value intervals and the minimal storage type each intermediate
+     * provably fits.  Feeds storage narrowing (unless POLYMAGE_NARROW=0)
+     * and the explicit vector emitter's compute-type choice.
+     */
+    core::RangeAnalysis ranges;
     core::StoragePlan storage;
     cg::GeneratedCode code;
     /**

@@ -55,6 +55,18 @@ Parameter::Parameter(std::string name, DType dtype)
     data_ = std::move(d);
 }
 
+Parameter::Parameter(std::string name, std::int64_t lo, std::int64_t hi,
+                     DType dtype)
+{
+    auto d = std::make_shared<ParamData>();
+    d->id = nextEntityId();
+    d->name = std::move(name);
+    d->dtype = dtype;
+    d->boundLo = lo;
+    d->boundHi = hi;
+    data_ = std::move(d);
+}
+
 Parameter::operator Expr() const
 {
     return Expr(std::make_shared<ParamRefNode>(data_));

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -72,6 +73,12 @@ struct ParamData
     int id;
     std::string name;
     DType dtype;
+    /**
+     * Optional declared value bounds (inclusive).  Range analysis uses
+     * them to bound parameter-dependent expressions; undeclared bounds
+     * degrade to the parameter's dtype range.
+     */
+    std::optional<std::int64_t> boundLo, boundHi;
 };
 
 /**
@@ -142,6 +149,9 @@ class Parameter
   public:
     explicit Parameter(DType dtype = DType::Int);
     Parameter(std::string name, DType dtype = DType::Int);
+    /** Declare with inclusive value bounds (see ParamData). */
+    Parameter(std::string name, std::int64_t lo, std::int64_t hi,
+              DType dtype = DType::Int);
 
     int id() const { return data_->id; }
     const std::string &name() const { return data_->name; }

@@ -136,6 +136,39 @@ probeSysconf(MachineInfo &m)
     return any;
 }
 
+/**
+ * Probe the widest SIMD register set.  On x86-64 the compiler builtin
+ * interrogates cpuid at runtime, so the answer tracks the machine the
+ * binary runs on, matching the `-march=native` flags the JIT compiles
+ * generated code with.
+ */
+void
+probeVector(MachineInfo &m)
+{
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_cpu_init();
+    if (__builtin_cpu_supports("avx512f")) {
+        m.vectorBits = 512;
+        m.isa = "avx512";
+    } else if (__builtin_cpu_supports("avx2")) {
+        m.vectorBits = 256;
+        m.isa = "avx2";
+    } else if (__builtin_cpu_supports("avx")) {
+        m.vectorBits = 256;
+        m.isa = "avx";
+    } else {
+        m.vectorBits = 128;
+        m.isa = "sse2";
+    }
+#elif defined(__aarch64__)
+    m.vectorBits = 128;
+    m.isa = "neon";
+#else
+    m.vectorBits = 128;
+    m.isa = "generic";
+#endif
+}
+
 } // namespace
 
 std::optional<MachineInfo>
@@ -152,7 +185,7 @@ parseMachineSpec(const std::string &spec, MachineInfo base)
         }
     }
     fields.push_back(cur);
-    if (fields.size() > 4)
+    if (fields.size() > 5)
         return std::nullopt;
     std::int64_t *sizes[3] = {&base.l1dBytes, &base.l2Bytes,
                               &base.l3Bytes};
@@ -164,11 +197,19 @@ parseMachineSpec(const std::string &spec, MachineInfo base)
             return std::nullopt;
         *sizes[i] = *v;
     }
-    if (fields.size() == 4 && !fields[3].empty()) {
+    if (fields.size() >= 4 && !fields[3].empty()) {
         auto v = parseSize(fields[3]);
         if (!v || *v <= 0 || *v > 1 << 20)
             return std::nullopt;
         base.cores = int(*v);
+    }
+    if (fields.size() == 5 && !fields[4].empty()) {
+        // SIMD register width in bits: a power of two in [64, 4096].
+        auto v = parseSize(fields[4]);
+        if (!v || *v < 64 || *v > 4096 || (*v & (*v - 1)) != 0)
+            return std::nullopt;
+        base.vectorBits = int(*v);
+        base.isa = "env";
     }
     base.source = "env";
     return base;
@@ -178,8 +219,11 @@ MachineInfo
 probeMachine()
 {
     MachineInfo m;
+    probeVector(m);
     if (const char *env = std::getenv("POLYMAGE_MACHINE")) {
-        if (auto parsed = parseMachineSpec(env))
+        // Pass the probed vector width as the base so an override
+        // without a fifth field keeps the real SIMD answer.
+        if (auto parsed = parseMachineSpec(env, m))
             return *parsed;
         // Malformed override: fall through to the real probe rather
         // than silently running a nonsense machine model.
@@ -212,7 +256,8 @@ MachineInfo::toString() const
     std::ostringstream os;
     os << "L1d " << (l1dBytes >> 10) << "K, L2 " << (l2Bytes >> 10)
        << "K, L3 " << (l3Bytes >> 20) << "M, line " << lineBytes
-       << "B, " << cores << " cores (" << source << ")";
+       << "B, " << cores << " cores, " << isa << " " << vectorBits
+       << "b (" << source << ")";
     return os.str();
 }
 
@@ -226,6 +271,8 @@ MachineInfo::toJson() const
     w.key("l3_bytes").value(l3Bytes);
     w.key("line_bytes").value(lineBytes);
     w.key("cores").value(cores);
+    w.key("vector_bits").value(vectorBits);
+    w.key("isa").value(isa);
     w.key("source").value(source);
     w.endObject();
     return w.str();

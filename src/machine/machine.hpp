@@ -5,8 +5,10 @@
  * come from sysfs (`/sys/devices/system/cpu/cpu0/cache/index*`) with a
  * `sysconf` fallback and conservative hard-coded defaults when neither
  * source answers, are cached per process, and can be pinned via
- * `POLYMAGE_MACHINE=<l1d>,<l2>,<l3>,<cores>` (bytes, optional K/M/G
- * suffixes) so tests and cross-machine comparisons are reproducible.
+ * `POLYMAGE_MACHINE=<l1d>,<l2>,<l3>,<cores>[,<vector_bits>]` (bytes,
+ * optional K/M/G suffixes) so tests and cross-machine comparisons are
+ * reproducible.  The fifth field pins the SIMD register width the
+ * explicit vector emitter targets (docs/VECTORIZATION.md).
  */
 #ifndef POLYMAGE_MACHINE_MACHINE_HPP
 #define POLYMAGE_MACHINE_MACHINE_HPP
@@ -31,6 +33,15 @@ struct MachineInfo
     /** Logical core count. */
     int cores = 1;
     /**
+     * Widest SIMD register the CPU offers, in bits; the explicit vector
+     * emitter divides this by the element width to pick its lane count.
+     * 128 is the safe floor on every supported target (SSE2 / NEON).
+     */
+    int vectorBits = 128;
+    /** Name of the probed vector instruction set ("avx512", "avx2",
+     * "avx", "sse2", "neon", or "generic"). */
+    std::string isa = "generic";
+    /**
      * Where the numbers came from: "env" (POLYMAGE_MACHINE), "sysfs",
      * "sysconf", or "fallback" (the conservative defaults above).
      * Mixed probes report the most specific source that contributed.
@@ -50,9 +61,10 @@ struct MachineInfo
 MachineInfo probeMachine();
 
 /**
- * Parse a `POLYMAGE_MACHINE`-style override: up to four
- * comma-separated fields `<l1d>,<l2>,<l3>,<cores>`, sizes accepting
- * K/M/G suffixes; empty fields keep the given defaults.  Returns
+ * Parse a `POLYMAGE_MACHINE`-style override: up to five
+ * comma-separated fields `<l1d>,<l2>,<l3>,<cores>,<vector_bits>`,
+ * sizes accepting K/M/G suffixes; empty fields keep the given
+ * defaults (so `,,,,128` pins only the vector width).  Returns
  * nullopt (leaving @p base untouched semantics to the caller) when the
  * string is malformed.
  */

@@ -19,7 +19,11 @@ Executable::build(const dsl::PipelineSpec &spec,
     exe.compiled_ = std::make_shared<CompiledPipeline>(
         compilePipeline(spec, opts));
     exe.pool_ = std::make_shared<BufferPool>();
-    jit.vectorize = jit.vectorize && opts.codegen.vectorize;
+    // Off means *scalar*: suppress the JIT's autovectorisation flags
+    // too.  Compare against the generated mode, which folds in the
+    // POLYMAGE_VECTORIZE override.
+    jit.vectorize =
+        jit.vectorize && exe.compiled_->code.vectorizeMode != "off";
     {
         obs::ScopedTrace span(&reg, "jit");
         exe.module_ = std::make_shared<JitModule>(
@@ -125,10 +129,13 @@ class SlotLease
                 for (std::int64_t d :
                      interp::stageShape(stage, g, params))
                     numel *= d;
+                // Size with the plan's allocation type -- the narrowed
+                // one when the range analysis proved it -- so the
+                // bitwidth narrowing actually shrinks the lease.
                 bytes = std::max(
                     bytes,
-                    numel * std::int64_t(
-                                dsl::dtypeSize(stage.callable->dtype())));
+                    numel * std::int64_t(dsl::dtypeSize(
+                                c.storage.elemType(s, g))));
             }
             ptrs_.push_back(pool_.acquire(std::size_t(bytes)));
         }
@@ -310,6 +317,12 @@ Executable::memoryStats() const
     m.slots = int(st.slots.size());
     m.estBytesNoReuse = st.estBytesNoReuse;
     m.estBytesWithReuse = st.estBytesWithReuse;
+    for (const auto &[s, ss] : st.stages) {
+        if (ss.kind == core::StorageKind::Scratchpad) {
+            ++m.scratchStages;
+            m.scratchBytesPerTile += ss.scratchBytes;
+        }
+    }
     m.heapArenaBytes = compiled_->code.heapArenaBytes;
     const BufferPool::Stats ps = pool_->stats();
     m.poolBytesAllocated = ps.bytesOwned;
@@ -330,6 +343,8 @@ MemoryStats::toJson() const
     w.key("est_bytes_no_reuse").value(estBytesNoReuse);
     w.key("est_bytes_with_reuse").value(estBytesWithReuse);
     w.key("est_bytes_saved").value(estBytesSaved());
+    w.key("scratch_stages").value(scratchStages);
+    w.key("scratch_bytes_per_tile").value(scratchBytesPerTile);
     w.key("heap_arena_bytes").value(heapArenaBytes);
     w.key("pool_bytes_allocated").value(poolBytesAllocated);
     w.key("pool_peak_bytes_in_use").value(poolPeakBytesInUse);

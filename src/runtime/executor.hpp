@@ -91,6 +91,16 @@ struct MemoryStats
     {
         return estBytesNoReuse - estBytesWithReuse;
     }
+    /**
+     * Scratchpad storage (paper §3.6).  A fully-fused pipeline can
+     * have zero full-buffer intermediates while still carrying every
+     * intermediate stage in per-tile scratchpads -- all-zero
+     * `intermediates`/`slots` alone would misread as "no intermediate
+     * storage at all", so the scratch side is reported explicitly.
+     */
+    int scratchStages = 0;
+    /** Per-tile scratch bytes summed over all scratchpad stages. */
+    std::int64_t scratchBytesPerTile = 0;
     /** Largest per-thread heap scratch arena (0: all scratch on stack). */
     std::int64_t heapArenaBytes = 0;
     /** Pool footprint: bytes of every block ever retained (peak). */

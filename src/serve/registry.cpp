@@ -39,7 +39,7 @@ optionsFingerprint(const CompileOptions &o)
        << o.grouping.minSize << ',' << o.grouping.minTiledExtent << ','
        << o.grouping.autoTile << ';';
     const auto &c = o.codegen;
-    os << c.tile << ',' << c.storageOpt << ',' << c.vectorize << ','
+    os << c.tile << ',' << c.storageOpt << ',' << int(c.vectorize) << ','
        << c.parallelize << ',' << c.instrument << ','
        << c.maxStackScratchBytes << ',' << c.bufferReuse << ','
        << c.partition << ',' << c.hoistBases << ','

@@ -199,6 +199,15 @@ TEST(Apps, CodegenVariantsMatchInterpreter)
         {"no-partition", "POLYMAGE_NO_PARTITION", "1"},
         {"static-schedule", "POLYMAGE_TILE_SCHEDULE", "static"},
         {"dynamic-schedule", "POLYMAGE_TILE_SCHEDULE", "dynamic"},
+        // The vectorisation ladder (docs/VECTORIZATION.md): all three
+        // modes and the narrowing kill-switch must agree with the
+        // interpreter on every app -- exact for the integer apps
+        // (camera's tolerance covers its gamma LUT quantisation, not
+        // vector drift), epsilon for the float pyramids.
+        {"vec-off", "POLYMAGE_VECTORIZE", "off"},
+        {"vec-pragma", "POLYMAGE_VECTORIZE", "pragma"},
+        {"vec-explicit", "POLYMAGE_VECTORIZE", "explicit"},
+        {"no-narrow", "POLYMAGE_NARROW", "0"},
     };
 
     const std::int64_t n = 40;

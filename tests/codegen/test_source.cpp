@@ -86,13 +86,26 @@ TEST_F(HarrisSource, ClampedBoundsLikeFigure7)
     EXPECT_GT(countOccurrences(src(), "pm_min_i"), 5);
 }
 
-TEST_F(HarrisSource, VectorisationPragmas)
+TEST_F(HarrisSource, VectorisationModes)
 {
-    EXPECT_GT(countOccurrences(src(), "#pragma omp simd"), 0);
+    // Explicit (the default): typed vector bodies on interior nests.
+    EXPECT_GT(countOccurrences(src(), "pm_v_"), 0);
+    EXPECT_GT(compiled_->code.explicitNests, 0);
+    EXPECT_EQ(compiled_->code.vectorizeMode, "explicit");
 
+    // Pragma: the pre-explicit path, `omp simd` and no vector types.
+    CompileOptions pragma_mode;
+    pragma_mode.grouping.autoTile = true;
+    pragma_mode.codegen.vectorize = VectorizeMode::Pragma;
+    auto p = compilePipeline(apps::buildHarris(256, 256), pragma_mode);
+    EXPECT_GT(countOccurrences(p.code.source, "#pragma omp simd"), 0);
+    EXPECT_EQ(countOccurrences(p.code.source, "pm_v_"), 0);
+
+    // Off: scalar, neither pragmas nor vector types.
     CompileOptions novec = CompileOptions::optNoVec();
     auto c = compilePipeline(apps::buildHarris(256, 256), novec);
     EXPECT_EQ(countOccurrences(c.code.source, "#pragma omp simd"), 0);
+    EXPECT_EQ(countOccurrences(c.code.source, "pm_v_"), 0);
 }
 
 TEST_F(HarrisSource, BaselineHasNoTilesOrScratchpads)

@@ -1,0 +1,384 @@
+/**
+ * @file
+ * Unit tests for the forward value-range analysis
+ * (docs/VECTORIZATION.md): the interval arithmetic primitives, the
+ * minimal-type ladder, expression evaluation under loop-variable
+ * bindings (including the upsample/downsample index remappings), and
+ * whole-pipeline propagation with the widen-on-overflow rule.
+ */
+#include <gtest/gtest.h>
+
+#include "core/range_analysis.hpp"
+#include "dsl/dsl.hpp"
+
+#include "common/test_pipelines.hpp"
+
+namespace polymage::core {
+namespace {
+
+using dsl::DType;
+
+constexpr double kInf = ValueInterval::kInf;
+
+ValueInterval
+iv(double lo, double hi, bool integral = true)
+{
+    return {lo, hi, integral};
+}
+
+int
+stageIndexByName(const pg::PipelineGraph &g, const std::string &name)
+{
+    for (std::size_t i = 0; i < g.stages().size(); ++i)
+        if (g.stage(int(i)).name() == name)
+            return int(i);
+    return -1;
+}
+
+//--------------------------------------------------------------------------
+// Interval arithmetic primitives
+//--------------------------------------------------------------------------
+
+TEST(IntervalArith, AddSubTrackEndsAndSaturate)
+{
+    ValueInterval s = ivAdd(iv(1, 3), iv(10, 20));
+    EXPECT_EQ(s.lo, 11);
+    EXPECT_EQ(s.hi, 23);
+    EXPECT_TRUE(s.integral);
+
+    ValueInterval d = ivSub(iv(0, 5), iv(2, 4));
+    EXPECT_EQ(d.lo, -4);
+    EXPECT_EQ(d.hi, 3);
+
+    // Unbounded ends stay unbounded instead of producing garbage.
+    ValueInterval u = ivAdd(ValueInterval::unknown(true), iv(1, 1));
+    EXPECT_FALSE(u.bounded());
+}
+
+TEST(IntervalArith, MulTakesTheCornerHull)
+{
+    // Mixed-sign operands: the extreme products are at the corners.
+    ValueInterval m = ivMul(iv(-2, 3), iv(-5, 7));
+    EXPECT_EQ(m.lo, -15); // 3 * -5
+    EXPECT_EQ(m.hi, 21);  // 3 * 7
+    EXPECT_TRUE(m.integral);
+
+    ValueInterval sq = ivMul(iv(-4, 4), iv(-4, 4));
+    EXPECT_EQ(sq.lo, -16);
+    EXPECT_EQ(sq.hi, 16);
+}
+
+TEST(IntervalArith, FloorDivFloorsAndRejectsZeroDivisors)
+{
+    ValueInterval q = ivFloorDiv(iv(0, 10), iv(2, 2));
+    EXPECT_EQ(q.lo, 0);
+    EXPECT_EQ(q.hi, 5);
+
+    // The DSL's `/` floors: -7/2 == -4, not -3.
+    ValueInterval n = ivFloorDiv(iv(-7, 7), iv(2, 2));
+    EXPECT_EQ(n.lo, -4);
+    EXPECT_EQ(n.hi, 3);
+
+    // A divisor interval containing zero gives no usable bound.
+    EXPECT_FALSE(ivFloorDiv(iv(0, 10), iv(-1, 1)).bounded());
+}
+
+TEST(IntervalArith, FloorModFollowsDivisorSign)
+{
+    ValueInterval m = ivFloorMod(iv(-100, 100), iv(4, 4));
+    EXPECT_EQ(m.lo, 0);
+    EXPECT_EQ(m.hi, 3);
+}
+
+TEST(IntervalArith, MinMaxNegUnion)
+{
+    ValueInterval mn = ivMin(iv(0, 10), iv(5, 20));
+    EXPECT_EQ(mn.lo, 0);
+    EXPECT_EQ(mn.hi, 10);
+    ValueInterval mx = ivMax(iv(0, 10), iv(5, 20));
+    EXPECT_EQ(mx.lo, 5);
+    EXPECT_EQ(mx.hi, 20);
+
+    ValueInterval ng = ivNeg(iv(-3, 7));
+    EXPECT_EQ(ng.lo, -7);
+    EXPECT_EQ(ng.hi, 3);
+
+    ValueInterval un = ivUnion(iv(0, 1), iv(100, 200));
+    EXPECT_EQ(un.lo, 0);
+    EXPECT_EQ(un.hi, 200);
+}
+
+TEST(IntervalArith, ClampBoundsEvenUnboundedInputs)
+{
+    // The canonical border clamp: an arbitrary index forced into
+    // [0, 255] is bounded whatever the input was.
+    ValueInterval c = ivClamp(ValueInterval::unknown(true),
+                              ValueInterval::point(0, true),
+                              ValueInterval::point(255, true));
+    EXPECT_EQ(c.lo, 0);
+    EXPECT_EQ(c.hi, 255);
+
+    // A value already inside the clamp keeps its tighter bounds.
+    ValueInterval t = ivClamp(iv(10, 20), ValueInterval::point(0, true),
+                              ValueInterval::point(255, true));
+    EXPECT_EQ(t.lo, 10);
+    EXPECT_EQ(t.hi, 20);
+}
+
+TEST(IntervalArith, ShiftsScaleByPowersOfTwo)
+{
+    ValueInterval l = ivShiftLeft(iv(1, 3), 4);
+    EXPECT_EQ(l.lo, 16);
+    EXPECT_EQ(l.hi, 48);
+
+    ValueInterval r = ivShiftRight(iv(0, 255), 4);
+    EXPECT_EQ(r.lo, 0);
+    EXPECT_EQ(r.hi, 15);
+
+    // Right shift floors like the DSL's division.
+    ValueInterval s = ivShiftRight(iv(-8, 7), 2);
+    EXPECT_EQ(s.lo, -2);
+    EXPECT_EQ(s.hi, 1);
+}
+
+//--------------------------------------------------------------------------
+// Minimal-type ladder
+//--------------------------------------------------------------------------
+
+TEST(MinimalType, LadderPrefersUnsignedAtEqualSize)
+{
+    EXPECT_EQ(minimalIntType(iv(0, 255), DType::Int), DType::UChar);
+    EXPECT_EQ(minimalIntType(iv(0, 256), DType::Int), DType::UShort);
+    EXPECT_EQ(minimalIntType(iv(-1, 255), DType::Int), DType::Short);
+    EXPECT_EQ(minimalIntType(iv(0, 65535), DType::Int), DType::UShort);
+    EXPECT_EQ(minimalIntType(iv(-32768, 32767), DType::Int),
+              DType::Short);
+    EXPECT_EQ(minimalIntType(iv(0, 65536), DType::Int), DType::Int);
+}
+
+TEST(MinimalType, UnboundedOrFractionalFallsBack)
+{
+    EXPECT_EQ(minimalIntType(ValueInterval::unknown(true), DType::Int),
+              DType::Int);
+    EXPECT_EQ(minimalIntType(iv(0.5, 2.5, false), DType::Long),
+              DType::Long);
+    EXPECT_EQ(minimalIntType({0, kInf, true}, DType::Int), DType::Int);
+}
+
+//--------------------------------------------------------------------------
+// Expression evaluation with bound loop variables
+//--------------------------------------------------------------------------
+
+class RangeEvalTest : public ::testing::Test
+{
+  protected:
+    RangeEvalTest()
+        : tiny_(testing::makePointwise()),
+          g_(pg::PipelineGraph::build(tiny_.spec)), ev_(nullptr, g_)
+    {}
+
+    testing::TinyPipeline tiny_;
+    pg::PipelineGraph g_;
+    ExprRangeEval ev_;
+};
+
+TEST_F(RangeEvalTest, AffineIndexRemappings)
+{
+    using namespace dsl;
+    Variable x("x");
+    ev_.bindVar(x.id(), iv(0, 100));
+
+    // Downsample remap: consumer index x maps to producer index 2x
+    // (and the phase-shifted 2x + 1).
+    ValueInterval d = ev_.eval(Expr(x) * 2);
+    EXPECT_EQ(d.lo, 0);
+    EXPECT_EQ(d.hi, 200);
+    ValueInterval d1 = ev_.eval(Expr(x) * 2 + 1);
+    EXPECT_EQ(d1.lo, 1);
+    EXPECT_EQ(d1.hi, 201);
+
+    // Upsample remap: x maps to x/2 (floored), with x%2 picking the
+    // interpolation phase.
+    ValueInterval u = ev_.eval(Expr(x) / 2);
+    EXPECT_EQ(u.lo, 0);
+    EXPECT_EQ(u.hi, 50);
+    ValueInterval p = ev_.eval(Expr(x) % 2);
+    EXPECT_EQ(p.lo, 0);
+    EXPECT_EQ(p.hi, 1);
+}
+
+TEST_F(RangeEvalTest, SelectJoinsAndClampBounds)
+{
+    using namespace dsl;
+    Variable x("x");
+    ev_.bindVar(x.id(), iv(0, 100));
+
+    ValueInterval s =
+        ev_.eval(select(Expr(x) < 50, Expr(x), -Expr(x)));
+    EXPECT_EQ(s.lo, -100);
+    EXPECT_EQ(s.hi, 100);
+
+    ValueInterval c = ev_.eval(clamp(Expr(x) - 5, Expr(0), Expr(63)));
+    EXPECT_EQ(c.lo, 0);
+    EXPECT_EQ(c.hi, 63);
+}
+
+TEST_F(RangeEvalTest, MinMaxAndImageLoads)
+{
+    using namespace dsl;
+    Variable x("x");
+    ev_.bindVar(x.id(), iv(0, 100));
+
+    ValueInterval m = ev_.eval(min(Expr(x), Expr(31)));
+    EXPECT_EQ(m.lo, 0);
+    EXPECT_EQ(m.hi, 31);
+
+    // An unbound variable degrades to its dtype's full range (the
+    // conservative fallback), never to a narrower guess.
+    Variable y("y");
+    ValueInterval vy = ev_.eval(Expr(y));
+    EXPECT_TRUE(dtypeInterval(DType::Int).contains(vy));
+    EXPECT_FALSE(minimalIntType(vy, DType::Int) != DType::Int);
+}
+
+//--------------------------------------------------------------------------
+// Whole-pipeline propagation
+//--------------------------------------------------------------------------
+
+/**
+ * 1-D chain exercising the pyramid index remappings over a u8 input:
+ *   base(x)  = I(x)                 in [0, 255]       -> u8
+ *   down(x)  = base(2x) + base(2x+1)  in [0, 510]     -> u16
+ *   up(x)    = down(x/2) * (1 + x%2)  in [0, 1020]    -> u16
+ *   outf(x)  = float live-out (never narrowed)
+ */
+dsl::PipelineSpec
+buildPyramidChain()
+{
+    using namespace dsl;
+    PipelineSpec spec("range_chain");
+    Image I("I", DType::UChar, {Expr(256)});
+    Variable x("x");
+
+    Function base("base", {x}, {Interval(Expr(0), Expr(255))},
+                  DType::Int);
+    base.define(I(Expr(x)));
+
+    Function down("down", {x}, {Interval(Expr(0), Expr(127))},
+                  DType::Int);
+    down.define(base(Expr(x) * 2) + base(Expr(x) * 2 + 1));
+
+    Function up("up", {x}, {Interval(Expr(0), Expr(255))}, DType::Int);
+    up.define(down(Expr(x) / 2) * (Expr(1) + Expr(x) % 2));
+
+    Function outf("outf", {x}, {Interval(Expr(0), Expr(255))},
+                  DType::Float);
+    outf.define(cast(DType::Float, up(Expr(x))) * Expr(0.5));
+
+    spec.addInput(I);
+    spec.addOutput(outf);
+    return spec;
+}
+
+TEST(RangePropagation, PyramidChainNarrowsThroughRemaps)
+{
+    auto g = pg::PipelineGraph::build(buildPyramidChain());
+    RangeAnalysis ra = analyzeRanges(g);
+
+    const int base_i = stageIndexByName(g, "base");
+    const int down_i = stageIndexByName(g, "down");
+    const int up_i = stageIndexByName(g, "up");
+    const int out_i = stageIndexByName(g, "outf");
+    ASSERT_GE(base_i, 0);
+    ASSERT_GE(down_i, 0);
+    ASSERT_GE(up_i, 0);
+    ASSERT_GE(out_i, 0);
+
+    const StageRange *base_r = ra.find(base_i);
+    ASSERT_NE(base_r, nullptr);
+    EXPECT_EQ(base_r->value.lo, 0);
+    EXPECT_EQ(base_r->value.hi, 255);
+    EXPECT_EQ(base_r->storage, DType::UChar);
+
+    const StageRange *down_r = ra.find(down_i);
+    ASSERT_NE(down_r, nullptr);
+    EXPECT_EQ(down_r->value.hi, 510);
+    EXPECT_EQ(down_r->storage, DType::UShort);
+
+    const StageRange *up_r = ra.find(up_i);
+    ASSERT_NE(up_r, nullptr);
+    EXPECT_EQ(up_r->value.hi, 1020);
+    EXPECT_EQ(up_r->storage, DType::UShort);
+
+    // The float live-out is never narrowed.
+    const StageRange *out_r = ra.find(out_i);
+    ASSERT_NE(out_r, nullptr);
+    EXPECT_FALSE(out_r->narrowed());
+    EXPECT_EQ(ra.storageType(out_i, g), DType::Float);
+
+    const auto names = ra.narrowedStages(g);
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_NE(names[0].find("base"), std::string::npos);
+}
+
+TEST(RangePropagation, WidenOnOverflowRegression)
+{
+    // `scaled` is declared Short but can reach 255 * 300 = 76500, which
+    // wraps on store.  The analysis must widen its interval to the full
+    // Short range (not keep the pre-wrap [0, 76500] hull, which would
+    // let a consumer narrow unsoundly) and must not narrow its storage.
+    using namespace dsl;
+    PipelineSpec spec("overflow");
+    Image I("I", DType::UChar, {Expr(128)});
+    Variable x("x");
+
+    Function scaled("scaled", {x}, {Interval(Expr(0), Expr(127))},
+                    DType::Short);
+    scaled.define(cast(DType::Short, I(Expr(x)) * Expr(300)));
+
+    Function outf("outf", {x}, {Interval(Expr(0), Expr(127))},
+                  DType::Int);
+    outf.define(cast(DType::Int, scaled(Expr(x))));
+
+    spec.addInput(I);
+    spec.addOutput(outf);
+
+    auto g = pg::PipelineGraph::build(spec);
+    RangeAnalysis ra = analyzeRanges(g);
+
+    const int s_i = stageIndexByName(g, "scaled");
+    ASSERT_GE(s_i, 0);
+    const StageRange *sr = ra.find(s_i);
+    ASSERT_NE(sr, nullptr);
+    EXPECT_EQ(sr->value.lo, -32768);
+    EXPECT_EQ(sr->value.hi, 32767);
+    EXPECT_FALSE(sr->narrowed());
+    EXPECT_TRUE(ra.narrowedStages(g).empty());
+}
+
+TEST(RangePropagation, LiveOutIntegerStaysDeclared)
+{
+    // A live-out whose values provably fit u8 still keeps its declared
+    // Int storage: the output buffer is the caller's ABI.
+    using namespace dsl;
+    PipelineSpec spec("liveout");
+    Image I("I", DType::UChar, {Expr(64)});
+    Variable x("x");
+    Function outi("outi", {x}, {Interval(Expr(0), Expr(63))},
+                  DType::Int);
+    outi.define(I(Expr(x)));
+    spec.addInput(I);
+    spec.addOutput(outi);
+
+    auto g = pg::PipelineGraph::build(spec);
+    RangeAnalysis ra = analyzeRanges(g);
+    const int i = stageIndexByName(g, "outi");
+    ASSERT_GE(i, 0);
+    const StageRange *sr = ra.find(i);
+    ASSERT_NE(sr, nullptr);
+    EXPECT_EQ(sr->value.hi, 255);
+    EXPECT_EQ(sr->storage, DType::Int);
+}
+
+} // namespace
+} // namespace polymage::core

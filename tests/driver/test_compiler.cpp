@@ -19,17 +19,17 @@ TEST(Driver, OptionFactoriesMatchPaperVariants)
 {
     auto opt = CompileOptions::optimized();
     EXPECT_TRUE(opt.codegen.tile);
-    EXPECT_TRUE(opt.codegen.vectorize);
+    EXPECT_EQ(opt.codegen.vectorize, cg::VectorizeMode::Explicit);
     EXPECT_TRUE(opt.grouping.enable);
 
     auto novec = CompileOptions::optNoVec();
     EXPECT_TRUE(novec.codegen.tile);
-    EXPECT_FALSE(novec.codegen.vectorize);
+    EXPECT_EQ(novec.codegen.vectorize, cg::VectorizeMode::Off);
 
     auto base = CompileOptions::baseline(true);
     EXPECT_FALSE(base.codegen.tile);
     EXPECT_FALSE(base.grouping.enable);
-    EXPECT_TRUE(base.codegen.vectorize);
+    EXPECT_EQ(base.codegen.vectorize, cg::VectorizeMode::Explicit);
     EXPECT_TRUE(base.inlining.enable); // base keeps inlining (paper §4)
 }
 

@@ -46,7 +46,9 @@ checkPipeline(const PipelineSpec &spec,
     opts.grouping.overlapThreshold =
         rng.chance(0.5) ? 0.4 : 0.9;
     opts.grouping.minSize = 0;
-    opts.codegen.vectorize = rng.chance(0.7);
+    opts.codegen.vectorize = rng.chance(0.7)
+                                 ? cg::VectorizeMode::Explicit
+                                 : cg::VectorizeMode::Off;
 
     rt::Executable exe = rt::Executable::build(spec, opts);
     auto outs = exe.run(params, inputs);

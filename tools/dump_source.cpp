@@ -44,6 +44,30 @@ main(int argc, char **argv)
     }
 
     auto compiled = compilePipeline(spec);
-    std::fputs(compiled.code.source.c_str(), stdout);
+    const auto &code = compiled.code;
+
+    // Vectorisation header: what the explicit emitter chose, so a dump
+    // is self-describing (docs/VECTORIZATION.md).
+    std::printf("// %s: vectorize=%s", app.c_str(),
+                code.vectorizeMode.c_str());
+    if (code.vectorizeMode == "explicit") {
+        std::printf(" isa=%s bits=%d", code.vectorIsa.c_str(),
+                    code.vectorBits);
+        std::printf(" explicit_nests=%d/%d", code.explicitNests,
+                    code.interiorNests);
+        for (const auto &gv : code.groupVector)
+            if (gv.lanes > 0)
+                std::printf(" g%d=%sx%d", gv.group, gv.elem.c_str(),
+                            gv.lanes);
+    }
+    std::printf("\n// narrowed:");
+    if (code.narrowedStages.empty()) {
+        std::printf(" none");
+    } else {
+        for (const auto &s : code.narrowedStages)
+            std::printf(" %s", s.c_str());
+    }
+    std::printf("\n");
+    std::fputs(code.source.c_str(), stdout);
     return 0;
 }
