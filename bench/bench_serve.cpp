@@ -13,6 +13,15 @@
  *   --cold-shapes N        cold-start scenario: first-request latency
  *                          at N distinct shapes through the tiered
  *                          engine (default 3; 0 disables)
+ *   --compare-sched N      scheduler comparison: every app served by
+ *                          PerRequestOMP vs SharedTileQueue at >= 2
+ *                          concurrent requests, N requests per mode
+ *                          (default 24; 0 disables)
+ *   --slo N                SLO-admission scenario: N tight-deadline
+ *                          and N generous-deadline requests through
+ *                          an sloAdmission engine; the tight ones
+ *                          shed at submit, the admitted ones meet
+ *                          their deadline (default 12; 0 disables)
  *
  * Environment:
  *   POLYMAGE_SERVE_THREADS total thread budget; each configuration
@@ -91,12 +100,16 @@ struct ConfigResult
 ConfigResult
 runConfig(const std::shared_ptr<serve::PipelineRegistry> &registry,
           const AppBench &app, int workers, int omp_per_worker,
-          int clients, serve::OverloadPolicy policy, int requests)
+          int clients, serve::OverloadPolicy policy, int requests,
+          serve::SchedulerMode mode = serve::SchedulerMode::PerRequestOMP,
+          int sched_workers = 0)
 {
     serve::EngineOptions eopts;
     eopts.workers = workers;
     eopts.ompThreadsPerWorker = omp_per_worker;
     eopts.policy = policy;
+    eopts.scheduler = mode;
+    eopts.schedulerWorkers = sched_workers;
     // Overload policies only bite when the queue is small relative to
     // the offered load; Block gets headroom so nothing is dropped.
     eopts.queueCapacity =
@@ -262,6 +275,169 @@ runColdStart(obs::JsonWriter &w, double scale, int nShapes)
     w.endObject();
 }
 
+/**
+ * Scheduler comparison (docs/SERVING.md "Scheduling"): every app is
+ * served twice at >= 2 concurrent requests under the same total
+ * thread budget -- PerRequestOMP (workers' own OpenMP teams) vs
+ * SharedTileQueue (engine workers orchestrate, one work-stealing tile
+ * pool of @p budget threads owns the compute).  Both modes use the
+ * same shape-generic serving variant so the generated tile code is
+ * identical; only the placement of tiles onto threads differs.
+ */
+void
+runSchedulerCompare(obs::JsonWriter &w,
+                    const std::vector<AppBench> &benches, int budget,
+                    int requests)
+{
+    const int workers = 2;
+    const int clients = 2 * workers;
+    const int omp_per_worker = std::max(1, budget / workers);
+
+    auto registry = std::make_shared<serve::PipelineRegistry>(
+        serve::RegistryOptions{16, {}});
+    for (const AppBench &b : benches) {
+        CompileOptions opts = CompileOptions::serving();
+        opts.grouping.tileSizes = b.tuned.grouping.tileSizes;
+        registry->add(b.name, b.spec, opts);
+    }
+
+    std::printf("\n-- scheduler comparison: workers=%d clients=%d "
+                "budget=%d, %d requests/mode --\n",
+                workers, clients, budget, requests);
+
+    w.key("scheduler_compare").beginObject();
+    w.key("workers").value(workers);
+    w.key("clients").value(clients);
+    w.key("thread_budget").value(budget);
+    w.key("requests").value(requests);
+    w.key("apps").beginArray();
+
+    int shared_wins = 0;
+    for (const AppBench &app : benches) {
+        registry->get(app.name); // warm: no JIT inside timed windows
+        ConfigResult omp =
+            runConfig(registry, app, workers, omp_per_worker, clients,
+                      serve::OverloadPolicy::Block, requests,
+                      serve::SchedulerMode::PerRequestOMP);
+        // schedulerWorkers = 0: auto-size.  Engine workers execute
+        // chunks themselves while waiting, so the pool only spawns
+        // threads for cores the workers leave free -- the total
+        // compute-thread count stays at the machine width instead of
+        // inheriting an oversubscribed workers x omp split.
+        ConfigResult shared =
+            runConfig(registry, app, workers, omp_per_worker, clients,
+                      serve::OverloadPolicy::Block, requests,
+                      serve::SchedulerMode::SharedTileQueue, 0);
+        const bool wins =
+            shared.rps > omp.rps &&
+            shared.metrics.latency.p99Seconds <
+                omp.metrics.latency.p99Seconds;
+        shared_wins += wins ? 1 : 0;
+        std::printf("  %-16s omp %7.2f req/s p99 %6.1f ms | shared "
+                    "%7.2f req/s p99 %6.1f ms | steals %llu "
+                    "tasks %llu batches %llu  %s\n",
+                    app.name.c_str(), omp.rps,
+                    omp.metrics.latency.p99Seconds * 1e3, shared.rps,
+                    shared.metrics.latency.p99Seconds * 1e3,
+                    (unsigned long long)shared.metrics.scheduler.steals,
+                    (unsigned long long)
+                        shared.metrics.scheduler.tasksExecuted,
+                    (unsigned long long)shared.metrics.batches,
+                    wins ? "shared wins" : "omp wins");
+        w.beginObject();
+        w.key("name").value(app.name);
+        w.key("shared_wins").value(wins);
+        w.key("per_request_omp");
+        writeConfigJson(w, omp);
+        w.key("shared_tile_queue");
+        writeConfigJson(w, shared);
+        w.endObject();
+    }
+    std::printf("  shared wins on %d of %d apps\n", shared_wins,
+                int(benches.size()));
+    w.endArray();
+    w.key("shared_wins").value(shared_wins);
+    w.endObject();
+}
+
+/**
+ * SLO-admission scenario (docs/SERVING.md "Scheduling"): after
+ * warming the per-pipeline run-time EWMA, @p n requests with an
+ * impossible deadline (a quarter of the measured run time -- the
+ * predicted run alone exceeds it) interleave with @p n
+ * generous-deadline ones.  The tight ones shed at submit in
+ * microseconds; every admitted request completes within its deadline,
+ * so `deadline_misses` stays zero -- the property
+ * scripts/check_serve.sh asserts.
+ */
+void
+runSloScenario(obs::JsonWriter &w, const AppBench &app, int n)
+{
+    auto registry = std::make_shared<serve::PipelineRegistry>();
+    registry->add(app.name, app.spec, CompileOptions::serving());
+
+    serve::EngineOptions eopts;
+    eopts.workers = 1;
+    eopts.scheduler = serve::SchedulerMode::SharedTileQueue;
+    eopts.tiered = false;
+    eopts.sloAdmission = true;
+    eopts.queueCapacity = 4 * n + 8;
+    serve::Engine engine(registry, eopts);
+
+    auto makeReq = [&](double deadline) {
+        serve::Request req;
+        req.pipeline = app.name;
+        req.params = app.params;
+        for (const rt::Buffer &b : app.inputStorage)
+            req.inputs.push_back(borrow(b));
+        req.deadlineSeconds = deadline;
+        return req;
+    };
+
+    // Warm the EWMA (and the JIT) so predictions are measured, not
+    // analytic.
+    double run_s = 0.0;
+    for (int i = 0; i < 3; ++i) {
+        serve::Response r = engine.submit(makeReq(0.0)).get();
+        if (r.ok())
+            run_s = std::max(run_s, r.runSeconds);
+    }
+    const double tight = run_s * 0.25;
+    const double generous = std::max(30.0, run_s * 100.0);
+
+    std::vector<std::future<serve::Response>> futures;
+    for (int i = 0; i < n; ++i) {
+        futures.push_back(engine.submit(makeReq(tight)));
+        futures.push_back(engine.submit(makeReq(generous)));
+    }
+    std::uint64_t shed_fast = 0;
+    for (auto &f : futures) {
+        serve::Response r = f.get();
+        if (!r.ok() && r.error.find("shed") != std::string::npos)
+            shed_fast += 1;
+    }
+    engine.drain();
+    const serve::ServeSnapshot m = engine.metrics();
+
+    std::printf("\n-- SLO admission: %s, %d tight + %d generous --\n"
+                "  run ~%.2f ms, tight deadline %.2f ms: shed %llu at "
+                "submit, %llu admitted misses\n",
+                app.name.c_str(), n, n, run_s * 1e3, tight * 1e3,
+                (unsigned long long)m.sloShed,
+                (unsigned long long)m.deadlineMisses);
+
+    w.key("slo_scenario").beginObject();
+    w.key("app").value(app.name);
+    w.key("requests_tight").value(n);
+    w.key("requests_generous").value(n);
+    w.key("run_seconds").value(run_s);
+    w.key("tight_deadline_seconds").value(tight);
+    w.key("generous_deadline_seconds").value(generous);
+    w.key("shed_at_submit").value(std::int64_t(shed_fast));
+    w.key("metrics").raw(m.toJson());
+    w.endObject();
+}
+
 } // namespace
 
 int
@@ -280,6 +456,9 @@ main(int argc, char **argv)
         return p.empty() ? std::string("block") : p;
     }();
     const int cold_shapes = argInt(argc, argv, "--cold-shapes", 3);
+    const int compare_sched =
+        argInt(argc, argv, "--compare-sched", 24);
+    const int slo_requests = argInt(argc, argv, "--slo", 12);
     const std::string json_path = argPath(argc, argv, "--timings-json");
 
     std::vector<serve::OverloadPolicy> policies;
@@ -362,6 +541,12 @@ main(int argc, char **argv)
 
     if (cold_shapes > 0)
         runColdStart(w, scale, cold_shapes);
+
+    if (compare_sched > 0)
+        runSchedulerCompare(w, benches, budget, compare_sched);
+
+    if (slo_requests > 0)
+        runSloScenario(w, benches.front(), slo_requests);
 
     w.endObject();
 

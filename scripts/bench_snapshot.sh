@@ -13,31 +13,43 @@
 #                        Runs the paper's full 7x7x3 space so the
 #                        guided sweep's build savings are measured
 #                        against the space the paper searches.
+#   BENCH_serve.json     the serving-scheduler study
+#                        (docs/SERVING.md "Scheduling"): per paper app
+#                        the per-request-OpenMP vs shared-tile-queue
+#                        head-to-head under concurrent clients, plus
+#                        the SLO admission scenario (tight-deadline
+#                        requests shed at submit, zero deadline misses
+#                        among admitted requests).
 #
-# Usage: scripts/bench_snapshot.sh [scale] [tune_scale]
+# Usage: scripts/bench_snapshot.sh [scale] [tune_scale] [serve_scale]
 #
 # `scale` (default 0.5) linearly scales the paper image sizes; it is
 # recorded in the snapshot so numbers are comparable across runs.
 # `tune_scale` (default 0.35) does the same for the autotune study,
 # whose exhaustive sweep JIT-builds every grid point per app and is by
-# far the most expensive part.  Honours POLYMAGE_BUILD_DIR (defaults
-# to build).  Wall times are machine-dependent; the snapshots' value
-# is tracking relative ratios (speedups, interior fractions, model
-# vs sweep) across commits, not absolute times.
+# far the most expensive part.  `serve_scale` (default 0.125) scales
+# the serving study, which JIT-compiles all seven apps twice (once per
+# scheduler mode).  Honours POLYMAGE_BUILD_DIR (defaults to build).
+# Wall times are machine-dependent; the snapshots' value is tracking
+# relative ratios (speedups, interior fractions, model vs sweep,
+# shared-vs-per-request wins) across commits, not absolute times.
 
 set -eu
 cd "$(dirname "$0")/.."
 
 scale="${1:-0.5}"
 tune_scale="${2:-0.35}"
+serve_scale="${3:-0.125}"
 build_dir="${POLYMAGE_BUILD_DIR:-build}"
 out=BENCH_table2.json
 tune_out=BENCH_autotune.json
+serve_out=BENCH_serve.json
 
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_table2 \
     --target bench_ablation_partition \
-    --target bench_fig9_autotune >/dev/null
+    --target bench_fig9_autotune \
+    --target bench_serve >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -66,3 +78,14 @@ POLYMAGE_BENCH_SCALE="$tune_scale" POLYMAGE_TUNE_FULL=1 \
     "$build_dir/bench/bench_fig9_autotune" --tune-json "$tune_out"
 
 echo "bench_snapshot: wrote $tune_out"
+
+# Serving-scheduler snapshot.  A 2-thread budget with 2 concurrent
+# clients per mode is the smallest configuration where the shared
+# tile queue's cross-request batching can show up; 16 requests per
+# app per mode keeps the win/loss verdicts out of the noise floor.
+POLYMAGE_BENCH_SCALE="$serve_scale" POLYMAGE_SERVE_THREADS=2 \
+    "$build_dir/bench/bench_serve" --requests 12 --workers 1,2 \
+    --policy block --cold-shapes 3 --compare-sched 16 --slo 12 \
+    --timings-json "$serve_out"
+
+echo "bench_snapshot: wrote $serve_out"

@@ -139,6 +139,28 @@ if [ -f "$vdoc" ]; then
     done
 fi
 
+# ---------------------------------------------------------------- 7.
+# Scheduling docs: docs/SERVING.md must carry the "Scheduling" section
+# for the shared tile pool, be cross-linked from the docs that touch
+# the scheduler, and its scheduler/SLO fields must be emitted.
+if [ -f "$sdoc" ]; then
+    grep -q "## 4. Scheduling" "$sdoc" \
+        || err "$sdoc missing the Scheduling section"
+    for from in README.md docs/INTERNALS.md docs/OBSERVABILITY.md; do
+        grep -qi "scheduling\|scheduler" "$from" \
+            || err "$from does not cross-link the Scheduling section"
+    done
+    for field in scheduler mode tasks_executed chunks_executed steals \
+                 steal_attempts steal_fail_rate jobs_completed batches \
+                 batched_requests mean_batch_size max_batch_size slo \
+                 quota_shed deadline_misses tenant_shed shed_wait; do
+        grep -q "\"$field\"" "$sdoc" \
+            || err "field \"$field\" missing from $sdoc"
+        grep -rq "\"$field\"" src/ \
+            || err "field \"$field\" not emitted by src/"
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED" >&2
     exit 1

@@ -51,7 +51,11 @@ if [ "$san" = thread ]; then
     export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp:halt_on_error=1:second_deadlock_stack=1"
     export OMP_NUM_THREADS=1
     if [ $# -eq 0 ]; then
-        set -- -R '(Concurrent|Engine|Registry|Jit|Buffer)'
+        # Scheduler matches the work-stealing deque/barrier stress
+        # (tests/runtime/test_scheduler.cpp) and the SharedTileQueue
+        # engine tests -- the tile pool's lock-free paths are exactly
+        # what TSan exists to check.
+        set -- -R '(Concurrent|Engine|Registry|Jit|Buffer|Scheduler)'
     fi
 fi
 

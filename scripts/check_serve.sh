@@ -34,7 +34,8 @@ json="$tmp/serve.json"
 
 POLYMAGE_BENCH_SCALE=0.125 POLYMAGE_SERVE_THREADS=2 \
     "$build_dir/bench/bench_serve" --requests 6 --workers 1,2 \
-    --policy block --cold-shapes 3 --timings-json "$json" >/dev/null
+    --policy block --cold-shapes 3 --compare-sched 8 --slo 6 \
+    --timings-json "$json" >/dev/null
 
 if command -v python3 >/dev/null 2>&1; then
     python3 - "$json" <<'EOF'
@@ -79,7 +80,34 @@ assert cm["compiled_served"] >= 1, cm
 assert cm["promotions"] == 1, cm
 assert cm["promotion"]["count"] == 1, cm
 
-print("serve JSON OK:", len(doc["apps"]), "apps + cold start")
+# Scheduler comparison (docs/SERVING.md "Scheduling"): both modes
+# must be present for every app with well-formed metrics.  Which mode
+# wins is NOT asserted here -- at CI scale the timings are noise; the
+# committed BENCH_serve.json records the meaningful comparison.
+comp = doc["scheduler_compare"]
+assert comp["apps"], "no scheduler-compare apps"
+for app in comp["apps"]:
+    for mode in ("per_request_omp", "shared_tile_queue"):
+        m = app[mode]["metrics"]
+        assert m["schema"] == "polymage-serve-v1", m["schema"]
+        assert m["completed"] == comp["requests"], (app["name"], mode, m)
+    sm = app["shared_tile_queue"]["metrics"]
+    assert sm["scheduler"]["mode"] == "shared_tile_queue", sm
+    assert sm["scheduler"]["tasks_executed"] > 0, (app["name"], sm)
+
+# SLO scenario: tight-deadline requests shed at submit, every admitted
+# request completes, and no admitted request misses its deadline.
+slo = doc["slo_scenario"]
+assert slo["shed_at_submit"] > 0, slo
+sm = slo["metrics"]
+assert sm["slo"]["shed"] > 0, sm
+assert sm["slo"]["shed"] == slo["shed_at_submit"], (slo, sm)
+assert sm["slo"]["deadline_misses"] == 0, sm
+# Every generous-deadline request (and the EWMA warmups) completed.
+assert sm["completed"] >= slo["requests_generous"], (slo, sm)
+
+print("serve JSON OK:", len(doc["apps"]),
+      "apps + cold start + sched compare + slo")
 EOF
 else
     # Fallback: structural grep when python3 is unavailable.

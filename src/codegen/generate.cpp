@@ -193,6 +193,7 @@ class Generator
     //------------------------------------------------------------------
     void emitPrelude();
     void emitEntry(bool instrumented);
+    void emitTaskEntry();
     void emitBody();
     void emitGroup(int gi);
     void emitTiledGroup(int gi);
@@ -219,7 +220,9 @@ class Generator
                       bool parallel_outer, bool task_outer, int phase,
                       const std::vector<std::string> &hoisted = {},
                       const std::vector<std::string> *vec_lines = nullptr,
-                      int vec_lanes = 0);
+                      int vec_lanes = 0,
+                      const std::vector<std::string> *masked_lines =
+                          nullptr);
 
     /** Apply one analysed box's bounds and residues to a nest. */
     void applyBox(const poly::CondBox &box, const pg::Stage &stage,
@@ -341,6 +344,7 @@ class Generator
     std::map<int, std::string> paramName_; // param entity id -> name
 
     bool instr_ = false; // currently emitting the instrumented body
+    bool task_ = false;  // currently emitting the task-ABI body
     bool vec_ = false;   // simd/ivdep pragmas currently enabled
     bool ompForOnly_ = false; // emit `omp for` (inside a parallel region)
     int phase_ = 0;      // parallel-phase counter (instrumented body)
@@ -367,6 +371,7 @@ class Generator
     /** Per-group explicit-vectorisation census of the primary entry. */
     std::map<int, GeneratedCode::GroupVectorInfo> groupVec_;
     int explicitNests_ = 0;
+    int maskedEpilogues_ = 0;
     /**
      * Shape-generic mode: compile-time tile sizes, one per runtime
      * tile parameter (max tiled-dim count over the tiled groups).
@@ -447,6 +452,19 @@ Generator::emitPrelude()
     w_.line("if (bytes < 64) bytes = 64;");
     w_.line("bytes = (bytes + 63) & ~63LL;");
     w_.line("return std::aligned_alloc(64, (unsigned long)bytes);");
+    w_.close();
+    // Task entries are invoked once per chunk of tiles, so a heap
+    // scratch arena allocated inside the call would be paid on every
+    // chunk.  Cache it per thread instead: grown monotonically, reused
+    // across calls, released at thread exit.
+    w_.line("struct PmArena { void *p = nullptr; long long cap = 0; "
+            "~PmArena() { std::free(p); } };");
+    w_.line("static inline void *pm_task_arena(long long bytes)");
+    w_.open("");
+    w_.line("static thread_local PmArena a;");
+    w_.line("if (a.cap < bytes) { std::free(a.p); a.p = "
+            "pm_alloc(bytes); a.cap = bytes; }");
+    w_.line("return a.p;");
     w_.close();
     w_.line("static inline double pm_now()");
     w_.open("");
@@ -704,7 +722,7 @@ Generator::caseNests(const pg::Stage &stage, const dsl::Case &cs,
         // Only worth emitting when at least one clause dropped its
         // guard; otherwise the split just duplicates guarded sweeps.
         if (any_clean) {
-            if (!instr_)
+            if (!instr_ && !task_)
                 ++partitionedCases_;
             return split;
         }
@@ -749,7 +767,9 @@ Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
         hoistTmp_ = std::max(hoistTmp_, sink.counter);
         cseTmp_ = std::max(cseTmp_, sink.cseCounter);
         hoist_ = saved;
-        if (!instr_) {
+        const bool masked = opts_.maskedEpilogue && vres &&
+                            !vres->maskedLines.empty();
+        if (!instr_ && !task_) {
             if (nest.guards.empty())
                 ++interiorNests_;
             else
@@ -762,6 +782,8 @@ Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
                 if (vres) {
                     ++gv.vectorNests;
                     ++explicitNests_;
+                    if (masked)
+                        ++maskedEpilogues_;
                     if (vres->lanes > gv.lanes) {
                         gv.lanes = vres->lanes;
                         gv.elem = vres->elemTag;
@@ -769,10 +791,20 @@ Generator::emitCaseNests(int gi, int s, const dsl::Case &cs,
                 }
             }
         }
+        // Task mode: each untiled nest is its own dispatch phase; the
+        // guard block scopes the phase's task-count locals.
+        if (task_ && task_outer) {
+            w_.open("if (pm_phase == " + std::to_string(phase_) + ")");
+        }
         emitLoopNest(nest.dims, nest.guards, body, parallel_outer,
                      task_outer, phase_, sink.lines,
                      vres ? &vres->lines : nullptr,
-                     vres ? vres->lanes : 0);
+                     vres ? vres->lanes : 0,
+                     masked ? &vres->maskedLines : nullptr);
+        if (task_ && task_outer) {
+            w_.line("return 0;");
+            w_.close();
+        }
         // Untiled nests each own a parallel phase; inside a tiled
         // group the surrounding tile loop owns the (single) phase.
         if (task_outer)
@@ -801,7 +833,8 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
                         bool parallel_outer, bool task_outer, int phase,
                         const std::vector<std::string> &hoisted,
                         const std::vector<std::string> *vec_lines,
-                        int vec_lanes)
+                        int vec_lanes,
+                        const std::vector<std::string> *masked_lines)
 {
     // The parallel loop: the first dimension long enough to feed the
     // worker pool (a 3-wide channel axis outermost must not cap the
@@ -817,7 +850,72 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
     // Bound locals, then nested loops.
     int opened = 0;
     const std::string sched = scheduleClause();
-    for (std::size_t d = 0; d < dims.size(); ++d) {
+    std::size_t d0 = 0;
+    if (task_ && task_outer && !dims.empty()) {
+        // Task-ABI root: the dimensions up to and including the
+        // parallel one flatten into one closed task index; the caller
+        // executes [pm_lo, pm_hi] of them.  Every bound here is
+        // loop-invariant (function-stage domains are rectangular over
+        // the parameters), so the counts resolve before any loop opens.
+        std::vector<std::string> starts, counts;
+        for (std::size_t d = 0; d <= par_d; ++d) {
+            const std::string lb = "lb" + std::to_string(tmp_);
+            const std::string ub = "ub" + std::to_string(tmp_);
+            w_.line("const int " + lb + " = (int)" +
+                    foldMinMax(dims[d].lb, "pm_max_i") + ";");
+            w_.line("const int " + ub + " = (int)" +
+                    foldMinMax(dims[d].ub, "pm_min_i") + ";");
+            std::string start = lb;
+            if (dims[d].step > 1) {
+                const std::string aligned = lb + "a";
+                w_.line("const int " + aligned + " = " + lb +
+                        " + (int)pm_floormod(" +
+                        std::to_string(dims[d].phase) + " - " + lb +
+                        ", " + std::to_string(dims[d].step) + ");");
+                start = aligned;
+            }
+            const std::string cnt = "pm_c" + std::to_string(tmp_);
+            w_.line("const long long " + cnt + " = " + ub + " >= " +
+                    start + " ? ((long long)(" + ub + " - " + start +
+                    ") / " + std::to_string(dims[d].step) +
+                    " + 1) : 0;");
+            ++tmp_;
+            starts.push_back(std::move(start));
+            counts.push_back(cnt);
+        }
+        std::string prod = counts[0];
+        for (std::size_t i = 1; i < counts.size(); ++i)
+            prod += " * " + counts[i];
+        w_.line("const long long pm_n = " + prod + ";");
+        w_.line("if (pm_lo < 0) return pm_n;");
+        w_.line("const long long pm_te = pm_min_i(pm_hi, pm_n - 1);");
+        w_.open("for (long long pm_t = pm_lo; pm_t <= pm_te; ++pm_t)");
+        ++opened;
+        if (par_d > 0)
+            w_.line("long long pm_tr = pm_t;");
+        // Decompose the flat index, the parallel dimension fastest so
+        // adjacent tasks touch adjacent rows.
+        for (std::size_t i = par_d + 1; i-- > 0;) {
+            const std::string idx =
+                par_d == 0 ? "pm_t"
+                           : (i == 0 ? "pm_tr"
+                                     : "(pm_tr % " + counts[i] + ")");
+            std::string term = "(int)" + idx;
+            if (dims[i].step > 1)
+                term = "(int)(" + idx + " * " +
+                       std::to_string(dims[i].step) + ")";
+            w_.line("const int " + dims[i].var + " = " + starts[i] +
+                    " + " + term + ";");
+            if (par_d > 0 && i != 0)
+                w_.line("pm_tr /= " + counts[i] + ";");
+        }
+        d0 = par_d + 1;
+        if (d0 == dims.size()) {
+            for (const auto &l : hoisted)
+                w_.line(l);
+        }
+    }
+    for (std::size_t d = d0; d < dims.size(); ++d) {
         // Loop-invariant address bases: declared once per iteration of
         // the enclosing loop, right before the innermost loop opens.
         if (d + 1 == dims.size()) {
@@ -857,6 +955,24 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
             for (const auto &l : *vec_lines)
                 w_.line(l);
             w_.close();
+            if (masked_lines != nullptr) {
+                // Masked epilogue: when a remainder exists and the row
+                // holds at least one full vector, back the final
+                // iteration up to end exactly at the bound and blend
+                // the store so the pm_vskip already-written leading
+                // lanes keep their values.  Rows shorter than one
+                // vector fall through to the scalar tail.
+                const std::string back = ub + " - " + lanes1;
+                w_.open("if (" + dims[d].var + " <= " + ub + " && " +
+                        back + " >= " + start + ")");
+                w_.line("const int pm_vskip = " + dims[d].var + " - (" +
+                        back + ");");
+                w_.line(dims[d].var + " = " + back + ";");
+                for (const auto &l : *masked_lines)
+                    w_.line(l);
+                w_.line(dims[d].var + " = " + ub + " + 1;");
+                w_.close();
+            }
             w_.open("for (; " + dims[d].var + " <= " + ub + "; ++" +
                     dims[d].var + ")");
             opened += 2; // wrapper block + tail loop
@@ -967,6 +1083,12 @@ Generator::emitTiledGroup(int gi)
 
     EmitEnv param_env = makeEnv({}, gi);
 
+    // Task mode: the whole tiled group is one phase whose tasks are
+    // the outer-tile (T0) iterations; the guard block scopes the
+    // tile-range and task-count locals.
+    if (task_)
+        w_.open("if (pm_phase == " + std::to_string(phase_) + ")");
+
     // Tile index ranges covering every stage's domain in group coords.
     std::vector<std::string> tlo(tiled.size()), thi(tiled.size());
     for (std::size_t ti = 0; ti < tiled.size(); ++ti) {
@@ -1007,7 +1129,15 @@ Generator::emitTiledGroup(int gi)
         grouping_.groups.size() &&
         storage_.groupScratchBytes.count(gi) &&
         storage_.groupScratchBytes.at(gi) > opts_.maxStackScratchBytes;
-    const bool par_tiles = opts_.parallelize && !instr_;
+    const bool par_tiles = opts_.parallelize && !instr_ && !task_;
+
+    if (task_) {
+        // Task count resolves before the heap arena (if any) is
+        // allocated, so count queries stay allocation-free.
+        w_.line("const long long pm_n = " + thi[0] + " >= " + tlo[0] +
+                " ? " + thi[0] + " - " + tlo[0] + " + 1 : 0;");
+        w_.line("if (pm_lo < 0) return pm_n;");
+    }
 
     // Heap scratch: one 64-byte-aligned thread-private arena per call,
     // hoisted out of the tile loop (an explicit parallel region with
@@ -1033,8 +1163,15 @@ Generator::emitTiledGroup(int gi)
             w_.open("");
             parallel_region = true;
         }
-        w_.line("char *" + arena + " = (char *)pm_alloc(" +
-                std::to_string(arena_bytes) + ");");
+        if (task_) {
+            // Chunk calls are frequent and thread-bound: reuse the
+            // thread-local arena instead of alloc/free per call.
+            w_.line("char *" + arena + " = (char *)pm_task_arena(" +
+                    std::to_string(arena_bytes) + ");");
+        } else {
+            w_.line("char *" + arena + " = (char *)pm_alloc(" +
+                    std::to_string(arena_bytes) + ");");
+        }
         for (const auto &[s, off] : arena_off) {
             const std::string ty =
                 dsl::dtypeCName(storage_.stages.at(s).dtype);
@@ -1049,8 +1186,14 @@ Generator::emitTiledGroup(int gi)
     }
 
     // Tile loops.
-    w_.open("for (long long T0 = " + tlo[0] + "; T0 <= " + thi[0] +
-            "; ++T0)");
+    if (task_) {
+        w_.line("const long long pm_te = pm_min_i(pm_hi, pm_n - 1);");
+        w_.open("for (long long pm_t = pm_lo; pm_t <= pm_te; ++pm_t)");
+        w_.line("const long long T0 = " + tlo[0] + " + pm_t;");
+    } else {
+        w_.open("for (long long T0 = " + tlo[0] + "; T0 <= " + thi[0] +
+                "; ++T0)");
+    }
     if (instr_)
         w_.line("const double pm_t0 = pm_now();");
 
@@ -1168,11 +1311,15 @@ Generator::emitTiledGroup(int gi)
         w_.line("pm_record(pm_costs, pm_gids, pm_cap, &pm_task, " +
                 std::to_string(phase_) + ", pm_now() - pm_t0);");
     }
-    w_.close(); // T0
-    if (heap_scratch)
+    w_.close(); // T0 / task loop
+    if (heap_scratch && !task_)
         w_.line("std::free(pm_arena_g" + std::to_string(gi) + ");");
     if (parallel_region)
         w_.close();
+    if (task_) {
+        w_.line("return 0;");
+        w_.close(); // phase guard
+    }
     ++phase_;
 }
 
@@ -1182,7 +1329,14 @@ Generator::emitAccumulator(int gi, int s)
     const pg::Stage &stage = g_.stage(s);
     const auto &a = stage.accum();
 
-    w_.open("");
+    if (task_) {
+        // Reductions are a single serial task: one phase, one task.
+        w_.open("if (pm_phase == " + std::to_string(phase_) + ")");
+        w_.line("if (pm_lo < 0) return 1;");
+        w_.open("if (pm_lo == 0)");
+    } else {
+        w_.open("");
+    }
     if (instr_)
         w_.line("const double pm_t0 = pm_now();");
 
@@ -1241,7 +1395,7 @@ Generator::emitAccumulator(int gi, int s)
             scan(t);
     }
     const bool privatised =
-        opts_.parallelize && !instr_ && !self_ref;
+        opts_.parallelize && !instr_ && !task_ && !self_ref;
 
     {
         std::map<int, std::string> var_names;
@@ -1345,6 +1499,10 @@ Generator::emitAccumulator(int gi, int s)
     }
 
     w_.close();
+    if (task_) {
+        w_.line("return 0;");
+        w_.close(); // phase guard
+    }
     ++phase_;
 }
 
@@ -1355,7 +1513,15 @@ Generator::emitSelfRecurrent(int gi, int s)
     const auto &f = stage.func();
     const auto &vars = f.vars();
 
-    w_.open("");
+    if (task_) {
+        // The recurrence's lexicographic order is inherently serial:
+        // one phase, one task.
+        w_.open("if (pm_phase == " + std::to_string(phase_) + ")");
+        w_.line("if (pm_lo < 0) return 1;");
+        w_.open("if (pm_lo == 0)");
+    } else {
+        w_.open("");
+    }
     if (instr_)
         w_.line("const double pm_t0 = pm_now();");
 
@@ -1408,6 +1574,10 @@ Generator::emitSelfRecurrent(int gi, int s)
     if (instr_)
         w_.line("pm_serial_acc += pm_now() - pm_t0;");
     w_.close();
+    if (task_) {
+        w_.line("return 0;");
+        w_.close(); // phase guard
+    }
     ++phase_;
 }
 
@@ -1587,6 +1757,29 @@ Generator::emitEntry(bool instrumented)
     w_.blank();
 }
 
+void
+Generator::emitTaskEntry()
+{
+    // Emitted after the primary pass, so the phase count is known.
+    task_ = true;
+    instr_ = false;
+    vec_ = opts_.vectorize != VectorizeMode::Off;
+    const std::string base = "polymage_" + sanitize(g_.name());
+    w_.line("extern \"C\" long long " + base +
+            "_pm_task(const long long *params, void *const *inputs, "
+            "void **outputs, void *const *pm_slots, long long pm_phase, "
+            "long long pm_lo, long long pm_hi)");
+    w_.open("");
+    w_.line("(void)pm_hi;");
+    w_.line("if (pm_phase < 0) return " +
+            std::to_string(phaseGroup_.size()) + "LL;");
+    emitBody();
+    w_.line("return 0;");
+    w_.close();
+    w_.blank();
+    task_ = false;
+}
+
 GeneratedCode
 Generator::run()
 {
@@ -1597,7 +1790,9 @@ Generator::run()
           "pm_gids", "pm_cap", "pm_count", "pm_serial", "pm_task",
           "pm_serial_acc", "pm_t0", "T0", "T1", "T2", "T3", "T4", "T5",
           "T6", "T7", "pm_tau0", "pm_tau1", "pm_tau2", "pm_tau3",
-          "pm_tau4", "pm_tau5", "pm_tau6", "pm_tau7"}) {
+          "pm_tau4", "pm_tau5", "pm_tau6", "pm_tau7", "pm_phase",
+          "pm_lo", "pm_hi", "pm_t", "pm_te", "pm_tr", "pm_n",
+          "pm_vskip", "pm_vm"}) {
         used_.insert(n);
     }
     // Shape-generic mode: one runtime tile-size parameter per tiled
@@ -1628,6 +1823,8 @@ Generator::run()
     emitEntry(false);
     if (opts_.instrument)
         emitEntry(true);
+    if (opts_.taskABI)
+        emitTaskEntry();
     const std::string bodies = w_.str();
     w_ = CodeWriter();
     emitPrelude();
@@ -1642,6 +1839,8 @@ Generator::run()
     out.entry = "polymage_" + sanitize(g_.name());
     if (opts_.instrument)
         out.instrEntry = out.entry + "_pm_instr";
+    if (opts_.taskABI)
+        out.taskEntry = out.entry + "_pm_task";
     out.phaseGroup = phaseGroup_;
     out.heapArenaBytes = heapArenaBytes_;
     out.tileSchedule =
@@ -1658,6 +1857,7 @@ Generator::run()
         out.vectorBits = machine::machineInfo().vectorBits;
     }
     out.explicitNests = explicitNests_;
+    out.maskedEpilogues = maskedEpilogues_;
     for (const auto &[gi, gv] : groupVec_)
         out.groupVector.push_back(gv);
     if (ranges_ != nullptr)

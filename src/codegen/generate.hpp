@@ -134,6 +134,28 @@ struct CodegenOptions
      * folds tile sizes as literals -- byte-identical to prior output.
      */
     bool shapeGeneric = false;
+    /**
+     * Also emit a task-granular entry `<name>_pm_task` (docs/SERVING.md
+     * "Scheduling"): the pipeline's parallel phases become closed task
+     * lists a caller-owned scheduler executes, instead of the entry
+     * opening its own `omp parallel` regions.  Phase numbering matches
+     * GeneratedCode::phaseGroup; a tiled group is one phase whose tasks
+     * are its outer-tile iterations, an untiled function nest is one
+     * phase whose tasks flatten the loop dimensions up to and including
+     * the parallel one, and serial stages (reductions, recurrences) are
+     * single-task phases.
+     */
+    bool taskABI = false;
+    /**
+     * Explicit-vectorisation epilogue (docs/VECTORIZATION.md): absorb
+     * the scalar tail into one masked, re-aligned final vector
+     * iteration whenever a row holds at least one full vector.  The
+     * final iteration is backed up to end exactly at the row bound and
+     * a lane mask keeps the already-written leading lanes, so no lane
+     * touches memory outside the row.  Off (or POLYMAGE_MASKED_EPILOGUE=0)
+     * keeps the scalar remainder loop.
+     */
+    bool maskedEpilogue = true;
 };
 
 /** The generated translation unit. */
@@ -164,6 +186,20 @@ struct GeneratedCode
      *                     double *serial_seconds);
      */
     std::string instrEntry;
+    /**
+     * Task-granular symbol (empty unless CodegenOptions::taskABI):
+     * long long entry_pm_task(const long long *params,
+     *                         void *const *inputs, void **outputs,
+     *                         void *const *slots, long long phase,
+     *                         long long lo, long long hi);
+     * phase < 0 returns the phase count (== phaseGroup.size()); lo < 0
+     * returns the task count of `phase` under the call's parameters;
+     * otherwise tasks [lo, min(hi, count-1)] of `phase` execute
+     * serially in the calling thread and 0 is returned.  Tasks within
+     * one phase are independent; phases must complete in order (the
+     * scheduler's per-group barriers).
+     */
+    std::string taskEntry;
     /**
      * Group index owning each parallel phase: phaseGroup[p] is the
      * group whose loops record phase id p in the instrumented entry.
@@ -238,6 +274,8 @@ struct GeneratedCode
     std::string vectorizeMode;
     /** Total nests emitted through the explicit vector path. */
     int explicitNests = 0;
+    /** Vector nests whose scalar tail folded into a masked epilogue. */
+    int maskedEpilogues = 0;
     /** Stages stored in a range-narrowed type, as "name:u16". */
     std::vector<std::string> narrowedStages;
     double explicitFraction() const

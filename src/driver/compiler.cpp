@@ -83,6 +83,10 @@ CompileOptions::serving()
 {
     CompileOptions o = optimized();
     o.codegen.shapeGeneric = true;
+    // Serving variants also carry the task-granular entry so the
+    // engine's shared work-stealing scheduler (docs/SERVING.md
+    // "Scheduling") can decompose requests into tile tasks.
+    o.codegen.taskABI = true;
     return o;
 }
 
@@ -261,6 +265,16 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
             else if (v == "explicit")
                 copts.vectorize = cg::VectorizeMode::Explicit;
         }
+        // POLYMAGE_MASKED_EPILOGUE=0 keeps the scalar remainder loop
+        // (the masked-tail ablation; the default folds the tail into
+        // one masked, re-aligned vector iteration).
+        const char *mep = std::getenv("POLYMAGE_MASKED_EPILOGUE");
+        if (mep != nullptr && mep[0] != '\0' && std::string(mep) == "0")
+            copts.maskedEpilogue = false;
+        // POLYMAGE_TASK_ABI=1 forces the task-granular entry on for
+        // builds that did not request it (dump/debug tooling).
+        if (envFlag("POLYMAGE_TASK_ABI"))
+            copts.taskABI = true;
         out.code = cg::generate(out.graph, out.grouping,
                                 out.effectiveGrouping, out.storage,
                                 copts, narrow ? &out.ranges : nullptr);

@@ -35,6 +35,10 @@ Executable::build(const dsl::PipelineSpec &spec,
         exe.instrFn_ = reinterpret_cast<InstrFn>(
             exe.module_->symbol(exe.compiled_->code.instrEntry));
     }
+    if (!exe.compiled_->code.taskEntry.empty()) {
+        exe.taskFn_ = reinterpret_cast<TaskFn>(
+            exe.module_->symbol(exe.compiled_->code.taskEntry));
+    }
     exe.trace_ = reg.spans();
     return exe;
 }
@@ -190,6 +194,97 @@ Executable::run(const std::vector<std::int64_t> &params,
                 const std::vector<const Buffer *> &inputs) const
 {
     return run(params, inputs, *pool_);
+}
+
+TaskInvocation::TaskInvocation(TaskInvocation &&o) noexcept
+    : fn_(o.fn_), params_(std::move(o.params_)),
+      ins_(std::move(o.ins_)), outs_(std::move(o.outs_)),
+      slots_(std::move(o.slots_)), pool_(o.pool_)
+{
+    o.slots_.clear();
+    o.pool_ = nullptr;
+}
+
+TaskInvocation::~TaskInvocation()
+{
+    if (pool_ != nullptr) {
+        for (void *p : slots_)
+            pool_->release(p);
+    }
+}
+
+long long
+TaskInvocation::phases() const
+{
+    return fn_(params_.data(), ins_.data(),
+               const_cast<void **>(outs_.data()), slots_.data(), -1,
+               -1, -1);
+}
+
+long long
+TaskInvocation::taskCount(long long phase) const
+{
+    return fn_(params_.data(), ins_.data(),
+               const_cast<void **>(outs_.data()), slots_.data(), phase,
+               -1, -1);
+}
+
+std::vector<long long>
+TaskInvocation::phaseCounts() const
+{
+    std::vector<long long> counts;
+    const long long n = phases();
+    counts.reserve(std::size_t(n));
+    for (long long p = 0; p < n; ++p)
+        counts.push_back(taskCount(p));
+    return counts;
+}
+
+void
+TaskInvocation::run(long long phase, long long lo, long long hi) const
+{
+    fn_(params_.data(), ins_.data(),
+        const_cast<void **>(outs_.data()), slots_.data(), phase, lo,
+        hi);
+}
+
+TaskInvocation
+Executable::prepareTasks(const std::vector<std::int64_t> &params,
+                         const std::vector<const Buffer *> &inputs,
+                         std::vector<Buffer> &outputs,
+                         BufferPool &pool) const
+{
+    PM_ASSERT(taskFn_ != nullptr,
+              "pipeline built without codegen.taskABI");
+    validateRun(*compiled_, params, inputs);
+    TaskInvocation inv;
+    inv.fn_ = taskFn_;
+    inv.pool_ = &pool;
+    for (const Buffer *b : inputs)
+        inv.ins_.push_back(const_cast<void *>(b->data()));
+    for (Buffer &b : outputs)
+        inv.outs_.push_back(b.data());
+    inv.params_.assign(params.begin(), params.end());
+    for (std::int64_t t : dispatchTileSizes(params))
+        inv.params_.push_back((long long)t);
+    // Same sizing as SlotLease, but the lease must outlive this call
+    // frame (the scheduler's workers execute later), so the
+    // invocation owns the raw acquisitions directly.
+    const auto &g = compiled_->graph;
+    for (const auto &slot : compiled_->storage.slots) {
+        std::int64_t bytes = 0;
+        for (int s : slot.stages) {
+            const auto &stage = g.stage(s);
+            std::int64_t numel = 1;
+            for (std::int64_t d : interp::stageShape(stage, g, params))
+                numel *= d;
+            bytes = std::max(
+                bytes, numel * std::int64_t(dsl::dtypeSize(
+                                   compiled_->storage.elemType(s, g))));
+        }
+        inv.slots_.push_back(pool.acquire(std::size_t(bytes)));
+    }
+    return inv;
 }
 
 std::vector<Buffer>

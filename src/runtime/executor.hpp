@@ -28,6 +28,17 @@ using PipelineFn = void (*)(const long long *, void *const *, void **,
 using InstrFn = void (*)(const long long *, void *const *, void **,
                          void *const *, double *, long long *,
                          long long, long long *, double *);
+/**
+ * ABI of task-granular entry points (GeneratedCode::taskEntry): the
+ * trailing (phase, lo, hi) triple selects what runs.  phase < 0
+ * returns the phase count; lo < 0 returns the task count of `phase`
+ * under the call's parameters; otherwise tasks [lo, min(hi, count-1)]
+ * of `phase` execute serially in the calling thread and 0 is
+ * returned.
+ */
+using TaskFn = long long (*)(const long long *, void *const *, void **,
+                             void *const *, long long, long long,
+                             long long);
 
 /** Aggregated runtime cost of one group from an instrumented run. */
 struct GroupProfile
@@ -116,6 +127,49 @@ struct MemoryStats
     std::string toJson() const;
 };
 
+/**
+ * One prepared task-granular call (docs/SERVING.md "Scheduling"):
+ * the resolved parameter array (graph parameters plus dispatch tile
+ * sizes), input/output pointer tables, and a held slot lease, bound
+ * so a caller-owned scheduler can execute the pipeline's phases as
+ * closed task lists.  The lease returns to its pool on destruction;
+ * the invocation must not outlive the Executable, the inputs, or the
+ * output buffers it was prepared against.
+ */
+class TaskInvocation
+{
+  public:
+    TaskInvocation(TaskInvocation &&o) noexcept;
+    TaskInvocation &operator=(TaskInvocation &&) = delete;
+    TaskInvocation(const TaskInvocation &) = delete;
+    TaskInvocation &operator=(const TaskInvocation &) = delete;
+    ~TaskInvocation();
+
+    /** Parallel phases of the pipeline (== phaseGroup.size()). */
+    long long phases() const;
+    /** Tasks of @p phase under this call's parameters. */
+    long long taskCount(long long phase) const;
+    /** All per-phase task counts, phase order. */
+    std::vector<long long> phaseCounts() const;
+    /**
+     * Execute tasks [lo, hi] of @p phase serially in the calling
+     * thread.  Tasks of one phase are independent and may run
+     * concurrently from many threads; phases must complete in order.
+     */
+    void run(long long phase, long long lo, long long hi) const;
+
+  private:
+    friend class Executable;
+    TaskInvocation() = default;
+
+    TaskFn fn_ = nullptr;
+    std::vector<long long> params_;
+    std::vector<void *> ins_;
+    std::vector<void *> outs_;
+    std::vector<void *> slots_;
+    BufferPool *pool_ = nullptr;
+};
+
 /** A compiled, loaded, runnable pipeline. */
 class Executable
 {
@@ -171,6 +225,24 @@ class Executable
                  const std::vector<const Buffer *> &inputs,
                  std::vector<Buffer> &outputs, BufferPool &pool) const;
 
+    /** True when the build carried CodegenOptions::taskABI and the
+     * task-granular entry resolved. */
+    bool hasTaskEntry() const { return taskFn_ != nullptr; }
+
+    /**
+     * Prepare a task-granular call against caller-allocated
+     * @p outputs: validates the request, binds parameters (plus
+     * dispatch tile sizes) and pointer tables, and leases the
+     * intermediate slots from @p pool.  The returned invocation's
+     * run(phase, lo, hi) is what a tile scheduler's workers execute;
+     * the caller must keep inputs/outputs alive until it is done and
+     * destroyed.  Requires hasTaskEntry().
+     */
+    TaskInvocation prepareTasks(const std::vector<std::int64_t> &params,
+                                const std::vector<const Buffer *> &inputs,
+                                std::vector<Buffer> &outputs,
+                                BufferPool &pool) const;
+
     /**
      * Run the instrumented entry (serial) and collect per-task costs.
      * Requires opts.codegen.instrument at build time.
@@ -210,6 +282,7 @@ class Executable
     std::vector<obs::Span> trace_;
     PipelineFn fn_ = nullptr;
     InstrFn instrFn_ = nullptr;
+    TaskFn taskFn_ = nullptr;
 };
 
 } // namespace polymage::rt

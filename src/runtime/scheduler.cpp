@@ -1,0 +1,439 @@
+#include "runtime/scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::rt {
+
+/** Internal state of one submitted job. */
+struct SchedJob
+{
+    TileScheduler::PhaseRunner run;
+    std::vector<long long> counts;
+    /** Current phase index.  Written only by submit() and by the
+     * worker that retires the phase's last task -- at that moment no
+     * other thread holds a live chunk of this job. */
+    std::size_t phase = 0;
+    /** Tasks (not chunks) outstanding in the current phase. */
+    std::atomic<long long> remaining{0};
+    /** Chunk descriptors of the current phase; rebuilt at each phase
+     * transition by the sole retiring worker. */
+    std::vector<Chunk> chunkStore;
+    std::atomic<bool> failed{false};
+    /** Lock-free mirror of `done` so helpWhile() can poll without
+     * taking the job mutex on every chunk. */
+    std::atomic<bool> finished{false};
+
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    std::string error;
+};
+
+namespace {
+
+/**
+ * Chase-Lev work-stealing deque of chunk pointers.  The owning worker
+ * pushes and pops at the bottom; thieves race CAS at the top.  Fixed
+ * capacity: a full deque spills to the scheduler's injection queue,
+ * which only costs a mutex on pathological fan-out.
+ */
+class WorkDeque
+{
+  public:
+    explicit WorkDeque(std::size_t log2_cap = 13)
+        : buf_(std::size_t(1) << log2_cap),
+          mask_(std::int64_t(buf_.size()) - 1)
+    {
+    }
+
+    /** Owner only.  False when full (caller spills to injection). */
+    bool
+    push(Chunk *c)
+    {
+        const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+        const std::int64_t t = top_.load(std::memory_order_acquire);
+        if (b - t >= std::int64_t(buf_.size()))
+            return false;
+        buf_[std::size_t(b & mask_)].store(c,
+                                           std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_release);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return true;
+    }
+
+    /** Owner only.  Null when empty. */
+    Chunk *
+    pop()
+    {
+        const std::int64_t b =
+            bottom_.load(std::memory_order_relaxed) - 1;
+        bottom_.store(b, std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        std::int64_t t = top_.load(std::memory_order_relaxed);
+        Chunk *c = nullptr;
+        if (t <= b) {
+            c = buf_[std::size_t(b & mask_)].load(
+                std::memory_order_relaxed);
+            if (t == b) {
+                // Last element: race thieves for it.
+                if (!top_.compare_exchange_strong(
+                        t, t + 1, std::memory_order_seq_cst,
+                        std::memory_order_relaxed))
+                    c = nullptr;
+                bottom_.store(b + 1, std::memory_order_relaxed);
+            }
+        } else {
+            bottom_.store(b + 1, std::memory_order_relaxed);
+        }
+        return c;
+    }
+
+    /** Any thread.  Null when empty or the CAS race was lost. */
+    Chunk *
+    steal()
+    {
+        std::int64_t t = top_.load(std::memory_order_acquire);
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+        const std::int64_t b = bottom_.load(std::memory_order_acquire);
+        if (t >= b)
+            return nullptr;
+        Chunk *c =
+            buf_[std::size_t(t & mask_)].load(std::memory_order_relaxed);
+        if (!top_.compare_exchange_strong(t, t + 1,
+                                          std::memory_order_seq_cst,
+                                          std::memory_order_relaxed))
+            return nullptr;
+        return c;
+    }
+
+  private:
+    std::vector<std::atomic<Chunk *>> buf_;
+    std::int64_t mask_;
+    std::atomic<std::int64_t> top_{0};
+    std::atomic<std::int64_t> bottom_{0};
+};
+
+/** Chunks each worker's share of a phase is split into (the grain
+ * divisor: count / (workers * this)). */
+constexpr long long kChunksPerWorker = 8;
+
+std::uint64_t
+xorshift(std::uint64_t &s)
+{
+    s ^= s << 13;
+    s ^= s >> 7;
+    s ^= s << 17;
+    return s;
+}
+
+} // namespace
+
+struct TileScheduler::Worker
+{
+    WorkDeque deque;
+    std::uint64_t rng;
+};
+
+TileScheduler::TileScheduler(Options opts) : opts_(opts)
+{
+    int n = opts_.workers;
+    if (n < 0) {
+        n = 0; // thread-less: helpWhile() callers execute everything
+    } else if (n == 0) {
+        n = int(std::thread::hardware_concurrency());
+        if (n <= 0)
+            n = 1;
+    }
+    opts_.grain = std::max<long long>(1, opts_.grain);
+    workers_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i) {
+        auto w = std::make_unique<Worker>();
+        w->rng = 0x9E3779B97F4A7C15ull * std::uint64_t(i + 1) ^
+                 0xD1B54A32D192ED03ull;
+        workers_.push_back(std::move(w));
+    }
+    threads_.reserve(std::size_t(n));
+    for (int i = 0; i < n; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+TileScheduler::~TileScheduler()
+{
+    {
+        std::unique_lock<std::mutex> lock(injectMu_);
+        // Let in-flight jobs drain first: workers only exit once
+        // stopping_ is set, and it is only set when no chunk can be
+        // anywhere but a deque already being emptied.
+        wake_.wait(lock, [&] { return live_.empty(); });
+        stopping_ = true;
+        wake_.notify_all();
+    }
+    for (std::thread &t : threads_)
+        if (t.joinable())
+            t.join();
+}
+
+std::vector<Chunk>
+TileScheduler::chunksOf(SchedJob &job, int workers, long long grain)
+{
+    const long long count = job.counts[job.phase];
+    const long long per = std::max(
+        grain, count / (std::max(1, workers) * kChunksPerWorker));
+    std::vector<Chunk> out;
+    out.reserve(std::size_t((count + per - 1) / per));
+    for (long long lo = 0; lo < count; lo += per) {
+        Chunk c;
+        c.job = &job;
+        c.phase = (long long)job.phase;
+        c.lo = lo;
+        c.hi = std::min(lo + per - 1, count - 1);
+        out.push_back(c);
+    }
+    return out;
+}
+
+TileScheduler::Ticket
+TileScheduler::submit(PhaseRunner run,
+                      std::vector<long long> phase_counts)
+{
+    PM_ASSERT(run != nullptr, "TileScheduler::submit without a runner");
+    auto job = std::make_shared<SchedJob>();
+    job->run = std::move(run);
+    job->counts = std::move(phase_counts);
+    while (job->phase < job->counts.size() &&
+           job->counts[job->phase] <= 0)
+        ++job->phase;
+
+    Ticket t;
+    t.job_ = job;
+    if (job->phase >= job->counts.size()) {
+        // Nothing to do: complete inline.
+        std::lock_guard<std::mutex> lock(job->mu);
+        job->done = true;
+        job->finished.store(true, std::memory_order_release);
+        jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
+        return t;
+    }
+
+    job->chunkStore = chunksOf(*job, workers(), opts_.grain);
+    job->remaining.store(job->counts[job->phase],
+                         std::memory_order_release);
+    {
+        std::lock_guard<std::mutex> lock(injectMu_);
+        live_.push_back(job);
+        for (Chunk &c : job->chunkStore)
+            inject_.push_back(c);
+        wake_.notify_all();
+    }
+    return t;
+}
+
+std::string
+TileScheduler::wait(const Ticket &t)
+{
+    PM_ASSERT(t.job_ != nullptr, "wait() on an empty Ticket");
+    SchedJob &job = *t.job_;
+    std::unique_lock<std::mutex> lock(job.mu);
+    job.cv.wait(lock, [&] { return job.done; });
+    return job.error;
+}
+
+std::string
+TileScheduler::helpWhile(const Ticket &t)
+{
+    PM_ASSERT(t.job_ != nullptr, "helpWhile() on an empty Ticket");
+    SchedJob &job = *t.job_;
+    const int n = int(workers_.size());
+    std::uint64_t rng =
+        0xA24BAED4963EE407ull ^
+        std::uint64_t(reinterpret_cast<std::uintptr_t>(&job));
+    while (!job.finished.load(std::memory_order_acquire)) {
+        // Injection queue first: submitted jobs (this one included)
+        // seed their first phase there.
+        {
+            std::unique_lock<std::mutex> lock(injectMu_);
+            if (!inject_.empty()) {
+                Chunk c = inject_.front();
+                inject_.pop_front();
+                lock.unlock();
+                runChunk(c, nullptr);
+                continue;
+            }
+        }
+        // Steal from the pool workers.
+        bool got = false;
+        for (int attempt = 0; attempt < 2 * n && !got; ++attempt) {
+            const int victim = int(xorshift(rng) % std::uint64_t(n));
+            stealAttempts_.fetch_add(1, std::memory_order_relaxed);
+            if (Chunk *c =
+                    workers_[std::size_t(victim)]->deque.steal()) {
+                steals_.fetch_add(1, std::memory_order_relaxed);
+                runChunk(*c, nullptr);
+                got = true;
+            }
+        }
+        if (got)
+            continue;
+        // Nothing runnable this sweep -- but never block for good:
+        // another helper may retire the last chunk of this job's
+        // phase, seed the next phase into the injection queue, and
+        // leave.  On a thread-less pool no one else would pick that
+        // up, so poll with the same timed wait the workers use.
+        std::unique_lock<std::mutex> lock(injectMu_);
+        if (inject_.empty())
+            wake_.wait_for(lock, std::chrono::microseconds(200));
+    }
+    return wait(t);
+}
+
+void
+TileScheduler::runChunk(Chunk c, Worker *self)
+{
+    SchedJob &job = *c.job;
+    const long long tasks = c.hi - c.lo + 1;
+    if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+            job.run(c.phase, c.lo, c.hi);
+            tasksExecuted_.fetch_add(std::uint64_t(tasks),
+                                     std::memory_order_relaxed);
+        } catch (const std::exception &e) {
+            if (!job.failed.exchange(true)) {
+                std::lock_guard<std::mutex> lock(job.mu);
+                job.error = e.what();
+            }
+        } catch (...) {
+            if (!job.failed.exchange(true)) {
+                std::lock_guard<std::mutex> lock(job.mu);
+                job.error = "unknown task error";
+            }
+        }
+    }
+    chunksExecuted_.fetch_add(1, std::memory_order_relaxed);
+    retireChunk(job, tasks, self);
+}
+
+void
+TileScheduler::retireChunk(SchedJob &job, long long tasks,
+                           Worker *self)
+{
+    if (job.remaining.fetch_sub(tasks, std::memory_order_acq_rel) !=
+        tasks)
+        return; // phase still has outstanding tasks elsewhere
+    // Sole live reference to the job's phase state: advance it.
+    ++job.phase;
+    while (job.phase < job.counts.size() &&
+           job.counts[job.phase] <= 0)
+        ++job.phase;
+    if (job.phase >= job.counts.size()) {
+        // Job complete: drop it from the live set, then wake waiters.
+        std::shared_ptr<SchedJob> keep;
+        {
+            std::lock_guard<std::mutex> lock(injectMu_);
+            for (auto it = live_.begin(); it != live_.end(); ++it) {
+                if (it->get() == &job) {
+                    keep = std::move(*it);
+                    live_.erase(it);
+                    break;
+                }
+            }
+            wake_.notify_all(); // the destructor waits on live_
+        }
+        jobsCompleted_.fetch_add(1, std::memory_order_relaxed);
+        std::lock_guard<std::mutex> lock(job.mu);
+        job.done = true;
+        job.finished.store(true, std::memory_order_release);
+        job.cv.notify_all();
+        return;
+    }
+    // Seed the next phase onto this worker's own deque: thieves
+    // redistribute it, and the common small phase stays local.
+    job.chunkStore = chunksOf(job, workers(), opts_.grain);
+    job.remaining.store(job.counts[job.phase],
+                        std::memory_order_release);
+    if (self == nullptr) {
+        // External helper: seed at the injection queue's FRONT so the
+        // job being driven continues depth-first.  Appending would
+        // park the continuation behind every other in-flight job's
+        // chunks -- breadth-first across the batch, with all their
+        // working sets thrashing the cache at once.
+        std::lock_guard<std::mutex> lock(injectMu_);
+        for (auto it = job.chunkStore.rbegin();
+             it != job.chunkStore.rend(); ++it)
+            inject_.push_front(*it);
+        wake_.notify_all();
+        return;
+    }
+    bool spilled = false;
+    for (Chunk &c : job.chunkStore) {
+        if (!self->deque.push(&c)) {
+            std::lock_guard<std::mutex> lock(injectMu_);
+            inject_.push_back(c);
+            spilled = true;
+        }
+    }
+    if (spilled || job.chunkStore.size() > 1) {
+        std::lock_guard<std::mutex> lock(injectMu_);
+        wake_.notify_all();
+    }
+}
+
+void
+TileScheduler::workerLoop(int index)
+{
+    Worker &self = *workers_[std::size_t(index)];
+    const int n = int(workers_.size());
+    for (;;) {
+        // Own work first (bottom of the local deque: hot end).
+        if (Chunk *c = self.deque.pop()) {
+            runChunk(*c, &self);
+            continue;
+        }
+        // Steal: randomized victims, bounded attempts per round.
+        bool got = false;
+        for (int attempt = 0; attempt < 2 * n && !got; ++attempt) {
+            const int victim = int(xorshift(self.rng) % std::uint64_t(n));
+            if (victim == index || n == 1)
+                continue;
+            stealAttempts_.fetch_add(1, std::memory_order_relaxed);
+            if (Chunk *c = workers_[std::size_t(victim)]->deque.steal()) {
+                steals_.fetch_add(1, std::memory_order_relaxed);
+                runChunk(*c, &self);
+                got = true;
+            }
+        }
+        if (got)
+            continue;
+        // Injection queue, then sleep.  The timed wait bounds the
+        // latency of any wake-up this worker could not observe (the
+        // notify raced its unlocked steal sweep).
+        std::unique_lock<std::mutex> lock(injectMu_);
+        if (!inject_.empty()) {
+            Chunk c = inject_.front();
+            inject_.pop_front();
+            lock.unlock();
+            runChunk(c, &self);
+            continue;
+        }
+        if (stopping_)
+            return;
+        wake_.wait_for(lock, std::chrono::microseconds(200));
+    }
+}
+
+SchedulerStats
+TileScheduler::stats() const
+{
+    SchedulerStats s;
+    s.tasksExecuted = tasksExecuted_.load(std::memory_order_relaxed);
+    s.chunksExecuted = chunksExecuted_.load(std::memory_order_relaxed);
+    s.steals = steals_.load(std::memory_order_relaxed);
+    s.stealAttempts = stealAttempts_.load(std::memory_order_relaxed);
+    s.jobsCompleted = jobsCompleted_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace polymage::rt

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * Shared work-stealing tile-task scheduler (docs/SERVING.md
+ * "Scheduling"): a fixed pool of worker threads, each owning a
+ * Chase-Lev deque of task chunks, executing the phase-ordered task
+ * lists that task-ABI pipeline entries expose (GeneratedCode::
+ * taskEntry).  One scheduler serves every in-flight request of a
+ * serving engine, so tile tasks from concurrent requests interleave
+ * on one thread pool instead of each request opening its own OpenMP
+ * region: a long request's tail tiles no longer serialise behind an
+ * idle barrier while other requests wait for threads.
+ *
+ * Execution model: a Job is a sequence of phases; every phase is a
+ * closed list of independent tasks [0, count).  Tasks are grouped
+ * into chunks (grain-many consecutive tasks) that workers push to
+ * their own deque bottom and thieves steal from the top, victim
+ * chosen by xorshift.  The worker that finishes a phase's last chunk
+ * advances the job to its next phase and seeds the new chunks onto
+ * its own deque -- the per-job phase barrier costs one atomic
+ * decrement per chunk, never a pool-wide join.
+ */
+#ifndef POLYMAGE_RUNTIME_SCHEDULER_HPP
+#define POLYMAGE_RUNTIME_SCHEDULER_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace polymage::rt {
+
+/** Point-in-time scheduler counters (the `scheduler` object of
+ * polymage-serve-v1 entries, docs/OBSERVABILITY.md). */
+struct SchedulerStats
+{
+    /** Individual tasks executed (tile iterations, not chunks). */
+    std::uint64_t tasksExecuted = 0;
+    /** Chunks run (deque-pop plus steal grain units). */
+    std::uint64_t chunksExecuted = 0;
+    /** Successful steals (a chunk taken from another worker). */
+    std::uint64_t steals = 0;
+    /** Steal attempts, successful or not. */
+    std::uint64_t stealAttempts = 0;
+    /** Jobs completed (one job per request phase sequence). */
+    std::uint64_t jobsCompleted = 0;
+
+    double stealFailRate() const
+    {
+        return stealAttempts == 0
+                   ? 0.0
+                   : double(stealAttempts - steals) /
+                         double(stealAttempts);
+    }
+};
+
+struct SchedJob;
+
+/** One schedulable unit: tasks [lo, hi] of one job phase. */
+struct Chunk
+{
+    SchedJob *job = nullptr;
+    long long phase = 0;
+    long long lo = 0;
+    long long hi = 0;
+};
+
+/**
+ * The shared pool.  submit() may be called from any thread; the
+ * returned Ticket is waited on by the submitter while the pool's own
+ * workers (plus thieves) execute the tasks.  Destruction waits for
+ * in-flight jobs and joins the workers.
+ */
+struct SchedulerOptions
+{
+    /** Worker threads; 0 means hardware concurrency.  Negative means
+     * a thread-less pool: no workers are spawned and every chunk is
+     * executed by helpWhile() callers.  wait() without a concurrent
+     * helper never completes on a thread-less pool. */
+    int workers = 0;
+    /**
+     * Tasks per chunk floor.  The effective grain of a phase is
+     * max(grain, count / (workers * kChunksPerWorker)) so huge
+     * phases do not flood the deques while small ones still spread
+     * across the pool.
+     */
+    long long grain = 1;
+};
+
+class TileScheduler
+{
+  public:
+    using Options = SchedulerOptions;
+
+    /**
+     * Runs tasks [lo, hi] of @p phase serially in the calling worker
+     * thread (the task-ABI contract of GeneratedCode::taskEntry).
+     */
+    using PhaseRunner =
+        std::function<void(long long phase, long long lo, long long hi)>;
+
+    /** Handle of one submitted job; wait() through the scheduler. */
+    class Ticket
+    {
+      public:
+        Ticket() = default;
+        explicit operator bool() const { return job_ != nullptr; }
+
+      private:
+        friend class TileScheduler;
+        std::shared_ptr<SchedJob> job_;
+    };
+
+    explicit TileScheduler(Options opts = {});
+    TileScheduler(const TileScheduler &) = delete;
+    TileScheduler &operator=(const TileScheduler &) = delete;
+    ~TileScheduler();
+
+    /**
+     * Submit one job: phases execute in order, tasks of each phase
+     * spread over the pool.  @p phase_counts holds the task count per
+     * phase (zero-count phases are skipped).  The runner must be
+     * callable concurrently from multiple workers for disjoint task
+     * ranges of one phase.
+     */
+    Ticket submit(PhaseRunner run,
+                  std::vector<long long> phase_counts);
+
+    /**
+     * Block until the job completes everywhere.  Returns the first
+     * error any of its tasks threw ("" on success); every remaining
+     * task of a failed job is drained without running.
+     */
+    std::string wait(const Ticket &t);
+
+    /**
+     * Like wait(), but the calling thread participates: it drains the
+     * injection queue and steals chunks (of any live job) until @p t
+     * completes, only blocking when nothing is runnable.  This is the
+     * serving engine's wait -- the submitter becomes an extra worker
+     * instead of paying a cross-thread handoff per request, which on
+     * small machines is the difference between the shared pool
+     * beating and losing to inline per-request execution.
+     */
+    std::string helpWhile(const Ticket &t);
+
+    int workers() const { return int(threads_.size()); }
+    SchedulerStats stats() const;
+
+  private:
+    struct Worker;
+
+    void workerLoop(int index);
+    /** Run one chunk and retire it against its job.  @p self is null
+     * for external helpers (helpWhile callers), whose next-phase
+     * seeds spill to the injection queue. */
+    void runChunk(Chunk c, Worker *self);
+    /** Phase bookkeeping once a chunk's tasks finished. */
+    void retireChunk(SchedJob &job, long long tasks, Worker *self);
+    /** Chunk descriptors of @p job's current phase. */
+    static std::vector<Chunk> chunksOf(SchedJob &job, int workers,
+                                       long long grain);
+
+    Options opts_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Overflow / injection path: submit() and deque-full pushes land
+     * here; idle workers drain it before sleeping.  live_ pins every
+     * in-flight job (chunks hold raw pointers into it). */
+    std::mutex injectMu_;
+    std::deque<Chunk> inject_;
+    std::vector<std::shared_ptr<SchedJob>> live_;
+    std::condition_variable wake_;
+    bool stopping_ = false;
+
+    std::atomic<std::uint64_t> tasksExecuted_{0};
+    std::atomic<std::uint64_t> chunksExecuted_{0};
+    std::atomic<std::uint64_t> steals_{0};
+    std::atomic<std::uint64_t> stealAttempts_{0};
+    std::atomic<std::uint64_t> jobsCompleted_{0};
+};
+
+} // namespace polymage::rt
+
+#endif // POLYMAGE_RUNTIME_SCHEDULER_HPP

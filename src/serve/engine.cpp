@@ -49,6 +49,29 @@ policyFromName(const std::string &name)
               "' (expected block, reject, or shed)");
 }
 
+const char *
+schedulerModeName(SchedulerMode m)
+{
+    switch (m) {
+    case SchedulerMode::PerRequestOMP:
+        return "per_request_omp";
+    case SchedulerMode::SharedTileQueue:
+        return "shared_tile_queue";
+    }
+    return "unknown";
+}
+
+SchedulerMode
+schedulerModeFromName(const std::string &name)
+{
+    if (name == "per_request_omp" || name == "omp")
+        return SchedulerMode::PerRequestOMP;
+    if (name == "shared_tile_queue" || name == "shared")
+        return SchedulerMode::SharedTileQueue;
+    specError("unknown scheduler mode '", name,
+              "' (expected per_request_omp or shared_tile_queue)");
+}
+
 Engine::Engine(std::shared_ptr<PipelineRegistry> registry,
                EngineOptions opts)
     : registry_(std::move(registry)), opts_(opts)
@@ -63,6 +86,23 @@ Engine::Engine(std::shared_ptr<PipelineRegistry> registry,
     ompPerWorker_ = opts_.ompThreadsPerWorker > 0
                         ? opts_.ompThreadsPerWorker
                         : std::max(1, hw / opts_.workers);
+
+    opts_.maxBatch = std::max(1, opts_.maxBatch);
+    if (opts_.scheduler == SchedulerMode::SharedTileQueue) {
+        rt::SchedulerOptions so;
+        so.workers = opts_.schedulerWorkers;
+        if (so.workers == 0) {
+            // Auto-size: engine workers participate in the pool via
+            // helpWhile(), so dedicated pool threads only fill the
+            // cores the workers leave free.  Oversubscribing a small
+            // machine costs more in context switches than stealing
+            // recovers.
+            so.workers = hw - opts_.workers;
+            if (so.workers < 1)
+                so.workers = -1; // thread-less pool: helpers drive
+        }
+        sched_ = std::make_unique<rt::TileScheduler>(so);
+    }
 
     pools_.reserve(std::size_t(opts_.workers));
     for (int i = 0; i < opts_.workers; ++i)
@@ -103,11 +143,45 @@ Engine::enqueue(Request req, std::function<void(Response)> done)
     job.enqueued = Clock::now();
     std::future<Response> fut = job.promise.get_future();
 
+    // Admission control runs before the capacity gate: a shed request
+    // never occupies queue space or blocks behind the Block policy.
+    metrics_.onSubmit();
+    const char *admission_error = nullptr;
+    if (opts_.tenantRatePerSec > 0.0 && !job.req.tenant.empty() &&
+        !admitTenant(job.req.tenant, job.enqueued)) {
+        metrics_.onQuotaShed(job.req.tenant);
+        admission_error = "shed: tenant quota exceeded";
+    } else if (opts_.sloAdmission && job.req.deadlineSeconds > 0.0) {
+        const double run_s =
+            predictedRunSeconds(job.req.pipeline, job.req.params);
+        std::int64_t depth = 0;
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            depth = std::int64_t(queue_.size());
+        }
+        // Every queued request ahead costs ~run_s across the worker
+        // fan-in; the new request then needs its own run_s.
+        const double wait_s = run_s * double(depth) /
+                              double(std::max(1, opts_.workers));
+        if (run_s > 0.0 &&
+            wait_s + run_s > job.req.deadlineSeconds) {
+            metrics_.onSloShed(job.req.tenant);
+            admission_error = "shed: predicted deadline miss";
+        }
+    }
+    if (admission_error != nullptr) {
+        Response r;
+        r.error = admission_error;
+        r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+        finish(job, std::move(r));
+        return fut;
+    }
+
     std::optional<Job> shed;
     const char *reject_reason = nullptr;
+    double reject_waited = 0.0;
     {
         std::unique_lock<std::mutex> lock(mu_);
-        metrics_.onSubmit();
         if (draining_ || stopping_) {
             reject_reason = "engine is stopped";
         } else if (std::int64_t(queue_.size()) >=
@@ -119,9 +193,12 @@ Engine::enqueue(Request req, std::function<void(Response)> done)
                                opts_.queueCapacity ||
                            draining_ || stopping_;
                 });
-                if (draining_ || stopping_)
+                if (draining_ || stopping_) {
                     reject_reason =
                         "engine stopped while waiting for queue space";
+                    reject_waited =
+                        secondsBetween(job.enqueued, Clock::now());
+                }
                 break;
             case OverloadPolicy::RejectWithError:
                 reject_reason = "rejected: queue full";
@@ -140,18 +217,21 @@ Engine::enqueue(Request req, std::function<void(Response)> done)
     }
 
     if (shed.has_value()) {
-        metrics_.onShed();
         Response r;
         r.error = "shed under load (ShedOldest)";
         r.totalSeconds = secondsBetween(shed->enqueued, Clock::now());
+        // The whole life of a shed request was queue wait -- no
+        // execution happened (the shed/reject metrics split).
         r.queueSeconds = r.totalSeconds;
+        metrics_.onShed(r.queueSeconds);
         finish(*shed, std::move(r));
     }
     if (reject_reason != nullptr) {
-        metrics_.onReject();
+        metrics_.onReject(reject_waited);
         Response r;
         r.error = reject_reason;
         r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+        r.queueSeconds = reject_waited;
         finish(job, std::move(r));
     }
     return fut;
@@ -163,12 +243,16 @@ Engine::workerLoop(int index)
 #ifdef _OPENMP
     // Per-thread ICV: parallel regions launched from this worker use
     // this budget, so workers x ompPerWorker_ bounds total threads.
+    // (In SharedTileQueue mode the compiled task path never opens an
+    // OpenMP region; the budget still governs interpreter-tier and
+    // no-task-entry fallbacks.)
     omp_set_num_threads(ompPerWorker_);
 #endif
     rt::BufferPool &pool = *pools_[std::size_t(index)];
+    const bool batching =
+        opts_.scheduler == SchedulerMode::SharedTileQueue;
     for (;;) {
-        Job job;
-        double wait_s = 0.0;
+        std::vector<Job> batch;
         {
             std::unique_lock<std::mutex> lock(mu_);
             queueNotEmpty_.wait(lock, [&] {
@@ -179,34 +263,192 @@ Engine::workerLoop(int index)
                     return;
                 continue;
             }
-            job = std::move(queue_.front());
+            const auto now = Clock::now();
+            batch.push_back(std::move(queue_.front()));
             queue_.pop_front();
             inFlight_ += 1;
-            wait_s = secondsBetween(job.enqueued, Clock::now());
-            metrics_.onDequeue(wait_s);
-            queueNotFull_.notify_one();
+            batch.back().waitSeconds =
+                secondsBetween(batch.back().enqueued, now);
+            metrics_.onDequeue(batch.back().waitSeconds);
+            // Same-pipeline coalescing: claim queued requests for the
+            // leader's pipeline (default variant only -- explicit
+            // variants have no cheap equality) up to maxBatch.
+            if (batching && opts_.maxBatch > 1 &&
+                !batch.front().req.variant.has_value()) {
+                // Copy, not reference: push_back below reallocates
+                // `batch` and would leave a reference dangling.
+                const std::string pipe = batch.front().req.pipeline;
+                for (auto it = queue_.begin();
+                     it != queue_.end() &&
+                     std::int64_t(batch.size()) < opts_.maxBatch;) {
+                    if (it->req.pipeline == pipe &&
+                        !it->req.variant.has_value()) {
+                        batch.push_back(std::move(*it));
+                        it = queue_.erase(it);
+                        inFlight_ += 1;
+                        batch.back().waitSeconds = secondsBetween(
+                            batch.back().enqueued, now);
+                        metrics_.onDequeue(batch.back().waitSeconds);
+                    } else {
+                        ++it;
+                    }
+                }
+            }
+            queueNotFull_.notify_all();
         }
 
-        Response r = execute(job, pool);
-        r.queueSeconds = wait_s;
-        r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
-        if (r.ok()) {
-            metrics_.onComplete(r.totalSeconds);
-            if (r.tier == 1)
-                metrics_.onInterpServed();
-            else if (r.tier == 2)
-                metrics_.onCompiledServed();
+        if (batching) {
+            executeBatch(batch, pool);
         } else {
-            metrics_.onFail(r.totalSeconds);
+            Response r = execute(batch.front(), pool);
+            complete(batch.front(), std::move(r));
         }
-        finish(job, std::move(r));
 
         {
             std::lock_guard<std::mutex> lock(mu_);
-            inFlight_ -= 1;
+            inFlight_ -= int(batch.size());
             if (queue_.empty() && inFlight_ == 0)
                 idle_.notify_all();
         }
+    }
+}
+
+void
+Engine::complete(Job &job, Response &&r)
+{
+    r.queueSeconds = job.waitSeconds;
+    r.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+    if (r.ok()) {
+        metrics_.onComplete(r.totalSeconds);
+        if (r.tier == 1)
+            metrics_.onInterpServed();
+        else if (r.tier == 2)
+            metrics_.onCompiledServed();
+        noteRunSeconds(job.req.pipeline, r.runSeconds);
+        if (job.req.deadlineSeconds > 0.0 &&
+            r.totalSeconds > job.req.deadlineSeconds)
+            metrics_.onDeadlineMiss();
+    } else {
+        metrics_.onFail(r.totalSeconds);
+    }
+    finish(job, std::move(r));
+}
+
+void
+Engine::executeBatch(std::vector<Job> &batch, rt::BufferPool &pool)
+{
+    metrics_.onBatch(int(batch.size()));
+
+    // One registry resolution for the whole batch.
+    PipelineRegistry::ExecutablePtr exe;
+    const Request &lead = batch.front().req;
+    try {
+        if (opts_.tiered) {
+            const CompileOptions *variant =
+                lead.variant.has_value() ? &*lead.variant : nullptr;
+            exe = registry_->getTiered(lead.pipeline, variant).exe;
+        } else {
+            exe = lead.variant.has_value()
+                      ? registry_->get(lead.pipeline, *lead.variant)
+                      : registry_->get(lead.pipeline);
+        }
+    } catch (...) {
+        exe = nullptr; // fall through to per-request execution
+    }
+
+    if (exe == nullptr || !exe->hasTaskEntry() || sched_ == nullptr) {
+        // Interpreter tier, no task entry, or no pool: request-at-a-
+        // time fallback (execute() re-resolves, keeping tier
+        // accounting and promotion tracking in one place).
+        for (Job &job : batch) {
+            Response r = execute(job, pool);
+            complete(job, std::move(r));
+        }
+        return;
+    }
+
+    // Task path: decompose every request into its phase/tile task
+    // lists and feed them all into the shared pool; tiles of the
+    // whole batch (and of any other in-flight request) interleave.
+    struct Pending
+    {
+        Response r;
+        std::vector<rt::Buffer> outputs;
+        std::shared_ptr<rt::TaskInvocation> inv;
+        rt::TileScheduler::Ticket ticket;
+        Clock::time_point started;
+        bool submitted = false;
+    };
+    std::vector<Pending> pending(batch.size());
+    const auto &g = exe->info().graph;
+    auto prepareOne = [&](std::size_t i) {
+        Job &job = batch[i];
+        Pending &p = pending[i];
+        p.started = Clock::now();
+        try {
+            std::vector<const rt::Buffer *> ins;
+            ins.reserve(job.req.inputs.size());
+            for (const auto &b : job.req.inputs)
+                ins.push_back(b.get());
+            for (int out : g.outputs()) {
+                p.outputs.emplace_back(
+                    g.stage(out).callable->dtype(),
+                    interp::stageShape(g.stage(out), g,
+                                       job.req.params));
+            }
+            p.inv = std::make_shared<rt::TaskInvocation>(
+                exe->prepareTasks(job.req.params, ins, p.outputs,
+                                  pool));
+            std::vector<long long> counts = p.inv->phaseCounts();
+            auto inv = p.inv;
+            p.ticket = sched_->submit(
+                [inv](long long phase, long long lo, long long hi) {
+                    inv->run(phase, lo, hi);
+                },
+                std::move(counts));
+            p.submitted = true;
+        } catch (const std::exception &e) {
+            p.r.error = e.what();
+        } catch (...) {
+            p.r.error = "unknown execution error";
+        }
+    };
+    // Sliding submit window, not the whole batch up-front: every
+    // submitted job's intermediate slots are live simultaneously, so
+    // an 8-deep batch would hold 8 requests' working sets at once and
+    // thrash the cache (and the pool high-water mark) for no gain --
+    // the pool only needs one job ahead of the one being retired to
+    // stay busy.  Thread-less pools keep no lookahead at all: this
+    // worker is the only executor, so depth-first one-at-a-time is
+    // strictly better.
+    const std::size_t lookahead = sched_->workers() > 0 ? 1 : 0;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+        while (next < batch.size() && next <= i + lookahead)
+            prepareOne(next++);
+        Pending &p = pending[i];
+        if (p.submitted) {
+            // Participate instead of blocking: this engine worker
+            // drains chunks (of any in-flight job) until its own job
+            // completes, so no request pays a cross-thread handoff.
+            const std::string err = sched_->helpWhile(p.ticket);
+            if (err.empty()) {
+                p.r.outputs = std::move(p.outputs);
+                p.r.tier = 2;
+            } else {
+                p.r.error = err;
+            }
+        }
+        p.r.runSeconds = secondsBetween(p.started, Clock::now());
+        // Drop the ticket (it pins the scheduler job, whose runner
+        // pins the invocation) and the invocation itself so this
+        // job's slots return to the pool before the next one is
+        // prepared -- the successor then reuses the same warm pages.
+        p.ticket = rt::TileScheduler::Ticket();
+        p.inv.reset();
+        if (opts_.tiered && p.r.tier == 2)
+            notePromotion(batch[i].req.pipeline, 2, p.started);
+        complete(batch[i], std::move(p.r));
     }
 }
 
@@ -254,6 +496,81 @@ Engine::execute(Job &job, rt::BufferPool &pool)
     }
     r.runSeconds = secondsBetween(t0, Clock::now());
     return r;
+}
+
+double
+Engine::predictedRunSeconds(const std::string &pipeline,
+                            const std::vector<std::int64_t> &params)
+{
+    {
+        std::lock_guard<std::mutex> lock(estMu_);
+        auto it = runEst_.find(pipeline);
+        if (it != runEst_.end() && it->second.samples > 0)
+            return it->second.ewma;
+    }
+    // Pre-warmup: analytic fallback sized off the registered graph's
+    // point count under this request's parameters -- the same work
+    // proxy the tile model sizes against.  ~1ns/stage-point lands
+    // within an order of magnitude of the measured paper apps, which
+    // is all a cold-start admission gate needs; the EWMA replaces it
+    // after the first completion.
+    constexpr double kSecondsPerPoint = 1e-9;
+    try {
+        auto g = registry_->graphOf(pipeline);
+        if (g == nullptr)
+            return 0.0;
+        double points = 0.0;
+        for (const auto &stage : g->stages()) {
+            double numel = 1.0;
+            for (std::int64_t d : interp::stageShape(stage, *g, params))
+                numel *= double(d);
+            points += numel;
+        }
+        return points * kSecondsPerPoint;
+    } catch (...) {
+        return 0.0; // malformed params: let execution report it
+    }
+}
+
+void
+Engine::noteRunSeconds(const std::string &pipeline, double seconds)
+{
+    if (seconds <= 0.0)
+        return;
+    std::lock_guard<std::mutex> lock(estMu_);
+    RunEstimate &e = runEst_[pipeline];
+    // First sample seeds; later samples fold in at 1/4 so the
+    // estimate tracks drift (tier promotion, cache warmth) without
+    // chasing single-request noise.
+    e.ewma = e.samples == 0 ? seconds
+                            : 0.75 * e.ewma + 0.25 * seconds;
+    e.samples += 1;
+}
+
+bool
+Engine::admitTenant(const std::string &tenant, Clock::time_point now)
+{
+    const double burst = opts_.tenantBurst > 0.0
+                             ? opts_.tenantBurst
+                             : opts_.tenantRatePerSec;
+    std::lock_guard<std::mutex> lock(tenantMu_);
+    auto [it, fresh] = buckets_.try_emplace(tenant);
+    TokenBucket &b = it->second;
+    if (fresh) {
+        b.tokens = burst;
+        b.refilled = now;
+    } else {
+        const double dt = secondsBetween(b.refilled, now);
+        if (dt > 0.0) {
+            b.tokens = std::min(
+                burst, b.tokens + dt * opts_.tenantRatePerSec);
+            b.refilled = now;
+        }
+    }
+    if (b.tokens < 1.0)
+        return false;
+    b.tokens -= 1.0;
+    return true;
 }
 
 void
@@ -304,11 +621,11 @@ Engine::shutdown()
         idle_.notify_all();
     }
     for (Job &j : orphans) {
-        metrics_.onShutdownOrphan();
         Response r;
         r.error = "engine shutdown before execution";
         r.totalSeconds = secondsBetween(j.enqueued, Clock::now());
         r.queueSeconds = r.totalSeconds;
+        metrics_.onShutdownOrphan(r.queueSeconds);
         finish(j, std::move(r));
     }
     if (join) {
@@ -327,6 +644,11 @@ Engine::metrics() const
     s.queueCapacity = opts_.queueCapacity;
     s.policy = policyName(opts_.policy);
     s.tiered = opts_.tiered;
+    s.schedulerMode = schedulerModeName(opts_.scheduler);
+    if (sched_ != nullptr) {
+        s.schedulerWorkers = sched_->workers();
+        s.scheduler = sched_->stats();
+    }
     for (const auto &p : pools_) {
         const rt::BufferPool::Stats ps = p->stats();
         s.poolBlockAllocs += ps.blockAllocs;

@@ -55,6 +55,33 @@ const char *policyName(OverloadPolicy p);
 /** Inverse of policyName(); throws SpecError on unknown names. */
 OverloadPolicy policyFromName(const std::string &name);
 
+/** How worker threads execute admitted requests. */
+enum class SchedulerMode
+{
+    /**
+     * Request-at-a-time: each worker runs its request's generated
+     * entry, which opens its own `omp parallel` tile loops with the
+     * worker's thread budget.  The historical path.
+     */
+    PerRequestOMP,
+    /**
+     * Shared work-stealing tile pool (docs/SERVING.md "Scheduling"):
+     * workers decompose requests into the task-ABI phase/tile lists
+     * and feed them all into one rt::TileScheduler, so tiles of every
+     * in-flight request interleave on one pool -- no per-request
+     * OpenMP barriers, and a request's tail tiles are stolen instead
+     * of idling threads.  Requests whose compiled variant lacks a
+     * task entry (or are still interpreter-tier) fall back to the
+     * per-request path.
+     */
+    SharedTileQueue,
+};
+
+/** Stable lowercase name used in JSON and CLI flags. */
+const char *schedulerModeName(SchedulerMode m);
+/** Inverse of schedulerModeName(); throws SpecError on unknown. */
+SchedulerMode schedulerModeFromName(const std::string &name);
+
 /** Engine configuration. */
 struct EngineOptions
 {
@@ -78,6 +105,43 @@ struct EngineOptions
      * saturation tests and steady-state pool accounting rely on.
      */
     bool tiered = true;
+    /** Request execution strategy (see SchedulerMode). */
+    SchedulerMode scheduler = SchedulerMode::PerRequestOMP;
+    /**
+     * Tile-pool worker threads in SharedTileQueue mode.  0 (the
+     * default) auto-sizes: engine workers execute chunks themselves
+     * while waiting (TileScheduler::helpWhile), so the pool only
+     * spawns hardware_concurrency minus `workers` dedicated threads
+     * -- possibly none on small machines, where oversubscription
+     * would cost more in context switches than stealing recovers.
+     */
+    int schedulerWorkers = 0;
+    /**
+     * Same-pipeline request batching (SharedTileQueue): a worker that
+     * dequeues a request also claims up to this many queued requests
+     * for the same pipeline (and default variant) in one go -- one
+     * registry lookup, their tile tasks co-resident in the pool.
+     * 1 disables coalescing.
+     */
+    int maxBatch = 8;
+    /**
+     * SLO-aware admission: a request carrying a deadline is shed at
+     * submit time when predicted queue wait plus predicted run time
+     * already exceeds it -- failing in microseconds instead of
+     * burning pool time on a guaranteed miss.  Predictions use the
+     * per-pipeline EWMA of measured run seconds once warm, and a
+     * point-count analytic estimate from the registered graph before
+     * that (docs/SERVING.md "Scheduling").
+     */
+    bool sloAdmission = false;
+    /**
+     * Per-tenant token-bucket quota: sustained admissions per second
+     * for each distinct Request::tenant (0 disables).  Tenant-less
+     * requests are never quota-limited.
+     */
+    double tenantRatePerSec = 0.0;
+    /** Bucket burst capacity; 0 means one second of rate. */
+    double tenantBurst = 0.0;
 };
 
 /** One serving request. */
@@ -98,6 +162,16 @@ struct Request
      * when unset.
      */
     std::optional<CompileOptions> variant;
+    /**
+     * Completion deadline in seconds from submit; 0 means none.
+     * Under EngineOptions::sloAdmission a predicted miss is shed at
+     * submit; an admitted request that still misses increments the
+     * deadline-miss counter but completes normally.
+     */
+    double deadlineSeconds = 0.0;
+    /** Quota bucket key (EngineOptions::tenantRatePerSec); requests
+     * with an empty tenant bypass quotas. */
+    std::string tenant;
 };
 
 /** Completion of one request. */
@@ -183,12 +257,35 @@ class Engine
         std::promise<Response> promise;
         std::function<void(Response)> callback;
         Clock::time_point enqueued;
+        /** Queue wait measured at dequeue (set by the worker). */
+        double waitSeconds = 0.0;
     };
 
     std::future<Response> enqueue(Request req,
                                   std::function<void(Response)> done);
     void workerLoop(int index);
     Response execute(Job &job, rt::BufferPool &pool);
+    /**
+     * SharedTileQueue path: execute a coalesced same-pipeline batch
+     * by feeding every request's tile tasks into the shared pool;
+     * falls back to execute() per request when the variant has no
+     * task entry yet.  Completes (finish()es) every job.
+     */
+    void executeBatch(std::vector<Job> &batch, rt::BufferPool &pool);
+    /** Finish one executed request: metrics, estimates, callback. */
+    void complete(Job &job, Response &&r);
+    /**
+     * Predicted run seconds of @p pipeline under @p params: the
+     * measured EWMA once any request completed, else the analytic
+     * point-count estimate from the registered graph (0 when even
+     * that is unavailable -- admit optimistically).
+     */
+    double predictedRunSeconds(const std::string &pipeline,
+                               const std::vector<std::int64_t> &params);
+    /** Record a measured run into the pipeline's EWMA. */
+    void noteRunSeconds(const std::string &pipeline, double seconds);
+    /** Take one token from @p tenant's bucket; false = shed. */
+    bool admitTenant(const std::string &tenant, Clock::time_point now);
     /** Track the tier-1 -> tier-2 flip of @p pipeline (tiered mode). */
     void notePromotion(const std::string &pipeline, int tier,
                        Clock::time_point now);
@@ -213,6 +310,27 @@ class Engine
      * without cross-worker contention. */
     std::vector<std::unique_ptr<rt::BufferPool>> pools_;
     mutable ServeMetrics metrics_;
+
+    /** The shared tile pool (SharedTileQueue mode only). */
+    std::unique_ptr<rt::TileScheduler> sched_;
+
+    /** Per-pipeline run-time estimates feeding SLO admission. */
+    struct RunEstimate
+    {
+        double ewma = 0.0;
+        std::uint64_t samples = 0;
+    };
+    std::mutex estMu_;
+    std::map<std::string, RunEstimate> runEst_;
+
+    /** Per-tenant token buckets (EngineOptions::tenantRatePerSec). */
+    struct TokenBucket
+    {
+        double tokens = 0.0;
+        Clock::time_point refilled;
+    };
+    std::mutex tenantMu_;
+    std::map<std::string, TokenBucket> buckets_;
 
     /** Promotion tracking (tiered mode): pipeline name -> time of its
      * first interpreter-served response; erased (and the latency

@@ -90,26 +90,66 @@ ServeMetrics::onEnqueue()
 }
 
 void
-ServeMetrics::onReject()
+ServeMetrics::onReject(double waited_seconds)
 {
     std::lock_guard<std::mutex> lock(mu_);
     rejected_ += 1;
+    if (waited_seconds > 0.0)
+        shedWait_.record(waited_seconds);
 }
 
 void
-ServeMetrics::onShed()
+ServeMetrics::onShed(double waited_seconds)
 {
     std::lock_guard<std::mutex> lock(mu_);
     shed_ += 1;
     queueDepth_ -= 1;
+    shedWait_.record(waited_seconds);
 }
 
 void
-ServeMetrics::onShutdownOrphan()
+ServeMetrics::onSloShed(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shed_ += 1;
+    sloShed_ += 1;
+    if (!tenant.empty())
+        tenantShed_[tenant] += 1;
+}
+
+void
+ServeMetrics::onQuotaShed(const std::string &tenant)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    shed_ += 1;
+    quotaShed_ += 1;
+    if (!tenant.empty())
+        tenantShed_[tenant] += 1;
+}
+
+void
+ServeMetrics::onDeadlineMiss()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    deadlineMisses_ += 1;
+}
+
+void
+ServeMetrics::onBatch(int size)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    batches_ += 1;
+    batchedRequests_ += std::uint64_t(size);
+    maxBatchSize_ = std::max(maxBatchSize_, std::int64_t(size));
+}
+
+void
+ServeMetrics::onShutdownOrphan(double waited_seconds)
 {
     std::lock_guard<std::mutex> lock(mu_);
     rejected_ += 1;
     queueDepth_ -= 1;
+    shedWait_.record(waited_seconds);
 }
 
 void
@@ -206,11 +246,19 @@ ServeMetrics::snapshot() const
     s.interpServed = interpServed_;
     s.compiledServed = compiledServed_;
     s.promotions = promotions_;
+    s.sloShed = sloShed_;
+    s.quotaShed = quotaShed_;
+    s.deadlineMisses = deadlineMisses_;
+    s.tenantShed = tenantShed_;
+    s.batches = batches_;
+    s.batchedRequests = batchedRequests_;
+    s.maxBatchSize = maxBatchSize_;
     s.queueDepth = queueDepth_;
     s.inFlight = inFlight_;
     s.peakQueueDepth = peakQueueDepth_;
     s.latency = summarize(latency_);
     s.queueWait = summarize(queueWait_);
+    s.shedWait = summarize(shedWait_);
     s.promotion = summarize(promotion_);
     return s;
 }
@@ -237,6 +285,36 @@ ServeSnapshot::toJson() const
     w.key("queue_depth").value(queueDepth);
     w.key("in_flight").value(inFlight);
     w.key("peak_queue_depth").value(peakQueueDepth);
+    w.key("scheduler").beginObject();
+    w.key("mode").value(schedulerMode);
+    w.key("workers").value(schedulerWorkers);
+    w.key("tasks_executed")
+        .value(std::int64_t(scheduler.tasksExecuted));
+    w.key("chunks_executed")
+        .value(std::int64_t(scheduler.chunksExecuted));
+    w.key("steals").value(std::int64_t(scheduler.steals));
+    w.key("steal_attempts")
+        .value(std::int64_t(scheduler.stealAttempts));
+    w.key("steal_fail_rate").value(scheduler.stealFailRate());
+    w.key("jobs_completed")
+        .value(std::int64_t(scheduler.jobsCompleted));
+    w.key("batches").value(std::int64_t(batches));
+    w.key("batched_requests").value(std::int64_t(batchedRequests));
+    w.key("mean_batch_size")
+        .value(batches == 0
+                   ? 0.0
+                   : double(batchedRequests) / double(batches));
+    w.key("max_batch_size").value(maxBatchSize);
+    w.endObject();
+    w.key("slo").beginObject();
+    w.key("shed").value(std::int64_t(sloShed));
+    w.key("quota_shed").value(std::int64_t(quotaShed));
+    w.key("deadline_misses").value(std::int64_t(deadlineMisses));
+    w.key("tenant_shed").beginObject();
+    for (const auto &[tenant, n] : tenantShed)
+        w.key(tenant).value(std::int64_t(n));
+    w.endObject();
+    w.endObject();
     w.key("pool").beginObject();
     w.key("block_allocs").value(std::int64_t(poolBlockAllocs));
     w.key("acquires").value(std::int64_t(poolAcquires));
@@ -247,6 +325,8 @@ ServeSnapshot::toJson() const
     writeSummary(w, latency);
     w.key("queue_wait");
     writeSummary(w, queueWait);
+    w.key("shed_wait");
+    writeSummary(w, shedWait);
     w.key("promotion");
     writeSummary(w, promotion);
     w.endObject();

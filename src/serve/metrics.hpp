@@ -13,8 +13,11 @@
 
 #include <array>
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
+
+#include "runtime/scheduler.hpp"
 
 namespace polymage::serve {
 
@@ -95,6 +98,39 @@ struct ServeSnapshot
     std::uint64_t shed = 0;
     /// @}
 
+    /// @name SLO-aware admission (docs/SERVING.md "Scheduling")
+    /// @{
+    /** Requests shed at admission because the predicted completion
+     * time exceeded their deadline (counted in `shed` too). */
+    std::uint64_t sloShed = 0;
+    /** Requests shed by a tenant's token bucket (in `shed` too). */
+    std::uint64_t quotaShed = 0;
+    /** Admitted requests that still completed past their deadline --
+     * the quantity the admission controller drives to zero. */
+    std::uint64_t deadlineMisses = 0;
+    /** Sheds per tenant (tenant-tagged requests only). */
+    std::map<std::string, std::uint64_t> tenantShed;
+    /// @}
+
+    /// @name Request batching (SharedTileQueue mode)
+    /// @{
+    /** Worker dequeues that coalesced >= 1 request. */
+    std::uint64_t batches = 0;
+    /** Requests executed through those batches (mean = /batches). */
+    std::uint64_t batchedRequests = 0;
+    /** Largest batch coalesced so far. */
+    std::int64_t maxBatchSize = 0;
+    /// @}
+
+    /// @name Shared tile scheduler (filled by the Engine)
+    /// @{
+    /** Scheduler mode name ("per_request_omp", "shared_tile_queue"). */
+    std::string schedulerMode;
+    /** Tile-pool worker threads (0 in per-request mode). */
+    int schedulerWorkers = 0;
+    rt::SchedulerStats scheduler;
+    /// @}
+
     /// @name Tiered-execution counters (docs/SHAPES.md)
     /// @{
     /** Completions answered by the reference interpreter (tier 1). */
@@ -124,6 +160,14 @@ struct ServeSnapshot
     HistogramSummary latency;
     /** Time spent waiting in the queue before a worker picked up. */
     HistogramSummary queueWait;
+    /**
+     * Queue time of requests that never executed (shed, or rejected
+     * after blocking).  Kept apart from queueWait so shed storms do
+     * not pollute the admitted-path wait percentiles, and apart from
+     * latency so "time wasted queued before eviction" is directly
+     * readable (the shed/reject metrics split).
+     */
+    HistogramSummary shedWait;
     /** Per-pipeline promotion latency: first interpreter-served
      * response to first compiled-tier response. */
     HistogramSummary promotion;
@@ -145,12 +189,23 @@ class ServeMetrics
     void onSubmit();
     /** The request was admitted to the queue. */
     void onEnqueue();
-    /** The request was refused (queue full or engine stopped). */
-    void onReject();
-    /** A queued request was evicted by ShedOldest. */
-    void onShed();
-    /** A queued request was failed by shutdown(). */
-    void onShutdownOrphan();
+    /** The request was refused (queue full or engine stopped) after
+     * waiting @p waited_seconds (0 for immediate rejection). */
+    void onReject(double waited_seconds);
+    /** A queued request was evicted by ShedOldest after waiting
+     * @p waited_seconds in the queue. */
+    void onShed(double waited_seconds);
+    /** A request was shed at admission: predicted deadline miss. */
+    void onSloShed(const std::string &tenant);
+    /** A request was shed at admission: tenant quota exhausted. */
+    void onQuotaShed(const std::string &tenant);
+    /** An admitted request completed after its deadline. */
+    void onDeadlineMiss();
+    /** A worker coalesced @p size same-pipeline requests. */
+    void onBatch(int size);
+    /** A queued request was failed by shutdown() after waiting
+     * @p waited_seconds in the queue. */
+    void onShutdownOrphan(double waited_seconds);
     /** A worker popped a queued request and started executing it. */
     void onDequeue(double queue_wait_seconds);
     void onComplete(double total_seconds);
@@ -183,11 +238,19 @@ class ServeMetrics
     std::uint64_t interpServed_ = 0;
     std::uint64_t compiledServed_ = 0;
     std::uint64_t promotions_ = 0;
+    std::uint64_t sloShed_ = 0;
+    std::uint64_t quotaShed_ = 0;
+    std::uint64_t deadlineMisses_ = 0;
+    std::map<std::string, std::uint64_t> tenantShed_;
+    std::uint64_t batches_ = 0;
+    std::uint64_t batchedRequests_ = 0;
+    std::int64_t maxBatchSize_ = 0;
     std::int64_t queueDepth_ = 0;
     std::int64_t inFlight_ = 0;
     std::int64_t peakQueueDepth_ = 0;
     LatencyHistogram latency_;
     LatencyHistogram queueWait_;
+    LatencyHistogram shedWait_;
     LatencyHistogram promotion_;
 };
 

@@ -168,6 +168,35 @@ PipelineRegistry::prepare(const std::string &name,
     return variantFuture(name, &opts, /*async=*/true);
 }
 
+std::shared_ptr<const pg::PipelineGraph>
+PipelineRegistry::graphOf(const std::string &name)
+{
+    dsl::PipelineSpec spec{"unset"};
+    std::uint64_t gen = 0;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto pit = pipelines_.find(name);
+        if (pit == pipelines_.end())
+            return nullptr;
+        if (pit->second.graph)
+            return pit->second.graph;
+        spec = pit->second.spec;
+        gen = pit->second.generation;
+    }
+    // Build outside the lock (same pattern as getTiered); a racing
+    // re-registration wins and this graph is simply dropped.
+    auto g = std::make_shared<const pg::PipelineGraph>(
+        pg::PipelineGraph::build(spec));
+    std::lock_guard<std::mutex> lock(mu_);
+    auto pit = pipelines_.find(name);
+    if (pit != pipelines_.end() && pit->second.generation == gen) {
+        if (!pit->second.graph)
+            pit->second.graph = g;
+        return pit->second.graph;
+    }
+    return g;
+}
+
 PipelineRegistry::TieredResult
 PipelineRegistry::getTiered(const std::string &name,
                             const CompileOptions *opts)

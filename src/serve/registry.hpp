@@ -140,6 +140,15 @@ class PipelineRegistry
                            const CompileOptions *opts = nullptr);
 
     /**
+     * The (cached) pipeline graph of a registered name, built on
+     * first need; null for unknown names.  Never compiles.  This is
+     * what the serving engine's SLO admission sizes its pre-warmup
+     * analytic cost estimate against (docs/SERVING.md "Scheduling").
+     */
+    std::shared_ptr<const pg::PipelineGraph>
+    graphOf(const std::string &name);
+
+    /**
      * Start compiling a variant on a background thread (no-op when it
      * is already cached or compiling).  The returned future yields the
      * executable or rethrows the compile error.

@@ -199,9 +199,12 @@ entryBodyOf(const CompiledPipeline &c)
 TEST(GoldenInterior, AppsEmitGuardFreeInnermostLoops)
 {
     // Every case condition of these apps folds into loop bounds or
-    // strided residue loops: the generated entries must contain not a
-    // single `if` -- the interior innermost loops are dense and
-    // branch-free (ISSUE: guard-free interior codegen).
+    // strided residue loops: the generated entries must contain no
+    // per-point `if` -- the interior innermost loops are dense and
+    // branch-free (ISSUE: guard-free interior codegen).  The only
+    // branches permitted are the per-row masked-epilogue guards (one
+    // `if` introducing each `pm_vskip` masked final vector iteration);
+    // with the epilogue ablated the bodies must be entirely `if`-free.
     struct App
     {
         const char *name;
@@ -212,9 +215,20 @@ TEST(GoldenInterior, AppsEmitGuardFreeInnermostLoops)
                    App{"pyramid", apps::buildPyramidBlend(512, 512, 3)}}) {
         SCOPED_TRACE(a.name);
         auto c = compilePipeline(a.spec);
-        EXPECT_EQ(countOccurrences(entryBodyOf(c), "if ("), 0);
+        const std::string body = entryBodyOf(c);
+        EXPECT_EQ(countOccurrences(body, "if ("),
+                  countOccurrences(body, "const int pm_vskip"));
+        EXPECT_EQ(c.code.maskedEpilogues,
+                  countOccurrences(body, "const int pm_vskip"));
+        EXPECT_GT(c.code.maskedEpilogues, 0);
         EXPECT_EQ(c.code.guardedNests, 0);
         EXPECT_DOUBLE_EQ(c.code.interiorFraction(), 1.0);
+
+        CompileOptions scalar_tail;
+        scalar_tail.codegen.maskedEpilogue = false;
+        auto s = compilePipeline(a.spec, scalar_tail);
+        EXPECT_EQ(countOccurrences(entryBodyOf(s), "if ("), 0);
+        EXPECT_EQ(s.code.maskedEpilogues, 0);
     }
 }
 
