@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Streaming benchmark (docs/STREAMING.md): temporal_denoise driven as
+ * a video session, paced at target frame rates, through both the raw
+ * rt::StreamExecutable and a serve::Engine streaming session.  Per
+ * configuration it reports sustained fps, mean and p99 frame latency,
+ * deadline misses against the frame interval, and whether the frame
+ * path stayed allocation-free once warm.
+ *
+ * Flags:
+ *   --timings-json <path>  write a polymage-stream-bench-v1 snapshot
+ *   --frames N             frames per configuration (default 90)
+ *   --rates a,b            target frame rates to pace at (default
+ *                          30,60); an unpaced max-rate run always
+ *                          executes first
+ *
+ * Environment:
+ *   POLYMAGE_BENCH_SCALE   image-size scale (default 0.25 of 720p).
+ */
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <thread>
+
+#include "bench_util.hpp"
+#include "runtime/stream.hpp"
+#include "serve/engine.hpp"
+
+using namespace polymage;
+using namespace polymage::bench;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+int
+argInt(int argc, char **argv, const char *flag, int fallback)
+{
+    const std::string s = argPath(argc, argv, flag);
+    return s.empty() ? fallback : std::atoi(s.c_str());
+}
+
+std::vector<int>
+argRates(int argc, char **argv, std::vector<int> fallback)
+{
+    const std::string s = argPath(argc, argv, "--rates");
+    if (s.empty())
+        return fallback;
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < s.size()) {
+        std::size_t next = s.find(',', pos);
+        if (next == std::string::npos)
+            next = s.size();
+        const int v = std::atoi(s.substr(pos, next - pos).c_str());
+        if (v > 0)
+            out.push_back(v);
+        pos = next + 1;
+    }
+    return out.empty() ? fallback : out;
+}
+
+double
+quantile(std::vector<double> v, double q)
+{
+    if (v.empty())
+        return 0.0;
+    std::sort(v.begin(), v.end());
+    const auto idx = std::size_t(q * double(v.size() - 1));
+    return v[idx];
+}
+
+/** One paced (or unpaced, rate 0) run's measurements. */
+struct RunResult
+{
+    std::string mode;
+    int targetFps = 0;
+    int frames = 0;
+    double wallSeconds = 0.0;
+    double sustainedFps = 0.0;
+    double meanSeconds = 0.0;
+    double p99Seconds = 0.0;
+    /** Frames whose latency exceeded the frame interval. */
+    int missedDeadlines = 0;
+    bool zeroAllocSteadyState = false;
+};
+
+void
+printRun(const RunResult &r)
+{
+    std::printf("%-8s target %3s fps | sustained %8.1f fps | "
+                "mean %7.3f ms | p99 %7.3f ms | missed %3d | "
+                "zero-alloc %s\n",
+                r.mode.c_str(),
+                r.targetFps > 0 ? std::to_string(r.targetFps).c_str()
+                                : "max",
+                r.sustainedFps, r.meanSeconds * 1e3,
+                r.p99Seconds * 1e3, r.missedDeadlines,
+                r.zeroAllocSteadyState ? "yes" : "no");
+}
+
+RunResult
+summarize(const std::string &mode, int target_fps,
+          const std::vector<double> &latencies, double wall,
+          bool zero_alloc)
+{
+    RunResult r;
+    r.mode = mode;
+    r.targetFps = target_fps;
+    r.frames = int(latencies.size());
+    r.wallSeconds = wall;
+    r.sustainedFps = wall > 0 ? double(latencies.size()) / wall : 0.0;
+    double sum = 0;
+    for (double s : latencies)
+        sum += s;
+    r.meanSeconds =
+        latencies.empty() ? 0.0 : sum / double(latencies.size());
+    r.p99Seconds = quantile(latencies, 0.99);
+    if (target_fps > 0) {
+        const double interval = 1.0 / double(target_fps);
+        for (double s : latencies)
+            if (s > interval)
+                r.missedDeadlines += 1;
+    }
+    r.zeroAllocSteadyState = zero_alloc;
+    return r;
+}
+
+/** Drive the raw session: step() per frame, paced at @p target_fps
+ * (0 = as fast as possible). */
+RunResult
+runDirect(rt::StreamExecutable &session,
+          const std::vector<rt::Buffer> &frames, int target_fps)
+{
+    // Warm the path (JIT page-in, pool growth), then pin the
+    // steady-state allocation count.
+    session.step({&frames[0]});
+    session.step({&frames[0]});
+    const auto warmAllocs = session.memoryStats().poolBlockAllocs;
+
+    std::vector<double> latencies;
+    latencies.reserve(frames.size());
+    const double interval =
+        target_fps > 0 ? 1.0 / double(target_fps) : 0.0;
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < frames.size(); ++t) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            interval * double(t)));
+        if (target_fps > 0)
+            std::this_thread::sleep_until(due);
+        const auto submit = target_fps > 0 ? due : Clock::now();
+        session.step({&frames[t]});
+        latencies.push_back(
+            std::chrono::duration<double>(Clock::now() - submit)
+                .count());
+    }
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    const bool zero_alloc =
+        session.memoryStats().poolBlockAllocs == warmAllocs;
+    return summarize("direct", target_fps, latencies, wall,
+                     zero_alloc);
+}
+
+/** Drive an Engine streaming session at @p target_fps (0 = as fast
+ * as the per-session FIFO drains). */
+RunResult
+runEngine(serve::Engine &engine,
+          const std::shared_ptr<serve::StreamSession> &session,
+          const std::vector<rt::Buffer> &frames, int target_fps)
+{
+    std::mutex mu;
+    std::vector<double> latencies;
+    std::vector<Clock::time_point> submitted(frames.size());
+    Clock::time_point lastDone;
+
+    const double interval =
+        target_fps > 0 ? 1.0 / double(target_fps) : 0.0;
+    const auto start = Clock::now();
+    for (std::size_t t = 0; t < frames.size(); ++t) {
+        const auto due =
+            start + std::chrono::duration_cast<Clock::duration>(
+                        std::chrono::duration<double>(
+                            interval * double(t)));
+        if (target_fps > 0)
+            std::this_thread::sleep_until(due);
+        submitted[t] = Clock::now();
+        engine.submitFrame(
+            session,
+            {std::shared_ptr<const rt::Buffer>(
+                std::shared_ptr<const rt::Buffer>(), &frames[t])},
+            [&, t](const serve::StreamFrameResult &fr) {
+                const auto now = Clock::now();
+                std::lock_guard<std::mutex> lock(mu);
+                if (!fr.ok())
+                    std::fprintf(stderr, "frame %lld failed: %s\n",
+                                 fr.frame, fr.error.c_str());
+                latencies.push_back(
+                    std::chrono::duration<double>(now - submitted[t])
+                        .count());
+                lastDone = now;
+            });
+    }
+    // Per-session FIFO: all frames have completed once close returns.
+    engine.closeStream(session);
+    std::lock_guard<std::mutex> lock(mu);
+    const double wall =
+        std::chrono::duration<double>(lastDone - start).count();
+    return summarize("engine", target_fps, latencies, wall, true);
+}
+
+void
+writeRun(obs::JsonWriter &w, const RunResult &r)
+{
+    w.beginObject();
+    w.key("mode").value(r.mode);
+    w.key("target_fps").value(r.targetFps);
+    w.key("frames").value(r.frames);
+    w.key("wall_seconds").value(r.wallSeconds);
+    w.key("sustained_fps").value(r.sustainedFps);
+    w.key("mean_frame_seconds").value(r.meanSeconds);
+    w.key("p99_frame_seconds").value(r.p99Seconds);
+    w.key("missed_deadlines").value(r.missedDeadlines);
+    w.key("zero_alloc_steady_state").value(r.zeroAllocSteadyState);
+    w.endObject();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const double scale = benchScale(0.25);
+    const int nframes = std::max(8, argInt(argc, argv, "--frames", 90));
+    const std::vector<int> rates = argRates(argc, argv, {30, 60});
+    const std::string json_path =
+        argPath(argc, argv, "--timings-json");
+
+    const std::int64_t R = scaled(720, scale);
+    const std::int64_t C = scaled(1280, scale);
+    const std::vector<std::int64_t> params = {R, C};
+    std::printf("temporal_denoise %lldx%lld, %d frames\n",
+                (long long)R, (long long)C, nframes);
+
+    std::vector<rt::Buffer> frames;
+    frames.reserve(std::size_t(nframes));
+    for (int t = 0; t < nframes; ++t)
+        frames.push_back(
+            rt::synth::photo(R + 2, C + 2, std::uint64_t(t + 1)));
+
+    std::vector<RunResult> runs;
+
+    // Raw sessions: one per run so each starts from a cold ring.
+    {
+        auto spec = apps::buildTemporalDenoise(R, C);
+        auto exe = std::make_shared<rt::Executable>(
+            rt::Executable::build(spec));
+        for (int rate : rates) {
+            rt::StreamExecutable session(exe, params);
+            runs.push_back(runDirect(session, frames, rate));
+            printRun(runs.back());
+        }
+        rt::StreamExecutable session(exe, params);
+        runs.push_back(runDirect(session, frames, 0));
+        printRun(runs.back());
+    }
+
+    // Engine sessions: frames flow through the worker pool with the
+    // per-session FIFO (docs/STREAMING.md).
+    std::string engine_metrics;
+    {
+        auto registry =
+            std::make_shared<serve::PipelineRegistry>();
+        registry->add("temporal_denoise",
+                      apps::buildTemporalDenoise(R, C));
+        serve::EngineOptions eopts;
+        eopts.workers = 2;
+        serve::Engine engine(registry, eopts);
+        for (int rate : rates) {
+            auto session =
+                engine.openStream("temporal_denoise", params);
+            runs.push_back(
+                runEngine(engine, session, frames, rate));
+            printRun(runs.back());
+        }
+        auto session = engine.openStream("temporal_denoise", params);
+        runs.push_back(runEngine(engine, session, frames, 0));
+        printRun(runs.back());
+        engine_metrics = engine.metricsJson();
+    }
+
+    if (!json_path.empty()) {
+        obs::JsonWriter w;
+        w.beginObject();
+        w.key("schema").value("polymage-stream-bench-v1");
+        w.key("app").value("temporal_denoise");
+        w.key("scale").value(scale);
+        w.key("rows").value(R);
+        w.key("cols").value(C);
+        w.key("frames").value(nframes);
+        w.key("runs").beginArray();
+        for (const RunResult &r : runs)
+            writeRun(w, r);
+        w.endArray();
+        w.key("engine_metrics").raw(engine_metrics);
+        w.endObject();
+        std::ofstream os(json_path);
+        os << w.str() << "\n";
+        std::printf("wrote %s\n", json_path.c_str());
+    }
+    return 0;
+}

@@ -20,6 +20,14 @@
 #                        the SLO admission scenario (tight-deadline
 #                        requests shed at submit, zero deadline misses
 #                        among admitted requests).
+#   BENCH_stream.json    the streaming study (docs/STREAMING.md):
+#                        temporal-denoise frame sequences at paced
+#                        30/60 fps targets plus unpaced maximum
+#                        throughput, both directly through
+#                        StreamExecutable and through engine streaming
+#                        sessions, with sustained fps, p99 frame
+#                        latency, missed deadlines and the zero-alloc
+#                        steady-state verdict per run.
 #
 # Usage: scripts/bench_snapshot.sh [scale] [tune_scale] [serve_scale]
 #
@@ -44,12 +52,14 @@ build_dir="${POLYMAGE_BUILD_DIR:-build}"
 out=BENCH_table2.json
 tune_out=BENCH_autotune.json
 serve_out=BENCH_serve.json
+stream_out=BENCH_stream.json
 
 cmake -B "$build_dir" -S . >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" --target bench_table2 \
     --target bench_ablation_partition \
     --target bench_fig9_autotune \
-    --target bench_serve >/dev/null
+    --target bench_serve \
+    --target bench_stream >/dev/null
 
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
@@ -89,3 +99,12 @@ POLYMAGE_BENCH_SCALE="$serve_scale" POLYMAGE_SERVE_THREADS=2 \
     --timings-json "$serve_out"
 
 echo "bench_snapshot: wrote $serve_out"
+
+# Streaming snapshot: quarter-scale frames (matching the serving
+# study's footprint) are enough to show the paced rates held and the
+# zero-alloc steady state; absolute fps at full scale is machine noise
+# this snapshot does not try to track.
+POLYMAGE_BENCH_SCALE="$serve_scale" "$build_dir/bench/bench_stream" \
+    --frames 90 --rates 30,60 --timings-json "$stream_out"
+
+echo "bench_snapshot: wrote $stream_out"

@@ -161,6 +161,37 @@ if [ -f "$sdoc" ]; then
     done
 fi
 
+# ---------------------------------------------------------------- 8.
+# Streaming docs: docs/STREAMING.md must exist, be cross-linked from
+# the docs that touch the time axis, and the stream metrics / memory
+# fields it documents must be emitted.
+stdoc=docs/STREAMING.md
+[ -f "$stdoc" ] || err "$stdoc missing"
+if [ -f "$stdoc" ]; then
+    for from in README.md docs/INTERNALS.md docs/SERVING.md \
+                docs/OBSERVABILITY.md docs/DSL_GUIDE.md; do
+        grep -q "STREAMING.md" "$from" \
+            || err "$from does not cross-link $stdoc"
+    done
+    for tag in polymage-stream-bench-v1; do
+        grep -q "$tag" "$stdoc" || err "schema tag $tag missing from $stdoc"
+        grep -rq "$tag" src/ bench/ \
+            || err "schema tag $tag not found in sources"
+    done
+    for field in sessions_opened sessions_closed sessions_active \
+                 frames_submitted frames_completed frames_failed \
+                 frame_latency fps ring_buffers ring_bytes; do
+        grep -q "\"$field\"" "$stdoc" \
+            || err "field \"$field\" missing from $stdoc"
+        grep -rq "\"$field\"" src/ bench/ \
+            || err "field \"$field\" not emitted by src/ or bench/"
+    done
+    for api in setMaxDelay "prev(" openStream submitFrame closeStream \
+               StreamExecutable; do
+        grep -q "$api" "$stdoc" || err "API $api missing from $stdoc"
+    done
+fi
+
 if [ "$fail" -ne 0 ]; then
     echo "check_docs: FAILED" >&2
     exit 1

@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Smoke-check the streaming subsystem (docs/STREAMING.md), CI-friendly
+# (exit nonzero on failure):
+#
+#   1. The streaming test suites -- frame-by-frame interpreter
+#      equality of StreamExecutable sessions and Engine streaming
+#      sessions (including the zero-history warm-up frames), ring
+#      rotation, FIFO ordering, and the zero steady-state allocation
+#      guarantee asserted via memoryStats().
+#   2. The PGM-sequence demo path (`serve_demo --stream`).
+#   3. A short bench_stream run, validating the emitted
+#      polymage-stream-bench-v1 JSON: every run zero-alloc in steady
+#      state, paced runs holding their target rate, and the unpaced
+#      runs clearing the 30 fps bar with room to spare.
+#
+# Usage: scripts/check_stream.sh
+#
+# Honours POLYMAGE_BUILD_DIR (defaults to build).  Keeps the run
+# small: quarter-scale frames and a 48-frame sequence.
+
+set -eu
+cd "$(dirname "$0")/.."
+
+build_dir="${POLYMAGE_BUILD_DIR:-build}"
+
+cmake -B "$build_dir" -S . >/dev/null
+cmake --build "$build_dir" -j "$(nproc)" --target bench_stream \
+    polymage_serve_demo test_dsl test_core test_runtime \
+    test_serve >/dev/null 2>&1
+
+# 1. Equality + zero-alloc suites.  "Stream" matches the DSL, plan,
+# runtime-session and interpreter suites; "EngineStreaming" the serve
+# sessions.
+ctest --test-dir "$build_dir" --output-on-failure \
+    -R '(Stream|EngineStreaming)' >/dev/null || {
+    echo "check_stream: streaming test suites failed" >&2
+    ctest --test-dir "$build_dir" --output-on-failure \
+        -R '(Stream|EngineStreaming)' --rerun-failed >&2 || true
+    exit 1
+}
+
+# 2. PGM-sequence demo (exits nonzero on any failed frame).
+"$build_dir/tools/polymage_serve_demo" --stream 6 >/dev/null
+
+# 3. Benchmark JSON.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+json="$tmp/stream.json"
+
+POLYMAGE_BENCH_SCALE=0.25 "$build_dir/bench/bench_stream" \
+    --frames 48 --rates 30,60 --timings-json "$json" >/dev/null
+
+if command -v python3 >/dev/null 2>&1; then
+    python3 - "$json" <<'EOF'
+import json, sys
+
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+
+assert doc["schema"] == "polymage-stream-bench-v1", doc["schema"]
+assert doc["app"] == "temporal_denoise", doc["app"]
+assert doc["runs"], "no runs in snapshot"
+
+modes = {r["mode"] for r in doc["runs"]}
+assert modes == {"direct", "engine"}, modes
+
+for r in doc["runs"]:
+    # The frame path must not allocate once warm -- the whole point
+    # of the ring-buffer storage.
+    assert r["zero_alloc_steady_state"] is True, r
+    assert r["frames"] >= 8, r
+    assert r["p99_frame_seconds"] > 0, r
+    if r["target_fps"] > 0:
+        # Paced runs must sustain their target (small tolerance for
+        # the final frame's completion skew).
+        assert r["sustained_fps"] >= 0.9 * r["target_fps"], r
+    else:
+        # Unpaced throughput must clear the realtime bar easily.
+        assert r["sustained_fps"] >= 30, r
+
+# The engine metrics embed the per-session stream section.
+m = doc["engine_metrics"]
+assert m["schema"] == "polymage-serve-v1", m["schema"]
+st = m["stream"]
+assert st["frames_completed"] > 0 and st["frames_failed"] == 0, st
+assert st["sessions_opened"] == st["sessions_closed"], st
+assert st["frame_latency"]["count"] == st["frames_completed"], st
+for s in st["sessions"]:
+    assert s["closed"] and s["failed"] == 0, s
+    assert s["fps"] > 0 and s["p99_seconds"] > 0, s
+# Frames never leak into the request counters.
+assert m["submitted"] == 0 and m["completed"] == 0, m
+
+print("stream JSON OK:", len(doc["runs"]), "runs,",
+      st["frames_completed"], "engine frames")
+EOF
+else
+    # Fallback: structural grep when python3 is unavailable.
+    grep -q '"schema":"polymage-stream-bench-v1"' "$json"
+    if grep -q '"zero_alloc_steady_state":false' "$json"; then
+        echo "check_stream: steady-state frame path allocated" >&2
+        exit 1
+    fi
+fi
+
+echo "check_stream: streaming smoke test passed"

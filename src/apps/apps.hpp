@@ -96,6 +96,19 @@ dsl::PipelineSpec buildLocalLaplacian(std::int64_t rows_est = 2560,
                                       std::int64_t cols_est = 1536,
                                       int levels = 4, int k = 8);
 
+/**
+ * Temporal denoise (docs/STREAMING.md): a streaming video chain that
+ * blends a separable spatial blur of the current frame with the
+ * previous denoised frame (IIR feedback via prev(denoised, 1)), the
+ * previous blurred frame, and the raw frames at t-1 and t-2.  The
+ * spec carries frame-delay taps (isStreaming()); compile yields a
+ * ring-buffer plan exercising all three ring kinds: input-image
+ * history, synthetic feedback (blury), and declared-output feedback.
+ * Input: Float image of (R+2) x (C+2).  Output: denoised.
+ */
+dsl::PipelineSpec buildTemporalDenoise(std::int64_t rows_est = 720,
+                                       std::int64_t cols_est = 1280);
+
 } // namespace polymage::apps
 
 #endif // POLYMAGE_APPS_APPS_HPP

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Temporal denoise: the streaming benchmark chain.  Spatial separable
+ * 3-tap blur of the current frame, blended against the previous
+ * denoised frame (temporal IIR), the previous blur, and the raw
+ * frames one and two frames back.  Exercises every ring kind of the
+ * stream lowering: an input-image ring (I at delays 1 and 2, depth
+ * 3), a synthetic feedback ring (blury is not a declared output), and
+ * a declared-output ring (denoised feeds itself).
+ */
+#include "apps/apps.hpp"
+
+namespace polymage::apps {
+
+using namespace dsl;
+
+PipelineSpec
+buildTemporalDenoise(std::int64_t rows_est, std::int64_t cols_est)
+{
+    Parameter R("R"), C("C");
+    Image I("I", DType::Float, {Expr(R) + 2, Expr(C) + 2});
+
+    PipelineSpec spec("temporal_denoise");
+    spec.addParam(R);
+    spec.addParam(C);
+    spec.addInput(I);
+    spec.estimate(R, rows_est);
+    spec.estimate(C, cols_est);
+    spec.setMaxDelay(2);
+
+    Variable x("x"), y("y");
+    Interval rows(Expr(0), Expr(R) + 1);
+    Interval cols(Expr(0), Expr(C) + 1);
+    const std::vector<Variable> vars{x, y};
+    const std::vector<Interval> dom{rows, cols};
+
+    Condition cy = (Expr(y) >= 1) & (Expr(y) <= Expr(C));
+    Condition cx = (Expr(x) >= 1) & (Expr(x) <= Expr(R));
+
+    // Separable 3-tap blur, defined over the whole domain (border
+    // columns/rows pass through) so the temporal blend below may read
+    // it everywhere.
+    Function blurx("blurx", vars, dom, DType::Float);
+    blurx.define({Case(cy, (I(x, y - 1) + I(x, y) * Expr(2.0) +
+                            I(x, y + 1)) *
+                               Expr(0.25)),
+                  Case((Expr(y) < 1) | (Expr(y) > Expr(C)), I(x, y))});
+
+    Function blury("blury", vars, dom, DType::Float);
+    blury.define(
+        {Case(cx, (blurx(x - 1, y) + blurx(x, y) * Expr(2.0) +
+                   blurx(x + 1, y)) *
+                      Expr(0.25)),
+         Case((Expr(x) < 1) | (Expr(x) > Expr(R)), blurx(x, y))});
+
+    // Frame-delay taps: raw input one and two frames back, the
+    // previous blur, and the previous denoised output (IIR feedback).
+    Image I1 = prev(spec, I, 1);
+    Image I2 = prev(spec, I, 2);
+    Image B1 = prev(spec, blury, 1);
+
+    Function denoised("denoised", vars, dom, DType::Float);
+    Image D1 = prev(spec, denoised, 1);
+    denoised.define(Expr(0.45) * blury(x, y) + Expr(0.15) * B1(x, y) +
+                    Expr(0.2) * D1(x, y) + Expr(0.12) * I1(x, y) +
+                    Expr(0.08) * I2(x, y));
+
+    spec.addOutput(denoised);
+    return spec;
+}
+
+} // namespace polymage::apps

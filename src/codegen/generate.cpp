@@ -961,10 +961,15 @@ Generator::emitLoopNest(const std::vector<LoopDim> &dims,
                 // iteration up to end exactly at the bound and blend
                 // the store so the pm_vskip already-written leading
                 // lanes keep their values.  Rows shorter than one
-                // vector fall through to the scalar tail.
+                // vector fall through to the scalar tail.  The guard
+                // condition lives in a named pm_tail local so source
+                // inspection (and the partition tests) can tell this
+                // single per-row branch apart from per-point guards.
                 const std::string back = ub + " - " + lanes1;
-                w_.open("if (" + dims[d].var + " <= " + ub + " && " +
-                        back + " >= " + start + ")");
+                w_.line("const bool pm_tail = " + dims[d].var +
+                        " <= " + ub + " && " + back + " >= " + start +
+                        ";");
+                w_.open("if (pm_tail)");
                 w_.line("const int pm_vskip = " + dims[d].var + " - (" +
                         back + ");");
                 w_.line(dims[d].var + " = " + back + ";");
@@ -1792,7 +1797,7 @@ Generator::run()
           "T6", "T7", "pm_tau0", "pm_tau1", "pm_tau2", "pm_tau3",
           "pm_tau4", "pm_tau5", "pm_tau6", "pm_tau7", "pm_phase",
           "pm_lo", "pm_hi", "pm_t", "pm_te", "pm_tr", "pm_n",
-          "pm_vskip", "pm_vm"}) {
+          "pm_vskip", "pm_vm", "pm_tail"}) {
         used_.insert(n);
     }
     // Shape-generic mode: one runtime tile-size parameter per tiled

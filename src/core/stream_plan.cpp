@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Stream lowering: taps -> positional ring plan + single-frame spec.
+ */
+#include "core/stream_plan.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "poly/range.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::core {
+
+namespace {
+
+/** Position of image @p id in the spec's input list. */
+int
+inputIndexOf(const dsl::PipelineSpec &spec, int id)
+{
+    const auto &ins = spec.inputs();
+    for (std::size_t i = 0; i < ins.size(); ++i) {
+        if (ins[i]->id() == id)
+            return int(i);
+    }
+    return -1;
+}
+
+/** Per-slot bytes of @p img under the spec's parameter estimates. */
+std::int64_t
+estimateSlotBytes(const dsl::PipelineSpec &spec,
+                  const dsl::ImageData &img)
+{
+    poly::RangeEnv env;
+    env.params = spec.estimates();
+    std::int64_t numel = 1;
+    for (const auto &e : img.extents()) {
+        auto v = poly::evalConstant(e, env);
+        if (!v || *v <= 0)
+            return 0;
+        numel *= *v;
+    }
+    return numel * std::int64_t(dsl::dtypeSize(img.dtype()));
+}
+
+} // namespace
+
+std::int64_t
+StreamPlan::estRingBytes() const
+{
+    std::int64_t total = 0;
+    for (const auto &r : rings)
+        total += std::int64_t(r.depth) * r.estBytesPerSlot;
+    return total;
+}
+
+StreamLowering
+lowerStream(const dsl::PipelineSpec &spec)
+{
+    StreamLowering out{dsl::PipelineSpec(spec.name()), {}};
+    for (const auto &p : spec.params())
+        out.spec.addParam(p);
+    for (const auto &img : spec.inputs())
+        out.spec.addInput(img);
+    for (const auto &[id, v] : spec.estimates())
+        out.spec.estimateById(id, v);
+    for (const auto &o : spec.outputs())
+        out.spec.addOutput(o);
+
+    StreamPlan &plan = out.plan;
+    plan.streaming = spec.isStreaming();
+    plan.maxDelay = spec.maxDelay();
+    plan.declaredInputs =
+        int(spec.inputs().size()) - int(spec.delays().size());
+    plan.declaredOutputs = int(spec.outputs().size());
+    if (!plan.streaming)
+        return out;
+
+    // Group taps by source entity, in first-tap order.
+    std::map<int, std::size_t> ringOf;
+    for (const auto &d : spec.delays()) {
+        const int sid = d.sourceId();
+        auto it = ringOf.find(sid);
+        if (it == ringOf.end()) {
+            RingSpec ring;
+            ring.dtype = d.tap->dtype();
+            ring.estBytesPerSlot = estimateSlotBytes(spec, *d.tap);
+            if (d.sourceImage) {
+                ring.name = d.sourceImage->name();
+                ring.fromInput = true;
+                ring.sourceInputIndex =
+                    inputIndexOf(spec, d.sourceImage->id());
+                if (ring.sourceInputIndex < 0 ||
+                    ring.sourceInputIndex >= plan.declaredInputs) {
+                    specError("pipeline '", spec.name(), "': prev(",
+                              ring.name, ") source image is not a "
+                              "declared input");
+                }
+            } else {
+                ring.name = d.source->name();
+                const auto &outs = spec.outputs();
+                for (std::size_t i = 0; i < outs.size(); ++i) {
+                    if (outs[i]->id() == d.source->id())
+                        ring.sourceOutputIndex = int(i);
+                }
+                if (ring.sourceOutputIndex < 0) {
+                    // Feedback from a non-live-out stage: append a
+                    // synthetic output so the compiled pipeline
+                    // materializes the frame for the ring (and the
+                    // inline pass keeps the stage).
+                    ring.sourceOutputIndex =
+                        int(out.spec.outputs().size());
+                    ring.syntheticOutput = true;
+                    out.spec.addOutput(d.source);
+                }
+            }
+            it = ringOf.emplace(sid, plan.rings.size()).first;
+            plan.rings.push_back(std::move(ring));
+        }
+        RingSpec &ring = plan.rings[it->second];
+        const int tap_input = inputIndexOf(spec, d.tap->id());
+        if (tap_input < plan.declaredInputs) {
+            specError("pipeline '", spec.name(), "': register all "
+                      "inputs before the first prev() so taps follow "
+                      "the declared inputs in the ABI");
+        }
+        ring.taps.push_back(RingTap{tap_input, d.delay});
+        ring.maxDelay = std::max(ring.maxDelay, d.delay);
+        ring.depth = ring.maxDelay + 1;
+    }
+    return out;
+}
+
+} // namespace polymage::core

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Stream lowering (docs/STREAMING.md): rewrites a streaming pipeline
+ * spec (one carrying dsl::prev() frame-delay taps) into an equivalent
+ * single-frame spec plus a StreamPlan describing the persistent ring
+ * buffers a session must rotate between calls.  This is the time-axis
+ * extension of the liveness slot planner: a stage referenced at delay
+ * k lives in a ring of depth maxK+1 slots instead of per-call scratch.
+ *
+ * Lowered ABI: inputs = [declared inputs..., taps in creation order];
+ * outputs = [declared outputs..., synthetic feedback outputs for
+ * delayed Functions that are not already declared live-outs].  All
+ * plan indices are positional, so they survive the inline pass's
+ * wholesale clone of the spec.
+ */
+#ifndef POLYMAGE_CORE_STREAM_PLAN_HPP
+#define POLYMAGE_CORE_STREAM_PLAN_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dsl/pipeline_spec.hpp"
+
+namespace polymage::core {
+
+/** One tap (read point) of a ring. */
+struct RingTap
+{
+    /** Position of the tap image in the lowered spec's inputs. */
+    int inputIndex = 0;
+    /** Frames of delay (k >= 1). */
+    int delay = 1;
+};
+
+/** One persistent ring buffer in a streaming session. */
+struct RingSpec
+{
+    /** Display name of the delayed source. */
+    std::string name;
+    /** True when the source is a declared input image. */
+    bool fromInput = false;
+    /** Input position of the source image (fromInput only). */
+    int sourceInputIndex = -1;
+    /** Output position of the source stage (function sources). */
+    int sourceOutputIndex = -1;
+    /** True when the output was appended by lowering (not declared). */
+    bool syntheticOutput = false;
+    dsl::DType dtype = dsl::DType::Float;
+    /** Largest delay read from this ring. */
+    int maxDelay = 1;
+    /** Slots in the ring: maxDelay + 1 (current frame + history). */
+    int depth = 2;
+    std::vector<RingTap> taps;
+    /** Per-slot byte estimate under the spec's parameter estimates
+     * (0 when extents are not constant under the estimates). */
+    std::int64_t estBytesPerSlot = 0;
+};
+
+/** Ring-buffer plan for a streaming pipeline. */
+struct StreamPlan
+{
+    bool streaming = false;
+    /** Declared maximum delay (ring depths are bounded by this + 1). */
+    int maxDelay = 0;
+    /** Inputs the caller supplies per frame (taps excluded). */
+    int declaredInputs = 0;
+    /** Outputs the user declared (synthetic feedback ones excluded). */
+    int declaredOutputs = 0;
+    std::vector<RingSpec> rings;
+
+    /** Total estimated ring bytes (sum of depth * estBytesPerSlot). */
+    std::int64_t estRingBytes() const;
+};
+
+/** Result of lowering: the single-frame spec plus the ring plan. */
+struct StreamLowering
+{
+    dsl::PipelineSpec spec;
+    StreamPlan plan;
+};
+
+/**
+ * Lower @p spec's time axis.  The returned spec carries no delay
+ * metadata (isStreaming() == false) and appends one synthetic live-out
+ * per delayed Function that was not already an output; the plan maps
+ * ring slots to positional input/output indices of that lowered ABI.
+ */
+StreamLowering lowerStream(const dsl::PipelineSpec &spec);
+
+} // namespace polymage::core
+
+#endif // POLYMAGE_CORE_STREAM_PLAN_HPP

@@ -150,18 +150,36 @@ compilePipeline(const dsl::PipelineSpec &spec, const CompileOptions &opts)
     const std::size_t span_base = reg->spans().size();
 
     CompiledPipeline out{dsl::PipelineSpec(spec.name()), {}, {}, {},
-                         {}, {}, {}, {}, {}, {}, {}};
+                         {}, {}, {}, {}, {}, {}, {}, {}};
+    // Streaming pipelines (dsl::prev taps) lower to a single-frame
+    // spec + ring plan first, so every later phase sees an ordinary
+    // pipeline.  Runs before inlining: the plan's positional indices
+    // are pinned against the pre-clone input/output order, and the
+    // synthetic feedback outputs it appends become live-outs the
+    // inliner must keep.
+    const dsl::PipelineSpec *source = &spec;
+    std::optional<dsl::PipelineSpec> lowered;
+    if (spec.isStreaming()) {
+        obs::ScopedTrace phase(reg, "stream_lower");
+        core::StreamLowering sl = core::lowerStream(spec);
+        out.stream = std::move(sl.plan);
+        lowered.emplace(std::move(sl.spec));
+        source = &*lowered;
+    } else {
+        out.stream.declaredInputs = int(spec.inputs().size());
+        out.stream.declaredOutputs = int(spec.outputs().size());
+    }
     {
         obs::ScopedTrace phase(reg, "graph_build");
         // Validate the raw specification first: bounds errors should
         // be reported against the user's own stages, before inlining
         // rewrites them.
-        pg::PipelineGraph raw = pg::PipelineGraph::build(spec);
+        pg::PipelineGraph raw = pg::PipelineGraph::build(*source);
         pg::checkBounds(raw);
     }
     {
         obs::ScopedTrace phase(reg, "inline");
-        auto inlined = pg::inlinePointwise(spec, opts.inlining);
+        auto inlined = pg::inlinePointwise(*source, opts.inlining);
         out.spec = std::move(inlined.spec);
         out.inlined = std::move(inlined.inlined);
         out.graph = pg::PipelineGraph::build(out.spec);

@@ -11,6 +11,7 @@
 #include "codegen/generate.hpp"
 #include "core/grouping.hpp"
 #include "core/storage.hpp"
+#include "core/stream_plan.hpp"
 #include "core/tile_model.hpp"
 #include "pipeline/bounds_check.hpp"
 #include "pipeline/inline.hpp"
@@ -77,6 +78,14 @@ struct CompiledPipeline
      * was skipped or had nothing to size); reported in profile JSON.
      */
     core::TileModelResult tileModel;
+    /**
+     * Ring-buffer plan of a streaming pipeline (docs/STREAMING.md);
+     * stream.streaming == false for single-frame pipelines.  Filled
+     * by the stream_lower phase, which rewrites frame-delay taps into
+     * the positional input/output contract rt::StreamExecutable
+     * rotates rings against.
+     */
+    core::StreamPlan stream;
     /**
      * Compile-phase trace: one span per driver phase (span names are
      * listed in docs/OBSERVABILITY.md), with alignment/scaling

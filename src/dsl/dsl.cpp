@@ -4,6 +4,7 @@
  */
 #include "dsl/function.hpp"
 #include "dsl/image.hpp"
+#include "dsl/pipeline_spec.hpp"
 #include "dsl/reduction.hpp"
 
 #include <limits>
@@ -219,6 +220,50 @@ Expr
 Accumulator::operator()(std::vector<Expr> args) const
 {
     return makeCall(data_, std::move(args));
+}
+
+//--------------------------------------------------------------------------
+// PipelineSpec: streaming (frame-delay) axis
+//--------------------------------------------------------------------------
+
+void
+PipelineSpec::setMaxDelay(int frames)
+{
+    if (frames < 1)
+        specError("pipeline '", name_, "': setMaxDelay(", frames,
+                  ") -- the maximum frame delay must be at least 1");
+    if (!delays_.empty() && frames < maxDelay_)
+        specError("pipeline '", name_, "': cannot lower the maximum "
+                  "frame delay below taps already created by prev()");
+    maxDelay_ = frames;
+}
+
+void
+PipelineSpec::addDelay(DelayBinding b)
+{
+    const std::string src =
+        b.source ? b.source->name()
+                 : (b.sourceImage ? b.sourceImage->name() : "?");
+    if (maxDelay_ == 0)
+        specError("pipeline '", name_, "': prev(", src, ", ", b.delay,
+                  ") before setMaxDelay() -- declare the maximum frame "
+                  "delay first");
+    if (b.delay < 1 || b.delay > maxDelay_)
+        specError("pipeline '", name_, "': prev(", src, ", ", b.delay,
+                  ") outside the declared delay range [1, ", maxDelay_,
+                  "]");
+    if (!b.tap)
+        specError("pipeline '", name_, "': delay binding for '", src,
+                  "' has no tap image");
+    if (bool(b.source) == bool(b.sourceImage))
+        specError("pipeline '", name_, "': delay binding for '", src,
+                  "' must name exactly one Function or Image source");
+    if (b.source && b.source->kind() != CallableData::Kind::Function)
+        specError("pipeline '", name_, "': prev(", src,
+                  ") -- only Functions and input Images can be "
+                  "referenced at t-k");
+    inputs_.push_back(b.tap);
+    delays_.push_back(std::move(b));
 }
 
 } // namespace polymage::dsl

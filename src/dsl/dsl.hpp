@@ -12,6 +12,7 @@
 #include "dsl/pipeline_spec.hpp" // IWYU pragma: export
 #include "dsl/reduction.hpp"     // IWYU pragma: export
 #include "dsl/stencil.hpp"       // IWYU pragma: export
+#include "dsl/stream.hpp"        // IWYU pragma: export
 #include "dsl/types.hpp"         // IWYU pragma: export
 
 #endif // POLYMAGE_DSL_DSL_HPP

@@ -43,6 +43,11 @@ class Image
     /** Declare an input image of the given type and per-dim extents. */
     Image(std::string name, DType dtype, std::vector<Expr> extents);
     Image(DType dtype, std::vector<Expr> extents);
+    /** Pass-author interface: wrap an existing payload (e.g. the
+     * frame-delay taps minted by dsl::prev()). */
+    explicit Image(std::shared_ptr<const ImageData> data)
+        : data_(std::move(data))
+    {}
 
     const std::string &name() const { return data_->name(); }
     DType dtype() const { return data_->dtype(); }

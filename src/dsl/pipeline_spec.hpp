@@ -19,6 +19,29 @@
 namespace polymage::dsl {
 
 /**
+ * One frame-delay tap created by dsl::prev() (docs/STREAMING.md): a
+ * synthetic input image standing for a source stage's (or input
+ * image's) value @p delay frames ago.  Exactly one of source /
+ * sourceImage is set.
+ */
+struct DelayBinding
+{
+    /** Synthetic input standing for the source's value at t-k. */
+    std::shared_ptr<const ImageData> tap;
+    /** Delayed Function source (null when the source is an image). */
+    CallablePtr source;
+    /** Delayed input-image source (null for a Function source). */
+    std::shared_ptr<const ImageData> sourceImage;
+    /** Frames of delay (k >= 1). */
+    int delay = 1;
+
+    int sourceId() const
+    {
+        return source ? source->id() : sourceImage->id();
+    }
+};
+
+/**
  * User-facing description of a pipeline handed to the compiler: a name,
  * the live-out stages, and estimates for the pipeline parameters.  The
  * generated implementation remains valid for all parameter values; the
@@ -94,12 +117,31 @@ class PipelineSpec
         return estimates_;
     }
 
+    /// @name Streaming (frame-delay) axis -- see docs/STREAMING.md
+    /// @{
+    /**
+     * Declare the maximum frame delay dsl::prev() may reference.
+     * Must be called (with k >= 1) before the first prev(); bounds
+     * the per-stage ring-buffer depth at k+1 slots.
+     */
+    void setMaxDelay(int frames);
+    /** Declared maximum delay; 0 when the pipeline is single-frame. */
+    int maxDelay() const { return maxDelay_; }
+    /** True when any frame-delay tap exists. */
+    bool isStreaming() const { return !delays_.empty(); }
+    const std::vector<DelayBinding> &delays() const { return delays_; }
+    /** Used by dsl::prev(); validates against the declared maximum. */
+    void addDelay(DelayBinding b);
+    /// @}
+
   private:
     std::string name_;
     std::vector<CallablePtr> outputs_;
     std::vector<std::shared_ptr<const ParamData>> params_;
     std::vector<std::shared_ptr<const ImageData>> inputs_;
     std::map<int, std::int64_t> estimates_;
+    int maxDelay_ = 0;
+    std::vector<DelayBinding> delays_;
 };
 
 } // namespace polymage::dsl

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * dsl::prev() -- frame-delay taps over Functions and input Images.
+ */
+#include "dsl/stream.hpp"
+
+#include <string>
+
+#include "support/diagnostics.hpp"
+
+namespace polymage::dsl {
+
+namespace {
+
+/** Existing tap for (source id, k), if prev() was already called. */
+std::shared_ptr<const ImageData>
+findTap(const PipelineSpec &spec, int source_id, int k)
+{
+    for (const auto &d : spec.delays()) {
+        if (d.sourceId() == source_id && d.delay == k)
+            return d.tap;
+    }
+    return nullptr;
+}
+
+std::string
+tapName(const std::string &source, int k)
+{
+    return source + "__t" + std::to_string(k);
+}
+
+bool
+isConstZero(const Expr &e)
+{
+    if (e.node().kind() != ExprKind::ConstInt)
+        return false;
+    return static_cast<const ConstIntNode &>(e.node()).value == 0;
+}
+
+} // namespace
+
+Image
+prev(PipelineSpec &spec, const Function &f, int k)
+{
+    if (auto tap = findTap(spec, f.data()->id(), k))
+        return Image(std::move(tap));
+    // The tap's extents are the function's domain box: dimension d of
+    // the per-frame buffer spans [0, upper], so the extent is upper+1.
+    std::vector<Expr> extents;
+    extents.reserve(f.dom().size());
+    for (const auto &iv : f.dom()) {
+        if (iv.lower().defined() && !isConstZero(iv.lower()))
+            specError("prev(", f.name(), "): delayed functions must "
+                      "have zero-based domains");
+        extents.push_back(iv.upper() + 1);
+    }
+    auto tap = std::make_shared<ImageData>(tapName(f.name(), k),
+                                           f.dtype(), std::move(extents));
+    DelayBinding b;
+    b.tap = tap;
+    b.source = f.data();
+    b.delay = k;
+    spec.addDelay(std::move(b));
+    return Image(std::move(tap));
+}
+
+Image
+prev(PipelineSpec &spec, const Image &img, int k)
+{
+    if (auto tap = findTap(spec, img.data()->id(), k))
+        return Image(std::move(tap));
+    auto tap = std::make_shared<ImageData>(tapName(img.name(), k),
+                                           img.dtype(), img.extents());
+    DelayBinding b;
+    b.tap = tap;
+    b.sourceImage = img.data();
+    b.delay = k;
+    spec.addDelay(std::move(b));
+    return Image(std::move(tap));
+}
+
+} // namespace polymage::dsl

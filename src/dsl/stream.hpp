@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The streaming time axis of the DSL (docs/STREAMING.md): `prev(f, k)`
+ * references a Function's or input Image's value k frames ago.  Each
+ * distinct (source, k) pair mints one synthetic "tap" input image named
+ * `<source>__t<k>`; the compiler's stream-lowering phase turns taps
+ * into persistent ring buffers rotated by frame index.
+ */
+#ifndef POLYMAGE_DSL_STREAM_HPP
+#define POLYMAGE_DSL_STREAM_HPP
+
+#include "dsl/function.hpp"
+#include "dsl/image.hpp"
+#include "dsl/pipeline_spec.hpp"
+
+namespace polymage::dsl {
+
+/**
+ * Reference @p f's value @p k frames ago (k >= 1).  Requires a prior
+ * spec.setMaxDelay(>= k).  Returns a tap Image whose extents equal the
+ * function's domain box (upper bound + 1 per dimension); repeated
+ * calls with the same (f, k) return the same tap.  Frames t < k read
+ * zero-initialized ring slots (warm-up semantics).
+ */
+Image prev(PipelineSpec &spec, const Function &f, int k);
+
+/** Same, for an input image: the frame fed @p k calls ago. */
+Image prev(PipelineSpec &spec, const Image &img, int k);
+
+} // namespace polymage::dsl
+
+#endif // POLYMAGE_DSL_STREAM_HPP

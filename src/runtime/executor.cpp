@@ -445,6 +445,8 @@ MemoryStats::toJson() const
     w.key("pool_peak_bytes_in_use").value(poolPeakBytesInUse);
     w.key("pool_block_allocs").value(std::int64_t(poolBlockAllocs));
     w.key("pool_acquires").value(std::int64_t(poolAcquires));
+    w.key("ring_buffers").value(ringBuffers);
+    w.key("ring_bytes").value(ringBytes);
     w.endObject();
     return w.str();
 }

@@ -122,6 +122,10 @@ struct MemoryStats
      * mean every call allocated, a plateau means steady-state reuse. */
     std::uint64_t poolBlockAllocs = 0;
     std::uint64_t poolAcquires = 0;
+    /** Streaming sessions only (docs/STREAMING.md): persistent ring
+     * slots held across frames, and their total bytes. */
+    int ringBuffers = 0;
+    std::int64_t ringBytes = 0;
 
     /** Serialized to the polymage-memory-v1 schema. */
     std::string toJson() const;

@@ -114,6 +114,26 @@ Engine::Engine(std::shared_ptr<PipelineRegistry> registry,
 
 Engine::~Engine() { shutdown(); }
 
+std::uint64_t
+StreamSession::framesDone() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return framesDone_;
+}
+
+bool
+StreamSession::closed() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+}
+
+rt::MemoryStats
+StreamSession::memoryStats() const
+{
+    return stream_->memoryStats();
+}
+
 std::future<Response>
 Engine::submit(Request req)
 {
@@ -269,11 +289,17 @@ Engine::workerLoop(int index)
             inFlight_ += 1;
             batch.back().waitSeconds =
                 secondsBetween(batch.back().enqueued, now);
-            metrics_.onDequeue(batch.back().waitSeconds);
+            // Frame jobs never passed onEnqueue, so they skip
+            // onDequeue too (the queue gauges stay request-only).
+            if (!batch.back().session)
+                metrics_.onDequeue(batch.back().waitSeconds);
             // Same-pipeline coalescing: claim queued requests for the
             // leader's pipeline (default variant only -- explicit
             // variants have no cheap equality) up to maxBatch.
+            // Streaming frames never coalesce: a session's frames are
+            // strictly ordered and stateful.
             if (batching && opts_.maxBatch > 1 &&
+                !batch.front().session &&
                 !batch.front().req.variant.has_value()) {
                 // Copy, not reference: push_back below reallocates
                 // `batch` and would leave a reference dangling.
@@ -281,7 +307,7 @@ Engine::workerLoop(int index)
                 for (auto it = queue_.begin();
                      it != queue_.end() &&
                      std::int64_t(batch.size()) < opts_.maxBatch;) {
-                    if (it->req.pipeline == pipe &&
+                    if (!it->session && it->req.pipeline == pipe &&
                         !it->req.variant.has_value()) {
                         batch.push_back(std::move(*it));
                         it = queue_.erase(it);
@@ -297,7 +323,9 @@ Engine::workerLoop(int index)
             queueNotFull_.notify_all();
         }
 
-        if (batching) {
+        if (batch.front().session) {
+            executeFrame(batch.front());
+        } else if (batching) {
             executeBatch(batch, pool);
         } else {
             Response r = execute(batch.front(), pool);
@@ -590,6 +618,217 @@ Engine::notePromotion(const std::string &pipeline, int tier,
     }
 }
 
+std::shared_ptr<StreamSession>
+Engine::openStream(const std::string &pipeline,
+                   std::vector<std::int64_t> params)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_ || stopping_)
+            specError("cannot open stream '", pipeline,
+                      "': engine is stopped");
+    }
+    // Tier 2, blocking: the session's rings are allocated against one
+    // compiled plan, so there is no interpreter fallback to hide the
+    // compile behind (registry sharing still applies -- concurrent
+    // opens of one pipeline share the build).
+    PipelineRegistry::ExecutablePtr exe = registry_->get(pipeline);
+    if (!exe->info().stream.streaming)
+        specError("pipeline '", pipeline,
+                  "' is not a streaming spec (no prev() taps; see "
+                  "docs/STREAMING.md)");
+    std::shared_ptr<StreamSession> s(new StreamSession());
+    s->pipeline_ = pipeline;
+    s->stream_ = std::make_unique<rt::StreamExecutable>(
+        std::move(exe), std::move(params));
+    s->opened_ = Clock::now();
+    s->lastDone_ = s->opened_;
+    {
+        std::lock_guard<std::mutex> lock(sessMu_);
+        s->id_ = nextSessionId_++;
+        sessions_.push_back(s);
+    }
+    metrics_.onStreamOpen();
+    return s;
+}
+
+void
+Engine::submitFrame(
+    const std::shared_ptr<StreamSession> &session,
+    std::vector<std::shared_ptr<const rt::Buffer>> inputs,
+    FrameCallback done)
+{
+    PM_ASSERT(session != nullptr, "submitFrame requires a session");
+    metrics_.onFrameSubmit();
+    StreamSession::PendingFrame f;
+    f.inputs = std::move(inputs);
+    f.done = std::move(done);
+    f.enqueued = Clock::now();
+
+    const char *reason = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (draining_ || stopping_)
+            reason = "engine is stopped";
+    }
+    bool run_now = false;
+    if (reason == nullptr) {
+        std::lock_guard<std::mutex> lock(session->mu_);
+        if (session->closed_) {
+            reason = "stream session is closed";
+        } else {
+            f.frame = session->framesSubmitted_++;
+            if (session->inFlight_) {
+                session->pending_.push_back(std::move(f));
+            } else {
+                session->inFlight_ = true;
+                run_now = true;
+            }
+        }
+    }
+    if (reason != nullptr) {
+        StreamFrameResult fr;
+        fr.error = reason;
+        metrics_.onFrameDone(0.0, false);
+        if (f.done)
+            f.done(fr);
+        return;
+    }
+    if (run_now)
+        enqueueFrame(session, std::move(f));
+}
+
+void
+Engine::enqueueFrame(const std::shared_ptr<StreamSession> &session,
+                     StreamSession::PendingFrame &&f)
+{
+    Job job;
+    job.req.pipeline = session->pipeline_;
+    job.req.inputs = std::move(f.inputs);
+    job.session = session;
+    job.frameDone = std::move(f.done);
+    job.frameIndex = f.frame;
+    job.enqueued = f.enqueued;
+    // Frames bypass the capacity gate: a session contributes at most
+    // one queued job at a time (the rest wait in its own FIFO), so
+    // the request queue cannot be flooded by a fast producer.  They
+    // also pass during drain() -- already-submitted frames finish --
+    // but not after shutdown().
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!stopping_) {
+            queue_.push_back(std::move(job));
+            queueNotEmpty_.notify_one();
+            return;
+        }
+    }
+    failFrame(job, "engine shutdown before execution");
+}
+
+void
+Engine::executeFrame(Job &job)
+{
+    const std::shared_ptr<StreamSession> &s = job.session;
+    StreamFrameResult fr;
+    fr.frame = job.frameIndex;
+    fr.queueSeconds = job.waitSeconds;
+    const auto t0 = Clock::now();
+    try {
+        std::vector<const rt::Buffer *> ins;
+        ins.reserve(job.req.inputs.size());
+        for (const auto &b : job.req.inputs)
+            ins.push_back(b.get());
+        // SharedTileQueue mode drains the frame's tiles through the
+        // shared pool (sched_ is null otherwise, and step() falls
+        // back to the per-request OpenMP entry).
+        const std::vector<rt::Buffer> &outs =
+            s->stream_->step(ins, sched_.get());
+        fr.outputs = &outs;
+        fr.tier = 2;
+    } catch (const std::exception &e) {
+        fr.error = e.what();
+    } catch (...) {
+        fr.error = "unknown execution error";
+    }
+    const auto now = Clock::now();
+    fr.runSeconds = secondsBetween(t0, now);
+    fr.totalSeconds = secondsBetween(job.enqueued, now);
+    metrics_.onFrameDone(fr.totalSeconds, fr.ok());
+    {
+        std::lock_guard<std::mutex> lock(s->mu_);
+        s->framesDone_ += 1;
+        if (!fr.ok())
+            s->framesFailed_ += 1;
+        s->frameLatency_.record(fr.totalSeconds);
+        s->lastDone_ = now;
+    }
+    // Callback runs before the FIFO advances: the next frame cannot
+    // start (and overwrite the borrowed outputs) until it returns.
+    if (job.frameDone)
+        job.frameDone(fr);
+    StreamSession::PendingFrame next;
+    bool have = false;
+    {
+        std::lock_guard<std::mutex> lock(s->mu_);
+        if (!s->pending_.empty()) {
+            next = std::move(s->pending_.front());
+            s->pending_.pop_front();
+            have = true;
+        } else {
+            s->inFlight_ = false;
+        }
+        s->cv_.notify_all();
+    }
+    if (have)
+        enqueueFrame(s, std::move(next));
+}
+
+void
+Engine::failFrame(Job &job, const char *reason)
+{
+    const std::shared_ptr<StreamSession> &s = job.session;
+    StreamFrameResult fr;
+    fr.frame = job.frameIndex;
+    fr.error = reason;
+    fr.totalSeconds = secondsBetween(job.enqueued, Clock::now());
+    fr.queueSeconds = fr.totalSeconds;
+    metrics_.onFrameDone(fr.totalSeconds, false);
+    {
+        std::lock_guard<std::mutex> lock(s->mu_);
+        s->framesDone_ += 1;
+        s->framesFailed_ += 1;
+        s->frameLatency_.record(fr.totalSeconds);
+        s->lastDone_ = Clock::now();
+    }
+    if (job.frameDone)
+        job.frameDone(fr);
+    // No chain-advance: failFrame only runs when the engine is
+    // stopping, and shutdown() flushes the session FIFOs itself.
+    std::lock_guard<std::mutex> lock(s->mu_);
+    s->inFlight_ = false;
+    s->cv_.notify_all();
+}
+
+void
+Engine::closeStream(const std::shared_ptr<StreamSession> &session)
+{
+    PM_ASSERT(session != nullptr, "closeStream requires a session");
+    bool record = false;
+    {
+        std::unique_lock<std::mutex> lock(session->mu_);
+        session->closed_ = true;
+        session->cv_.wait(lock, [&] {
+            return session->pending_.empty() && !session->inFlight_;
+        });
+        if (!session->closeRecorded_) {
+            session->closeRecorded_ = true;
+            record = true;
+        }
+    }
+    if (record)
+        metrics_.onStreamClose();
+}
+
 void
 Engine::drain()
 {
@@ -621,12 +860,49 @@ Engine::shutdown()
         idle_.notify_all();
     }
     for (Job &j : orphans) {
+        if (j.session) {
+            failFrame(j, "engine shutdown before execution");
+            continue;
+        }
         Response r;
         r.error = "engine shutdown before execution";
         r.totalSeconds = secondsBetween(j.enqueued, Clock::now());
         r.queueSeconds = r.totalSeconds;
         metrics_.onShutdownOrphan(r.queueSeconds);
         finish(j, std::move(r));
+    }
+    // Flush streaming-session FIFOs: frames waiting behind a
+    // session's in-flight one will never be enqueued now.
+    std::vector<std::shared_ptr<StreamSession>> sessions;
+    {
+        std::lock_guard<std::mutex> lock(sessMu_);
+        sessions = sessions_;
+    }
+    for (const auto &s : sessions) {
+        std::deque<StreamSession::PendingFrame> pend;
+        {
+            std::lock_guard<std::mutex> lock(s->mu_);
+            s->closed_ = true;
+            pend.swap(s->pending_);
+            s->cv_.notify_all();
+        }
+        for (StreamSession::PendingFrame &f : pend) {
+            StreamFrameResult fr;
+            fr.frame = f.frame;
+            fr.error = "engine shutdown before execution";
+            fr.totalSeconds =
+                secondsBetween(f.enqueued, Clock::now());
+            fr.queueSeconds = fr.totalSeconds;
+            metrics_.onFrameDone(fr.totalSeconds, false);
+            {
+                std::lock_guard<std::mutex> lock(s->mu_);
+                s->framesDone_ += 1;
+                s->framesFailed_ += 1;
+                s->frameLatency_.record(fr.totalSeconds);
+            }
+            if (f.done)
+                f.done(fr);
+        }
     }
     if (join) {
         for (std::thread &t : workers_)
@@ -655,6 +931,27 @@ Engine::metrics() const
         s.poolAcquires += ps.acquires;
         s.poolBytesOwned += ps.bytesOwned;
         s.poolPeakBytesInUse += ps.peakBytesInUse;
+    }
+    {
+        std::lock_guard<std::mutex> lock(sessMu_);
+        s.streamSessions.reserve(sessions_.size());
+        for (const auto &sess : sessions_) {
+            ServeSnapshot::StreamSessionSummary sum;
+            std::lock_guard<std::mutex> slock(sess->mu_);
+            sum.id = sess->id_;
+            sum.pipeline = sess->pipeline_;
+            sum.frames = sess->framesDone_;
+            sum.failed = sess->framesFailed_;
+            sum.p99Seconds =
+                sess->frameLatency_.quantileSeconds(0.99);
+            const double span =
+                secondsBetween(sess->opened_, sess->lastDone_);
+            sum.fps = span > 0.0
+                          ? double(sess->framesDone_) / span
+                          : 0.0;
+            sum.closed = sess->closed_;
+            s.streamSessions.push_back(std::move(sum));
+        }
     }
     return s;
 }

@@ -31,6 +31,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/stream.hpp"
 #include "serve/metrics.hpp"
 #include "serve/registry.hpp"
 
@@ -196,6 +197,95 @@ struct Response
     bool ok() const { return error.empty(); }
 };
 
+/** Completion of one streaming frame (docs/STREAMING.md). */
+struct StreamFrameResult
+{
+    /** Session-local frame index (-1 when rejected at submit). */
+    long long frame = -1;
+    /** Empty on success; the failure reason otherwise. */
+    std::string error;
+    /**
+     * The frame's declared output buffers, borrowed from the session:
+     * valid only during the callback, overwritten by the next frame.
+     * Null on error.
+     */
+    const std::vector<rt::Buffer> *outputs = nullptr;
+    /** Time spent queued before a worker picked the frame up. */
+    double queueSeconds = 0.0;
+    /** Time spent executing the frame. */
+    double runSeconds = 0.0;
+    /** End-to-end latency (submitFrame to completion). */
+    double totalSeconds = 0.0;
+    /** Always 2 (compiled) on success — sessions pin a compiled
+     * variant, the interpreter tier never serves frames; 0 on
+     * failure. */
+    int tier = 0;
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Runs on the worker thread that completed (or failed) a frame. */
+using FrameCallback = std::function<void(const StreamFrameResult &)>;
+
+class Engine;
+
+/**
+ * One open streaming session (Engine::openStream): pins a compiled
+ * variant, owns the rt::StreamExecutable ring state, and serialises
+ * its frames — at most one frame of a session executes at a time, in
+ * submit order (per-session FIFO), while frames of different sessions
+ * interleave freely across the worker pool.
+ */
+class StreamSession
+{
+  public:
+    std::uint64_t id() const { return id_; }
+    const std::string &pipeline() const { return pipeline_; }
+    /** Frames completed so far (ok + failed). */
+    std::uint64_t framesDone() const;
+    bool closed() const;
+    /** Inputs the caller supplies per frame (taps excluded). */
+    int declaredInputs() const { return stream_->declaredInputs(); }
+    /** Outputs a frame callback sees (feedback ones excluded). */
+    int declaredOutputs() const { return stream_->declaredOutputs(); }
+    /** Executable memory stats plus the session's ring footprint. */
+    rt::MemoryStats memoryStats() const;
+
+  private:
+    friend class Engine;
+    using Clock = std::chrono::steady_clock;
+
+    /** A frame waiting behind the session's in-flight one. */
+    struct PendingFrame
+    {
+        std::vector<std::shared_ptr<const rt::Buffer>> inputs;
+        FrameCallback done;
+        Clock::time_point enqueued;
+        long long frame = 0;
+    };
+
+    StreamSession() = default;
+
+    std::uint64_t id_ = 0;
+    std::string pipeline_;
+    std::unique_ptr<rt::StreamExecutable> stream_;
+
+    mutable std::mutex mu_;
+    std::condition_variable cv_;
+    std::deque<PendingFrame> pending_;
+    /** A frame of this session is queued or executing. */
+    bool inFlight_ = false;
+    bool closed_ = false;
+    /** onStreamClose() was recorded (closeStream idempotence). */
+    bool closeRecorded_ = false;
+    long long framesSubmitted_ = 0;
+    std::uint64_t framesDone_ = 0;
+    std::uint64_t framesFailed_ = 0;
+    LatencyHistogram frameLatency_;
+    Clock::time_point opened_;
+    Clock::time_point lastDone_;
+};
+
 /**
  * A multi-client serving engine over a PipelineRegistry.  All public
  * methods are thread-safe; submit() may be called from any number of
@@ -225,10 +315,50 @@ class Engine
     void submit(Request req, std::function<void(Response)> done);
 
     /**
+     * Open a streaming session on a registered streaming pipeline
+     * (docs/STREAMING.md).  Blocks on the variant compile if needed —
+     * a session pins one compiled executable for its whole life (the
+     * ring buffers are allocated against its plan), so the
+     * interpreter tier never answers stream frames.  @p params are
+     * fixed for the session.
+     * @throws SpecError for unknown or non-streaming pipelines, or
+     * when the engine is stopped.
+     */
+    std::shared_ptr<StreamSession>
+    openStream(const std::string &pipeline,
+               std::vector<std::int64_t> params);
+
+    /**
+     * Submit the next frame of @p session: @p inputs are the declared
+     * inputs in ABI order (taps are fed from the session's rings).
+     * Frames execute strictly in submit order, one at a time per
+     * session (per-session FIFO); @p done runs on the completing
+     * worker thread with outputs borrowed from the session.  Frames
+     * bypass the admission queue capacity — a session holds at most
+     * one frame in the engine queue, and the rest wait in the
+     * session's own unbounded FIFO.  A rejected frame (closed
+     * session, stopped engine) invokes @p done immediately with an
+     * error.
+     */
+    void submitFrame(const std::shared_ptr<StreamSession> &session,
+                     std::vector<std::shared_ptr<const rt::Buffer>>
+                         inputs,
+                     FrameCallback done = nullptr);
+
+    /**
+     * Close a session: stop accepting frames and wait until every
+     * already-submitted frame has completed.  Idempotent; safe to
+     * call concurrently with submitFrame (late submits fail).
+     */
+    void closeStream(const std::shared_ptr<StreamSession> &session);
+
+    /**
      * Stop admitting new requests and wait until every queued and
      * in-flight request has completed.  Clients blocked in a full
      * Block-policy queue are completed with an error.  The engine
-     * stays stopped afterwards (submits fail fast).
+     * stays stopped afterwards (submits fail fast).  Frames already
+     * submitted to streaming sessions keep draining through their
+     * FIFOs; new submitFrame calls fail.
      */
     void drain();
 
@@ -259,6 +389,12 @@ class Engine
         Clock::time_point enqueued;
         /** Queue wait measured at dequeue (set by the worker). */
         double waitSeconds = 0.0;
+        /** Set on streaming-frame jobs: the owning session.  Frame
+         * jobs carry their inputs in req.inputs and complete through
+         * frameDone, never the promise/callback pair. */
+        std::shared_ptr<StreamSession> session;
+        FrameCallback frameDone;
+        long long frameIndex = -1;
     };
 
     std::future<Response> enqueue(Request req,
@@ -290,6 +426,15 @@ class Engine
     void notePromotion(const std::string &pipeline, int tier,
                        Clock::time_point now);
     static void finish(Job &job, Response &&r);
+    /** Run one streaming frame on a worker, then advance the
+     * session's FIFO (enqueue its next pending frame, if any). */
+    void executeFrame(Job &job);
+    /** Push a frame job onto the engine queue (fails it when the
+     * engine is stopping). */
+    void enqueueFrame(const std::shared_ptr<StreamSession> &session,
+                      StreamSession::PendingFrame &&f);
+    /** Fail a queued frame job (shutdown orphan / stopped engine). */
+    void failFrame(Job &job, const char *reason);
 
     std::shared_ptr<PipelineRegistry> registry_;
     EngineOptions opts_;
@@ -337,6 +482,11 @@ class Engine
      * recorded) when the first compiled-tier response lands. */
     std::mutex promoMu_;
     std::map<std::string, Clock::time_point> firstInterp_;
+
+    /** Every session ever opened (closed ones stay for metrics). */
+    mutable std::mutex sessMu_;
+    std::vector<std::shared_ptr<StreamSession>> sessions_;
+    std::uint64_t nextSessionId_ = 1;
 };
 
 } // namespace polymage::serve

@@ -201,6 +201,38 @@ ServeMetrics::onPromotion(double seconds)
     promotion_.record(seconds);
 }
 
+void
+ServeMetrics::onStreamOpen()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    streamOpened_ += 1;
+}
+
+void
+ServeMetrics::onStreamClose()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    streamClosed_ += 1;
+}
+
+void
+ServeMetrics::onFrameSubmit()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    framesSubmitted_ += 1;
+}
+
+void
+ServeMetrics::onFrameDone(double total_seconds, bool ok)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (ok)
+        framesCompleted_ += 1;
+    else
+        framesFailed_ += 1;
+    frameLatency_.record(total_seconds);
+}
+
 namespace {
 
 HistogramSummary
@@ -256,10 +288,16 @@ ServeMetrics::snapshot() const
     s.queueDepth = queueDepth_;
     s.inFlight = inFlight_;
     s.peakQueueDepth = peakQueueDepth_;
+    s.streamSessionsOpened = streamOpened_;
+    s.streamSessionsClosed = streamClosed_;
+    s.framesSubmitted = framesSubmitted_;
+    s.framesCompleted = framesCompleted_;
+    s.framesFailed = framesFailed_;
     s.latency = summarize(latency_);
     s.queueWait = summarize(queueWait_);
     s.shedWait = summarize(shedWait_);
     s.promotion = summarize(promotion_);
+    s.frameLatency = summarize(frameLatency_);
     return s;
 }
 
@@ -320,6 +358,33 @@ ServeSnapshot::toJson() const
     w.key("acquires").value(std::int64_t(poolAcquires));
     w.key("bytes_owned").value(poolBytesOwned);
     w.key("peak_bytes_in_use").value(poolPeakBytesInUse);
+    w.endObject();
+    w.key("stream").beginObject();
+    w.key("sessions_opened")
+        .value(std::int64_t(streamSessionsOpened));
+    w.key("sessions_closed")
+        .value(std::int64_t(streamSessionsClosed));
+    w.key("sessions_active")
+        .value(std::int64_t(streamSessionsOpened -
+                            streamSessionsClosed));
+    w.key("frames_submitted").value(std::int64_t(framesSubmitted));
+    w.key("frames_completed").value(std::int64_t(framesCompleted));
+    w.key("frames_failed").value(std::int64_t(framesFailed));
+    w.key("frame_latency");
+    writeSummary(w, frameLatency);
+    w.key("sessions").beginArray();
+    for (const auto &sess : streamSessions) {
+        w.beginObject();
+        w.key("id").value(std::int64_t(sess.id));
+        w.key("pipeline").value(sess.pipeline);
+        w.key("frames").value(std::int64_t(sess.frames));
+        w.key("failed").value(std::int64_t(sess.failed));
+        w.key("fps").value(sess.fps);
+        w.key("p99_seconds").value(sess.p99Seconds);
+        w.key("closed").value(sess.closed);
+        w.endObject();
+    }
+    w.endArray();
     w.endObject();
     w.key("latency");
     writeSummary(w, latency);

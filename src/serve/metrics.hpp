@@ -16,6 +16,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "runtime/scheduler.hpp"
 
@@ -141,6 +142,31 @@ struct ServeSnapshot
     std::uint64_t promotions = 0;
     /// @}
 
+    /// @name Streaming sessions (docs/STREAMING.md)
+    /// @{
+    std::uint64_t streamSessionsOpened = 0;
+    std::uint64_t streamSessionsClosed = 0;
+    /** Frames accepted by submitFrame() across all sessions. */
+    std::uint64_t framesSubmitted = 0;
+    std::uint64_t framesCompleted = 0;
+    std::uint64_t framesFailed = 0;
+    /** One entry per session ever opened (filled by the Engine). */
+    struct StreamSessionSummary
+    {
+        std::uint64_t id = 0;
+        std::string pipeline;
+        /** Frames completed (ok + failed). */
+        std::uint64_t frames = 0;
+        std::uint64_t failed = 0;
+        /** Completed frames / (open to last completion). */
+        double fps = 0.0;
+        /** p99 frame latency (submitFrame to completion). */
+        double p99Seconds = 0.0;
+        bool closed = false;
+    };
+    std::vector<StreamSessionSummary> streamSessions;
+    /// @}
+
     /// @name Gauges
     /// @{
     std::int64_t queueDepth = 0;
@@ -171,6 +197,10 @@ struct ServeSnapshot
     /** Per-pipeline promotion latency: first interpreter-served
      * response to first compiled-tier response. */
     HistogramSummary promotion;
+    /** Frame end-to-end latency (submitFrame to completion) pooled
+     * across every streaming session; the per-session p99 lives in
+     * streamSessions. */
+    HistogramSummary frameLatency;
 
     /** Serialized to the polymage-serve-v1 schema. */
     std::string toJson() const;
@@ -217,6 +247,17 @@ class ServeMetrics
     /** A pipeline's serving flipped from tier 1 to tier 2 after
      * @p seconds (first interpreted to first compiled response). */
     void onPromotion(double seconds);
+    /** A streaming session was opened. */
+    void onStreamOpen();
+    /** A streaming session was closed. */
+    void onStreamClose();
+    /** A frame was accepted by submitFrame(). */
+    void onFrameSubmit();
+    /** A frame finished after @p total_seconds (@p ok = no error).
+     * Frames bypass the request counters and queue gauges entirely:
+     * they never pass admission, so mixing them in would break the
+     * submitted == completed + ... snapshot invariant. */
+    void onFrameDone(double total_seconds, bool ok);
 
     /**
      * Counters, gauges, and histograms (config/pool fields left
@@ -248,10 +289,16 @@ class ServeMetrics
     std::int64_t queueDepth_ = 0;
     std::int64_t inFlight_ = 0;
     std::int64_t peakQueueDepth_ = 0;
+    std::uint64_t streamOpened_ = 0;
+    std::uint64_t streamClosed_ = 0;
+    std::uint64_t framesSubmitted_ = 0;
+    std::uint64_t framesCompleted_ = 0;
+    std::uint64_t framesFailed_ = 0;
     LatencyHistogram latency_;
     LatencyHistogram queueWait_;
     LatencyHistogram shedWait_;
     LatencyHistogram promotion_;
+    LatencyHistogram frameLatency_;
 };
 
 } // namespace polymage::serve

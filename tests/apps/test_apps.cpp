@@ -11,6 +11,7 @@
 #include <cstdlib>
 
 #include "apps/apps.hpp"
+#include "core/stream_plan.hpp"
 #include "interp/interpreter.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/synth.hpp"
@@ -164,6 +165,26 @@ TEST(Apps, HistogramEq)
     auto spec = buildHistogramEq(n, n);
     Buffer in = rt::synth::photoU8(n, n);
     checkApp(spec, {n, n}, {&in}, 0);
+}
+
+TEST(Apps, TemporalDenoise)
+{
+    // Streaming app: the equality sweep runs on the lowered
+    // single-frame form (taps become ordinary inputs, the blury
+    // feedback becomes a synthetic second output); the frame-by-frame
+    // session semantics are covered in tests/runtime/test_stream.cpp.
+    const std::int64_t n = 40;
+    auto sl = core::lowerStream(buildTemporalDenoise(n, n));
+    Buffer cur = rt::synth::photo(n + 2, n + 2);
+    Buffer t1 = rt::synth::photo(n + 2, n + 2, 7);
+    Buffer t2 = rt::synth::photo(n + 2, n + 2, 13);
+    Buffer blur1 = rt::synth::photo(n + 2, n + 2, 21);
+    Buffer den1 = rt::synth::photo(n + 2, n + 2, 34);
+    checkApp(sl.spec, {n, n}, {&cur, &t1, &t2, &blur1, &den1}, 1e-4);
+
+    // Structure: blurx/blury fuse; denoised stays a live-out.
+    auto c = compilePipeline(buildTemporalDenoise(720, 1280));
+    EXPECT_EQ(c.graph.stages().size(), 3u);
 }
 
 TEST(Apps, HarrisBaselineVariantsAgree)

@@ -57,18 +57,18 @@ randomBuffer(DType t, const std::vector<std::int64_t> &dims,
 TEST(Partition, BorderCaseSplitsIntoGuardFreeStrips)
 {
     auto t = testing::makeBoundaryStencil(256);
-    // The masked vector epilogue carries one boundary `if` per nest;
-    // switch it off so the count below measures only per-point guards.
-    CompileOptions opts;
-    opts.codegen.maskedEpilogue = false;
-    auto c = compilePipeline(t.spec, opts);
+    auto c = compilePipeline(t.spec);
     // Four half-plane clauses plus the interior case: >= 5 nests, all
-    // guard-free, and not a single `if` in the emitted entry.
+    // guard-free.  The masked vector epilogue contributes exactly one
+    // `if (pm_tail)` boundary branch per vectorised row; every other
+    // `if` would be a per-point guard, of which there must be none.
     EXPECT_EQ(c.code.partitionedCases, 1);
     EXPECT_EQ(c.code.guardedNests, 0);
     EXPECT_GE(c.code.interiorNests, 5);
     EXPECT_DOUBLE_EQ(c.code.interiorFraction(), 1.0);
-    EXPECT_EQ(countOccurrences(entryBody(c), "if ("), 0);
+    const std::string body = entryBody(c);
+    EXPECT_EQ(countOccurrences(body, "if ("),
+              countOccurrences(body, "if (pm_tail)"));
 }
 
 TEST(Partition, AblationKeepsThePerPointGuard)
@@ -103,15 +103,17 @@ TEST(Partition, GuardedNestsDropTheSimdPragma)
 TEST(Partition, WorksInsideOverlappedTileGroups)
 {
     auto t = testing::makeBoundaryChain(256);
-    CompileOptions opts;
-    opts.codegen.maskedEpilogue = false; // as above: no tail guards
-    auto c = compilePipeline(t.spec, opts);
+    auto c = compilePipeline(t.spec);
     ASSERT_NE(entryBody(c).find("for (long long T0 ="),
               std::string::npos)
         << "expected the two stages to fuse into a tiled group";
     EXPECT_EQ(c.code.partitionedCases, 1);
     EXPECT_EQ(c.code.guardedNests, 0);
-    EXPECT_EQ(countOccurrences(entryBody(c), "if ("), 0);
+    // As above: the only branches are the tagged per-row vector tail
+    // guards, never per-point case guards.
+    const std::string body = entryBody(c);
+    EXPECT_EQ(countOccurrences(body, "if ("),
+              countOccurrences(body, "if (pm_tail)"));
 }
 
 TEST(Partition, HoistsInvariantAddressBases)

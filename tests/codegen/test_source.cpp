@@ -218,6 +218,10 @@ TEST(GoldenInterior, AppsEmitGuardFreeInnermostLoops)
         const std::string body = entryBodyOf(c);
         EXPECT_EQ(countOccurrences(body, "if ("),
                   countOccurrences(body, "const int pm_vskip"));
+        // Each of those branches is the tagged per-row tail guard
+        // (`if (pm_tail)`), distinguishable from per-point guards.
+        EXPECT_EQ(countOccurrences(body, "if ("),
+                  countOccurrences(body, "if (pm_tail)"));
         EXPECT_EQ(c.code.maskedEpilogues,
                   countOccurrences(body, "const int pm_vskip"));
         EXPECT_GT(c.code.maskedEpilogues, 0);

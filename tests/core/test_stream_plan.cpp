@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Stream lowering: ring grouping, depths, positional ABI indices,
+ * synthetic feedback outputs, and byte estimates -- plus survival of
+ * the plan's positional contract through the full compile driver
+ * (inline pass included).
+ */
+#include <gtest/gtest.h>
+
+#include "apps/apps.hpp"
+#include "core/stream_plan.hpp"
+#include "driver/compiler.hpp"
+
+namespace polymage::core {
+namespace {
+
+TEST(StreamPlan, TemporalDenoiseRings)
+{
+    auto spec = apps::buildTemporalDenoise(64, 64);
+    auto sl = lowerStream(spec);
+
+    EXPECT_FALSE(sl.spec.isStreaming());
+    EXPECT_TRUE(sl.plan.streaming);
+    EXPECT_EQ(sl.plan.maxDelay, 2);
+    EXPECT_EQ(sl.plan.declaredInputs, 1);
+    EXPECT_EQ(sl.plan.declaredOutputs, 1);
+    // blury feeds back without being a declared output: lowering
+    // appends it as a synthetic live-out.
+    ASSERT_EQ(sl.spec.outputs().size(), 2u);
+
+    ASSERT_EQ(sl.plan.rings.size(), 3u);
+    const RingSpec &input_ring = sl.plan.rings[0];
+    EXPECT_EQ(input_ring.name, "I");
+    EXPECT_TRUE(input_ring.fromInput);
+    EXPECT_EQ(input_ring.sourceInputIndex, 0);
+    EXPECT_EQ(input_ring.maxDelay, 2);
+    EXPECT_EQ(input_ring.depth, 3);
+    ASSERT_EQ(input_ring.taps.size(), 2u);
+
+    const RingSpec &blur_ring = sl.plan.rings[1];
+    EXPECT_EQ(blur_ring.name, "blury");
+    EXPECT_FALSE(blur_ring.fromInput);
+    EXPECT_TRUE(blur_ring.syntheticOutput);
+    EXPECT_EQ(blur_ring.sourceOutputIndex, 1);
+    EXPECT_EQ(blur_ring.depth, 2);
+
+    const RingSpec &out_ring = sl.plan.rings[2];
+    EXPECT_EQ(out_ring.name, "denoised");
+    EXPECT_FALSE(out_ring.fromInput);
+    EXPECT_FALSE(out_ring.syntheticOutput);
+    EXPECT_EQ(out_ring.sourceOutputIndex, 0);
+    EXPECT_EQ(out_ring.depth, 2);
+
+    // 66 x 66 floats per slot under the 64x64 estimates.
+    for (const auto &r : sl.plan.rings)
+        EXPECT_EQ(r.estBytesPerSlot, 66 * 66 * 4);
+    EXPECT_EQ(sl.plan.estRingBytes(), std::int64_t(66 * 66 * 4) * 7);
+}
+
+TEST(StreamPlan, PlanSurvivesTheInlinePass)
+{
+    auto spec = apps::buildTemporalDenoise(64, 64);
+    auto c = compilePipeline(spec);
+    EXPECT_TRUE(c.stream.streaming);
+    ASSERT_EQ(c.stream.rings.size(), 3u);
+    // The compiled graph carries the lowered ABI: 1 declared + 4 tap
+    // inputs, 1 declared + 1 synthetic output -- in plan order.
+    EXPECT_EQ(c.graph.images().size(), 5u);
+    ASSERT_EQ(c.graph.outputs().size(), 2u);
+    EXPECT_EQ(c.graph.stage(c.graph.outputs()[0]).name(), "denoised");
+    EXPECT_EQ(c.graph.stage(c.graph.outputs()[1]).name(), "blury");
+    // The feedback stages are live-outs, so the inliner kept them.
+    for (const auto &name : c.inlined) {
+        EXPECT_NE(name, "blury");
+        EXPECT_NE(name, "denoised");
+    }
+    // A stream_lower span was traced (docs/OBSERVABILITY.md).
+    bool saw = false;
+    for (const auto &s : c.trace)
+        saw |= s.name == "stream_lower";
+    EXPECT_TRUE(saw);
+}
+
+TEST(StreamPlan, SingleFramePipelinesReportDeclaredCounts)
+{
+    auto spec = apps::buildHarris(64, 64);
+    auto c = compilePipeline(spec);
+    EXPECT_FALSE(c.stream.streaming);
+    EXPECT_EQ(c.stream.declaredInputs, 1);
+    EXPECT_EQ(c.stream.declaredOutputs, 1);
+    EXPECT_EQ(c.stream.estRingBytes(), 0);
+}
+
+} // namespace
+} // namespace polymage::core

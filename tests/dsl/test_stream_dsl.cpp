@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Frame-delay DSL validation: setMaxDelay gating, delay-range checks,
+ * tap memoization, and tap shape/dtype derivation.
+ */
+#include <gtest/gtest.h>
+
+#include "dsl/dsl.hpp"
+#include "support/diagnostics.hpp"
+
+namespace polymage::dsl {
+namespace {
+
+PipelineSpec
+specWith(int max_delay)
+{
+    PipelineSpec spec("s");
+    if (max_delay > 0)
+        spec.setMaxDelay(max_delay);
+    return spec;
+}
+
+TEST(StreamDsl, PrevRequiresDeclaredMaxDelay)
+{
+    Parameter N("N");
+    Image I("I", DType::Float, {Expr(N)});
+    PipelineSpec spec = specWith(0);
+    spec.addInput(I);
+    EXPECT_THROW(prev(spec, I, 1), SpecError);
+}
+
+TEST(StreamDsl, DelayMustBeWithinDeclaredRange)
+{
+    Parameter N("N");
+    Image I("I", DType::Float, {Expr(N)});
+    PipelineSpec spec = specWith(2);
+    spec.addInput(I);
+    EXPECT_THROW(prev(spec, I, 0), SpecError);
+    EXPECT_THROW(prev(spec, I, 3), SpecError);
+    EXPECT_NO_THROW(prev(spec, I, 2));
+}
+
+TEST(StreamDsl, MaxDelayMustBePositiveAndMonotone)
+{
+    PipelineSpec spec("s");
+    EXPECT_THROW(spec.setMaxDelay(0), SpecError);
+    spec.setMaxDelay(3);
+    EXPECT_EQ(spec.maxDelay(), 3);
+    Parameter N("N");
+    Image I("I", DType::Float, {Expr(N)});
+    spec.addInput(I);
+    prev(spec, I, 3);
+    EXPECT_THROW(spec.setMaxDelay(2), SpecError);
+    EXPECT_NO_THROW(spec.setMaxDelay(4));
+}
+
+TEST(StreamDsl, TapsAreMemoizedPerSourceAndDelay)
+{
+    Parameter N("N");
+    Image I("I", DType::Float, {Expr(N)});
+    PipelineSpec spec = specWith(2);
+    spec.addInput(I);
+    Image a = prev(spec, I, 1);
+    Image b = prev(spec, I, 1);
+    Image c = prev(spec, I, 2);
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(spec.delays().size(), 2u);
+    // Both taps were appended to the input ABI after I.
+    ASSERT_EQ(spec.inputs().size(), 3u);
+    EXPECT_EQ(spec.inputs()[1]->name(), "I__t1");
+    EXPECT_EQ(spec.inputs()[2]->name(), "I__t2");
+}
+
+TEST(StreamDsl, FunctionTapTakesDomainShapeAndDtype)
+{
+    Parameter N("N");
+    PipelineSpec spec = specWith(1);
+    Variable x("x");
+    Function f("f", {x}, {Interval(Expr(0), Expr(N) + 4)},
+               DType::Double);
+    Image tap = prev(spec, f, 1);
+    EXPECT_EQ(tap.name(), "f__t1");
+    EXPECT_EQ(tap.dtype(), DType::Double);
+    ASSERT_EQ(tap.numDims(), 1);
+    EXPECT_TRUE(spec.isStreaming());
+}
+
+TEST(StreamDsl, NonZeroBasedDomainsAreRejected)
+{
+    Parameter N("N");
+    PipelineSpec spec = specWith(1);
+    Variable x("x");
+    Function f("f", {x}, {Interval(Expr(1), Expr(N))}, DType::Float);
+    EXPECT_THROW(prev(spec, f, 1), SpecError);
+}
+
+} // namespace
+} // namespace polymage::dsl

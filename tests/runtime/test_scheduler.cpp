@@ -23,6 +23,63 @@ TEST(Scheduler, EmptyJobCompletesImmediately)
     EXPECT_EQ(sched.stats().tasksExecuted, 0u);
 }
 
+TEST(Scheduler, HelpWhileOnEmptyAndAlreadyDrainedJobs)
+{
+    TileScheduler sched;
+    // An empty job (no phases / zero task counts) finishes at submit;
+    // helpWhile must return immediately without executing anything.
+    auto empty = sched.submit([](long long, long long, long long) {},
+                              {});
+    EXPECT_EQ(sched.helpWhile(empty), "");
+    auto zeros = sched.submit([](long long, long long, long long) {},
+                              {0, 0});
+    EXPECT_EQ(sched.helpWhile(zeros), "");
+    EXPECT_EQ(sched.stats().tasksExecuted, 0u);
+
+    // A job that already drained through wait(): helpWhile on the
+    // same ticket is a no-op returning the recorded (empty) error.
+    std::atomic<int> ran{0};
+    auto t = sched.submit(
+        [&](long long, long long lo, long long hi) {
+            ran.fetch_add(int(hi - lo + 1));
+        },
+        {64});
+    EXPECT_EQ(sched.wait(t), "");
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(sched.helpWhile(t), "");
+    EXPECT_EQ(sched.helpWhile(t), ""); // idempotent
+    EXPECT_EQ(ran.load(), 64);
+    EXPECT_EQ(sched.stats().jobsCompleted, 3u);
+}
+
+TEST(Scheduler, ThreadlessSinglePhaseDrainsThroughHelpWhile)
+{
+    // workers < 0: no pool threads exist, so the helpWhile() caller
+    // is the only executor of a single-phase job.
+    SchedulerOptions opts;
+    opts.workers = -1;
+    opts.grain = 4;
+    TileScheduler sched(opts);
+    EXPECT_EQ(sched.workers(), 0);
+    constexpr long long kTasks = 257; // odd: exercises the last chunk
+    std::vector<std::atomic<int>> hits(kTasks);
+    auto t = sched.submit(
+        [&](long long phase, long long lo, long long hi) {
+            EXPECT_EQ(phase, 0);
+            for (long long i = lo; i <= hi; ++i)
+                hits[std::size_t(i)].fetch_add(1);
+        },
+        {kTasks});
+    EXPECT_EQ(sched.helpWhile(t), "");
+    for (long long i = 0; i < kTasks; ++i)
+        ASSERT_EQ(hits[std::size_t(i)].load(), 1) << "task " << i;
+    EXPECT_EQ(sched.stats().tasksExecuted, std::uint64_t(kTasks));
+    EXPECT_EQ(sched.stats().jobsCompleted, 1u);
+    // Drained: further helping is a no-op.
+    EXPECT_EQ(sched.helpWhile(t), "");
+    EXPECT_EQ(sched.stats().tasksExecuted, std::uint64_t(kTasks));
+}
+
 TEST(Scheduler, EveryTaskRunsExactlyOnce)
 {
     TileScheduler sched;
